@@ -1,0 +1,217 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md` §6:
+//!
+//! 1. adjacent-level clustering (G-PASTA) vs within-level clustering
+//!    (GDCA-style) — how much TDG parallelism each retains;
+//! 2. the `atomicMax` clustering rule vs a first-writer-wins rule — the
+//!    max rule is what makes clustering cycle-free (Theorem 1); the
+//!    ablation counts how often the naive rule produces unschedulable
+//!    partitions;
+//! 3. the deterministic kernel's overhead vs the racy kernel;
+//! 4. auto partition size vs swept sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpasta_circuits::dag;
+use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta_gpu::Device;
+use gpasta_sched::simulate_makespan;
+use gpasta_tdg::{validate, Partition, QuotientTdg, TaskId, Tdg};
+
+/// Ablation variant of seq-G-PASTA: first-writer-wins instead of the max
+/// rule (a successor keeps the *first* desired id it receives). Not
+/// cycle-free — that is the point.
+fn first_writer_partition(tdg: &Tdg, ps: usize) -> Partition {
+    let n = tdg.num_tasks();
+    const UNSET: u32 = u32::MAX;
+    let mut d_pid = vec![UNSET; n];
+    let mut f_pid = vec![0u32; n];
+    let mut dep = tdg.in_degrees();
+    let mut pid_cnt = vec![0u32; 2 * n + 1];
+    let mut frontier: Vec<u32> = tdg.sources().iter().map(|s| s.0).collect();
+    for (i, &s) in frontier.iter().enumerate() {
+        d_pid[s as usize] = i as u32;
+    }
+    let mut max_pid = (frontier.len() as u32).saturating_sub(1);
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        for &cur in &frontier {
+            let want = d_pid[cur as usize];
+            let fp = if (pid_cnt[want as usize] as usize) < ps {
+                pid_cnt[want as usize] += 1;
+                want
+            } else {
+                max_pid += 1;
+                pid_cnt[max_pid as usize] += 1;
+                max_pid
+            };
+            f_pid[cur as usize] = fp;
+            for &nb in tdg.successors(TaskId(cur)) {
+                if d_pid[nb as usize] == UNSET {
+                    d_pid[nb as usize] = fp; // first writer wins
+                }
+                dep[nb as usize] -= 1;
+                if dep[nb as usize] == 0 {
+                    next.push(nb);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    Partition::new(f_pid)
+}
+
+fn report_rule_validity() {
+    let mut first_writer_invalid = 0usize;
+    let mut max_rule_invalid = 0usize;
+    let trials = 40;
+    for seed in 0..trials as u64 {
+        let tdg = dag::random_dag(400, 1.8, seed);
+        let fw = first_writer_partition(&tdg, 8);
+        if validate::check_acyclic(&tdg, &fw).is_err() {
+            first_writer_invalid += 1;
+        }
+        let mx = SeqGPasta::new()
+            .partition(&tdg, &PartitionerOptions::with_max_size(8))
+            .expect("valid options");
+        if validate::check_acyclic(&tdg, &mx).is_err() {
+            max_rule_invalid += 1;
+        }
+    }
+    eprintln!(
+        "ablation: clustering rule validity over {trials} random DAGs — \
+         first-writer-wins invalid: {first_writer_invalid}, max rule invalid: {max_rule_invalid}"
+    );
+    assert_eq!(max_rule_invalid, 0, "Theorem 1: the max rule never produces cycles");
+    assert!(
+        first_writer_invalid > 0,
+        "the ablation should show the naive rule failing at least once"
+    );
+}
+
+fn report_level_strategy() {
+    let tdg = dag::layered(96, 30, 1, 5);
+    for (name, partition) in [
+        (
+            "adjacent-level (G-PASTA)",
+            SeqGPasta::new()
+                .partition(&tdg, &PartitionerOptions::with_max_size(30))
+                .expect("valid"),
+        ),
+        (
+            "within-level (GDCA)",
+            Gdca::new()
+                .partition(&tdg, &PartitionerOptions::with_max_size(30))
+                .expect("valid"),
+        ),
+    ] {
+        let q = QuotientTdg::build(&tdg, &partition).expect("schedulable");
+        let sim = simulate_makespan(q.graph(), 8, 800.0);
+        eprintln!(
+            "ablation: {name}: {} partitions, simulated 8-worker makespan {:.3} ms",
+            partition.num_partitions(),
+            sim.makespan_ns / 1e6
+        );
+    }
+}
+
+fn report_auto_ps() {
+    let tdg = dag::layered(128, 40, 2, 9);
+    let auto = SeqGPasta::new()
+        .partition(&tdg, &PartitionerOptions::default())
+        .expect("valid");
+    let q = QuotientTdg::build(&tdg, &auto).expect("schedulable");
+    let auto_ms = simulate_makespan(q.graph(), 8, 800.0).makespan_ns / 1e6;
+    let mut best = f64::INFINITY;
+    let mut best_ps = 0;
+    for ps in [2usize, 4, 8, 16, 32, 64] {
+        let p = SeqGPasta::new()
+            .partition(&tdg, &PartitionerOptions::with_max_size(ps))
+            .expect("valid");
+        let q = QuotientTdg::build(&tdg, &p).expect("schedulable");
+        let ms = simulate_makespan(q.graph(), 8, 800.0).makespan_ns / 1e6;
+        if ms < best {
+            best = ms;
+            best_ps = ps;
+        }
+    }
+    eprintln!(
+        "ablation: auto Ps {:.3} ms vs best swept Ps={} {:.3} ms",
+        auto_ms, best_ps, best
+    );
+}
+
+fn report_transitive_reduction() {
+    // Redundant dependencies make release work for the scheduler and bias
+    // partitioners; measure how much a shortcut-heavy DAG shrinks and what
+    // that does to partition quality.
+    let tdg = dag::random_dag(4000, 2.2, 13);
+    let reduced = gpasta_tdg::transitive_reduction(&tdg);
+    let quality = |g: &gpasta_tdg::Tdg| {
+        let p = SeqGPasta::new()
+            .partition(g, &PartitionerOptions::with_max_size(16))
+            .expect("valid");
+        let q = QuotientTdg::build(g, &p).expect("schedulable");
+        simulate_makespan(q.graph(), 8, 800.0).makespan_ns / 1e6
+    };
+    eprintln!(
+        "ablation: transitive reduction {} -> {} deps; partitioned makespan {:.3} -> {:.3} ms",
+        tdg.num_deps(),
+        reduced.num_deps(),
+        quality(&tdg),
+        quality(&reduced)
+    );
+}
+
+fn report_chain_refinement() {
+    // Optional post-pass: fuse quotient chains. G-PASTA\'s adjacent-level
+    // clustering leaves none (its own small finding), but GDCA\'s
+    // within-level clusters stack into chains the pass can collapse.
+    // Series-parallel blocks: the join -> fork bridges between blocks are
+    // exactly the chain edges the pass targets.
+    let tdg = dag::series_parallel(60, 6);
+    let opts = PartitionerOptions::with_max_size(8);
+    let sim_of = |p: &gpasta_tdg::Partition| {
+        let q = QuotientTdg::build(&tdg, p).expect("schedulable");
+        simulate_makespan(q.graph(), 8, 800.0).makespan_ns / 1e6
+    };
+    for (name, base) in [
+        ("seq-G-PASTA", SeqGPasta::new().partition(&tdg, &opts).expect("valid")),
+        ("GDCA", Gdca::new().partition(&tdg, &opts).expect("valid")),
+    ] {
+        let refined = gpasta_core::merge_chains(&tdg, &base, &opts);
+        eprintln!(
+            "ablation: chain refinement on {name}: {} -> {} partitions; makespan {:.3} -> {:.3} ms",
+            base.num_partitions(),
+            refined.num_partitions(),
+            sim_of(&base),
+            sim_of(&refined)
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    report_rule_validity();
+    report_level_strategy();
+    report_auto_ps();
+    report_transitive_reduction();
+    report_chain_refinement();
+
+    // Deterministic kernel overhead vs the racy kernel (paper §4.1:
+    // deter-G-PASTA is somewhat slower but still far ahead of GDCA).
+    let tdg = dag::layered(200, 100, 2, 11);
+    let opts = PartitionerOptions::with_max_size(16);
+    let mut group = c.benchmark_group("deter_overhead");
+    group.sample_size(10);
+    group.bench_function("racy_gpasta", |b| {
+        let p = GPasta::with_device(Device::single());
+        b.iter(|| p.partition(&tdg, &opts).expect("valid options"))
+    });
+    group.bench_function("deter_gpasta", |b| {
+        let p = DeterGPasta::with_device(Device::single());
+        b.iter(|| p.partition(&tdg, &opts).expect("valid options"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

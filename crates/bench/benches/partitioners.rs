@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks: partitioning runtime per algorithm
+//! (the `T_Partition` column of Table 1, at Criterion precision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpasta_circuits::dag;
+use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
+use gpasta_gpu::Device;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    for &n in &[10_000usize, 40_000] {
+        let width = ((n as f64).sqrt() as usize) * 2;
+        let levels = (n / width).max(2);
+        let tdg = dag::layered(width, levels, 2, 7);
+        let opts = PartitionerOptions::with_max_size(16);
+
+        let algos: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(SeqGPasta::new()),
+            Box::new(GPasta::with_device(Device::single())),
+            Box::new(DeterGPasta::with_device(Device::single())),
+            Box::new(Gdca::new()),
+        ];
+        for algo in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), tdg.num_tasks()),
+                &tdg,
+                |b, tdg| b.iter(|| algo.partition(tdg, &opts).expect("valid options")),
+            );
+        }
+    }
+
+    // Sarkar only at a size it can stomach (quadratic).
+    let tdg = dag::layered(40, 50, 2, 7);
+    let opts = PartitionerOptions::with_max_size(16);
+    group.bench_with_input(BenchmarkId::new("Sarkar", tdg.num_tasks()), &tdg, |b, tdg| {
+        b.iter(|| Sarkar::new().partition(tdg, &opts).expect("valid options"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks: the device's Thrust-style primitives
+//! (Algorithm 2's building blocks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpasta_gpu::{prims, Device};
+
+fn inputs(n: usize) -> (Vec<u64>, Vec<u32>, Vec<u32>) {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let keys64: Vec<u64> = (0..n).map(|_| next()).collect();
+    let vals: Vec<u32> = (0..n).map(|_| (next() % 7) as u32).collect();
+    // Grouped keys for reduce_by_key.
+    let grouped: Vec<u32> = (0..n).map(|i| (i / 9) as u32).collect();
+    (keys64, vals, grouped)
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let n = 200_000;
+    let (keys64, vals, grouped) = inputs(n);
+
+    let mut group = c.benchmark_group("prims");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let dev = Device::new(workers);
+        group.bench_with_input(BenchmarkId::new("sort_u64", workers), &dev, |b, dev| {
+            b.iter(|| {
+                let mut k = keys64.clone();
+                prims::sort_u64(dev, &mut k);
+                k
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("exclusive_scan", workers),
+            &dev,
+            |b, dev| b.iter(|| prims::exclusive_scan(dev, &vals)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inclusive_scan", workers),
+            &dev,
+            |b, dev| b.iter(|| prims::inclusive_scan(dev, &vals)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reduce_by_key", workers),
+            &dev,
+            |b, dev| b.iter(|| prims::reduce_by_key(dev, &grouped, &vals)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Figure 1(a): runtime breakdown of the core `update_timing` method with
+//! and without partitioning.
+//!
+//! The paper profiles OpenTimer on a large design: building the TDG takes
+//! 59 % and running it 41 %; with partitioning, the extra partitioning
+//! slice buys a ~50 % total improvement. This binary reproduces the
+//! breakdown on the netcard-class circuit.
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin fig1a -- --scale 0.05
+//! ```
+
+use gpasta_bench::{
+    flow, measure_partitioned_update, measure_plain_update, write_csv, write_json, BenchConfig,
+    Row,
+};
+use gpasta_circuits::PaperCircuit;
+use gpasta_core::{GPasta, PartitionerOptions};
+use gpasta_gpu::Device;
+use gpasta_sched::Executor;
+use gpasta_sta::{CellLibrary, Timer};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let circuit = PaperCircuit::Netcard;
+    println!(
+        "Figure 1(a) reproduction: update_timing breakdown on {} @ scale {}\n",
+        circuit.name(),
+        cfg.scale
+    );
+
+    let netlist = circuit.build(cfg.scale);
+    let library = CellLibrary::typical();
+    let exec = Executor::new(cfg.workers);
+
+    let mut timer = Timer::new(netlist.clone(), library.clone());
+    let plain = flow::average(cfg.runs, || {
+        timer.invalidate_all();
+        measure_plain_update(&mut timer, &exec)
+    });
+
+    let gpasta = GPasta::with_device(Device::new(cfg.workers));
+    let mut timer = Timer::new(netlist, library);
+    let part = flow::average(cfg.runs, || {
+        timer.invalidate_all();
+        measure_partitioned_update(&mut timer, &exec, &gpasta, &PartitionerOptions::default())
+    });
+
+    // Deterministic 8-worker run makespans, for the multi-core shape.
+    use gpasta_bench::tuning::{DISPATCH_NS, SIM_WORKERS};
+    use gpasta_core::Partitioner;
+    use gpasta_sched::simulate_makespan;
+    use gpasta_tdg::QuotientTdg;
+    let netlist2 = circuit.build(cfg.scale);
+    let mut timer = Timer::new(netlist2, CellLibrary::typical());
+    let update = timer.update_timing();
+    let sim_plain_run = simulate_makespan(update.tdg(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e9;
+    let partition = gpasta
+        .partition(update.tdg(), &PartitionerOptions::default())
+        .expect("valid options");
+    let q = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+    let sim_part_run = simulate_makespan(q.graph(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e9;
+
+    let pct = |d: std::time::Duration, total: std::time::Duration| {
+        100.0 * d.as_secs_f64() / total.as_secs_f64()
+    };
+    let (pt, tt) = (plain.total(), part.total());
+    println!("without partitioning ({:.2} ms total):", pt.as_secs_f64() * 1e3);
+    println!("  build TDG : {:>5.1}%", pct(plain.build, pt));
+    println!("  run TDG   : {:>5.1}%", pct(plain.run, pt));
+    println!("with G-PASTA partitioning ({:.2} ms total):", tt.as_secs_f64() * 1e3);
+    println!("  build TDG : {:>5.1}%", pct(part.build, tt));
+    println!("  partition : {:>5.1}%", pct(part.partition + part.quotient, tt));
+    println!("  run TDG   : {:>5.1}%", pct(part.run, tt));
+    println!(
+        "\ntotal improvement (this host's wall-clock): {:.1}%",
+        100.0 * (1.0 - tt.as_secs_f64() / pt.as_secs_f64())
+    );
+
+    // The multi-core variant: measured build/partition + simulated
+    // SIM_WORKERS-worker run (the regime of the paper's testbed).
+    let sim_pt = plain.build.as_secs_f64() + sim_plain_run;
+    let sim_tt = (part.build + part.partition + part.quotient).as_secs_f64() + sim_part_run;
+    println!(
+        "total improvement ({} simulated run workers): {:.1}% (paper: ~50% with GPU partitioning)",
+        SIM_WORKERS,
+        100.0 * (1.0 - sim_tt / sim_pt)
+    );
+
+    let rows = vec![
+        Row::new(
+            "without_partitioning",
+            &[
+                ("build_ms", plain.build.as_secs_f64() * 1e3),
+                ("partition_ms", 0.0),
+                ("run_ms", plain.run.as_secs_f64() * 1e3),
+                ("total_ms", pt.as_secs_f64() * 1e3),
+            ],
+        ),
+        Row::new(
+            "with_gpasta",
+            &[
+                ("build_ms", part.build.as_secs_f64() * 1e3),
+                (
+                    "partition_ms",
+                    (part.partition + part.quotient).as_secs_f64() * 1e3,
+                ),
+                ("run_ms", part.run.as_secs_f64() * 1e3),
+                ("total_ms", tt.as_secs_f64() * 1e3),
+            ],
+        ),
+    ];
+    write_csv(&cfg.out_dir.join("fig1a.csv"), &rows);
+    write_json(&cfg.out_dir.join("fig1a.json"), &rows);
+    println!("wrote {}", cfg.out_dir.join("fig1a.csv").display());
+}

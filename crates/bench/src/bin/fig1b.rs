@@ -1,0 +1,76 @@
+//! Figure 1(b): growth of partitioning time with increasing TDG size for
+//! the two prior TDG partitioners (Sarkar/Vivek and GDCA), with G-PASTA
+//! added for contrast.
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin fig1b -- --scale 0.05
+//! ```
+
+use gpasta_bench::{write_csv, write_json, BenchConfig, Row};
+use gpasta_circuits::dag;
+use gpasta_core::{GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar};
+use gpasta_gpu::Device;
+use std::time::Instant;
+
+/// Sarkar's quadratic partitioner is skipped above this many tasks (at
+/// scale 1.0 it would run for hours — the very point of the figure).
+const SARKAR_CAP: usize = 40_000;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("Figure 1(b) reproduction: partitioning time vs TDG size @ scale {}\n", cfg.scale);
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "#tasks", "Sarkar (ms)", "GDCA (ms)", "G-PASTA (ms)"
+    );
+
+    // Layered DAGs with STA-like shape; the paper sweeps 0 → 4M tasks.
+    let base_sizes: [usize; 6] = [62_500, 250_000, 1_000_000, 2_000_000, 3_000_000, 4_000_000];
+    let gpasta = GPasta::with_device(Device::new(cfg.workers));
+    let gdca = Gdca::new();
+    let sarkar = Sarkar::new();
+
+    let mut rows = Vec::new();
+    for &base in &base_sizes {
+        let n = ((base as f64 * cfg.scale) as usize).max(256);
+        let width = (n as f64).sqrt() as usize * 2;
+        let levels = (n / width).max(2);
+        let tdg = dag::layered(width, levels, 2, 0xF16B ^ n as u64);
+
+        let time_of = |p: &dyn Partitioner, opts: &PartitionerOptions| {
+            let t0 = Instant::now();
+            let part = p.partition(&tdg, opts).expect("valid options");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert!(part.num_partitions() > 0);
+            ms
+        };
+
+        let sarkar_ms = if tdg.num_tasks() <= SARKAR_CAP {
+            Some(time_of(&sarkar, &PartitionerOptions::with_max_size(16)))
+        } else {
+            None
+        };
+        let gdca_ms = time_of(&gdca, &PartitionerOptions::with_max_size(16));
+        let gpasta_ms = time_of(&gpasta, &PartitionerOptions::default());
+
+        println!(
+            "{:>10} {:>14} {:>14.2} {:>14.2}",
+            tdg.num_tasks(),
+            sarkar_ms.map_or("   (skipped)".to_owned(), |m| format!("{m:.2}")),
+            gdca_ms,
+            gpasta_ms
+        );
+        rows.push(Row::new(
+            format!("{}", tdg.num_tasks()),
+            &[
+                ("sarkar_ms", sarkar_ms.unwrap_or(f64::NAN)),
+                ("gdca_ms", gdca_ms),
+                ("gpasta_ms", gpasta_ms),
+            ],
+        ));
+    }
+
+    write_csv(&cfg.out_dir.join("fig1b.csv"), &rows);
+    write_json(&cfg.out_dir.join("fig1b.json"), &rows);
+    println!("\nwrote {}", cfg.out_dir.join("fig1b.csv").display());
+}

@@ -1,0 +1,169 @@
+//! Figure 7: overall STA runtime over incremental timing iterations.
+//!
+//! Each iteration applies a design modifier (gate repowering or a net
+//! capacitance change) followed by `update_timing`; the partitioner is
+//! issued at every call. The cumulative runtime of three policies is
+//! tracked: no partitioning, GDCA (tuned), and G-PASTA. The paper runs 8 K
+//! iterations; the iteration count scales with `--scale`.
+//!
+//! Two cumulative series per policy:
+//! * wall-clock on this host (single-core hosts understate the run-side
+//!   savings), and
+//! * build + partition + the deterministic 8-worker simulated run — the
+//!   multi-core regime of the paper's testbed.
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin fig7 -- --scale 0.05
+//! ```
+
+use gpasta_bench::tuning::{gpasta_for, tune_gdca_ps, DISPATCH_NS, SIM_WORKERS};
+use gpasta_bench::{write_csv, write_json, BenchConfig, Row};
+use gpasta_circuits::PaperCircuit;
+use gpasta_core::{Gdca, Partitioner, PartitionerOptions};
+use gpasta_sched::{simulate_makespan, Executor, Taskflow};
+use gpasta_sta::{CellLibrary, GateId, Timer};
+use gpasta_tdg::QuotientTdg;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// A named scheduling policy: `None` runs the raw TDG.
+type Policy<'a> = (&'a str, Option<(&'a dyn Partitioner, &'a PartitionerOptions)>);
+
+/// One deterministic design modifier per iteration.
+fn apply_modifier(timer: &mut Timer, rng: &mut ChaCha8Rng) {
+    let num_gates = timer.netlist().num_gates();
+    let num_nets = timer.netlist().num_nets() as u32;
+    if rng.gen_bool(0.5) && num_gates > 0 {
+        let g = GateId(rng.gen_range(0..num_gates as u32));
+        let drive = *[0.5f32, 1.0, 2.0, 4.0].choose(rng).expect("non-empty");
+        timer.repower_gate(g, drive);
+    } else if num_nets > 0 {
+        let net = rng.gen_range(0..num_nets);
+        timer.set_net_cap(net, rng.gen_range(0.0..6.0));
+    }
+}
+
+/// Per-iteration cost of one policy: `(wall_ms, sim_ms)`.
+fn one_iteration(
+    timer: &mut Timer,
+    exec: &Executor,
+    policy: Option<(&dyn Partitioner, &PartitionerOptions)>,
+) -> (f64, f64) {
+    let update = timer.update_timing();
+    let tdg = update.tdg();
+    let payload = update.task_fn();
+    match policy {
+        None => {
+            let t0 = Instant::now();
+            let taskflow = Taskflow::from_tdg(tdg, &payload);
+            drop(taskflow);
+            let overhead = update.build_time() + t0.elapsed();
+            let report = exec.run_tdg(tdg, &payload);
+            let wall = (overhead + report.elapsed).as_secs_f64() * 1e3;
+            let sim = overhead.as_secs_f64() * 1e3
+                + simulate_makespan(tdg, SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6;
+            (wall, sim)
+        }
+        Some((p, opts)) => {
+            let t0 = Instant::now();
+            let partition = p.partition(tdg, opts).expect("valid options");
+            let quotient = QuotientTdg::build(tdg, &partition).expect("schedulable");
+            let taskflow = Taskflow::from_quotient(&quotient, &payload);
+            drop(taskflow);
+            let overhead = update.build_time() + t0.elapsed();
+            let report = exec.run_partitioned(&quotient, &payload);
+            let wall = (overhead + report.elapsed).as_secs_f64() * 1e3;
+            let sim = overhead.as_secs_f64() * 1e3
+                + simulate_makespan(quotient.graph(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6;
+            (wall, sim)
+        }
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let iterations = ((8_000.0 * cfg.scale) as usize).max(20);
+    println!(
+        "Figure 7 reproduction: {} incremental iterations @ scale {}\n",
+        iterations, cfg.scale
+    );
+
+    for &circuit in &[PaperCircuit::VgaLcd, PaperCircuit::Leon2] {
+        println!("== {} ==", circuit.name());
+        let netlist = circuit.build(cfg.scale);
+        let library = CellLibrary::typical();
+        let exec = Executor::new(cfg.workers);
+
+        // Tune GDCA once on the full-update TDG, as for Table 1.
+        let gdca_ps = {
+            let mut t = Timer::new(netlist.clone(), library.clone());
+            let update = t.update_timing();
+            tune_gdca_ps(update.tdg(), SIM_WORKERS, DISPATCH_NS)
+        };
+
+        let gdca: Box<dyn Partitioner> = Box::new(Gdca::new());
+        let gpasta = gpasta_for(cfg.workers);
+        let gdca_opts = PartitionerOptions::with_max_size(gdca_ps);
+        let auto_opts = PartitionerOptions::default();
+        let policies: Vec<Policy> = vec![
+            ("original", None),
+            ("gdca", Some((gdca.as_ref(), &gdca_opts))),
+            ("gpasta", Some((gpasta.as_ref(), &auto_opts))),
+        ];
+
+        let mut wall_series: Vec<Vec<f64>> = Vec::new();
+        let mut sim_series: Vec<Vec<f64>> = Vec::new();
+        for (name, policy) in &policies {
+            // Identical modifier sequence per policy.
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+            let mut timer = Timer::new(netlist.clone(), library.clone());
+            // Initial full analysis is common to all policies (warm start).
+            timer.update_timing().run_sequential();
+
+            let (mut wall_cum, mut sim_cum) = (0.0f64, 0.0f64);
+            let mut wall_curve = Vec::with_capacity(iterations);
+            let mut sim_curve = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                apply_modifier(&mut timer, &mut rng);
+                let (wall, sim) = one_iteration(&mut timer, &exec, *policy);
+                wall_cum += wall;
+                sim_cum += sim;
+                wall_curve.push(wall_cum);
+                sim_curve.push(sim_cum);
+            }
+            println!(
+                "  {:<10} cumulative wall {:>10.1} ms | simulated ({} workers) {:>10.1} ms",
+                name, wall_cum, SIM_WORKERS, sim_cum
+            );
+            wall_series.push(wall_curve);
+            sim_series.push(sim_curve);
+        }
+
+        let last = |s: &[Vec<f64>], i: usize| *s[i].last().expect("non-empty");
+        println!(
+            "  simulated: G-PASTA improves overall STA by {:.0}% (paper: 43% on leon2); GDCA at {:.2}x the original (paper: 3.7x slower)\n",
+            100.0 * (1.0 - last(&sim_series, 2) / last(&sim_series, 0)),
+            last(&sim_series, 1) / last(&sim_series, 0)
+        );
+
+        let rows: Vec<Row> = (0..iterations)
+            .map(|i| {
+                Row::new(
+                    format!("{}", i + 1),
+                    &[
+                        ("original_wall_ms", wall_series[0][i]),
+                        ("gdca_wall_ms", wall_series[1][i]),
+                        ("gpasta_wall_ms", wall_series[2][i]),
+                        ("original_sim_ms", sim_series[0][i]),
+                        ("gdca_sim_ms", sim_series[1][i]),
+                        ("gpasta_sim_ms", sim_series[2][i]),
+                    ],
+                )
+            })
+            .collect();
+        write_csv(&cfg.out_dir.join(format!("fig7_{}.csv", circuit.name())), &rows);
+        write_json(&cfg.out_dir.join(format!("fig7_{}.json", circuit.name())), &rows);
+    }
+    println!("wrote {}", cfg.out_dir.join("fig7_*.csv").display());
+}

@@ -1,0 +1,155 @@
+//! Table 1: overall performance comparison among GDCA, seq-G-PASTA,
+//! G-PASTA and deter-G-PASTA on the six-circuit suite.
+//!
+//! Reproduces, per circuit: `#tasks`, `#deps`, `T_TDG` (unpartitioned TDG
+//! runtime), `T_TDGP` per partitioner (with speedup over `T_TDG`), and
+//! `T_Partition` per partitioner (with speedup over GDCA). GDCA runs at a
+//! tuned partition size; the G-PASTA family uses the default (TDG size).
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin table1 -- --scale 0.05
+//! ```
+
+use gpasta_bench::tuning::{DISPATCH_NS, SIM_WORKERS};
+use gpasta_bench::{
+    flow, measure_partitioned_update, measure_plain_update, tune_gdca_ps, write_csv, write_json,
+    BenchConfig, Row,
+};
+use gpasta_circuits::PaperCircuit;
+use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta_gpu::Device;
+use gpasta_sched::{simulate_makespan, Executor};
+use gpasta_sta::{CellLibrary, Timer};
+use gpasta_tdg::QuotientTdg;
+
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!(
+        "Table 1 reproduction @ scale {} ({} runs, {} workers)\n",
+        cfg.scale, cfg.runs, cfg.workers
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} | {:>34} | {:>34}",
+        "circuit", "#tasks", "#deps", "T_TDG(ms)", "T_TDGP ms (speedup)", "T_Partition ms (vs GDCA)"
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
+        "", "", "", "", "GDCA", "seq-GP", "GP", "deter", "GDCA", "seq-GP", "GP", "deter"
+    );
+
+    let mut rows = Vec::new();
+    for &circuit in PaperCircuit::all() {
+        let netlist = circuit.build(cfg.scale);
+        let library = CellLibrary::typical();
+        let exec = Executor::new(cfg.workers);
+
+        // Unpartitioned baseline.
+        let mut timer = Timer::new(netlist.clone(), library.clone());
+        let plain = flow::average(cfg.runs, || {
+            timer.invalidate_all();
+            measure_plain_update(&mut timer, &exec)
+        });
+
+        // Tune GDCA on the full-update TDG, as the paper does per circuit.
+        let gdca_ps = {
+            let mut t = Timer::new(netlist.clone(), library.clone());
+            let update = t.update_timing();
+            tune_gdca_ps(update.tdg(), SIM_WORKERS, DISPATCH_NS)
+        };
+
+        let partitioners: Vec<(Box<dyn Partitioner>, PartitionerOptions)> = vec![
+            (Box::new(Gdca::new()), PartitionerOptions::with_max_size(gdca_ps)),
+            (Box::new(SeqGPasta::new()), PartitionerOptions::default()),
+            (
+                Box::new(GPasta::with_device(Device::new(cfg.workers))),
+                PartitionerOptions::default(),
+            ),
+            (
+                Box::new(DeterGPasta::with_device(Device::new(cfg.workers))),
+                PartitionerOptions::default(),
+            ),
+        ];
+
+        // Simulated makespan of the unpartitioned TDG on SIM_WORKERS.
+        let sim_tdg = {
+            let mut t = Timer::new(netlist.clone(), library.clone());
+            let update = t.update_timing();
+            simulate_makespan(update.tdg(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6
+        };
+
+        let mut tdgp = Vec::new();
+        let mut tpart = Vec::new();
+        let mut sim_tdgp = Vec::new();
+        for (p, opts) in &partitioners {
+            let mut timer = Timer::new(netlist.clone(), library.clone());
+            let t = flow::average(cfg.runs, || {
+                timer.invalidate_all();
+                measure_partitioned_update(&mut timer, &exec, p.as_ref(), opts)
+            });
+            tdgp.push(t.run.as_secs_f64() * 1e3);
+            tpart.push(t.partition.as_secs_f64() * 1e3);
+
+            let mut timer = Timer::new(netlist.clone(), library.clone());
+            let update = timer.update_timing();
+            let partition = p.partition(update.tdg(), opts).expect("valid options");
+            let q = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+            sim_tdgp.push(simulate_makespan(q.graph(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6);
+        }
+
+        let t_tdg = plain.run.as_secs_f64() * 1e3;
+        println!(
+            "{:<10} {:>9} {:>9} {:>10.2} | {:>4.2} ({:>4.1}x) {:>4.2} ({:>4.1}x) {:>4.2} ({:>4.1}x) {:>4.2} ({:>4.1}x) | {:>8.2} {:>4.2} ({:>4.1}x) {:>4.2} ({:>4.1}x) {:>4.2} ({:>4.1}x)",
+            circuit.name(),
+            plain.num_tasks,
+            plain.num_deps,
+            t_tdg,
+            tdgp[0], t_tdg / tdgp[0],
+            tdgp[1], t_tdg / tdgp[1],
+            tdgp[2], t_tdg / tdgp[2],
+            tdgp[3], t_tdg / tdgp[3],
+            tpart[0],
+            tpart[1], tpart[0] / tpart[1],
+            tpart[2], tpart[0] / tpart[2],
+            tpart[3], tpart[0] / tpart[3],
+        );
+
+        println!(
+            "{:<10} simulated {}-worker makespan: TDG {:>8.2} ms | GDCA {:.2} ({:.1}x)  seq-GP {:.2} ({:.1}x)  GP {:.2} ({:.1}x)  deter {:.2} ({:.1}x)",
+            "",
+            SIM_WORKERS,
+            sim_tdg,
+            sim_tdgp[0], sim_tdg / sim_tdgp[0],
+            sim_tdgp[1], sim_tdg / sim_tdgp[1],
+            sim_tdgp[2], sim_tdg / sim_tdgp[2],
+            sim_tdgp[3], sim_tdg / sim_tdgp[3],
+        );
+
+        rows.push(Row::new(
+            circuit.name(),
+            &[
+                ("tasks", plain.num_tasks as f64),
+                ("deps", plain.num_deps as f64),
+                ("t_tdg_ms", t_tdg),
+                ("sim_tdg_ms", sim_tdg),
+                ("sim_tdgp_gdca_ms", sim_tdgp[0]),
+                ("sim_tdgp_seq_ms", sim_tdgp[1]),
+                ("sim_tdgp_gpasta_ms", sim_tdgp[2]),
+                ("sim_tdgp_deter_ms", sim_tdgp[3]),
+                ("t_tdgp_gdca_ms", tdgp[0]),
+                ("t_tdgp_seq_ms", tdgp[1]),
+                ("t_tdgp_gpasta_ms", tdgp[2]),
+                ("t_tdgp_deter_ms", tdgp[3]),
+                ("t_part_gdca_ms", tpart[0]),
+                ("t_part_seq_ms", tpart[1]),
+                ("t_part_gpasta_ms", tpart[2]),
+                ("t_part_deter_ms", tpart[3]),
+                ("gdca_ps", gdca_ps as f64),
+            ],
+        ));
+    }
+
+    write_csv(&cfg.out_dir.join("table1.csv"), &rows);
+    write_json(&cfg.out_dir.join("table1.json"), &rows);
+    println!("\nwrote {}", cfg.out_dir.join("table1.csv").display());
+}

@@ -1,0 +1,126 @@
+//! Minimal command-line handling shared by the harness binaries.
+
+use std::path::PathBuf;
+
+/// Configuration parsed from the common harness flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Fraction of the paper's TDG sizes to generate (1.0 = paper scale).
+    pub scale: f64,
+    /// Number of measured repetitions to average.
+    pub runs: usize,
+    /// Executor / device worker count.
+    pub workers: usize,
+    /// Output directory for CSV/JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: 0.05,
+            runs: 3,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Parse `--scale <f> | --full | --runs <n> | --workers <n> | --out <dir>`
+    /// from the process arguments, ignoring the binary name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (acceptable for a
+    /// benchmark binary).
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cfg = BenchConfig::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    cfg.scale = v.parse().expect("--scale needs a float");
+                }
+                "--full" => cfg.scale = 1.0,
+                "--runs" => {
+                    let v = it.next().expect("--runs needs a value");
+                    cfg.runs = v.parse().expect("--runs needs an integer");
+                }
+                "--workers" => {
+                    let v = it.next().expect("--workers needs a value");
+                    cfg.workers = v.parse().expect("--workers needs an integer");
+                }
+                "--out" => {
+                    let v = it.next().expect("--out needs a directory");
+                    cfg.out_dir = PathBuf::from(v);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--scale <f>] [--full] [--runs <n>] [--workers <n>] [--out <dir>]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other}; try --help"),
+            }
+        }
+        assert!(cfg.scale > 0.0, "--scale must be positive");
+        assert!(cfg.runs > 0, "--runs must be positive");
+        assert!(cfg.workers > 0, "--workers must be positive");
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchConfig {
+        BenchConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]);
+        assert_eq!(cfg.scale, 0.05);
+        assert_eq!(cfg.runs, 3);
+        assert!(cfg.workers >= 1);
+    }
+
+    #[test]
+    fn full_and_explicit_values() {
+        let cfg = parse(&["--full", "--runs", "10", "--workers", "2", "--out", "/tmp/x"]);
+        assert_eq!(cfg.scale, 1.0);
+        assert_eq!(cfg.runs, 10);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn scale_overrides() {
+        let cfg = parse(&["--scale", "0.25"]);
+        assert_eq!(cfg.scale, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = parse(&["--scale", "0"]);
+    }
+}

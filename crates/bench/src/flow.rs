@@ -1,0 +1,217 @@
+//! The measured `update_timing` flows: plain TDG vs partitioned TDG.
+
+use gpasta_core::{Partitioner, PartitionerOptions};
+use gpasta_sched::{Executor, Taskflow};
+use gpasta_sta::Timer;
+use gpasta_tdg::QuotientTdg;
+use std::time::Duration;
+
+/// Wall-clock breakdown of one `update_timing` invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowTiming {
+    /// Building the task dependency graph from the timing graph *and*
+    /// materialising the scheduler's task graph (one node per schedulable
+    /// unit — the Taskflow-construction cost the paper's Figure 1(a)
+    /// attributes 59 % of `update_timing` to; partitioning shrinks this
+    /// phase because the scheduler gets one node per partition).
+    pub build: Duration,
+    /// Partitioning the TDG (zero for the plain flow) — the partitioner
+    /// alone, matching the paper's `T_Partition`.
+    pub partition: Duration,
+    /// Constructing the partitioned TDG (quotient graph) that the
+    /// scheduler consumes; identical work for every partitioner.
+    pub quotient: Duration,
+    /// Executing the (possibly partitioned) TDG.
+    pub run: Duration,
+    /// Tasks in the TDG.
+    pub num_tasks: usize,
+    /// Dependencies in the TDG.
+    pub num_deps: usize,
+    /// Scheduled units (tasks, or partitions after partitioning).
+    pub dispatches: u64,
+}
+
+impl FlowTiming {
+    /// `build + partition + quotient + run`.
+    pub fn total(&self) -> Duration {
+        self.build + self.partition + self.quotient + self.run
+    }
+}
+
+/// Run `update_timing` without partitioning and time each phase.
+///
+/// The timer must have pending changes (or be fresh) for the TDG to be
+/// non-empty.
+pub fn measure_plain_update(timer: &mut Timer, exec: &Executor) -> FlowTiming {
+    let update = timer.update_timing();
+    let mut build = update.build_time();
+    let tdg = update.tdg();
+    let (num_tasks, num_deps) = (tdg.num_tasks(), tdg.num_deps());
+    let payload = update.task_fn();
+    // Materialise the per-task scheduler graph (Taskflow construction).
+    let t0 = std::time::Instant::now();
+    let taskflow = Taskflow::from_tdg(tdg, &payload);
+    build += t0.elapsed();
+    assert_eq!(taskflow.num_nodes(), num_tasks);
+    drop(taskflow);
+    let report = exec.run_tdg(tdg, &payload);
+    FlowTiming {
+        build,
+        partition: Duration::ZERO,
+        quotient: Duration::ZERO,
+        run: report.elapsed,
+        num_tasks,
+        num_deps,
+        dispatches: report.dispatches,
+    }
+}
+
+/// Run `update_timing` through `partitioner` and time each phase;
+/// partitioning and quotient construction are timed separately.
+pub fn measure_partitioned_update(
+    timer: &mut Timer,
+    exec: &Executor,
+    partitioner: &dyn Partitioner,
+    opts: &PartitionerOptions,
+) -> FlowTiming {
+    let update = timer.update_timing();
+    let build = update.build_time();
+    let tdg = update.tdg();
+    let (num_tasks, num_deps) = (tdg.num_tasks(), tdg.num_deps());
+
+    let t0 = std::time::Instant::now();
+    let partition = partitioner
+        .partition(tdg, opts)
+        .expect("harness passes valid options");
+    let partition_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let quotient = QuotientTdg::build(tdg, &partition)
+        .expect("partitioners produce schedulable partitions");
+    let quotient_time = t1.elapsed();
+
+    let payload = update.task_fn();
+    // Materialise the per-partition scheduler graph — far fewer nodes than
+    // the per-task graph of the plain flow.
+    let t2 = std::time::Instant::now();
+    let taskflow = Taskflow::from_quotient(&quotient, &payload);
+    let mut build = build;
+    build += t2.elapsed();
+    drop(taskflow);
+    let report = exec.run_partitioned(&quotient, &payload);
+    FlowTiming {
+        build,
+        partition: partition_time,
+        quotient: quotient_time,
+        run: report.elapsed,
+        num_tasks,
+        num_deps,
+        dispatches: report.dispatches,
+    }
+}
+
+/// Average a sampling closure over `runs` repetitions (the paper averages
+/// 10 runs; the harness default is 3 for CI friendliness).
+pub fn average<F: FnMut() -> FlowTiming>(runs: usize, mut sample: F) -> FlowTiming {
+    assert!(runs > 0, "need at least one run");
+    let mut acc = FlowTiming::default();
+    for _ in 0..runs {
+        let t = sample();
+        acc.build += t.build;
+        acc.partition += t.partition;
+        acc.quotient += t.quotient;
+        acc.run += t.run;
+        acc.num_tasks = t.num_tasks;
+        acc.num_deps = t.num_deps;
+        acc.dispatches = t.dispatches;
+    }
+    let d = runs as u32;
+    acc.build /= d;
+    acc.partition /= d;
+    acc.quotient /= d;
+    acc.run /= d;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpasta_circuits::PaperCircuit;
+    use gpasta_core::{GPasta, SeqGPasta};
+    use gpasta_sta::CellLibrary;
+
+    fn tiny_timer() -> Timer {
+        Timer::new(PaperCircuit::AesCore.build(0.01), CellLibrary::typical())
+    }
+
+    #[test]
+    fn plain_flow_reports_counts() {
+        let mut timer = tiny_timer();
+        let exec = Executor::new(1);
+        let t = measure_plain_update(&mut timer, &exec);
+        assert!(t.num_tasks > 100);
+        assert_eq!(t.dispatches as usize, t.num_tasks);
+        assert!(t.run > Duration::ZERO);
+        assert!(t.partition.is_zero());
+    }
+
+    #[test]
+    fn partitioned_flow_reduces_dispatches() {
+        let exec = Executor::new(1);
+
+        let mut timer = tiny_timer();
+        let plain = measure_plain_update(&mut timer, &exec);
+
+        let mut timer = tiny_timer();
+        let part = measure_partitioned_update(
+            &mut timer,
+            &exec,
+            &GPasta::with_device(gpasta_gpu::Device::single()),
+            &PartitionerOptions::default(),
+        );
+        assert_eq!(part.num_tasks, plain.num_tasks);
+        assert!(
+            part.dispatches < plain.dispatches / 2,
+            "partitioning must collapse dispatch count: {} vs {}",
+            part.dispatches,
+            plain.dispatches
+        );
+        assert!(part.partition > Duration::ZERO);
+    }
+
+    #[test]
+    fn partitioned_flow_produces_identical_timing_results() {
+        let exec = Executor::new(2);
+
+        let mut a = tiny_timer();
+        measure_plain_update(&mut a, &exec);
+        let ra = a.report(5);
+
+        let mut b = tiny_timer();
+        measure_partitioned_update(&mut b, &exec, &SeqGPasta::new(), &PartitionerOptions::default());
+        let rb = b.report(5);
+
+        assert_eq!(ra.wns_ps, rb.wns_ps, "partitioning must not change results");
+        assert_eq!(ra.worst[0].name, rb.worst[0].name);
+    }
+
+    #[test]
+    fn average_divides() {
+        let mut n = 0u64;
+        let t = average(4, || {
+            n += 1;
+            FlowTiming {
+                build: Duration::from_millis(4),
+                partition: Duration::from_millis(8),
+                quotient: Duration::from_millis(2),
+                run: Duration::from_millis(12),
+                num_tasks: 5,
+                num_deps: 6,
+                dispatches: 3,
+            }
+        });
+        assert_eq!(n, 4);
+        assert_eq!(t.build, Duration::from_millis(4));
+        assert_eq!(t.partition, Duration::from_millis(8));
+        assert_eq!(t.total(), Duration::from_millis(26));
+    }
+}

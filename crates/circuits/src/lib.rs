@@ -1,0 +1,43 @@
+//! Synthetic circuits and DAGs calibrated to the G-PASTA paper's benchmark
+//! suite.
+//!
+//! The paper evaluates on six industrial designs (aes_core, des_perf,
+//! vga_lcd, leon3mp, netcard, leon2). Those netlists are not distributable,
+//! so this crate generates *synthetic* designs whose `update_timing` TDGs
+//! match the paper's reported task counts (Table 1): same workload size and
+//! shape, reproducible from a fixed seed. See `DESIGN.md` §2 for the
+//! substitution rationale.
+//!
+//! * [`CircuitSpec`] / [`generate_netlist`] — seeded layered netlist
+//!   generation with a realistic cell mix, fan-out distribution, and
+//!   sequential elements;
+//! * [`PaperCircuit`] — the six named designs with task-count calibration
+//!   and a `scale` knob (laptop-size by default, paper-size with
+//!   `scale = 1.0`);
+//! * [`dag`] — plain DAG generators (layered, chain, fan-in tree,
+//!   series-parallel, random) used by partitioner tests and the Figure 1(b)
+//!   sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use gpasta_circuits::PaperCircuit;
+//! use gpasta_sta::{CellLibrary, Timer};
+//!
+//! // A 1%-scale aes_core lookalike.
+//! let netlist = PaperCircuit::AesCore.build(0.01);
+//! let mut timer = Timer::new(netlist, CellLibrary::typical());
+//! let update = timer.update_timing();
+//! assert!(update.tdg().num_tasks() > 300);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+mod gen;
+pub mod iscas;
+mod suite;
+
+pub use gen::{generate_netlist, CircuitSpec};
+pub use suite::PaperCircuit;

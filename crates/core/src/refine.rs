@@ -1,0 +1,158 @@
+//! Post-partitioning refinement: quotient chain merging.
+//!
+//! Any partitioner can leave *chains* in the quotient graph — partitions
+//! whose only successor has them as its only predecessor. Scheduling the
+//! pair separately buys no parallelism (the second cannot start until the
+//! first finishes) but costs a dispatch; merging them is always safe:
+//! a chain contraction cannot create a cycle, and the union of two convex
+//! sets joined by every path between them stays convex.
+//!
+//! This is an optional pass on top of the paper's algorithms; the
+//! `ablation` bench quantifies its effect.
+
+use crate::PartitionerOptions;
+use gpasta_tdg::{Partition, QuotientTdg, TaskId, Tdg};
+
+/// Merge quotient chains of `partition` bottom-up: while some partition
+/// `P` has exactly one successor `Q`, `Q` has exactly one predecessor, and
+/// their combined size fits `opts`'s partition bound, fuse them.
+///
+/// Returns the refined partition (possibly unchanged). The result is valid
+/// whenever the input is.
+///
+/// # Panics
+///
+/// Panics if `partition` does not cover `tdg` or is not schedulable (build
+/// the quotient first to validate untrusted input).
+pub fn merge_chains(tdg: &Tdg, partition: &Partition, opts: &PartitionerOptions) -> Partition {
+    let ps = opts.resolve_ps(tdg);
+    let q = QuotientTdg::build(tdg, partition).expect("refinement needs a schedulable partition");
+    let qg = q.graph();
+    let np = q.num_partitions();
+
+    // Union-find over partitions; merge along eligible chain edges.
+    let mut parent: Vec<u32> = (0..np as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut size: Vec<usize> = (0..np)
+        .map(|p| q.execution_order(gpasta_tdg::PartitionId(p as u32)).len())
+        .collect();
+
+    // A chain edge P -> Q is mergeable when out_degree(P) == 1 and
+    // in_degree(Q) == 1 *in the original quotient*. Contracting such edges
+    // never creates cycles even transitively: each contraction removes a
+    // bridge whose endpoints have no alternative ordering path (any other
+    // P ~> Q path would give Q a second predecessor).
+    for p in 0..np as u32 {
+        let node = TaskId(p);
+        if qg.out_degree(node) != 1 {
+            continue;
+        }
+        let succ = qg.successors(node)[0];
+        if qg.in_degree(TaskId(succ)) != 1 {
+            continue;
+        }
+        let (rp, rq) = (find(&mut parent, p), find(&mut parent, succ));
+        if rp == rq {
+            continue;
+        }
+        if size[rp as usize] + size[rq as usize] > ps {
+            continue;
+        }
+        parent[rq as usize] = rp;
+        size[rp as usize] += size[rq as usize];
+    }
+
+    let assignment: Vec<u32> = partition
+        .assignment()
+        .iter()
+        .map(|&pid| find(&mut parent, pid))
+        .collect();
+    Partition::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Partitioner, SeqGPasta};
+    use gpasta_circuits::dag;
+    use gpasta_tdg::validate;
+
+    #[test]
+    fn merges_singleton_chain() {
+        // Chain of 6 tasks pre-partitioned into singletons: refinement with
+        // a bound of 3 fuses them into ceil(6/3) = 2 partitions.
+        let tdg = dag::chain(6);
+        let singles = Partition::singletons(6);
+        let refined = merge_chains(&tdg, &singles, &PartitionerOptions::with_max_size(3));
+        validate::check_all(&tdg, &refined).expect("refined partition is valid");
+        validate::check_size_bound(&refined, 3).expect("bound respected");
+        assert!(refined.num_partitions() <= 3, "got {}", refined.num_partitions());
+        assert!(refined.num_partitions() < 6);
+    }
+
+    #[test]
+    fn leaves_diamonds_alone() {
+        // Diamond quotient: no chain edges, nothing merges.
+        let mut b = gpasta_tdg::TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        let tdg = b.build().expect("diamond");
+        let singles = Partition::singletons(4);
+        let refined = merge_chains(&tdg, &singles, &PartitionerOptions::default());
+        // 0 -> {1,2}: out-degree 2; {1,2} -> 3: in-degree 2. Nothing fuses.
+        assert_eq!(refined.num_partitions(), 4);
+    }
+
+    #[test]
+    fn respects_the_size_bound() {
+        let tdg = dag::chain(10);
+        let refined = merge_chains(
+            &tdg,
+            &Partition::singletons(10),
+            &PartitionerOptions::with_max_size(4),
+        );
+        validate::check_size_bound(&refined, 4).expect("bound respected");
+        validate::check_all(&tdg, &refined).expect("valid");
+    }
+
+    #[test]
+    fn improves_or_preserves_every_partitioner_output() {
+        for seed in 0..5u64 {
+            let tdg = dag::random_dag(300, 1.4, seed);
+            let opts = PartitionerOptions::with_max_size(12);
+            let base = SeqGPasta::new().partition(&tdg, &opts).expect("valid options");
+            let refined = merge_chains(&tdg, &base, &opts);
+            validate::check_all(&tdg, &refined)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            validate::check_size_bound(&refined, 12).expect("bound respected");
+            assert!(
+                refined.num_partitions() <= base.num_partitions(),
+                "seed {seed}: refinement must never add partitions"
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_on_already_merged_chains() {
+        let tdg = dag::chain(9);
+        let opts = PartitionerOptions::with_max_size(3);
+        let once = merge_chains(&tdg, &Partition::singletons(9), &opts);
+        let twice = merge_chains(&tdg, &once, &opts);
+        assert_eq!(once.num_partitions(), twice.num_partitions());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let tdg = gpasta_tdg::TdgBuilder::new(0).build().expect("empty");
+        let refined = merge_chains(&tdg, &Partition::new(vec![]), &PartitionerOptions::default());
+        assert_eq!(refined.num_partitions(), 0);
+    }
+}

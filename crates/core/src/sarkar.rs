@@ -1,0 +1,239 @@
+//! Sarkar baseline: edge-zeroing clustering with explicit cycle checking
+//! [Sarkar & Hennessy, LFP 1986].
+
+use crate::{check_opts, PartitionError, Partitioner, PartitionerOptions};
+use gpasta_tdg::{Partition, Tdg};
+
+/// The classic macro-dataflow partitioner the paper cites as "Vivek" \[10\].
+///
+/// Edges are visited in descending weight order (the heaviest producer →
+/// consumer communication first); each edge's two clusters are merged if
+/// the merge (a) keeps the combined size within `Ps` and (b) does not
+/// create a cycle among clusters. The cycle check is a reachability query
+/// on the current cluster graph, so the algorithm is quadratic in practice
+/// — the growth the paper plots in Figure 1(b) and the reason GDCA (and
+/// G-PASTA) abandon per-merge cycle checking.
+#[derive(Debug, Clone, Default)]
+pub struct Sarkar;
+
+impl Sarkar {
+    /// Create the Sarkar baseline.
+    pub fn new() -> Self {
+        Sarkar
+    }
+}
+
+impl Partitioner for Sarkar {
+    fn name(&self) -> &'static str {
+        "Sarkar"
+    }
+
+    // Index loops below are deliberate: the DFS body needs `&mut parent`
+    // (path-compressing find) while scanning `members[...]`, which an
+    // iterator borrow would forbid.
+    #[allow(clippy::needless_range_loop)]
+    fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError> {
+        check_opts(opts)?;
+        let n = tdg.num_tasks();
+        if n == 0 {
+            return Ok(Partition::new(Vec::new()));
+        }
+        let ps = opts.resolve_ps(tdg);
+
+        // Union-find over tasks = clusters, with explicit member lists so
+        // the cycle check can seed its frontier without scanning all tasks.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        let mut size: Vec<u32> = vec![1; n];
+        let mut members: Vec<Vec<u32>> = (0..n as u32).map(|t| vec![t]).collect();
+
+        // Candidate edges, heaviest communication first (edge weight
+        // modelled as the source task's cost — a produced datum costs what
+        // it took to compute). Ties broken by id for determinism.
+        let mut edges: Vec<(u32, u32)> = tdg.edges().map(|(u, v)| (u.0, v.0)).collect();
+        edges.sort_by(|&(ua, va), &(ub, vb)| {
+            let wa = tdg.weight(gpasta_tdg::TaskId(ua));
+            let wb = tdg.weight(gpasta_tdg::TaskId(ub));
+            wb.total_cmp(&wa).then_with(|| (ua, va).cmp(&(ub, vb)))
+        });
+
+        // Scratch space for the cycle check, reused across merges.
+        let mut stamp = 0u32;
+        let mut stamps = vec![0u32; n];
+
+        for (u, v) in edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru == rv {
+                continue;
+            }
+            if (size[ru as usize] + size[rv as usize]) as usize > ps {
+                continue;
+            }
+            // Cycle check (the expensive, quadratic part): merging is
+            // unsafe iff some path leaves the merged cluster and re-enters
+            // it through at least one outside task.
+            // The traversal must run over the *cluster* graph: contracting
+            // another cluster C connects all of C's members, so task-level
+            // reachability alone would miss quotient cycles.
+            stamp += 1;
+            let cyclic = {
+                // Seed: clusters of the outside successors of every member.
+                let mut stack: Vec<u32> = Vec::new();
+                for seed_root in [ru, rv] {
+                    for i in 0..members[seed_root as usize].len() {
+                        let m = members[seed_root as usize][i];
+                        for &s in tdg.successors(gpasta_tdg::TaskId(m)) {
+                            let rs = find(&mut parent, s);
+                            if rs != ru && rs != rv && stamps[rs as usize] != stamp {
+                                stamps[rs as usize] = stamp;
+                                stack.push(rs);
+                            }
+                        }
+                    }
+                }
+                let mut found = false;
+                'dfs: while let Some(c) = stack.pop() {
+                    for i in 0..members[c as usize].len() {
+                        let m = members[c as usize][i];
+                        for &s in tdg.successors(gpasta_tdg::TaskId(m)) {
+                            let rs = find(&mut parent, s);
+                            if rs == ru || rs == rv {
+                                found = true;
+                                break 'dfs;
+                            }
+                            if stamps[rs as usize] != stamp {
+                                stamps[rs as usize] = stamp;
+                                stack.push(rs);
+                            }
+                        }
+                    }
+                }
+                found
+            };
+            if cyclic {
+                continue;
+            }
+            // Union by size, folding the smaller member list into the
+            // larger.
+            let (big, small) = if size[ru as usize] >= size[rv as usize] {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
+            parent[small as usize] = big;
+            size[big as usize] += size[small as usize];
+            let moved = std::mem::take(&mut members[small as usize]);
+            members[big as usize].extend(moved);
+        }
+
+        let assignment: Vec<u32> = (0..n as u32).map(|t| find(&mut parent, t)).collect();
+        Ok(Partition::new(assignment))
+    }
+}
+
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpasta_circuits::dag;
+    use gpasta_tdg::{validate, TaskId, TdgBuilder};
+
+    #[test]
+    fn valid_on_random_dags() {
+        let sarkar = Sarkar::new();
+        for seed in 0..5u64 {
+            let tdg = dag::random_dag(120, 1.5, seed);
+            for ps in [2usize, 6, 120] {
+                let p = sarkar
+                    .partition(&tdg, &PartitionerOptions::with_max_size(ps))
+                    .expect("valid options");
+                validate::check_all(&tdg, &p).unwrap_or_else(|e| panic!("seed {seed} ps {ps}: {e}"));
+                validate::check_size_bound(&p, ps).expect("size bound");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_merges_fully() {
+        let tdg = dag::chain(12);
+        let p = Sarkar::new()
+            .partition(&tdg, &PartitionerOptions::default())
+            .expect("valid options");
+        assert_eq!(p.num_partitions(), 1);
+    }
+
+    #[test]
+    fn diamond_cycle_check_blocks_bad_merge() {
+        // Diamond 0 -> {1,2} -> 3 with Ps=2: merging {0,3} would be cyclic
+        // through 1 or 2; Sarkar must refuse it.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        let tdg = b.build().expect("diamond");
+        let p = Sarkar::new()
+            .partition(&tdg, &PartitionerOptions::with_max_size(2))
+            .expect("valid options");
+        validate::check_all(&tdg, &p).expect("valid");
+        assert_ne!(
+            p.assignment()[0], p.assignment()[3],
+            "0 and 3 cannot share a cluster without 1 and 2"
+        );
+    }
+
+    #[test]
+    fn heavier_edges_merge_first() {
+        // Two chains; one has much heavier tasks. With Ps=2 both chains'
+        // heaviest edges merge; just verify validity and compression.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.set_weight(TaskId(0), 100.0);
+        let tdg = b.build().expect("two chains");
+        let p = Sarkar::new()
+            .partition(&tdg, &PartitionerOptions::with_max_size(2))
+            .expect("valid options");
+        assert_eq!(p.num_partitions(), 2);
+        assert_eq!(p.assignment()[0], p.assignment()[1]);
+        assert_eq!(p.assignment()[2], p.assignment()[3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let tdg = dag::random_dag(100, 1.4, 2);
+        let opts = PartitionerOptions::with_max_size(5);
+        assert_eq!(
+            Sarkar::new().partition(&tdg, &opts).expect("valid"),
+            Sarkar::new().partition(&tdg, &opts).expect("valid")
+        );
+    }
+
+    #[test]
+    fn empty_graph_and_zero_ps() {
+        let empty = TdgBuilder::new(0).build().expect("empty");
+        assert_eq!(
+            Sarkar::new()
+                .partition(&empty, &PartitionerOptions::default())
+                .expect("valid options")
+                .num_partitions(),
+            0
+        );
+        let tdg = dag::chain(2);
+        assert_eq!(
+            Sarkar::new().partition(&tdg, &PartitionerOptions::with_max_size(0)),
+            Err(PartitionError::ZeroPartitionSize)
+        );
+    }
+
+    #[test]
+    fn name_matches_paper_citation() {
+        assert_eq!(Sarkar::new().name(), "Sarkar");
+    }
+}

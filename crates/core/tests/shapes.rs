@@ -1,0 +1,145 @@
+//! Deterministic shape-grid tests: every partitioner × characteristic DAG
+//! shape × partition size, with validity and quality bounds.
+
+use gpasta_circuits::dag;
+use gpasta_core::{
+    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
+};
+use gpasta_gpu::Device;
+use gpasta_tdg::{validate, ParallelismProfile, QuotientTdg, Tdg};
+
+fn shapes() -> Vec<(&'static str, Tdg)> {
+    vec![
+        ("chain", dag::chain(64)),
+        ("independent", dag::independent(64)),
+        ("layered", dag::layered(24, 12, 2, 7)),
+        ("fanin_tree", dag::fanin_tree(128)),
+        ("series_parallel", dag::series_parallel(8, 8)),
+        ("random", dag::random_dag(500, 1.6, 11)),
+    ]
+}
+
+fn partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(GPasta::with_device(Device::new(2))),
+        Box::new(DeterGPasta::with_device(Device::new(2))),
+        Box::new(SeqGPasta::new()),
+        Box::new(Gdca::new()),
+        Box::new(Sarkar::new()),
+    ]
+}
+
+#[test]
+fn every_partitioner_is_valid_on_every_shape() {
+    for (shape, tdg) in shapes() {
+        for p in partitioners() {
+            for ps in [1usize, 4, 16, 1024] {
+                let partition = p
+                    .partition(&tdg, &PartitionerOptions::with_max_size(ps))
+                    .unwrap_or_else(|e| panic!("{} on {shape} ps={ps}: {e}", p.name()));
+                validate::check_all(&tdg, &partition)
+                    .unwrap_or_else(|e| panic!("{} on {shape} ps={ps}: {e}", p.name()));
+                validate::check_size_bound(&partition, ps)
+                    .unwrap_or_else(|e| panic!("{} on {shape} ps={ps}: {e}", p.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn ps_one_is_always_the_identity_partition() {
+    for (shape, tdg) in shapes() {
+        for p in partitioners() {
+            let partition = p
+                .partition(&tdg, &PartitionerOptions::with_max_size(1))
+                .expect("valid options");
+            assert_eq!(
+                partition.num_partitions(),
+                tdg.num_tasks(),
+                "{} on {shape}: Ps=1 must not cluster anything",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn compression_grows_with_partition_size() {
+    // More room per partition can only reduce (or keep) the partition
+    // count for the greedy algorithms.
+    let tdg = dag::layered(24, 16, 2, 3);
+    for p in partitioners() {
+        let mut last = usize::MAX;
+        for ps in [1usize, 2, 4, 8, 16] {
+            let partition = p
+                .partition(&tdg, &PartitionerOptions::with_max_size(ps))
+                .expect("valid options");
+            assert!(
+                partition.num_partitions() <= last,
+                "{}: partition count rose from {} to {} at ps={ps}",
+                p.name(),
+                last,
+                partition.num_partitions()
+            );
+            last = partition.num_partitions();
+        }
+    }
+}
+
+#[test]
+fn quotient_parallelism_never_exceeds_original() {
+    for (shape, tdg) in shapes() {
+        let original = ParallelismProfile::of(&tdg).avg_parallelism;
+        for p in partitioners() {
+            let partition = p
+                .partition(&tdg, &PartitionerOptions::with_max_size(8))
+                .expect("valid options");
+            let q = QuotientTdg::build(&tdg, &partition).expect("schedulable");
+            let quotient = ParallelismProfile::of(q.graph()).avg_parallelism;
+            assert!(
+                quotient <= original + 1e-9,
+                "{} on {shape}: quotient parallelism {quotient:.2} above original {original:.2}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gpasta_converges_to_the_source_count_on_trees() {
+    // §3.2's lower bound is exact on a fan-in tree with generous Ps: each
+    // leaf seeds a partition, every internal node joins its max-id parent,
+    // and the count converges to precisely the leaf count.
+    let leaves = 256;
+    let tdg = dag::fanin_tree(leaves);
+    for p in [
+        Box::new(SeqGPasta::new()) as Box<dyn Partitioner>,
+        Box::new(GPasta::with_device(Device::single())),
+    ] {
+        let partition = p
+            .partition(&tdg, &PartitionerOptions::with_max_size(64))
+            .expect("valid options");
+        assert_eq!(
+            partition.num_partitions(),
+            leaves,
+            "{}: tree partitions must converge to the source count",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn deter_gpasta_is_stable_across_the_grid() {
+    for (shape, tdg) in shapes() {
+        for ps in [2usize, 8, 32] {
+            let opts = PartitionerOptions::with_max_size(ps);
+            let a = DeterGPasta::with_device(Device::new(1))
+                .partition(&tdg, &opts)
+                .expect("valid options");
+            let b = DeterGPasta::with_device(Device::new(4))
+                .partition(&tdg, &opts)
+                .expect("valid options");
+            assert_eq!(a, b, "{shape} ps={ps}: worker count changed the result");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Device global memory: shared atomic buffers.
+//!
+//! CUDA device atomics (`atomicAdd`, `atomicSub`, `atomicMax`) are relaxed
+//! read-modify-write operations on global memory; [`AtomicBuf`] mirrors them
+//! with `Relaxed`-ordered `fetch_*` calls on an `Arc<[AtomicU32]>`. Cloning
+//! a buffer is cheap and aliases the same memory, which is how kernels
+//! capture "device pointers".
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, atomically-accessed `u32` buffer — simulated device global
+/// memory.
+///
+/// All operations use relaxed ordering; the bulk-synchronous barrier at the
+/// end of every [`Device::launch`](crate::Device::launch) provides the
+/// inter-kernel happens-before edge, exactly like CUDA's implicit
+/// end-of-kernel synchronisation.
+#[derive(Clone)]
+pub struct AtomicBuf {
+    data: Arc<[AtomicU32]>,
+}
+
+impl AtomicBuf {
+    /// Allocate `len` zero-initialised elements.
+    pub fn zeroed(len: usize) -> Self {
+        Self::filled(len, 0)
+    }
+
+    /// Allocate `len` elements initialised to `value`.
+    pub fn filled(len: usize, value: u32) -> Self {
+        AtomicBuf {
+            data: (0..len).map(|_| AtomicU32::new(value)).collect(),
+        }
+    }
+
+    /// Copy a host slice into a fresh device buffer (`cudaMemcpy` H2D).
+    pub fn from_slice(host: &[u32]) -> Self {
+        AtomicBuf {
+            data: host.iter().map(|&v| AtomicU32::new(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Relaxed load of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn load(&self, i: usize) -> u32 {
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store to element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn store(&self, i: usize, v: u32) {
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicAdd(&buf[i], v)` — returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: u32) -> u32 {
+        self.data[i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// `atomicSub(&buf[i], v)` — returns the previous value.
+    #[inline]
+    pub fn fetch_sub(&self, i: usize, v: u32) -> u32 {
+        self.data[i].fetch_sub(v, Ordering::Relaxed)
+    }
+
+    /// `atomicMax(&buf[i], v)` — returns the previous value.
+    #[inline]
+    pub fn fetch_max(&self, i: usize, v: u32) -> u32 {
+        self.data[i].fetch_max(v, Ordering::Relaxed)
+    }
+
+    /// `atomicCAS(&buf[i], current, new)` — returns `Ok(previous)` on
+    /// success, `Err(actual)` on failure.
+    #[inline]
+    pub fn compare_exchange(&self, i: usize, current: u32, new: u32) -> Result<u32, u32> {
+        self.data[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+
+    /// Copy the buffer back to the host (`cudaMemcpy` D2H).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Overwrite every element with `value` (`cudaMemset`).
+    pub fn fill(&self, value: u32) {
+        for a in self.data.iter() {
+            a.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy `src` into this buffer starting at offset 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() > self.len()`.
+    pub fn copy_from_slice(&self, src: &[u32]) {
+        assert!(src.len() <= self.len(), "source slice longer than buffer");
+        for (a, &v) in self.data.iter().zip(src) {
+            a.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for AtomicBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<u32> = self.data.iter().take(8).map(|a| a.load(Ordering::Relaxed)).collect();
+        f.debug_struct("AtomicBuf")
+            .field("len", &self.len())
+            .field("head", &preview)
+            .finish()
+    }
+}
+
+impl From<Vec<u32>> for AtomicBuf {
+    fn from(v: Vec<u32>) -> Self {
+        AtomicBuf::from_slice(&v)
+    }
+}
+
+/// A shared, atomically-accessed `u64` buffer — used for the 64-bit sort
+/// keys of Algorithm 2 (`d_pid << 32 | task_id`).
+#[derive(Clone)]
+pub struct AtomicBuf64 {
+    data: Arc<[AtomicU64]>,
+}
+
+impl AtomicBuf64 {
+    /// Allocate `len` zero-initialised elements.
+    pub fn zeroed(len: usize) -> Self {
+        AtomicBuf64 {
+            data: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Copy a host slice into a fresh device buffer.
+    pub fn from_slice(host: &[u64]) -> Self {
+        AtomicBuf64 {
+            data: host.iter().map(|&v| AtomicU64::new(v)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Relaxed load of element `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store to element `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: u64) {
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Copy the buffer back to the host.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl fmt::Debug for AtomicBuf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicBuf64").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_filled() {
+        let b = AtomicBuf::zeroed(4);
+        assert_eq!(b.to_vec(), vec![0; 4]);
+        let b = AtomicBuf::filled(3, 7);
+        assert_eq!(b.to_vec(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let b = AtomicBuf::from_slice(&[1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(AtomicBuf::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn clones_alias_the_same_memory() {
+        let a = AtomicBuf::zeroed(1);
+        let b = a.clone();
+        b.store(0, 99);
+        assert_eq!(a.load(0), 99);
+    }
+
+    #[test]
+    fn atomics_behave_like_cuda() {
+        let b = AtomicBuf::from_slice(&[10]);
+        assert_eq!(b.fetch_add(0, 5), 10);
+        assert_eq!(b.load(0), 15);
+        assert_eq!(b.fetch_sub(0, 3), 15);
+        assert_eq!(b.load(0), 12);
+        assert_eq!(b.fetch_max(0, 8), 12);
+        assert_eq!(b.load(0), 12, "max with smaller value is a no-op");
+        assert_eq!(b.fetch_max(0, 20), 12);
+        assert_eq!(b.load(0), 20);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let b = AtomicBuf::from_slice(&[5]);
+        assert_eq!(b.compare_exchange(0, 5, 6), Ok(5));
+        assert_eq!(b.compare_exchange(0, 5, 7), Err(6));
+        assert_eq!(b.load(0), 6);
+    }
+
+    #[test]
+    fn fill_and_copy_from_slice() {
+        let b = AtomicBuf::zeroed(3);
+        b.fill(4);
+        assert_eq!(b.to_vec(), vec![4, 4, 4]);
+        b.copy_from_slice(&[1, 2]);
+        assert_eq!(b.to_vec(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source slice longer than buffer")]
+    fn copy_from_slice_overflow_panics() {
+        AtomicBuf::zeroed(1).copy_from_slice(&[1, 2]);
+    }
+
+    #[test]
+    fn buf64_stores_sort_keys() {
+        let b = AtomicBuf64::zeroed(2);
+        let key = (7u64 << 32) | 42;
+        b.store(0, key);
+        assert_eq!(b.load(0) >> 32, 7);
+        assert_eq!(b.load(0) & 0xffff_ffff, 42);
+        assert_eq!(AtomicBuf64::from_slice(&[1, 2]).to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = AtomicBuf::from_slice(&[1, 2]);
+        let s = format!("{b:?}");
+        assert!(s.contains("len"));
+        let s64 = format!("{:?}", AtomicBuf64::zeroed(1));
+        assert!(s64.contains("AtomicBuf64"));
+    }
+
+    #[test]
+    fn from_vec_conversion() {
+        let b: AtomicBuf = vec![9, 9].into();
+        assert_eq!(b.to_vec(), vec![9, 9]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The simulated GPU device: bulk-synchronous kernel launches over scoped
+//! worker threads.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The simulated GPU device.
+///
+/// [`Device::launch`] semantics match a CUDA flat-grid kernel launch
+/// followed by `cudaDeviceSynchronize()`: the kernel closure is invoked once
+/// per global thread index `gid in 0..n`, concurrently across the device's
+/// workers, and `launch` returns only after every index has been processed.
+/// Workers self-schedule chunks of the index range through a shared cursor,
+/// mirroring how GPU thread blocks are dispatched to SMs in arbitrary order
+/// — which is exactly the source of the non-determinism that the paper's
+/// Algorithm 2 eliminates.
+///
+/// With one worker the device degenerates to an in-place sequential loop —
+/// this is the "seq-G-PASTA" execution mode and also the fast path on
+/// single-core hosts.
+#[derive(Debug, Clone)]
+pub struct Device {
+    num_threads: usize,
+}
+
+/// Grids smaller than this run inline: spawning workers costs more than the
+/// work itself.
+const INLINE_THRESHOLD: u32 = 64;
+
+impl Device {
+    /// Create a device with `num_threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "a device needs at least one worker");
+        Device { num_threads }
+    }
+
+    /// Create a single-worker device (sequential execution).
+    pub fn single() -> Self {
+        Device::new(1)
+    }
+
+    /// Create a device sized to the host's available parallelism.
+    pub fn host_parallel() -> Self {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Device::new(n)
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Launch a flat grid of `n` logical GPU threads running `kernel` and
+    /// block until all of them finish.
+    ///
+    /// The kernel may borrow host data (scoped workers); share mutable
+    /// device state through [`AtomicBuf`](crate::AtomicBuf) handles.
+    pub fn launch<F>(&self, n: u32, kernel: F)
+    where
+        F: Fn(u32) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.num_threads == 1 || n < INLINE_THRESHOLD {
+            for gid in 0..n {
+                kernel(gid);
+            }
+            return;
+        }
+
+        let grain = grain_size(n, self.num_threads);
+        let cursor = AtomicU32::new(0);
+        let kernel = &kernel;
+        let cursor = &cursor;
+        std::thread::scope(|s| {
+            for _ in 0..self.num_threads {
+                s.spawn(move || loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + grain).min(n);
+                    for gid in start..end {
+                        kernel(gid);
+                    }
+                });
+            }
+        });
+    }
+
+    /// CUDA-style two-level launch: `grid_dim` blocks of `block_dim`
+    /// logical threads; the kernel receives `(block_idx, thread_idx)`.
+    ///
+    /// Blocks are distributed across the device workers in arbitrary order
+    /// (like thread blocks across SMs) while the threads *within* a block
+    /// run sequentially on one worker — the bulk-synchronous simplification
+    /// of warp execution. Use this when a kernel's index math is written in
+    /// block/thread terms; [`launch`](Device::launch) covers flat grids.
+    pub fn launch_blocks<F>(&self, grid_dim: u32, block_dim: u32, kernel: F)
+    where
+        F: Fn(u32, u32) + Sync,
+    {
+        if block_dim == 0 {
+            return;
+        }
+        self.launch(grid_dim, |block| {
+            for thread in 0..block_dim {
+                kernel(block, thread);
+            }
+        });
+    }
+
+    /// Convenience: launch and time the kernel under `name` in `timer`.
+    pub fn launch_timed<F>(&self, timer: &crate::KernelTimer, name: &str, n: u32, kernel: F)
+    where
+        F: Fn(u32) + Sync,
+    {
+        let start = std::time::Instant::now();
+        self.launch(n, kernel);
+        timer.record(name, start.elapsed());
+    }
+}
+
+/// Chunk size for dynamic self-scheduling: small enough to balance load,
+/// large enough to amortise the cursor atomic.
+fn grain_size(n: u32, threads: usize) -> u32 {
+    let target_chunks = (threads as u32) * 8;
+    (n / target_chunks).clamp(1, 8192)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AtomicBuf;
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let dev = Device::single();
+        assert_eq!(dev.num_threads(), 1);
+        let buf = AtomicBuf::zeroed(100);
+        dev.launch(100, |gid| buf.store(gid as usize, gid + 1));
+        assert_eq!(buf.load(99), 100);
+        assert_eq!(buf.load(0), 1);
+    }
+
+    #[test]
+    fn multi_worker_covers_every_gid_exactly_once() {
+        let dev = Device::new(4);
+        let buf = AtomicBuf::zeroed(100_000);
+        dev.launch(100_000, |gid| {
+            buf.fetch_add(gid as usize, 1);
+        });
+        assert!(buf.to_vec().iter().all(|&v| v == 1), "each gid ran exactly once");
+    }
+
+    #[test]
+    fn kernels_may_borrow_host_data() {
+        let dev = Device::new(2);
+        let input: Vec<u32> = (0..10_000).collect();
+        let out = AtomicBuf::zeroed(10_000);
+        dev.launch(10_000, |gid| {
+            out.store(gid as usize, input[gid as usize] * 2);
+        });
+        assert_eq!(out.load(7_777), 15_554);
+    }
+
+    #[test]
+    fn sequential_launches_see_prior_results() {
+        // The end-of-launch barrier provides the happens-before edge.
+        let dev = Device::new(3);
+        let buf = AtomicBuf::zeroed(1000);
+        dev.launch(1000, |gid| buf.store(gid as usize, 2));
+        let sum = AtomicBuf::zeroed(1);
+        dev.launch(1000, |gid| {
+            sum.fetch_add(0, buf.load(gid as usize));
+        });
+        assert_eq!(sum.load(0), 2000);
+    }
+
+    #[test]
+    fn zero_sized_launch_is_a_noop() {
+        let dev = Device::new(2);
+        dev.launch(0, |_| panic!("kernel must not run"));
+    }
+
+    #[test]
+    fn atomic_add_counts_all_threads() {
+        let dev = Device::new(4);
+        let counter = AtomicBuf::zeroed(1);
+        dev.launch(54_321, |_| {
+            counter.fetch_add(0, 1);
+        });
+        assert_eq!(counter.load(0), 54_321);
+    }
+
+    #[test]
+    fn many_launches_are_cheap_enough() {
+        let dev = Device::new(2);
+        let counter = AtomicBuf::zeroed(1);
+        for _ in 0..200 {
+            dev.launch(10, |_| {
+                counter.fetch_add(0, 1);
+            });
+        }
+        assert_eq!(counter.load(0), 2000);
+    }
+
+    #[test]
+    fn grain_size_bounds() {
+        assert_eq!(grain_size(1, 8), 1);
+        assert!(grain_size(1_000_000, 8) <= 8192);
+        assert!(grain_size(100, 4) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Device::new(0);
+    }
+
+    #[test]
+    fn host_parallel_has_at_least_one_thread() {
+        let dev = Device::host_parallel();
+        assert!(dev.num_threads() >= 1);
+    }
+
+    #[test]
+    fn debug_shows_thread_count() {
+        let dev = Device::new(2);
+        assert!(format!("{dev:?}").contains("num_threads: 2"));
+    }
+
+    #[test]
+    fn block_launch_covers_grid_times_block() {
+        let dev = Device::new(2);
+        let buf = AtomicBuf::zeroed(12 * 7);
+        dev.launch_blocks(12, 7, |b, t| {
+            buf.fetch_add((b * 7 + t) as usize, 1);
+        });
+        assert!(buf.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn block_launch_threads_run_in_order_within_a_block() {
+        // Threads of one block execute sequentially on one worker, so a
+        // per-block running maximum never observes out-of-order indices.
+        let dev = Device::new(4);
+        let last = AtomicBuf::zeroed(16);
+        let ok = AtomicBuf::filled(1, 1);
+        dev.launch_blocks(16, 32, |b, t| {
+            let prev = last.load(b as usize);
+            if t > 0 && prev != t - 1 + 1 {
+                ok.store(0, 0);
+            }
+            last.store(b as usize, t + 1);
+        });
+        assert_eq!(ok.load(0), 1, "intra-block execution must be sequential");
+    }
+
+    #[test]
+    fn zero_block_dim_is_a_noop() {
+        let dev = Device::new(2);
+        dev.launch_blocks(8, 0, |_b, _t| panic!("kernel must not run"));
+    }
+
+    #[test]
+    fn launch_timed_records() {
+        let dev = Device::new(1);
+        let timer = crate::KernelTimer::new();
+        dev.launch_timed(&timer, "noop", 10, |_| {});
+        assert_eq!(timer.report()[0].1, 1);
+    }
+}

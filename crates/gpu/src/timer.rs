@@ -1,0 +1,103 @@
+//! Per-kernel wall-clock accounting (the `cudaEvent` stand-in).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulates execution time per kernel name.
+///
+/// # Example
+///
+/// ```
+/// use gpasta_gpu::KernelTimer;
+/// use std::time::Duration;
+///
+/// let timer = KernelTimer::new();
+/// timer.record("assign_f_pid", Duration::from_micros(15));
+/// timer.record("assign_f_pid", Duration::from_micros(10));
+/// let report = timer.report();
+/// assert_eq!(report.len(), 1);
+/// assert_eq!(report[0].0, "assign_f_pid");
+/// assert_eq!(report[0].1, 2); // invocation count
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelTimer {
+    entries: Mutex<BTreeMap<String, (u64, Duration)>>,
+}
+
+impl KernelTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one invocation of `name` taking `elapsed`.
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(name.to_owned()).or_insert((0, Duration::ZERO));
+        entry.0 += 1;
+        entry.1 += elapsed;
+    }
+
+    /// Run `f`, recording its duration under `name`, and return its result.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Total time across all kernels.
+    pub fn total(&self) -> Duration {
+        self.entries.lock().values().map(|&(_, d)| d).sum()
+    }
+
+    /// Snapshot of `(kernel name, invocation count, total time)` rows,
+    /// sorted by name.
+    pub fn report(&self) -> Vec<(String, u64, Duration)> {
+        self.entries
+            .lock()
+            .iter()
+            .map(|(k, &(c, d))| (k.clone(), c, d))
+            .collect()
+    }
+
+    /// Discard all recorded entries.
+    pub fn reset(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let t = KernelTimer::new();
+        t.record("k", Duration::from_millis(2));
+        t.record("k", Duration::from_millis(3));
+        t.record("other", Duration::from_millis(1));
+        assert_eq!(t.total(), Duration::from_millis(6));
+        let report = t.report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0], ("k".to_owned(), 2, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let t = KernelTimer::new();
+        let v = t.time("compute", || 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(t.report()[0].1, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let t = KernelTimer::new();
+        t.record("k", Duration::from_millis(1));
+        t.reset();
+        assert!(t.report().is_empty());
+        assert_eq!(t.total(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,63 @@
+//! Taskflow-like task-graph executor for the G-PASTA reproduction.
+//!
+//! OpenTimer delegates its timing-propagation TDG to the Taskflow
+//! work-stealing scheduler; the per-task scheduling cost of that executor
+//! (0.2–3 µs per task, §1 of the paper) is what TDG partitioning amortises.
+//! This crate reproduces that execution environment:
+//!
+//! * [`Executor`] — a work-stealing executor that runs a
+//!   [`Tdg`](gpasta_tdg::Tdg) by counting down dependencies and dispatching
+//!   ready tasks to workers ([`Executor::run_tdg`]), or runs a *partitioned*
+//!   TDG by dispatching whole partitions whose member tasks execute
+//!   sequentially in topological order ([`Executor::run_partitioned`]);
+//! * [`TaskWork`] — the task payload hook (implemented by the STA engine's
+//!   propagation closures);
+//! * [`Taskflow`] — the graph-*construction* cost model: one heap-allocated
+//!   node per schedulable unit, which is the "building the TDG" share of
+//!   the paper's Figure 1(a) and the cost that shrinks when the scheduler
+//!   receives partitions instead of tasks;
+//! * [`RunReport`] — wall-clock plus scheduling-op counts, so benchmarks can
+//!   attribute time to scheduling vs. payload;
+//! * [`measure_sched_overhead`] — calibrates the per-task scheduling cost on
+//!   the host, reproducing the paper's 0.2–3 µs observation;
+//! * [`sim`] — a deterministic Graham list-scheduling simulator for
+//!   reproducing multi-worker makespans on any host.
+//!
+//! # Example
+//!
+//! ```
+//! use gpasta_sched::Executor;
+//! use gpasta_tdg::{TdgBuilder, TaskId};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TdgBuilder::new(3);
+//! b.add_edge(TaskId(0), TaskId(1));
+//! b.add_edge(TaskId(1), TaskId(2));
+//! let tdg = b.build()?;
+//!
+//! let sum = AtomicU32::new(0);
+//! let exec = Executor::new(2);
+//! let report = exec.run_tdg(&tdg, &|t: TaskId| {
+//!     sum.fetch_add(t.0, Ordering::Relaxed);
+//! });
+//! assert_eq!(report.tasks_executed, 3);
+//! assert_eq!(sum.load(Ordering::Relaxed), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod overhead;
+mod report;
+pub mod sim;
+mod taskflow;
+
+pub use executor::{Executor, TaskWork};
+pub use overhead::{measure_sched_overhead, OverheadProfile};
+pub use report::RunReport;
+pub use sim::{simulate_makespan, SimReport};
+pub use taskflow::Taskflow;

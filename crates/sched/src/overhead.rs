@@ -1,0 +1,93 @@
+//! Per-task scheduling-overhead calibration.
+//!
+//! The paper motivates partitioning with two numbers: a backward-propagation
+//! task takes 0.5–50 µs while scheduling one task through Taskflow costs
+//! 0.2–3 µs — comparable magnitudes, so scheduling cost matters. This module
+//! measures the same quantity for [`Executor`](crate::Executor) on the host,
+//! and the `scheduler` Criterion bench reports it.
+
+use crate::executor::Executor;
+use gpasta_tdg::{TaskId, TdgBuilder};
+use std::time::Duration;
+
+/// Measured scheduling overhead of an executor on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadProfile {
+    /// Tasks dispatched during calibration.
+    pub tasks: usize,
+    /// Wall-clock for the empty-payload run.
+    pub total: Duration,
+    /// `total / tasks` — the per-task scheduling cost.
+    pub per_task: Duration,
+}
+
+impl std::fmt::Display for OverheadProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} empty tasks in {:.3} ms -> {} ns/task",
+            self.tasks,
+            self.total.as_secs_f64() * 1e3,
+            self.per_task.as_nanos()
+        )
+    }
+}
+
+/// Measure the per-task scheduling cost of `exec` by running `tasks`
+/// empty-payload tasks arranged as a wide two-level DAG (sources feeding a
+/// small set of sinks, so dependency countdown is exercised too).
+///
+/// # Panics
+///
+/// Panics if `tasks < 2`.
+pub fn measure_sched_overhead(exec: &Executor, tasks: usize) -> OverheadProfile {
+    assert!(tasks >= 2, "calibration needs at least two tasks");
+    let sinks = (tasks / 64).max(1);
+    let sources = tasks - sinks;
+    let mut b = TdgBuilder::with_capacity(tasks, sources);
+    for s in 0..sources as u32 {
+        let sink = sources as u32 + s % sinks as u32;
+        b.add_edge(TaskId(s), TaskId(sink));
+    }
+    let tdg = b.build().expect("two-level calibration DAG");
+
+    // Warm up (pool and allocator), then measure.
+    exec.run_tdg(&tdg, &|_t: TaskId| {});
+    let report = exec.run_tdg(&tdg, &|_t: TaskId| {});
+    OverheadProfile {
+        tasks,
+        total: report.elapsed,
+        per_task: report.elapsed / u32::try_from(tasks).unwrap_or(u32::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_positive_and_small() {
+        let exec = Executor::new(1);
+        let p = measure_sched_overhead(&exec, 10_000);
+        assert_eq!(p.tasks, 10_000);
+        assert!(p.total > Duration::ZERO);
+        // Sanity: scheduling an empty task must take well under a
+        // millisecond each on any machine.
+        assert!(p.per_task < Duration::from_millis(1), "got {p}");
+    }
+
+    #[test]
+    fn display_has_units() {
+        let exec = Executor::new(1);
+        let p = measure_sched_overhead(&exec, 100);
+        let s = p.to_string();
+        assert!(s.contains("ns/task"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tasks")]
+    fn tiny_calibration_panics() {
+        let exec = Executor::new(1);
+        let _ = measure_sched_overhead(&exec, 1);
+    }
+}

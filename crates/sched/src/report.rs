@@ -1,0 +1,97 @@
+//! Execution reports produced by the executor.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Result of one executor run.
+///
+/// `dispatches` counts scheduling operations (a task or partition handed to
+/// a worker). For a plain TDG run it equals the task count; for a
+/// partitioned run it equals the partition count — the gap between the two
+/// is exactly the scheduling cost that partitioning removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Number of underlying tasks whose payload executed.
+    pub tasks_executed: usize,
+    /// Number of scheduling operations (dispatch events).
+    pub dispatches: u64,
+    /// Worker threads used.
+    pub num_workers: usize,
+}
+
+impl RunReport {
+    /// Mean wall-clock time per dispatch. Zero when nothing was dispatched.
+    pub fn time_per_dispatch(&self) -> Duration {
+        if self.dispatches == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.dispatches).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Mean wall-clock time per executed task. Zero when nothing ran.
+    pub fn time_per_task(&self) -> Duration {
+        if self.tasks_executed == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.tasks_executed).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks in {:.3} ms via {} dispatches on {} workers",
+            self.tasks_executed,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.dispatches,
+            self.num_workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_dispatch_and_per_task_math() {
+        let r = RunReport {
+            elapsed: Duration::from_micros(1000),
+            tasks_executed: 10,
+            dispatches: 5,
+            num_workers: 2,
+        };
+        assert_eq!(r.time_per_dispatch(), Duration::from_micros(200));
+        assert_eq!(r.time_per_task(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn zero_counts_do_not_divide_by_zero() {
+        let r = RunReport {
+            elapsed: Duration::from_micros(7),
+            tasks_executed: 0,
+            dispatches: 0,
+            num_workers: 1,
+        };
+        assert_eq!(r.time_per_dispatch(), Duration::ZERO);
+        assert_eq!(r.time_per_task(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let r = RunReport {
+            elapsed: Duration::from_millis(2),
+            tasks_executed: 4,
+            dispatches: 3,
+            num_workers: 2,
+        };
+        let s = r.to_string();
+        assert!(s.contains("4 tasks"));
+        assert!(s.contains("3 dispatches"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic makespan simulation.
+//!
+//! Wall-clock measurements depend on the host's core count; the paper's
+//! parallelism arguments (GDCA's V-shape in Figure 8, G-PASTA's higher
+//! post-partitioning TDG speedup) only materialise with multiple workers.
+//! This module complements the real executor with a classic list-scheduling
+//! *simulator*: tasks run on `workers` virtual workers, each dispatch costs
+//! `dispatch_overhead_ns`, and a task's runtime is its estimated weight.
+//! The result is deterministic and machine-independent, so benchmark shapes
+//! can be reproduced on any host (including single-core CI).
+
+use gpasta_tdg::{TaskId, Tdg};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of a makespan simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Simulated completion time of the whole TDG (ns).
+    pub makespan_ns: f64,
+    /// Tasks dispatched (equals the TDG's task count).
+    pub dispatches: usize,
+    /// Virtual workers used.
+    pub workers: usize,
+}
+
+/// Simulate executing `tdg` on `workers` virtual workers.
+///
+/// Greedy list scheduling: when a worker frees up it takes the ready task
+/// with the smallest id (deterministic tie-break), pays
+/// `dispatch_overhead_ns`, then runs the task for its weight. Dependencies
+/// release at the predecessor's finish time. This is the standard Graham
+/// list-scheduling model — within 2× of optimal, and exactly the regime
+/// the paper's scheduling-cost argument lives in.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn simulate_makespan(tdg: &Tdg, workers: usize, dispatch_overhead_ns: f64) -> SimReport {
+    assert!(workers > 0, "need at least one virtual worker");
+    let n = tdg.num_tasks();
+    if n == 0 {
+        return SimReport { makespan_ns: 0.0, dispatches: 0, workers };
+    }
+
+    // Event-driven simulation. Two heaps: worker free times, and ready
+    // tasks keyed by (release time, id).
+    let mut dep = tdg.in_degrees();
+    // Ready heap: Reverse((release_time_bits, task)).
+    let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    for t in 0..n as u32 {
+        if dep[t as usize] == 0 {
+            ready.push(Reverse((0, t)));
+        }
+    }
+    // Worker heap: Reverse(free_time_bits).
+    let mut free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+
+    let bits = |x: f64| -> u64 { x.max(0.0).to_bits() };
+    let unbits = f64::from_bits;
+
+    let mut makespan = 0.0f64;
+    let mut completed = 0usize;
+    while let Some(Reverse((release_bits, t))) = ready.pop() {
+        let release = unbits(release_bits);
+        let Reverse(worker_free_bits) = free.pop().expect("workers never exhausted");
+        let start = unbits(worker_free_bits).max(release) + dispatch_overhead_ns;
+        let finish = start + f64::from(tdg.weight(TaskId(t)));
+        free.push(Reverse(bits(finish)));
+        makespan = makespan.max(finish);
+        completed += 1;
+
+        for &s in tdg.successors(TaskId(t)) {
+            dep[s as usize] -= 1;
+            if dep[s as usize] == 0 {
+                ready.push(Reverse((bits(finish), s)));
+            }
+        }
+    }
+    debug_assert_eq!(completed, n, "DAG invariant: every task runs");
+
+    SimReport { makespan_ns: makespan, dispatches: n, workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpasta_tdg::TdgBuilder;
+
+    fn weighted_chain(weights: &[f32]) -> Tdg {
+        let mut b = TdgBuilder::new(weights.len());
+        for i in 0..weights.len() - 1 {
+            b.add_edge(TaskId(i as u32), TaskId(i as u32 + 1));
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            b.set_weight(TaskId(i as u32), w);
+        }
+        b.build().expect("chain DAG")
+    }
+
+    #[test]
+    fn chain_makespan_is_sum_plus_overheads() {
+        let tdg = weighted_chain(&[10.0, 20.0, 30.0]);
+        let r = simulate_makespan(&tdg, 4, 5.0);
+        assert_eq!(r.makespan_ns, 10.0 + 20.0 + 30.0 + 3.0 * 5.0);
+        assert_eq!(r.dispatches, 3);
+    }
+
+    #[test]
+    fn independent_tasks_parallelise() {
+        let mut b = TdgBuilder::new(8);
+        for t in 0..8u32 {
+            b.set_weight(TaskId(t), 100.0);
+        }
+        let tdg = b.build().expect("edgeless");
+        let serial = simulate_makespan(&tdg, 1, 0.0).makespan_ns;
+        let parallel = simulate_makespan(&tdg, 8, 0.0).makespan_ns;
+        assert_eq!(serial, 800.0);
+        assert_eq!(parallel, 100.0);
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_tasks() {
+        let mut b = TdgBuilder::new(1000);
+        for t in 0..1000u32 {
+            b.set_weight(TaskId(t), 1.0);
+        }
+        let tdg = b.build().expect("edgeless");
+        let cheap = simulate_makespan(&tdg, 4, 0.0).makespan_ns;
+        let costly = simulate_makespan(&tdg, 4, 100.0).makespan_ns;
+        assert!(costly > 20.0 * cheap, "dispatch cost must dominate: {costly} vs {cheap}");
+    }
+
+    #[test]
+    fn more_workers_never_hurt() {
+        let mut b = TdgBuilder::new(60);
+        for l in 1..6usize {
+            for i in 0..10usize {
+                let v = (l * 10 + i) as u32;
+                b.add_edge(TaskId(((l - 1) * 10 + (i * 3) % 10) as u32), TaskId(v));
+            }
+        }
+        let tdg = b.build().expect("layered");
+        let w1 = simulate_makespan(&tdg, 1, 10.0).makespan_ns;
+        let w4 = simulate_makespan(&tdg, 4, 10.0).makespan_ns;
+        let w16 = simulate_makespan(&tdg, 16, 10.0).makespan_ns;
+        assert!(w4 <= w1);
+        assert!(w16 <= w4 + 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let tdg = TdgBuilder::new(0).build().expect("empty");
+        let r = simulate_makespan(&tdg, 2, 10.0);
+        assert_eq!(r.makespan_ns, 0.0);
+        assert_eq!(r.dispatches, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut b = TdgBuilder::new(50);
+        for i in 0..49u32 {
+            if i % 3 != 0 {
+                b.add_edge(TaskId(i), TaskId(i + 1));
+            }
+        }
+        let tdg = b.build().expect("DAG");
+        let a = simulate_makespan(&tdg, 3, 7.0);
+        let b2 = simulate_makespan(&tdg, 3, 7.0);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual worker")]
+    fn zero_workers_panics() {
+        let tdg = TdgBuilder::new(1).build().expect("one");
+        let _ = simulate_makespan(&tdg, 0, 0.0);
+    }
+}

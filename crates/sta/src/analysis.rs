@@ -1,0 +1,674 @@
+//! Graph-based analysis: forward (slew/arrival) and backward (required
+//! time) propagation.
+//!
+//! Each node-level propagation step is one *task* of the `update_timing`
+//! TDG. The arithmetic is real NLDM table interpolation over rise/fall ×
+//! early/late corners, so the tasks land in the granularity regime the
+//! paper reports for OpenTimer.
+
+use crate::atomic_f32::AtomicF32;
+use crate::graph::{ArcKind, NodeId, NodeKind, TimingGraph};
+use crate::library::{CellLibrary, TimingSense};
+use crate::netlist::Netlist;
+
+/// Signal transition direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tr {
+    /// Rising edge.
+    Rise = 0,
+    /// Falling edge.
+    Fall = 1,
+}
+
+/// Analysis mode (split corner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Early / hold analysis (min).
+    Early = 0,
+    /// Late / setup analysis (max).
+    Late = 1,
+}
+
+const TRS: [Tr; 2] = [Tr::Rise, Tr::Fall];
+const MODES: [Mode; 2] = [Mode::Early, Mode::Late];
+
+/// Flat index of a `(transition, mode)` corner in per-node/per-arc arrays.
+#[inline]
+fn corner(tr: Tr, mode: Mode) -> usize {
+    (tr as usize) * 2 + (mode as usize)
+}
+
+/// Mutable per-node / per-arc timing state, shared across propagation tasks.
+///
+/// Values are stored in [`AtomicF32`] cells: every cell is written by
+/// exactly one task and read only by tasks that depend on it, with the
+/// scheduler's dependency countdown providing the happens-before edge.
+#[derive(Debug)]
+pub struct TimingData {
+    /// Clock period for endpoint constraints (ps).
+    pub clock_period_ps: f32,
+    /// Per node × corner: transition time (ps).
+    slew: Vec<AtomicF32>,
+    /// Per node × corner: arrival time (ps).
+    arrival: Vec<AtomicF32>,
+    /// Per node × corner: required arrival time (ps).
+    required: Vec<AtomicF32>,
+    /// Per arc × (output transition, mode): cached delay, filled during
+    /// forward propagation of the arc's `to` node, consumed by backward
+    /// propagation of the arc's `from` node.
+    arc_delay: Vec<AtomicF32>,
+    /// Per gate: drive-strength multiplier (mirrors `Gate::drive`; kept here
+    /// so repowering does not need `&mut Netlist`).
+    drive: Vec<AtomicF32>,
+    /// Per gate: capacitive load at the output pin (fF).
+    gate_load: Vec<AtomicF32>,
+    /// Per net: interconnect delay (ps).
+    net_delay: Vec<AtomicF32>,
+    /// Per primary input: external arrival offset (`set_input_delay`).
+    input_delay: Vec<AtomicF32>,
+    /// Per primary output: external required-time margin
+    /// (`set_output_delay`); subtracted from the clock period.
+    output_delay: Vec<AtomicF32>,
+}
+
+impl TimingData {
+    /// Allocate state for `graph` over `netlist`, with every timing value
+    /// cleared and electrical state (loads, net delays) computed from the
+    /// netlist.
+    pub fn new(graph: &TimingGraph, netlist: &Netlist, library: &CellLibrary) -> Self {
+        let n = graph.num_nodes();
+        let data = TimingData {
+            clock_period_ps: 1_000.0,
+            slew: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
+            arrival: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
+            required: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
+            arc_delay: (0..graph.num_arcs() * 4).map(|_| AtomicF32::new(0.0)).collect(),
+            drive: netlist.gates().iter().map(|g| AtomicF32::new(g.drive)).collect(),
+            gate_load: (0..netlist.num_gates()).map(|_| AtomicF32::new(0.0)).collect(),
+            net_delay: (0..netlist.num_nets()).map(|_| AtomicF32::new(0.0)).collect(),
+            input_delay: (0..netlist.num_inputs()).map(|_| AtomicF32::new(0.0)).collect(),
+            output_delay: (0..netlist.num_outputs()).map(|_| AtomicF32::new(0.0)).collect(),
+        };
+        for net in 0..netlist.num_nets() {
+            data.recompute_net(net as u32, netlist, library);
+        }
+        data
+    }
+
+    /// Recompute the total capacitance, interconnect delay, and (if the
+    /// driver is a gate) driver output load of net `net`. Called at
+    /// construction and by design modifiers.
+    pub fn recompute_net(&self, net: u32, netlist: &Netlist, library: &CellLibrary) {
+        use crate::netlist::PinRef;
+        let n = &netlist.nets()[net as usize];
+        let mut cap = n.wire_cap_ff;
+        for &sink in &n.sinks {
+            cap += match sink {
+                PinRef::GateInput(g, _) => {
+                    let gate = &netlist.gates()[g.index()];
+                    library.input_cap(gate.cell) * self.drive(g.0)
+                }
+                PinRef::PrimaryOutput(_) => library.output_load_ff,
+                _ => 0.0,
+            };
+        }
+        self.net_delay[net as usize].store(library.wire_res_ps_per_ff * cap);
+        if let PinRef::GateOutput(g) = n.driver {
+            self.gate_load[g.index()].store(cap);
+        }
+    }
+
+    /// Drive multiplier of gate `g`.
+    #[inline]
+    pub fn drive(&self, g: u32) -> f32 {
+        self.drive[g as usize].load()
+    }
+
+    /// Set the drive multiplier of gate `g` (used by the repower modifier).
+    #[inline]
+    pub fn set_drive(&self, g: u32, drive: f32) {
+        self.drive[g as usize].store(drive);
+    }
+
+    /// Output load of gate `g` (fF).
+    #[inline]
+    pub fn gate_load(&self, g: u32) -> f32 {
+        self.gate_load[g as usize].load()
+    }
+
+    /// Interconnect delay of net `net` (ps).
+    #[inline]
+    pub fn net_delay(&self, net: u32) -> f32 {
+        self.net_delay[net as usize].load()
+    }
+
+    /// External arrival offset of primary input `p` (ps).
+    #[inline]
+    pub fn input_delay(&self, p: u32) -> f32 {
+        self.input_delay[p as usize].load()
+    }
+
+    /// Set the external arrival offset of primary input `p` (ps).
+    #[inline]
+    pub fn set_input_delay(&self, p: u32, delay_ps: f32) {
+        self.input_delay[p as usize].store(delay_ps);
+    }
+
+    /// External required-time margin of primary output `p` (ps).
+    #[inline]
+    pub fn output_delay(&self, p: u32) -> f32 {
+        self.output_delay[p as usize].load()
+    }
+
+    /// Set the external required-time margin of primary output `p` (ps).
+    #[inline]
+    pub fn set_output_delay(&self, p: u32, delay_ps: f32) {
+        self.output_delay[p as usize].store(delay_ps);
+    }
+
+    /// Arrival time at `v` for `(tr, mode)` (ps).
+    #[inline]
+    pub fn arrival(&self, v: NodeId, tr: Tr, mode: Mode) -> f32 {
+        self.arrival[v.index() * 4 + corner(tr, mode)].load()
+    }
+
+    /// Slew at `v` for `(tr, mode)` (ps).
+    #[inline]
+    pub fn slew(&self, v: NodeId, tr: Tr, mode: Mode) -> f32 {
+        self.slew[v.index() * 4 + corner(tr, mode)].load()
+    }
+
+    /// Required arrival time at `v` for `(tr, mode)` (ps).
+    #[inline]
+    pub fn required(&self, v: NodeId, tr: Tr, mode: Mode) -> f32 {
+        self.required[v.index() * 4 + corner(tr, mode)].load()
+    }
+
+    /// Setup (late-mode) slack at `v`: worst over transitions of
+    /// `required − arrival`.
+    pub fn slack_late(&self, v: NodeId) -> f32 {
+        TRS.iter()
+            .map(|&tr| self.required(v, tr, Mode::Late) - self.arrival(v, tr, Mode::Late))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Hold (early-mode) slack at `v`: worst over transitions of
+    /// `arrival − required`. Positive means the earliest edge arrives
+    /// safely after the hold window.
+    pub fn slack_early(&self, v: NodeId) -> f32 {
+        TRS.iter()
+            .map(|&tr| self.arrival(v, tr, Mode::Early) - self.required(v, tr, Mode::Early))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    #[inline]
+    fn set_arrival(&self, v: NodeId, tr: Tr, mode: Mode, x: f32) {
+        self.arrival[v.index() * 4 + corner(tr, mode)].store(x);
+    }
+
+    #[inline]
+    fn set_slew(&self, v: NodeId, tr: Tr, mode: Mode, x: f32) {
+        self.slew[v.index() * 4 + corner(tr, mode)].store(x);
+    }
+
+    #[inline]
+    fn set_required(&self, v: NodeId, tr: Tr, mode: Mode, x: f32) {
+        self.required[v.index() * 4 + corner(tr, mode)].store(x);
+    }
+
+    /// Late-mode cached delay of arc `a` at output transition `tr`,
+    /// filled by the last forward propagation. Used by path tracing.
+    #[inline]
+    pub fn arc_delay_public(&self, a: u32, tr: Tr) -> f32 {
+        self.arc_delay_of(a, tr, Mode::Late)
+    }
+
+    #[inline]
+    fn arc_delay_of(&self, a: u32, tr: Tr, mode: Mode) -> f32 {
+        self.arc_delay[a as usize * 4 + corner(tr, mode)].load()
+    }
+
+    #[inline]
+    fn set_arc_delay(&self, a: u32, tr: Tr, mode: Mode, x: f32) {
+        self.arc_delay[a as usize * 4 + corner(tr, mode)].store(x);
+    }
+}
+
+/// The node-level propagation engine: borrowed views of the static design
+/// plus the shared [`TimingData`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimingPropagator<'a> {
+    /// The pin-level graph.
+    pub graph: &'a TimingGraph,
+    /// The design.
+    pub netlist: &'a Netlist,
+    /// The cell library.
+    pub library: &'a CellLibrary,
+    /// The shared timing state.
+    pub data: &'a TimingData,
+}
+
+impl<'a> TimingPropagator<'a> {
+    /// Forward-propagate slew and arrival into `v` (the paper's "delay
+    /// calculation" task): evaluates the delay of every fan-in arc at the
+    /// current input slews and loads, caches the arc delays for backward
+    /// propagation, and merges arrivals (max for late, min for early).
+    pub fn fprop(&self, v: NodeId) {
+        let d = self.data;
+        let fanin = self.graph.fanin(v);
+
+        if fanin.is_empty() {
+            // Path startpoint: primary input or sequential output.
+            let (arr, slew) = match self.graph.node_kind(v) {
+                NodeKind::GateOutput(g) => {
+                    let gate = &self.netlist.gates()[g as usize];
+                    debug_assert!(gate.cell.is_sequential());
+                    let cell = self.library.cell(gate.cell);
+                    (cell.clk_to_q_ps / d.drive(g), self.library.input_slew_ps)
+                }
+                NodeKind::PrimaryInput(p) => (d.input_delay(p), self.library.input_slew_ps),
+                _ => (0.0, self.library.input_slew_ps),
+            };
+            for &tr in &TRS {
+                for &mode in &MODES {
+                    d.set_arrival(v, tr, mode, arr);
+                    d.set_slew(v, tr, mode, slew);
+                }
+            }
+            return;
+        }
+
+        let mut arr = [[f32::INFINITY, f32::NEG_INFINITY]; 2]; // [tr][mode]
+        let mut slw = [[f32::INFINITY, f32::NEG_INFINITY]; 2];
+
+        for &a in fanin {
+            let arc = self.graph.arc(a);
+            let u = arc.from;
+            match arc.kind {
+                ArcKind::Net { net } => {
+                    let delay = d.net_delay(net);
+                    for &tr in &TRS {
+                        for &mode in &MODES {
+                            let at = d.arrival(u, tr, mode) + delay;
+                            let su = d.slew(u, tr, mode);
+                            // Mild interconnect slew degradation.
+                            let sv = su + 0.1 * delay;
+                            d.set_arc_delay(a, tr, mode, delay);
+                            merge(&mut arr[tr as usize][mode as usize], at, mode);
+                            merge(&mut slw[tr as usize][mode as usize], sv, mode);
+                        }
+                    }
+                }
+                ArcKind::Cell { gate } => {
+                    let g = &self.netlist.gates()[gate as usize];
+                    let cell = self.library.cell(g.cell);
+                    let drive = d.drive(gate);
+                    let load = d.gate_load(gate);
+                    for &tr_out in &TRS {
+                        let (dtab, stab) = match tr_out {
+                            Tr::Rise => (&cell.tables.delay_rise, &cell.tables.slew_rise),
+                            Tr::Fall => (&cell.tables.delay_fall, &cell.tables.slew_fall),
+                        };
+                        for &mode in &MODES {
+                            // Which input transitions can cause tr_out.
+                            let ins: &[Tr] = match g.cell.sense() {
+                                TimingSense::Positive => &[tr_out],
+                                TimingSense::Negative => match tr_out {
+                                    Tr::Rise => &[Tr::Fall],
+                                    Tr::Fall => &[Tr::Rise],
+                                },
+                                TimingSense::NonUnate => &TRS,
+                            };
+                            let mut best_at = pick_init(mode);
+                            let mut best_sv = pick_init(mode);
+                            let mut best_delay = pick_init(mode);
+                            for &tr_in in ins {
+                                let si = d.slew(u, tr_in, mode);
+                                let delay = dtab.lookup(si, load) / drive;
+                                let sv = stab.lookup(si, load) / drive;
+                                let at = d.arrival(u, tr_in, mode) + delay;
+                                merge(&mut best_at, at, mode);
+                                merge(&mut best_sv, sv, mode);
+                                merge(&mut best_delay, delay, mode);
+                            }
+                            d.set_arc_delay(a, tr_out, mode, best_delay);
+                            merge(&mut arr[tr_out as usize][mode as usize], best_at, mode);
+                            merge(&mut slw[tr_out as usize][mode as usize], best_sv, mode);
+                        }
+                    }
+                }
+            }
+        }
+
+        for &tr in &TRS {
+            for &mode in &MODES {
+                d.set_arrival(v, tr, mode, arr[tr as usize][mode as usize]);
+                d.set_slew(v, tr, mode, slw[tr as usize][mode as usize]);
+            }
+        }
+    }
+
+    /// Backward-propagate required arrival time into `v` (the paper's
+    /// "required arrival time update" task). Endpoints take their
+    /// constraint; interior nodes take the tightest requirement over
+    /// fan-out arcs using the arc delays cached by [`fprop`](Self::fprop).
+    pub fn bprop(&self, v: NodeId) {
+        let d = self.data;
+
+        if self.graph.is_endpoint(v) {
+            let margin = match self.graph.node_kind(v) {
+                NodeKind::GateInput(g, 0) => {
+                    self.library.cell(self.netlist.gates()[g as usize].cell).setup_ps
+                }
+                NodeKind::PrimaryOutput(p) => d.output_delay(p),
+                _ => 0.0,
+            };
+            for &tr in &TRS {
+                d.set_required(v, tr, Mode::Late, d.clock_period_ps - margin);
+                d.set_required(v, tr, Mode::Early, 0.0);
+            }
+            return;
+        }
+
+        let fanout = self.graph.fanout(v);
+        if fanout.is_empty() {
+            // Dangling node: unconstrained.
+            for &tr in &TRS {
+                d.set_required(v, tr, Mode::Late, f32::INFINITY);
+                d.set_required(v, tr, Mode::Early, f32::NEG_INFINITY);
+            }
+            return;
+        }
+
+        // required_late(v, tr_in) = min over arcs/output transitions caused
+        // by tr_in of (required_late(to, tr_out) - delay(a, tr_out)).
+        let mut req = [[f32::NEG_INFINITY, f32::INFINITY]; 2]; // [tr][mode], early=max, late=min
+        for &a in fanout {
+            let arc = self.graph.arc(a);
+            let to = arc.to;
+            let sense = match arc.kind {
+                ArcKind::Net { .. } => TimingSense::Positive,
+                ArcKind::Cell { gate } => self.netlist.gates()[gate as usize].cell.sense(),
+            };
+            for &tr_in in &TRS {
+                let outs: &[Tr] = match sense {
+                    TimingSense::Positive => &[tr_in],
+                    TimingSense::Negative => match tr_in {
+                        Tr::Rise => &[Tr::Fall],
+                        Tr::Fall => &[Tr::Rise],
+                    },
+                    TimingSense::NonUnate => &TRS,
+                };
+                for &tr_out in outs {
+                    for &mode in &MODES {
+                        let r = d.required(to, tr_out, mode) - d.arc_delay_of(a, tr_out, mode);
+                        // Required times tighten in the opposite direction
+                        // of arrivals: late takes min, early takes max.
+                        match mode {
+                            Mode::Late => {
+                                let slot = &mut req[tr_in as usize][1];
+                                *slot = slot.min(r);
+                            }
+                            Mode::Early => {
+                                let slot = &mut req[tr_in as usize][0];
+                                *slot = slot.max(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &tr in &TRS {
+            d.set_required(v, tr, Mode::Early, req[tr as usize][0]);
+            d.set_required(v, tr, Mode::Late, req[tr as usize][1]);
+        }
+    }
+}
+
+/// Merge `x` into the running corner value: max for late, min for early.
+#[inline]
+fn merge(slot: &mut f32, x: f32, mode: Mode) {
+    *slot = match mode {
+        Mode::Early => slot.min(x),
+        Mode::Late => slot.max(x),
+    };
+}
+
+/// Identity element of the corner merge.
+#[inline]
+fn pick_init(mode: Mode) -> f32 {
+    match mode {
+        Mode::Early => f32::INFINITY,
+        Mode::Late => f32::NEG_INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    struct Fixture {
+        netlist: Netlist,
+        graph: TimingGraph,
+        library: CellLibrary,
+    }
+
+    /// a -> INV(u1) -> INV(u2) -> y
+    fn inv_chain() -> Fixture {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let g1 = nb.add_gate("u1", CellKind::Inv);
+        let g2 = nb.add_gate("u2", CellKind::Inv);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, g1, 0).expect("valid");
+        nb.connect_gates(g1, g2, 0).expect("valid");
+        nb.connect_to_output(g2, y).expect("valid");
+        let library = CellLibrary::typical();
+        let netlist = nb.build().expect("well-formed");
+        let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
+        Fixture { netlist, graph, library }
+    }
+
+    fn full_pass(f: &Fixture, data: &TimingData) {
+        let prop = TimingPropagator {
+            graph: &f.graph,
+            netlist: &f.netlist,
+            library: &f.library,
+            data,
+        };
+        // Forward in a topological order of nodes, backward in reverse.
+        let order = topo_nodes(&f.graph);
+        for &v in &order {
+            prop.fprop(NodeId(v));
+        }
+        for &v in order.iter().rev() {
+            prop.bprop(NodeId(v));
+        }
+    }
+
+    fn topo_nodes(g: &TimingGraph) -> Vec<u32> {
+        let n = g.num_nodes();
+        let mut indeg: Vec<u32> = (0..n).map(|v| g.fanin(NodeId(v as u32)).len() as u32).collect();
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &a in g.fanout(NodeId(u)) {
+                let v = g.arc(a).to.0;
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn arrivals_increase_along_the_chain() {
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+
+        let u1_out = f.graph.gate_output_node(crate::GateId(0));
+        let u2_out = f.graph.gate_output_node(crate::GateId(1));
+        let po = NodeId(f.graph.endpoints()[0]);
+        let a1 = data.arrival(u1_out, Tr::Rise, Mode::Late);
+        let a2 = data.arrival(u2_out, Tr::Rise, Mode::Late);
+        let a3 = data.arrival(po, Tr::Rise, Mode::Late);
+        assert!(a1 > 0.0, "first stage has positive delay, got {a1}");
+        assert!(a2 > a1, "arrival must grow: {a2} vs {a1}");
+        assert!(a3 > a2);
+    }
+
+    #[test]
+    fn early_is_never_later_than_late() {
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        for v in 0..f.graph.num_nodes() as u32 {
+            for &tr in &TRS {
+                let e = data.arrival(NodeId(v), tr, Mode::Early);
+                let l = data.arrival(NodeId(v), tr, Mode::Late);
+                assert!(e <= l, "node {v}: early {e} > late {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn slack_is_required_minus_arrival() {
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let po = NodeId(f.graph.endpoints()[0]);
+        let s = data.slack_late(po);
+        let by_hand = TRS
+            .iter()
+            .map(|&tr| data.required(po, tr, Mode::Late) - data.arrival(po, tr, Mode::Late))
+            .fold(f32::INFINITY, f32::min);
+        assert_eq!(s, by_hand);
+        // With a 1 ns clock and two inverters, slack must be positive.
+        assert!(s > 0.0, "tiny chain meets 1 ns easily, slack {s}");
+    }
+
+    #[test]
+    fn required_tightens_backwards() {
+        // required at u1 output must be earlier (smaller) than at the PO:
+        // upstream nodes have to arrive earlier to leave room for
+        // downstream delay.
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let u1_out = f.graph.gate_output_node(crate::GateId(0));
+        let po = NodeId(f.graph.endpoints()[0]);
+        assert!(
+            data.required(u1_out, Tr::Rise, Mode::Late) < data.required(po, Tr::Rise, Mode::Late)
+        );
+    }
+
+    #[test]
+    fn repower_speeds_up_the_gate() {
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let po = NodeId(f.graph.endpoints()[0]);
+        let slow = data.arrival(po, Tr::Rise, Mode::Late);
+
+        // Double u2's drive; its cell delay halves (its input cap grows,
+        // which loads u1's net — recompute it too).
+        data.set_drive(1, 2.0);
+        for net in 0..f.netlist.num_nets() as u32 {
+            data.recompute_net(net, &f.netlist, &f.library);
+        }
+        full_pass(&f, &data);
+        let fast = data.arrival(po, Tr::Rise, Mode::Late);
+        assert!(fast < slow, "repowered path must be faster: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn net_cap_increases_delay() {
+        let f = inv_chain();
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let po = NodeId(f.graph.endpoints()[0]);
+        let before = data.arrival(po, Tr::Rise, Mode::Late);
+        let d0 = data.net_delay(0);
+
+        // Fatten every net by 10 fF.
+        for (i, _) in f.netlist.nets().iter().enumerate() {
+            let extra = 10.0 * f.library.wire_res_ps_per_ff;
+            let cur = data.net_delay(i as u32);
+            data.net_delay[i].store(cur + extra);
+        }
+        full_pass(&f, &data);
+        let after = data.arrival(po, Tr::Rise, Mode::Late);
+        assert!(after > before, "more wire cap, more delay");
+        assert!(data.net_delay(0) > d0);
+    }
+
+    #[test]
+    fn dff_launch_and_capture() {
+        // a -> DFF -> INV -> DFF(D): the second DFF's D pin is an endpoint
+        // with a setup-adjusted requirement; the first DFF's output
+        // launches at clk-to-q.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let ff1 = nb.add_gate("ff1", CellKind::Dff);
+        let g = nb.add_gate("u1", CellKind::Inv);
+        let ff2 = nb.add_gate("ff2", CellKind::Dff);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, ff1, 0).expect("valid");
+        nb.connect_gates(ff1, g, 0).expect("valid");
+        nb.connect_gates(g, ff2, 0).expect("valid");
+        nb.connect_to_output(ff2, y).expect("valid");
+        let library = CellLibrary::typical();
+        let netlist = nb.build().expect("well-formed");
+        let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
+        let f = Fixture { netlist, graph, library };
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+
+        let q1 = f.graph.gate_output_node(crate::GateId(0));
+        let clk2q = f.library.cell(CellKind::Dff).clk_to_q_ps;
+        assert_eq!(data.arrival(q1, Tr::Rise, Mode::Late), clk2q);
+
+        let d2 = f.graph.gate_input_node(crate::GateId(2), 0);
+        let setup = f.library.cell(CellKind::Dff).setup_ps;
+        assert_eq!(
+            data.required(d2, Tr::Rise, Mode::Late),
+            data.clock_period_ps - setup
+        );
+        assert!(data.slack_late(d2) > 0.0);
+    }
+
+    #[test]
+    fn xor_takes_worst_of_both_input_transitions() {
+        // XOR is non-unate: its late arrival must be >= what a positive-
+        // unate cell with the same tables would produce.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let b = nb.add_primary_input("b");
+        let x = nb.add_gate("x1", CellKind::Xor2);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, x, 0).expect("valid");
+        nb.connect_to_gate(b, x, 1).expect("valid");
+        nb.connect_to_output(x, y).expect("valid");
+        let library = CellLibrary::typical();
+        let netlist = nb.build().expect("well-formed");
+        let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
+        let f = Fixture { netlist, graph, library };
+        let data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let out = f.graph.gate_output_node(crate::GateId(0));
+        // Both input transitions reach the XOR with identical arrivals and
+        // slews, so each output transition's late arrival is simply its own
+        // table's delay; the rise table is characterised slower than fall.
+        let fall = data.arrival(out, Tr::Fall, Mode::Late);
+        let rise = data.arrival(out, Tr::Rise, Mode::Late);
+        assert!(rise > fall, "rise edges are slower in the library: {rise} vs {fall}");
+        // And late >= early on the non-unate output.
+        assert!(data.arrival(out, Tr::Rise, Mode::Early) <= rise);
+    }
+}

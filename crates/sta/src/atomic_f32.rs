@@ -1,0 +1,77 @@
+//! An atomic `f32` cell.
+//!
+//! Timing values (arrival, required, slew) are written by exactly one
+//! propagation task and read by downstream tasks; the scheduler's
+//! dependency countdown provides the happens-before edge, so relaxed
+//! bit-level atomics are sufficient and keep the engine free of `unsafe`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// An `f32` stored in an `AtomicU32` via bit transmutation.
+#[derive(Debug, Default)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// Create a cell holding `v`.
+    pub fn new(v: f32) -> Self {
+        AtomicF32(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Relaxed load.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Relaxed store.
+    #[inline]
+    pub fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Clone for AtomicF32 {
+    fn clone(&self) -> Self {
+        AtomicF32::new(self.load())
+    }
+}
+
+impl From<f32> for AtomicF32 {
+    fn from(v: f32) -> Self {
+        AtomicF32::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_values() {
+        let a = AtomicF32::new(1.5);
+        assert_eq!(a.load(), 1.5);
+        a.store(-3.25);
+        assert_eq!(a.load(), -3.25);
+    }
+
+    #[test]
+    fn preserves_infinities_and_signed_zero() {
+        let a = AtomicF32::new(f32::NEG_INFINITY);
+        assert_eq!(a.load(), f32::NEG_INFINITY);
+        a.store(-0.0);
+        assert!(a.load().is_sign_negative());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicF32::default().load(), 0.0);
+    }
+
+    #[test]
+    fn clone_copies_value_not_cell() {
+        let a = AtomicF32::new(2.0);
+        let b = a.clone();
+        a.store(9.0);
+        assert_eq!(b.load(), 2.0);
+    }
+}

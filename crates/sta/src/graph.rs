@@ -1,0 +1,450 @@
+//! The flattened pin-level timing graph.
+//!
+//! Nodes are pins (primary I/Os, gate input pins, gate output pins); edges
+//! are timing arcs: *net arcs* from a driver pin to each sink pin, and
+//! *cell arcs* from each gate input pin to the gate's output pin. D
+//! flip-flops break paths: their `D` pin is a timing endpoint and their
+//! output pin launches a fresh path, so there is no `D -> Q` cell arc.
+
+use crate::library::{CellKind, CellLibrary};
+use crate::netlist::{GateId, Netlist, PinRef};
+use gpasta_tdg::BuildTdgError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a timing-graph node (a pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A primary input port.
+    PrimaryInput(u32),
+    /// A primary output port.
+    PrimaryOutput(u32),
+    /// Input pin `1` of gate `0`.
+    GateInput(u32, u8),
+    /// The output pin of gate `0`.
+    GateOutput(u32),
+}
+
+/// The flavour of a timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArcKind {
+    /// Interconnect from a driver pin to one sink pin of net `net`.
+    Net {
+        /// Index into [`Netlist::nets`].
+        net: u32,
+    },
+    /// A cell arc through gate `gate` (input pin to output pin).
+    Cell {
+        /// The traversed gate.
+        gate: u32,
+    },
+}
+
+/// One timing arc: endpoints plus flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingArcRef {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Net or cell arc.
+    pub kind: ArcKind,
+}
+
+/// The pin-level timing graph in CSR form with per-edge arc metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingGraph {
+    node_kind: Vec<NodeKind>,
+    arcs: Vec<TimingArcRef>,
+    fwd_off: Vec<u32>,
+    fwd_arc: Vec<u32>,
+    rev_off: Vec<u32>,
+    rev_arc: Vec<u32>,
+    /// Node ids that launch paths (primary inputs, DFF outputs).
+    sources: Vec<u32>,
+    /// Node ids that terminate paths (primary outputs, DFF `D` pins).
+    endpoints: Vec<u32>,
+    /// Index of the first gate-input node (see node-numbering scheme).
+    gate_in_base: u32,
+    /// Per-gate offset of its first input-pin node.
+    gate_in_off: Vec<u32>,
+    /// Index of the first gate-output node.
+    gate_out_base: u32,
+    /// Index of the first primary-output node.
+    po_base: u32,
+}
+
+impl TimingGraph {
+    /// Build the timing graph of `netlist` under `library`.
+    ///
+    /// Node numbering: primary inputs first, then all gate input pins (in
+    /// gate order), then all gate output pins, then primary outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTdgError::Cycle`] if the combinational logic contains
+    /// a loop.
+    pub fn build(netlist: &Netlist, library: &CellLibrary) -> Result<Self, BuildTdgError> {
+        let _ = library; // connectivity only; electrical state lives in the Timer
+        let num_pi = netlist.num_inputs() as u32;
+        let mut gate_in_off = Vec::with_capacity(netlist.num_gates() + 1);
+        let mut acc = num_pi;
+        for g in netlist.gates() {
+            gate_in_off.push(acc);
+            acc += g.cell.num_inputs() as u32;
+        }
+        gate_in_off.push(acc);
+        let gate_in_base = num_pi;
+        let gate_out_base = acc;
+        let po_base = gate_out_base + netlist.num_gates() as u32;
+        let num_nodes = po_base + netlist.num_outputs() as u32;
+
+        let node_of = |pin: PinRef| -> u32 {
+            match pin {
+                PinRef::PrimaryInput(p) => p.0,
+                PinRef::GateInput(g, pin) => gate_in_off[g.index()] + u32::from(pin),
+                PinRef::GateOutput(g) => gate_out_base + g.0,
+                PinRef::PrimaryOutput(p) => po_base + p.0,
+            }
+        };
+
+        let mut node_kind = Vec::with_capacity(num_nodes as usize);
+        for p in 0..num_pi {
+            node_kind.push(NodeKind::PrimaryInput(p));
+        }
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            for pin in 0..gate.cell.num_inputs() as u8 {
+                node_kind.push(NodeKind::GateInput(g as u32, pin));
+            }
+        }
+        for g in 0..netlist.num_gates() as u32 {
+            node_kind.push(NodeKind::GateOutput(g));
+        }
+        for p in 0..netlist.num_outputs() as u32 {
+            node_kind.push(NodeKind::PrimaryOutput(p));
+        }
+
+        // Arcs: net arcs then cell arcs.
+        let mut arcs = Vec::new();
+        for (n, net) in netlist.nets().iter().enumerate() {
+            let from = NodeId(node_of(net.driver));
+            for &sink in &net.sinks {
+                arcs.push(TimingArcRef {
+                    from,
+                    to: NodeId(node_of(sink)),
+                    kind: ArcKind::Net { net: n as u32 },
+                });
+            }
+        }
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            if gate.cell.is_sequential() {
+                continue; // no D -> Q combinational arc
+            }
+            let out = NodeId(gate_out_base + g as u32);
+            for pin in 0..gate.cell.num_inputs() as u8 {
+                arcs.push(TimingArcRef {
+                    from: NodeId(gate_in_off[g] + u32::from(pin)),
+                    to: out,
+                    kind: ArcKind::Cell { gate: g as u32 },
+                });
+            }
+        }
+
+        // CSR over arcs (forward and reverse).
+        let n = num_nodes as usize;
+        let mut fwd_off = vec![0u32; n + 1];
+        let mut rev_off = vec![0u32; n + 1];
+        for a in &arcs {
+            fwd_off[a.from.index() + 1] += 1;
+            rev_off[a.to.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_off[i + 1] += fwd_off[i];
+            rev_off[i + 1] += rev_off[i];
+        }
+        let mut fwd_arc = vec![0u32; arcs.len()];
+        let mut rev_arc = vec![0u32; arcs.len()];
+        {
+            let mut fc = fwd_off.clone();
+            let mut rc = rev_off.clone();
+            for (i, a) in arcs.iter().enumerate() {
+                let f = &mut fc[a.from.index()];
+                fwd_arc[*f as usize] = i as u32;
+                *f += 1;
+                let r = &mut rc[a.to.index()];
+                rev_arc[*r as usize] = i as u32;
+                *r += 1;
+            }
+        }
+
+        // Sources and endpoints.
+        let mut sources = Vec::new();
+        let mut endpoints = Vec::new();
+        for (i, kind) in node_kind.iter().enumerate() {
+            match *kind {
+                NodeKind::PrimaryInput(_) => sources.push(i as u32),
+                NodeKind::PrimaryOutput(_) => endpoints.push(i as u32),
+                NodeKind::GateOutput(g) => {
+                    if netlist.gates()[g as usize].cell.is_sequential() {
+                        sources.push(i as u32);
+                    }
+                }
+                NodeKind::GateInput(g, pin) => {
+                    let cell = netlist.gates()[g as usize].cell;
+                    if cell.is_sequential() && pin == 0 {
+                        endpoints.push(i as u32); // DFF D pin
+                    }
+                }
+            }
+        }
+
+        let graph = TimingGraph {
+            node_kind,
+            arcs,
+            fwd_off,
+            fwd_arc,
+            rev_off,
+            rev_arc,
+            sources,
+            endpoints,
+            gate_in_base,
+            gate_in_off,
+            gate_out_base,
+            po_base,
+        };
+
+        // Acyclicity check (combinational loops).
+        let mut indeg: Vec<u32> = (0..n).map(|v| graph.fanin(NodeId(v as u32)).len() as u32).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut visited = 0;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for &a in graph.fanout(NodeId(u)) {
+                let v = graph.arcs[a as usize].to.0;
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if visited != n {
+            let witness = indeg.iter().position(|&d| d > 0).unwrap_or(0) as u32;
+            return Err(BuildTdgError::Cycle { witness });
+        }
+
+        Ok(graph)
+    }
+
+    /// Number of nodes (pins).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_kind.len()
+    }
+
+    /// Number of timing arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// All arcs, indexed by arc id.
+    #[inline]
+    pub fn arcs(&self) -> &[TimingArcRef] {
+        &self.arcs
+    }
+
+    /// The arc with id `a`.
+    #[inline]
+    pub fn arc(&self, a: u32) -> &TimingArcRef {
+        &self.arcs[a as usize]
+    }
+
+    /// Arc ids leaving `v`.
+    #[inline]
+    pub fn fanout(&self, v: NodeId) -> &[u32] {
+        &self.fwd_arc[self.fwd_off[v.index()] as usize..self.fwd_off[v.index() + 1] as usize]
+    }
+
+    /// Arc ids entering `v`.
+    #[inline]
+    pub fn fanin(&self, v: NodeId) -> &[u32] {
+        &self.rev_arc[self.rev_off[v.index()] as usize..self.rev_off[v.index() + 1] as usize]
+    }
+
+    /// What node `v` represents.
+    #[inline]
+    pub fn node_kind(&self, v: NodeId) -> NodeKind {
+        self.node_kind[v.index()]
+    }
+
+    /// Nodes that launch timing paths (primary inputs and DFF outputs).
+    #[inline]
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
+
+    /// Nodes that terminate timing paths (primary outputs and DFF D pins).
+    #[inline]
+    pub fn endpoints(&self) -> &[u32] {
+        &self.endpoints
+    }
+
+    /// The node of gate `g`'s output pin.
+    #[inline]
+    pub fn gate_output_node(&self, g: GateId) -> NodeId {
+        NodeId(self.gate_out_base + g.0)
+    }
+
+    /// The node of input pin `pin` of gate `g`.
+    #[inline]
+    pub fn gate_input_node(&self, g: GateId, pin: u8) -> NodeId {
+        NodeId(self.gate_in_off[g.index()] + u32::from(pin))
+    }
+
+    /// Whether `v` is a path endpoint.
+    pub fn is_endpoint(&self, v: NodeId) -> bool {
+        match self.node_kind(v) {
+            NodeKind::PrimaryOutput(_) => true,
+            NodeKind::GateInput(_, 0) => self.endpoints.binary_search(&v.0).is_ok(),
+            _ => false,
+        }
+    }
+
+    /// The cell kind a gate-related node belongs to, if any.
+    pub fn cell_of(&self, v: NodeId, netlist: &Netlist) -> Option<CellKind> {
+        match self.node_kind(v) {
+            NodeKind::GateInput(g, _) | NodeKind::GateOutput(g) => {
+                Some(netlist.gates()[g as usize].cell)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    /// a,b -> NAND2 -> INV -> y
+    fn nand_inv() -> (Netlist, TimingGraph) {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let b = nb.add_primary_input("b");
+        let g1 = nb.add_gate("u1", CellKind::Nand2);
+        let g2 = nb.add_gate("u2", CellKind::Inv);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, g1, 0).expect("valid");
+        nb.connect_to_gate(b, g1, 1).expect("valid");
+        nb.connect_gates(g1, g2, 0).expect("valid");
+        nb.connect_to_output(g2, y).expect("valid");
+        let n = nb.build().expect("well-formed");
+        let g = TimingGraph::build(&n, &CellLibrary::typical()).expect("acyclic");
+        (n, g)
+    }
+
+    #[test]
+    fn node_and_arc_counts() {
+        let (_n, g) = nand_inv();
+        // Nodes: 2 PI + 3 gate inputs (2 + 1) + 2 gate outputs + 1 PO = 8.
+        assert_eq!(g.num_nodes(), 8);
+        // Arcs: nets a->u1.0, b->u1.1, u1->u2.0, u2->y (4 net arcs)
+        //       + cell arcs u1 (2), u2 (1) = 7.
+        assert_eq!(g.num_arcs(), 7);
+    }
+
+    #[test]
+    fn sources_and_endpoints() {
+        let (_n, g) = nand_inv();
+        assert_eq!(g.sources(), &[0, 1]);
+        assert_eq!(g.endpoints().len(), 1);
+        let ep = NodeId(g.endpoints()[0]);
+        assert!(matches!(g.node_kind(ep), NodeKind::PrimaryOutput(0)));
+        assert!(g.is_endpoint(ep));
+        assert!(!g.is_endpoint(NodeId(0)));
+    }
+
+    #[test]
+    fn fanin_fanout_consistency() {
+        let (_n, g) = nand_inv();
+        for (i, arc) in g.arcs().iter().enumerate() {
+            assert!(g.fanout(arc.from).contains(&(i as u32)));
+            assert!(g.fanin(arc.to).contains(&(i as u32)));
+        }
+        let total_out: usize = (0..g.num_nodes()).map(|v| g.fanout(NodeId(v as u32)).len()).sum();
+        assert_eq!(total_out, g.num_arcs());
+    }
+
+    #[test]
+    fn gate_pin_node_mapping() {
+        let (n, g) = nand_inv();
+        let u1 = GateId(0);
+        let in0 = g.gate_input_node(u1, 0);
+        assert!(matches!(g.node_kind(in0), NodeKind::GateInput(0, 0)));
+        let out = g.gate_output_node(u1);
+        assert!(matches!(g.node_kind(out), NodeKind::GateOutput(0)));
+        assert_eq!(g.cell_of(out, &n), Some(CellKind::Nand2));
+        assert_eq!(g.cell_of(NodeId(0), &n), None);
+    }
+
+    #[test]
+    fn dff_breaks_paths() {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let ff = nb.add_gate("ff1", CellKind::Dff);
+        let g = nb.add_gate("u1", CellKind::Inv);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, ff, 0).expect("valid");
+        nb.connect_gates(ff, g, 0).expect("valid");
+        nb.connect_to_output(g, y).expect("valid");
+        let netlist = nb.build().expect("well-formed");
+        let tg = TimingGraph::build(&netlist, &CellLibrary::typical()).expect("acyclic");
+
+        // Sources: PI a and the DFF output. Endpoints: PO y and the DFF D pin.
+        assert_eq!(tg.sources().len(), 2);
+        assert_eq!(tg.endpoints().len(), 2);
+        // No cell arc into the DFF output node.
+        let ff_out = tg.gate_output_node(ff);
+        assert!(tg.fanin(ff_out).is_empty(), "DFF output launches a fresh path");
+        let d_pin = tg.gate_input_node(ff, 0);
+        assert!(tg.fanout(d_pin).is_empty(), "DFF D pin terminates its path");
+        assert!(tg.is_endpoint(d_pin));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        // Two inverters in a ring (plus taps to keep the netlist legal).
+        let mut nb = NetlistBuilder::new();
+        let g1 = nb.add_gate("u1", CellKind::Inv);
+        let g2 = nb.add_gate("u2", CellKind::Inv);
+        let y = nb.add_primary_output("y");
+        nb.connect_gates(g1, g2, 0).expect("valid");
+        nb.connect_gates(g2, g1, 0).expect("valid");
+        nb.connect_to_output(g1, y).expect("valid");
+        let netlist = nb.build().expect("structurally complete");
+        assert!(matches!(
+            TimingGraph::build(&netlist, &CellLibrary::typical()),
+            Err(BuildTdgError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_graph() {
+        let netlist = NetlistBuilder::new().build().expect("empty is fine");
+        let g = TimingGraph::build(&netlist, &CellLibrary::typical()).expect("trivially acyclic");
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert!(g.sources().is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! NLDM-style cell library.
+//!
+//! Each combinational cell has one timing arc per input pin, characterised
+//! by four 2-D lookup tables (rise/fall delay, rise/fall output slew)
+//! indexed by input slew and output load, evaluated with bilinear
+//! interpolation — the same table discipline as Liberty NLDM data that
+//! OpenTimer consumes. Tables are generated from per-cell first-order
+//! coefficients, so the library is self-contained while the *lookup path*
+//! (index search + interpolation arithmetic) matches production behaviour.
+//!
+//! Units: time in picoseconds (ps), capacitance in femtofarads (fF).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The logic function / flavour of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Inverter (1 input, negative-unate).
+    Inv,
+    /// Buffer (1 input, positive-unate).
+    Buf,
+    /// 2-input NAND (negative-unate).
+    Nand2,
+    /// 2-input NOR (negative-unate).
+    Nor2,
+    /// 2-input AND (positive-unate).
+    And2,
+    /// 2-input OR (positive-unate).
+    Or2,
+    /// 2-input XOR (non-unate; both transitions propagate).
+    Xor2,
+    /// 3-input NAND (negative-unate).
+    Nand3,
+    /// 2:1 multiplexer (3 inputs, non-unate).
+    Mux2,
+    /// 1-input majority-style complex cell stand-in (AOI21, 3 inputs,
+    /// negative-unate).
+    Aoi21,
+    /// D flip-flop: `D` is a timing endpoint (setup-checked), `Q` launches
+    /// a new path with a clock-to-Q delay.
+    Dff,
+}
+
+impl CellKind {
+    /// Number of signal input pins (the DFF's clock pin is implicit — the
+    /// engine models an ideal clock).
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::Dff => 1,
+            CellKind::Nand2 | CellKind::Nor2 | CellKind::And2 | CellKind::Or2 | CellKind::Xor2 => 2,
+            CellKind::Nand3 | CellKind::Mux2 | CellKind::Aoi21 => 3,
+        }
+    }
+
+    /// Whether the cell is sequential (breaks timing paths).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// Timing sense of the input→output arcs.
+    pub fn sense(self) -> TimingSense {
+        match self {
+            CellKind::Buf | CellKind::And2 | CellKind::Or2 => TimingSense::Positive,
+            CellKind::Inv | CellKind::Nand2 | CellKind::Nor2 | CellKind::Nand3 | CellKind::Aoi21 => {
+                TimingSense::Negative
+            }
+            CellKind::Xor2 | CellKind::Mux2 => TimingSense::NonUnate,
+            // The D->Q "arc" is not combinational; sense is unused.
+            CellKind::Dff => TimingSense::Positive,
+        }
+    }
+
+    /// All cell kinds, for iteration in tests and generators.
+    pub fn all() -> &'static [CellKind] {
+        &[
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Nand3,
+            CellKind::Mux2,
+            CellKind::Aoi21,
+            CellKind::Dff,
+        ]
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unateness of a timing arc: which input transition causes which output
+/// transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingSense {
+    /// Rising input → rising output (buffer-like).
+    Positive,
+    /// Rising input → falling output (inverter-like).
+    Negative,
+    /// Both input transitions drive both output transitions (XOR-like);
+    /// propagation takes the worst case.
+    NonUnate,
+}
+
+/// A 2-D NLDM lookup table: `value[i][j]` at `(slew_axis[i], load_axis[j])`,
+/// bilinear interpolation inside the grid, clamped extrapolation outside
+/// (the common STA-tool policy for the table corners).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lut2D {
+    slew_axis: Vec<f32>,
+    load_axis: Vec<f32>,
+    /// Row-major `slew_axis.len() × load_axis.len()` values.
+    values: Vec<f32>,
+}
+
+impl Lut2D {
+    /// Build a table from axes and row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axes are empty, not strictly increasing, or the value
+    /// count does not match.
+    pub fn new(slew_axis: Vec<f32>, load_axis: Vec<f32>, values: Vec<f32>) -> Self {
+        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "empty LUT axis");
+        assert!(
+            slew_axis.windows(2).all(|w| w[0] < w[1]),
+            "slew axis must be strictly increasing"
+        );
+        assert!(
+            load_axis.windows(2).all(|w| w[0] < w[1]),
+            "load axis must be strictly increasing"
+        );
+        assert_eq!(values.len(), slew_axis.len() * load_axis.len(), "LUT value count mismatch");
+        Lut2D { slew_axis, load_axis, values }
+    }
+
+    /// Generate a table on the given axes from a closure (used by the
+    /// programmatic library).
+    pub fn from_fn(
+        slew_axis: Vec<f32>,
+        load_axis: Vec<f32>,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Self {
+        let f = &f;
+        let values = slew_axis
+            .iter()
+            .flat_map(|&s| load_axis.iter().map(move |&l| f(s, l)))
+            .collect();
+        Lut2D::new(slew_axis, load_axis, values)
+    }
+
+    /// The input-slew axis breakpoints (ps).
+    pub fn slew_axis(&self) -> &[f32] {
+        &self.slew_axis
+    }
+
+    /// The output-load axis breakpoints (fF).
+    pub fn load_axis(&self) -> &[f32] {
+        &self.load_axis
+    }
+
+    /// Row-major table values (`slew_axis.len() × load_axis.len()`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Bilinear lookup at `(slew, load)` with clamped extrapolation.
+    pub fn lookup(&self, slew: f32, load: f32) -> f32 {
+        let (i0, i1, ts) = Self::bracket(&self.slew_axis, slew);
+        let (j0, j1, tl) = Self::bracket(&self.load_axis, load);
+        let cols = self.load_axis.len();
+        let v00 = self.values[i0 * cols + j0];
+        let v01 = self.values[i0 * cols + j1];
+        let v10 = self.values[i1 * cols + j0];
+        let v11 = self.values[i1 * cols + j1];
+        let v0 = v00 + (v01 - v00) * tl;
+        let v1 = v10 + (v11 - v10) * tl;
+        v0 + (v1 - v0) * ts
+    }
+
+    /// Find the bracketing indices and interpolation fraction for `x` on
+    /// `axis`, clamping outside the grid.
+    fn bracket(axis: &[f32], x: f32) -> (usize, usize, f32) {
+        let n = axis.len();
+        if n == 1 || x <= axis[0] {
+            return (0, 0, 0.0);
+        }
+        if x >= axis[n - 1] {
+            return (n - 1, n - 1, 0.0);
+        }
+        let hi = axis.partition_point(|&a| a <= x);
+        let lo = hi - 1;
+        let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
+        (lo, hi, t)
+    }
+}
+
+/// The four tables of one timing arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArcTables {
+    /// Delay to a rising output edge.
+    pub delay_rise: Lut2D,
+    /// Delay to a falling output edge.
+    pub delay_fall: Lut2D,
+    /// Output slew of a rising edge.
+    pub slew_rise: Lut2D,
+    /// Output slew of a falling edge.
+    pub slew_fall: Lut2D,
+}
+
+/// Per-cell electrical characterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Input pin capacitance (fF).
+    pub input_cap_ff: f32,
+    /// Tables of the input→output arc (shared by all inputs of the cell;
+    /// a per-pin refinement would only scale data volume, not behaviour).
+    pub tables: ArcTables,
+    /// Clock-to-Q delay for sequential cells (ps); zero for combinational.
+    pub clk_to_q_ps: f32,
+    /// Setup time for sequential cells (ps); zero for combinational.
+    pub setup_ps: f32,
+}
+
+/// A complete library: characterisation for every [`CellKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellLibrary {
+    cells: Vec<CellTiming>,
+    /// Default primary-input slew (ps).
+    pub input_slew_ps: f32,
+    /// Primary-output load (fF).
+    pub output_load_ff: f32,
+    /// Wire resistance factor: net delay (ps) per fF of downstream cap.
+    pub wire_res_ps_per_ff: f32,
+}
+
+impl CellLibrary {
+    fn index(kind: CellKind) -> usize {
+        CellKind::all()
+            .iter()
+            .position(|&k| k == kind)
+            .expect("all() lists every kind")
+    }
+
+    /// A typical-corner library generated from first-order coefficients
+    /// with 7×7 NLDM grids, loosely calibrated to a generic 45 nm node.
+    pub fn typical() -> Self {
+        let slew_axis: Vec<f32> = vec![5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0];
+        let load_axis: Vec<f32> = vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+        // (kind, intrinsic ps, ps/fF drive, slew sensitivity, input cap fF)
+        let coeffs: &[(CellKind, f32, f32, f32, f32)] = &[
+            (CellKind::Inv, 8.0, 2.0, 0.10, 1.0),
+            (CellKind::Buf, 14.0, 1.6, 0.08, 1.1),
+            (CellKind::Nand2, 12.0, 2.6, 0.12, 1.3),
+            (CellKind::Nor2, 14.0, 3.0, 0.14, 1.3),
+            (CellKind::And2, 18.0, 2.2, 0.10, 1.2),
+            (CellKind::Or2, 20.0, 2.4, 0.11, 1.2),
+            (CellKind::Xor2, 26.0, 3.2, 0.16, 1.8),
+            (CellKind::Nand3, 16.0, 3.4, 0.15, 1.4),
+            (CellKind::Mux2, 24.0, 2.8, 0.13, 1.6),
+            (CellKind::Aoi21, 18.0, 3.2, 0.15, 1.5),
+            (CellKind::Dff, 0.0, 2.0, 0.08, 1.2),
+        ];
+
+        let cells = coeffs
+            .iter()
+            .map(|&(kind, d0, dl, ds, cap)| {
+                let mk = |skew: f32| {
+                    Lut2D::from_fn(slew_axis.clone(), load_axis.clone(), move |s, l| {
+                        d0 * skew + dl * l + ds * s + 0.002 * s * l
+                    })
+                };
+                let mk_slew = |skew: f32| {
+                    Lut2D::from_fn(slew_axis.clone(), load_axis.clone(), move |s, l| {
+                        (4.0 + 1.1 * dl * l + 0.12 * s) * skew
+                    })
+                };
+                let (clk_to_q_ps, setup_ps) = if kind.is_sequential() {
+                    (45.0, 30.0)
+                } else {
+                    (0.0, 0.0)
+                };
+                CellTiming {
+                    input_cap_ff: cap,
+                    tables: ArcTables {
+                        // Falling edges are slightly faster (NMOS pull-down),
+                        // as in real libraries.
+                        delay_rise: mk(1.0),
+                        delay_fall: mk(0.9),
+                        slew_rise: mk_slew(1.0),
+                        slew_fall: mk_slew(0.92),
+                    },
+                    clk_to_q_ps,
+                    setup_ps,
+                }
+            })
+            .collect();
+
+        CellLibrary {
+            cells,
+            input_slew_ps: 20.0,
+            output_load_ff: 2.0,
+            wire_res_ps_per_ff: 0.4,
+        }
+    }
+
+    /// Characterisation of `kind`.
+    pub fn cell(&self, kind: CellKind) -> &CellTiming {
+        &self.cells[Self::index(kind)]
+    }
+
+    /// Replace the characterisation of `kind` (used by the Liberty
+    /// reader and by library-scaling experiments).
+    pub fn set_cell(&mut self, kind: CellKind, timing: CellTiming) {
+        self.cells[Self::index(kind)] = timing;
+    }
+
+    /// Input pin capacitance of `kind` (fF).
+    pub fn input_cap(&self, kind: CellKind) -> f32 {
+        self.cell(kind).input_cap_ff
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> Self {
+        CellLibrary::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_exact_on_grid_points() {
+        let lut = Lut2D::new(
+            vec![1.0, 2.0],
+            vec![10.0, 20.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        assert_eq!(lut.lookup(1.0, 10.0), 1.0);
+        assert_eq!(lut.lookup(1.0, 20.0), 2.0);
+        assert_eq!(lut.lookup(2.0, 10.0), 3.0);
+        assert_eq!(lut.lookup(2.0, 20.0), 4.0);
+    }
+
+    #[test]
+    fn lut_bilinear_midpoint() {
+        let lut = Lut2D::new(
+            vec![0.0, 2.0],
+            vec![0.0, 2.0],
+            vec![0.0, 2.0, 2.0, 4.0],
+        );
+        assert_eq!(lut.lookup(1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn lut_clamps_outside_grid() {
+        let lut = Lut2D::new(vec![1.0, 2.0], vec![1.0, 2.0], vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(lut.lookup(0.0, 0.0), 5.0);
+        assert_eq!(lut.lookup(99.0, 99.0), 8.0);
+        assert_eq!(lut.lookup(0.0, 99.0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn lut_rejects_unsorted_axis() {
+        let _ = Lut2D::new(vec![2.0, 1.0], vec![1.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "value count mismatch")]
+    fn lut_rejects_bad_value_count() {
+        let _ = Lut2D::new(vec![1.0], vec![1.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn typical_library_covers_every_kind() {
+        let lib = CellLibrary::typical();
+        for &kind in CellKind::all() {
+            let cell = lib.cell(kind);
+            assert!(cell.input_cap_ff > 0.0, "{kind} has no input cap");
+            let d = cell.tables.delay_rise.lookup(20.0, 2.0);
+            assert!(d > 0.0, "{kind} has nonpositive delay {d}");
+        }
+    }
+
+    #[test]
+    fn delay_monotone_in_load_and_slew() {
+        let lib = CellLibrary::typical();
+        let t = &lib.cell(CellKind::Nand2).tables.delay_rise;
+        assert!(t.lookup(20.0, 8.0) > t.lookup(20.0, 1.0));
+        assert!(t.lookup(160.0, 2.0) > t.lookup(10.0, 2.0));
+    }
+
+    #[test]
+    fn fall_is_faster_than_rise() {
+        let lib = CellLibrary::typical();
+        let tables = &lib.cell(CellKind::Inv).tables;
+        assert!(tables.delay_fall.lookup(20.0, 2.0) < tables.delay_rise.lookup(20.0, 2.0));
+    }
+
+    #[test]
+    fn dff_is_sequential_with_setup_and_clk_to_q() {
+        let lib = CellLibrary::typical();
+        assert!(CellKind::Dff.is_sequential());
+        assert!(lib.cell(CellKind::Dff).setup_ps > 0.0);
+        assert!(lib.cell(CellKind::Dff).clk_to_q_ps > 0.0);
+        assert!(!CellKind::Nand2.is_sequential());
+        assert_eq!(lib.cell(CellKind::Nand2).setup_ps, 0.0);
+    }
+
+    #[test]
+    fn kind_metadata_is_consistent() {
+        assert_eq!(CellKind::Inv.num_inputs(), 1);
+        assert_eq!(CellKind::Mux2.num_inputs(), 3);
+        assert_eq!(CellKind::Inv.sense(), TimingSense::Negative);
+        assert_eq!(CellKind::Buf.sense(), TimingSense::Positive);
+        assert_eq!(CellKind::Xor2.sense(), TimingSense::NonUnate);
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2");
+        assert_eq!(CellKind::all().len(), 11);
+    }
+
+    #[test]
+    fn library_serde_round_trip() {
+        let lib = CellLibrary::typical();
+        let json = serde_json::to_string(&lib).expect("serializes");
+        let back: CellLibrary = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(lib, back);
+    }
+}

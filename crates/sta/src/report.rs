@@ -1,0 +1,94 @@
+//! Timing reports: WNS/TNS and critical endpoints.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// Slack of a single timing endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSlack {
+    /// The endpoint node.
+    pub node: NodeId,
+    /// Human-readable endpoint name (port name or `instance/D`).
+    pub name: String,
+    /// Late-mode (setup) slack in ps; negative means a violation.
+    pub slack_ps: f32,
+}
+
+/// Design-level timing summary produced by
+/// [`Timer::report`](crate::Timer::report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst negative slack (ps) — the minimum endpoint slack. Positive if
+    /// the design meets timing; `+inf` if there are no endpoints.
+    pub wns_ps: f32,
+    /// Total negative slack (ps) — sum of negative endpoint slacks.
+    pub tns_ps: f32,
+    /// Number of endpoints analysed.
+    pub num_endpoints: usize,
+    /// The `k` most critical endpoints, worst first.
+    pub worst: Vec<EndpointSlack>,
+}
+
+impl TimingReport {
+    /// Whether every endpoint meets timing.
+    pub fn meets_timing(&self) -> bool {
+        self.wns_ps >= 0.0
+    }
+
+    /// Number of violating endpoints among the reported worst list.
+    pub fn violations_in_worst(&self) -> usize {
+        self.worst.iter().filter(|e| e.slack_ps < 0.0).count()
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "WNS {:.1} ps, TNS {:.1} ps over {} endpoints",
+            self.wns_ps, self.tns_ps, self.num_endpoints
+        )?;
+        for e in &self.worst {
+            writeln!(f, "  {:<24} slack {:>10.1} ps", e.name, e.slack_ps)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> TimingReport {
+        TimingReport {
+            wns_ps: -12.5,
+            tns_ps: -20.0,
+            num_endpoints: 3,
+            worst: vec![
+                EndpointSlack { node: NodeId(9), name: "y1".into(), slack_ps: -12.5 },
+                EndpointSlack { node: NodeId(7), name: "y0".into(), slack_ps: 4.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn meets_timing_logic() {
+        let mut r = report();
+        assert!(!r.meets_timing());
+        r.wns_ps = 0.0;
+        assert!(r.meets_timing());
+    }
+
+    #[test]
+    fn counts_violations() {
+        assert_eq!(report().violations_in_worst(), 1);
+    }
+
+    #[test]
+    fn display_lists_endpoints() {
+        let s = report().to_string();
+        assert!(s.contains("WNS -12.5 ps"));
+        assert!(s.contains("y1"));
+        assert!(s.contains("3 endpoints"));
+    }
+}

@@ -1,0 +1,334 @@
+//! An SDC-subset constraint reader and writer.
+//!
+//! Synopsys Design Constraints is how timing intent reaches STA tools.
+//! The subset covers the engine's constraint model:
+//!
+//! ```text
+//! create_clock -period 900
+//! set_input_delay 120 [get_ports in3]
+//! set_output_delay 80 [get_ports out1]
+//! ```
+//!
+//! `#` comments and blank lines are ignored; ports are addressed with
+//! `[get_ports <name>]`. [`apply_sdc`] pushes the constraints into a
+//! [`Timer`] (marking the affected regions dirty); [`write_sdc`] emits the
+//! timer's current constraint state.
+
+use crate::netlist::PortId;
+use crate::timer::Timer;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`apply_sdc`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseSdcError {
+    /// Malformed command.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A `get_ports` name did not match any port of the design.
+    UnknownPort {
+        /// 1-based line number.
+        line: usize,
+        /// The unmatched port name.
+        port: String,
+    },
+    /// A command keyword the subset does not support.
+    UnsupportedCommand {
+        /// 1-based line number.
+        line: usize,
+        /// The command.
+        command: String,
+    },
+}
+
+impl fmt::Display for ParseSdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSdcError::Syntax { line, message } => {
+                write!(f, "sdc syntax error at line {line}: {message}")
+            }
+            ParseSdcError::UnknownPort { line, port } => {
+                write!(f, "sdc line {line}: unknown port `{port}`")
+            }
+            ParseSdcError::UnsupportedCommand { line, command } => {
+                write!(f, "sdc line {line}: unsupported command `{command}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseSdcError {}
+
+/// Emit the timer's constraint state as SDC.
+pub fn write_sdc(timer: &Timer) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("create_clock -period {}\n", timer.data().clock_period_ps));
+    for (p, name) in timer.netlist().input_names().iter().enumerate() {
+        let d = timer.data().input_delay(p as u32);
+        if d != 0.0 {
+            out.push_str(&format!("set_input_delay {d} [get_ports {name}]\n"));
+        }
+    }
+    for (p, name) in timer.netlist().output_names().iter().enumerate() {
+        let d = timer.data().output_delay(p as u32);
+        if d != 0.0 {
+            out.push_str(&format!("set_output_delay {d} [get_ports {name}]\n"));
+        }
+    }
+    out
+}
+
+fn parse_get_ports(line_no: usize, tok: &str) -> Result<&str, ParseSdcError> {
+    tok.strip_prefix("[get_ports")
+        .and_then(|rest| rest.strip_suffix(']'))
+        .map(str::trim)
+        .filter(|name| !name.is_empty())
+        .ok_or_else(|| ParseSdcError::Syntax {
+            line: line_no,
+            message: format!("expected `[get_ports <name>]`, got `{tok}`"),
+        })
+}
+
+fn find_port(names: &[String], name: &str) -> Option<PortId> {
+    names.iter().position(|n| n == name).map(|i| PortId(i as u32))
+}
+
+/// Apply SDC constraints to `timer`, marking affected timing dirty; the
+/// next [`Timer::update_timing`] picks them up.
+///
+/// # Errors
+///
+/// Returns [`ParseSdcError`] on malformed commands or unknown ports; the
+/// timer may be partially updated when an error is returned mid-file.
+pub fn apply_sdc(timer: &mut Timer, text: &str) -> Result<(), ParseSdcError> {
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Keep `[get_ports x]` as one token: split on whitespace outside
+        // brackets.
+        let mut tokens: Vec<String> = Vec::new();
+        let mut depth = 0usize;
+        let mut cur = String::new();
+        for c in line.chars() {
+            match c {
+                '[' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ']' => {
+                    depth = depth.saturating_sub(1);
+                    cur.push(c);
+                }
+                c if c.is_whitespace() && depth == 0 => {
+                    if !cur.is_empty() {
+                        tokens.push(std::mem::take(&mut cur));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(cur);
+        }
+
+        let mut it = tokens.iter().map(String::as_str);
+        match it.next() {
+            Some("create_clock") => {
+                let mut period = None;
+                while let Some(tok) = it.next() {
+                    match tok {
+                        "-period" => {
+                            let v = it.next().ok_or_else(|| ParseSdcError::Syntax {
+                                line: line_no,
+                                message: "-period needs a value".into(),
+                            })?;
+                            period = Some(v.parse::<f32>().map_err(|_| ParseSdcError::Syntax {
+                                line: line_no,
+                                message: format!("`{v}` is not a number"),
+                            })?);
+                        }
+                        "-name" => {
+                            let _ = it.next(); // accepted, ignored (single clock)
+                        }
+                        other => {
+                            return Err(ParseSdcError::Syntax {
+                                line: line_no,
+                                message: format!("unexpected token `{other}`"),
+                            })
+                        }
+                    }
+                }
+                let period = period.ok_or_else(|| ParseSdcError::Syntax {
+                    line: line_no,
+                    message: "create_clock needs -period".into(),
+                })?;
+                timer.set_clock_period(period);
+            }
+            Some(cmd @ ("set_input_delay" | "set_output_delay")) => {
+                let v = it.next().ok_or_else(|| ParseSdcError::Syntax {
+                    line: line_no,
+                    message: format!("{cmd} needs a value"),
+                })?;
+                let delay: f32 = v.parse().map_err(|_| ParseSdcError::Syntax {
+                    line: line_no,
+                    message: format!("`{v}` is not a number"),
+                })?;
+                let ports_tok = it.next().ok_or_else(|| ParseSdcError::Syntax {
+                    line: line_no,
+                    message: format!("{cmd} needs [get_ports <name>]"),
+                })?;
+                let name = parse_get_ports(line_no, ports_tok)?;
+                if cmd == "set_input_delay" {
+                    let port = find_port(timer.netlist().input_names(), name).ok_or_else(|| {
+                        ParseSdcError::UnknownPort { line: line_no, port: name.to_owned() }
+                    })?;
+                    timer.set_input_delay(port, delay);
+                } else {
+                    let port = find_port(timer.netlist().output_names(), name).ok_or_else(|| {
+                        ParseSdcError::UnknownPort { line: line_no, port: name.to_owned() }
+                    })?;
+                    timer.set_output_delay(port, delay);
+                }
+            }
+            Some(other) => {
+                return Err(ParseSdcError::UnsupportedCommand {
+                    line: line_no,
+                    command: other.to_owned(),
+                })
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{CellKind, CellLibrary};
+    use crate::netlist::NetlistBuilder;
+
+    fn buf_timer() -> Timer {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let b = nb.add_primary_input("b");
+        let y = nb.add_primary_output("y");
+        let z = nb.add_primary_output("z");
+        let g1 = nb.add_gate("u1", CellKind::Buf);
+        let g2 = nb.add_gate("u2", CellKind::Buf);
+        nb.connect_to_gate(a, g1, 0).expect("valid");
+        nb.connect_to_gate(b, g2, 0).expect("valid");
+        nb.connect_to_output(g1, y).expect("valid");
+        nb.connect_to_output(g2, z).expect("valid");
+        Timer::new(nb.build().expect("valid"), CellLibrary::typical())
+    }
+
+    #[test]
+    fn applies_clock_and_port_delays() {
+        let mut timer = buf_timer();
+        apply_sdc(
+            &mut timer,
+            "# constraints\ncreate_clock -period 750\nset_input_delay 100 [get_ports a]\nset_output_delay 50 [get_ports y]\n",
+        )
+        .expect("valid SDC");
+        timer.update_timing().run_sequential();
+        assert_eq!(timer.data().clock_period_ps, 750.0);
+        assert_eq!(timer.data().input_delay(0), 100.0);
+        assert_eq!(timer.data().output_delay(0), 50.0);
+    }
+
+    #[test]
+    fn input_delay_shifts_arrivals_and_slack() {
+        let mut timer = buf_timer();
+        timer.update_timing().run_sequential();
+        let before = timer.report(2);
+        let y_before = before.worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+
+        apply_sdc(&mut timer, "set_input_delay 200 [get_ports a]\n").expect("valid");
+        timer.update_timing().run_sequential();
+        let after = timer.report(2);
+        let y_after = after.worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        let z_after = after.worst.iter().find(|e| e.name == "z").expect("z").slack_ps;
+        assert!((y_before - y_after - 200.0).abs() < 0.5, "y slack drops by the input delay");
+        // z's path from b is unaffected.
+        let z_before = before.worst.iter().find(|e| e.name == "z").expect("z").slack_ps;
+        assert_eq!(z_before, z_after);
+    }
+
+    #[test]
+    fn output_delay_tightens_required_time() {
+        let mut timer = buf_timer();
+        timer.update_timing().run_sequential();
+        let before = timer.report(2).worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        apply_sdc(&mut timer, "set_output_delay 150 [get_ports y]\n").expect("valid");
+        timer.update_timing().run_sequential();
+        let after = timer.report(2).worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        assert!((before - after - 150.0).abs() < 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn incremental_constraint_update_matches_full() {
+        let mut incr = buf_timer();
+        incr.update_timing().run_sequential();
+        apply_sdc(&mut incr, "set_output_delay 90 [get_ports z]\n").expect("valid");
+        incr.update_timing().run_sequential();
+
+        let mut full = buf_timer();
+        apply_sdc(&mut full, "set_output_delay 90 [get_ports z]\n").expect("valid");
+        full.invalidate_all();
+        full.update_timing().run_sequential();
+
+        assert_eq!(incr.report(2).wns_ps, full.report(2).wns_ps);
+    }
+
+    #[test]
+    fn round_trips_through_write_sdc() {
+        let mut timer = buf_timer();
+        apply_sdc(
+            &mut timer,
+            "create_clock -period 640\nset_input_delay 33 [get_ports b]\nset_output_delay 21 [get_ports z]\n",
+        )
+        .expect("valid");
+        let text = write_sdc(&timer);
+        let mut other = buf_timer();
+        apply_sdc(&mut other, &text).expect("own output parses");
+        assert_eq!(other.data().clock_period_ps, 640.0);
+        assert_eq!(other.data().input_delay(1), 33.0);
+        assert_eq!(other.data().output_delay(1), 21.0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut timer = buf_timer();
+        match apply_sdc(&mut timer, "create_clock -period 500\nset_input_delay 1 [get_ports nope]\n") {
+            Err(ParseSdcError::UnknownPort { line, port }) => {
+                assert_eq!(line, 2);
+                assert_eq!(port, "nope");
+            }
+            other => panic!("expected UnknownPort, got {other:?}"),
+        }
+        assert!(matches!(
+            apply_sdc(&mut timer, "set_false_path -from x\n"),
+            Err(ParseSdcError::UnsupportedCommand { .. })
+        ));
+        assert!(matches!(
+            apply_sdc(&mut timer, "create_clock\n"),
+            Err(ParseSdcError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn named_clock_is_accepted() {
+        let mut timer = buf_timer();
+        apply_sdc(&mut timer, "create_clock -name core_clk -period 820\n").expect("valid");
+        assert_eq!(timer.data().clock_period_ps, 820.0);
+    }
+}

@@ -1,0 +1,641 @@
+//! The timing engine: full and incremental `update_timing`.
+//!
+//! `update_timing` mirrors OpenTimer's core method: it determines the
+//! affected region of the timing graph, then *builds a task dependency
+//! graph* with one forward-propagation task and one backward-propagation
+//! task per affected node. Running that TDG (sequentially, through the
+//! scheduler crate, or partitioned by G-PASTA) brings all timing values up
+//! to date. The TDG is exactly the workload the paper's partitioners
+//! consume.
+
+use crate::analysis::{TimingData, TimingPropagator};
+use crate::graph::{NodeId, TimingGraph};
+use crate::library::CellLibrary;
+use crate::netlist::{GateId, Netlist, PinRef};
+use crate::report::{EndpointSlack, TimingReport};
+use gpasta_tdg::{TaskId, Tdg, TdgBuilder};
+use std::time::{Duration, Instant};
+
+/// What a task of the `update_timing` TDG does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Forward propagation (delay calculation, arrival/slew merge).
+    Fprop,
+    /// Backward propagation (required-arrival-time update).
+    Bprop,
+}
+
+/// The static timing analysis engine.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Timer {
+    netlist: Netlist,
+    library: CellLibrary,
+    graph: TimingGraph,
+    data: TimingData,
+    /// Nodes whose fan-out cone must be re-propagated.
+    dirty: Vec<u32>,
+    /// When set, the next update re-propagates the whole design.
+    full_dirty: bool,
+}
+
+impl Timer {
+    /// Create a timer over `netlist` with `library`, with the whole design
+    /// marked dirty (the first [`update_timing`](Timer::update_timing) is a
+    /// full analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop. Use
+    /// [`TimingGraph::build`] directly to handle that case gracefully.
+    pub fn new(netlist: Netlist, library: CellLibrary) -> Self {
+        Timer::try_new(netlist, library).expect("netlist contains a combinational loop")
+    }
+
+    /// Fallible constructor: returns the timing-graph build error instead
+    /// of panicking on combinational loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTdgError::Cycle`](gpasta_tdg::BuildTdgError::Cycle)
+    /// when the combinational logic loops.
+    pub fn try_new(
+        netlist: Netlist,
+        library: CellLibrary,
+    ) -> Result<Self, gpasta_tdg::BuildTdgError> {
+        let graph = TimingGraph::build(&netlist, &library)?;
+        let data = TimingData::new(&graph, &netlist, &library);
+        Ok(Timer {
+            netlist,
+            library,
+            graph,
+            data,
+            dirty: Vec::new(),
+            full_dirty: true,
+        })
+    }
+
+    /// The pin-level timing graph.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.graph
+    }
+
+    /// The design.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The shared timing state (arrivals, requireds, slews, slacks).
+    pub fn data(&self) -> &TimingData {
+        &self.data
+    }
+
+    /// Set the clock period (ps) used for endpoint constraints and mark the
+    /// design dirty (constraints affect every required time).
+    pub fn set_clock_period(&mut self, period_ps: f32) {
+        self.data.clock_period_ps = period_ps;
+        self.full_dirty = true;
+    }
+
+    /// Repower gate `g` to drive strength `drive` (a multiplier: 2.0 is a
+    /// 2× stronger, faster cell with proportionally larger input pins).
+    ///
+    /// Marks the affected region dirty: the gate's own delay changes, the
+    /// nets feeding it get heavier, and the gates driving those nets see a
+    /// larger load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range or `drive` is not positive.
+    pub fn repower_gate(&mut self, g: GateId, drive: f32) {
+        assert!(drive > 0.0, "drive strength must be positive");
+        assert!(g.index() < self.netlist.num_gates(), "gate {g} out of range");
+        self.data.set_drive(g.0, drive);
+
+        // Recompute electrical state of every net feeding g, and mark the
+        // drivers of those nets dirty (their cell delay depends on the
+        // load we just changed).
+        let num_inputs = self.netlist.gates()[g.index()].cell.num_inputs() as u8;
+        for pin in 0..num_inputs {
+            let node = self.graph.gate_input_node(g, pin);
+            for &a in self.graph.fanin(node) {
+                let arc = *self.graph.arc(a);
+                if let crate::graph::ArcKind::Net { net } = arc.kind {
+                    self.data.recompute_net(net, &self.netlist, &self.library);
+                    self.dirty.push(arc.from.0);
+                }
+            }
+        }
+        // The gate's own arcs re-evaluate during fprop of its output node.
+        self.dirty.push(self.graph.gate_output_node(g).0);
+    }
+
+    /// Set the wire capacitance of net `net` to `cap_ff` and mark its
+    /// driver dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn set_net_cap(&mut self, net: u32, cap_ff: f32) {
+        let n = &mut self.netlist.nets[net as usize];
+        n.wire_cap_ff = cap_ff;
+        let driver = n.driver;
+        self.data.recompute_net(net, &self.netlist, &self.library);
+        let node = match driver {
+            PinRef::PrimaryInput(p) => p.0,
+            PinRef::GateOutput(g) => self.graph.gate_output_node(g).0,
+            _ => unreachable!("nets are driven by inputs or gate outputs"),
+        };
+        self.dirty.push(node);
+    }
+
+    /// Constrain primary input `port`: external logic delivers the signal
+    /// `delay_ps` after the clock edge (SDC `set_input_delay`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn set_input_delay(&mut self, port: crate::PortId, delay_ps: f32) {
+        assert!(port.index() < self.netlist.num_inputs(), "input port out of range");
+        self.data.set_input_delay(port.0, delay_ps);
+        // The PI node is the graph node with the same index as the port.
+        self.dirty.push(port.0);
+    }
+
+    /// Constrain primary output `port`: external logic needs the signal
+    /// `delay_ps` before the clock edge (SDC `set_output_delay`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn set_output_delay(&mut self, port: crate::PortId, delay_ps: f32) {
+        assert!(port.index() < self.netlist.num_outputs(), "output port out of range");
+        self.data.set_output_delay(port.0, delay_ps);
+        // Dirtying the PO node regenerates the backward cone's required
+        // times (its forward cone is empty).
+        let node = self.graph.num_nodes() as u32 - self.netlist.num_outputs() as u32 + port.0;
+        self.dirty.push(node);
+    }
+
+    /// Whether any modifier is pending.
+    pub fn has_pending_changes(&self) -> bool {
+        self.full_dirty || !self.dirty.is_empty()
+    }
+
+    /// Mark the whole design dirty so the next
+    /// [`update_timing`](Timer::update_timing) is a full re-analysis.
+    /// Benchmarks use this to measure repeated full updates on one design.
+    pub fn invalidate_all(&mut self) {
+        self.full_dirty = true;
+    }
+
+    /// Build the task dependency graph that brings timing up to date —
+    /// OpenTimer's `update_timing`.
+    ///
+    /// Returns a [`TimingUpdateTdg`]; *the timing values are not updated
+    /// until it runs* (sequentially via
+    /// [`run_sequential`](TimingUpdateTdg::run_sequential) or through an
+    /// executor, optionally after partitioning). Clears the dirty set.
+    pub fn update_timing(&mut self) -> TimingUpdateTdg<'_> {
+        let build_start = Instant::now();
+        let n = self.graph.num_nodes();
+
+        // Affected regions: F = forward cone of the dirty set,
+        // B = backward cone of F (B ⊇ F).
+        let (in_f, in_b) = if self.full_dirty {
+            (vec![true; n], vec![true; n])
+        } else {
+            let mut in_f = vec![false; n];
+            let mut stack: Vec<u32> = self.dirty.to_vec();
+            for &v in &stack {
+                in_f[v as usize] = true;
+            }
+            while let Some(u) = stack.pop() {
+                for &a in self.graph.fanout(NodeId(u)) {
+                    let v = self.graph.arc(a).to.0;
+                    if !in_f[v as usize] {
+                        in_f[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            let mut in_b = in_f.clone();
+            let mut stack: Vec<u32> = (0..n as u32).filter(|&v| in_f[v as usize]).collect();
+            while let Some(u) = stack.pop() {
+                for &a in self.graph.fanin(NodeId(u)) {
+                    let v = self.graph.arc(a).from.0;
+                    if !in_b[v as usize] {
+                        in_b[v as usize] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            (in_f, in_b)
+        };
+        self.dirty.clear();
+        self.full_dirty = false;
+
+        // Task numbering: fprop tasks for F, then bprop tasks for B.
+        const NONE: u32 = u32::MAX;
+        let mut f_task = vec![NONE; n];
+        let mut task_node = Vec::new();
+        for v in 0..n as u32 {
+            if in_f[v as usize] {
+                f_task[v as usize] = task_node.len() as u32;
+                task_node.push(v);
+            }
+        }
+        let num_fprop = task_node.len();
+        let mut b_task = vec![NONE; n];
+        for v in 0..n as u32 {
+            if in_b[v as usize] {
+                b_task[v as usize] = task_node.len() as u32;
+                task_node.push(v);
+            }
+        }
+        let num_tasks = task_node.len();
+
+        let mut builder = TdgBuilder::with_capacity(num_tasks, 2 * self.graph.num_arcs() + num_fprop);
+        for arc in self.graph.arcs() {
+            let (u, v) = (arc.from.0 as usize, arc.to.0 as usize);
+            if in_f[u] && in_f[v] {
+                builder.add_edge(TaskId(f_task[u]), TaskId(f_task[v]));
+            }
+            if in_b[u] && in_b[v] {
+                // bprop runs against the arc direction.
+                builder.add_edge(TaskId(b_task[v]), TaskId(b_task[u]));
+            }
+        }
+        for v in 0..n {
+            if in_f[v] {
+                // bprop(v) consumes the arc delays cached by fprop(v)'s
+                // level; anchor it after its own fprop.
+                builder.add_edge(TaskId(f_task[v]), TaskId(b_task[v]));
+            }
+        }
+        // Estimated cost: table lookups scale with fan-in/fan-out degree.
+        for (t, &v) in task_node.iter().enumerate() {
+            let node = NodeId(v);
+            let degree = if t < num_fprop {
+                self.graph.fanin(node).len()
+            } else {
+                self.graph.fanout(node).len()
+            };
+            builder.set_weight(TaskId(t as u32), 200.0 + 300.0 * degree as f32);
+        }
+
+        let tdg = builder
+            .build()
+            .expect("update TDG inherits acyclicity from the timing graph");
+        let build_time = build_start.elapsed();
+
+        TimingUpdateTdg {
+            tdg,
+            task_node,
+            num_fprop,
+            prop: TimingPropagator {
+                graph: &self.graph,
+                netlist: &self.netlist,
+                library: &self.library,
+                data: &self.data,
+            },
+            build_time,
+        }
+    }
+
+    /// Summarise setup (late-mode) endpoint slacks after an update has
+    /// run: worst (WNS) and total (TNS) negative slack plus the `k` worst
+    /// endpoints.
+    pub fn report(&self, k: usize) -> TimingReport {
+        self.report_mode(k, |v| self.data.slack_late(v))
+    }
+
+    /// Summarise hold (early-mode) endpoint slacks: the earliest arrivals
+    /// checked against the hold window.
+    pub fn report_hold(&self, k: usize) -> TimingReport {
+        self.report_mode(k, |v| self.data.slack_early(v))
+    }
+
+    fn report_mode(&self, k: usize, slack_of: impl Fn(NodeId) -> f32) -> TimingReport {
+        let mut endpoints: Vec<EndpointSlack> = self
+            .graph
+            .endpoints()
+            .iter()
+            .map(|&v| {
+                let node = NodeId(v);
+                EndpointSlack {
+                    node,
+                    name: self.endpoint_name(node),
+                    slack_ps: slack_of(node),
+                }
+            })
+            .collect();
+        endpoints.sort_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps));
+        let wns_ps = endpoints.first().map_or(f32::INFINITY, |e| e.slack_ps);
+        let tns_ps = endpoints
+            .iter()
+            .map(|e| e.slack_ps.min(0.0))
+            .sum();
+        let num_endpoints = endpoints.len();
+        endpoints.truncate(k);
+        TimingReport { wns_ps, tns_ps, num_endpoints, worst: endpoints }
+    }
+
+    fn endpoint_name(&self, v: NodeId) -> String {
+        match self.graph.node_kind(v) {
+            crate::graph::NodeKind::PrimaryOutput(p) => {
+                self.netlist.output_names()[p as usize].clone()
+            }
+            crate::graph::NodeKind::GateInput(g, pin) => {
+                format!("{}/D{}", self.netlist.gates()[g as usize].name, pin)
+            }
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// The product of [`Timer::update_timing`]: a task dependency graph plus
+/// the context needed to execute its tasks.
+///
+/// Task ids `0..num_fprop_tasks` are forward-propagation tasks; the rest
+/// are backward-propagation tasks. The struct implements the task payload
+/// via [`execute_task`](TimingUpdateTdg::execute_task); adapt it to the
+/// scheduler with [`task_fn`](TimingUpdateTdg::task_fn).
+#[derive(Debug)]
+pub struct TimingUpdateTdg<'a> {
+    tdg: Tdg,
+    task_node: Vec<u32>,
+    num_fprop: usize,
+    prop: TimingPropagator<'a>,
+    build_time: Duration,
+}
+
+impl<'a> TimingUpdateTdg<'a> {
+    /// The task dependency graph to schedule (and to partition).
+    pub fn tdg(&self) -> &Tdg {
+        &self.tdg
+    }
+
+    /// Number of forward-propagation tasks (they occupy ids
+    /// `0..num_fprop_tasks`).
+    pub fn num_fprop_tasks(&self) -> usize {
+        self.num_fprop
+    }
+
+    /// Wall-clock spent *building* this TDG (the 59 % slice of Figure 1(a)).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// What task `t` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn kind(&self, t: TaskId) -> TaskKind {
+        assert!(t.index() < self.task_node.len(), "task {t} out of range");
+        if t.index() < self.num_fprop {
+            TaskKind::Fprop
+        } else {
+            TaskKind::Bprop
+        }
+    }
+
+    /// The timing-graph node task `t` propagates.
+    pub fn node(&self, t: TaskId) -> NodeId {
+        NodeId(self.task_node[t.index()])
+    }
+
+    /// Execute one task (the payload the scheduler dispatches).
+    pub fn execute_task(&self, t: TaskId) {
+        let v = NodeId(self.task_node[t.index()]);
+        if t.index() < self.num_fprop {
+            self.prop.fprop(v);
+        } else {
+            self.prop.bprop(v);
+        }
+    }
+
+    /// Borrow the payload as a closure suitable for
+    /// `gpasta_sched::Executor` (whose `TaskWork` is implemented for all
+    /// `Fn(TaskId) + Sync`).
+    pub fn task_fn(&self) -> impl Fn(TaskId) + Sync + '_ {
+        move |t| self.execute_task(t)
+    }
+
+    /// Run every task on the calling thread in a topological order.
+    /// Useful for tests and as the no-scheduler baseline.
+    pub fn run_sequential(&self) {
+        for &t in self.tdg.levels().order() {
+            self.execute_task(TaskId(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellKind;
+    use crate::netlist::NetlistBuilder;
+
+    fn chain_timer(len: usize) -> Timer {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let y = nb.add_primary_output("y");
+        let mut prev: Option<GateId> = None;
+        for i in 0..len {
+            let g = nb.add_gate(format!("u{i}"), CellKind::Inv);
+            match prev {
+                None => nb.connect_to_gate(a, g, 0).expect("valid"),
+                Some(p) => nb.connect_gates(p, g, 0).expect("valid"),
+            }
+            prev = Some(g);
+        }
+        nb.connect_to_output(prev.expect("len > 0"), y).expect("valid");
+        Timer::new(nb.build().expect("well-formed"), CellLibrary::typical())
+    }
+
+    #[test]
+    fn full_update_covers_every_node_twice() {
+        let mut timer = chain_timer(5);
+        let update = timer.update_timing();
+        let n = update.prop.graph.num_nodes();
+        assert_eq!(update.tdg().num_tasks(), 2 * n);
+        assert_eq!(update.num_fprop_tasks(), n);
+        update.run_sequential();
+        drop(update);
+        let report = timer.report(3);
+        assert!(report.wns_ps.is_finite());
+        assert!(report.wns_ps > 0.0, "short chain meets 1 ns: {}", report.wns_ps);
+    }
+
+    #[test]
+    fn update_tdg_kinds_and_nodes() {
+        let mut timer = chain_timer(2);
+        let update = timer.update_timing();
+        let n_tasks = update.tdg().num_tasks();
+        let mut fprop_seen = vec![false; update.prop.graph.num_nodes()];
+        for t in 0..n_tasks as u32 {
+            let t = TaskId(t);
+            match update.kind(t) {
+                TaskKind::Fprop => fprop_seen[update.node(t).index()] = true,
+                TaskKind::Bprop => {}
+            }
+        }
+        assert!(fprop_seen.iter().all(|&s| s), "every node has an fprop task");
+    }
+
+    #[test]
+    fn no_pending_changes_after_update() {
+        let mut timer = chain_timer(3);
+        assert!(timer.has_pending_changes());
+        let update = timer.update_timing();
+        update.run_sequential();
+        drop(update);
+        assert!(!timer.has_pending_changes());
+        // A fresh update with nothing dirty is empty.
+        let update = timer.update_timing();
+        assert_eq!(update.tdg().num_tasks(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_full_reanalysis() {
+        let mut timer = chain_timer(8);
+        timer.update_timing().run_sequential();
+
+        // Modify: repower the middle gate.
+        timer.repower_gate(GateId(4), 3.0);
+        assert!(timer.has_pending_changes());
+        let update = timer.update_timing();
+        let incr_tasks = update.tdg().num_tasks();
+        update.run_sequential();
+        drop(update);
+        let incr = timer.report(1).wns_ps;
+
+        // Reference: force a full re-analysis on the same design state.
+        timer.full_dirty = true;
+        timer.update_timing().run_sequential();
+        let full = timer.report(1).wns_ps;
+
+        assert_eq!(incr, full, "incremental must equal full re-analysis");
+        assert!(
+            incr_tasks <= 2 * timer.graph().num_nodes(),
+            "incremental TDG is never bigger than a full one"
+        );
+    }
+
+    #[test]
+    fn incremental_region_is_smaller_for_late_edits() {
+        // Editing the last gate of a chain affects only its own cone plus
+        // the backward cone through required times; with a chain, the
+        // backward cone reaches everything, but the forward (fprop) region
+        // must be small.
+        let mut timer = chain_timer(16);
+        timer.update_timing().run_sequential();
+        timer.repower_gate(GateId(15), 2.0);
+        let total_nodes = timer.graph().num_nodes();
+        let update = timer.update_timing();
+        assert!(
+            update.num_fprop_tasks() < total_nodes / 2,
+            "late edit must not re-run forward propagation everywhere: {} of {}",
+            update.num_fprop_tasks(),
+            total_nodes
+        );
+    }
+
+    #[test]
+    fn set_net_cap_slows_the_path() {
+        let mut timer = chain_timer(4);
+        timer.update_timing().run_sequential();
+        let before = timer.report(1).wns_ps;
+
+        timer.set_net_cap(2, 50.0);
+        timer.update_timing().run_sequential();
+        let after = timer.report(1).wns_ps;
+        assert!(after < before, "added 50 fF, slack must drop: {after} vs {before}");
+    }
+
+    #[test]
+    fn clock_period_scales_slack() {
+        let mut timer = chain_timer(4);
+        timer.update_timing().run_sequential();
+        let at_1ns = timer.report(1).wns_ps;
+        timer.set_clock_period(2_000.0);
+        timer.update_timing().run_sequential();
+        let at_2ns = timer.report(1).wns_ps;
+        assert!((at_2ns - at_1ns - 1_000.0).abs() < 1.0, "slack shifts by the period delta");
+    }
+
+    #[test]
+    fn report_ranks_endpoints() {
+        // Two paths of different lengths to two POs.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let y_short = nb.add_primary_output("y_short");
+        let y_long = nb.add_primary_output("y_long");
+        let g1 = nb.add_gate("u1", CellKind::Buf);
+        let g2 = nb.add_gate("u2", CellKind::Buf);
+        let g3 = nb.add_gate("u3", CellKind::Buf);
+        nb.connect_to_gate(a, g1, 0).expect("valid");
+        nb.connect_to_output(g1, y_short).expect("valid");
+        nb.connect_gates(g1, g2, 0).expect("valid");
+        nb.connect_gates(g2, g3, 0).expect("valid");
+        nb.connect_to_output(g3, y_long).expect("valid");
+        let mut timer = Timer::new(nb.build().expect("well-formed"), CellLibrary::typical());
+        timer.update_timing().run_sequential();
+        let report = timer.report(2);
+        assert_eq!(report.num_endpoints, 2);
+        assert_eq!(report.worst[0].name, "y_long", "longer path is more critical");
+        assert!(report.worst[0].slack_ps < report.worst[1].slack_ps);
+    }
+
+    #[test]
+    fn try_new_reports_combinational_loops() {
+        let mut nb = crate::netlist::NetlistBuilder::new();
+        let g1 = nb.add_gate("u1", CellKind::Inv);
+        let g2 = nb.add_gate("u2", CellKind::Inv);
+        let y = nb.add_primary_output("y");
+        nb.connect_gates(g1, g2, 0).expect("valid");
+        nb.connect_gates(g2, g1, 0).expect("valid");
+        nb.connect_to_output(g1, y).expect("valid");
+        let netlist = nb.build().expect("structurally complete");
+        assert!(matches!(
+            Timer::try_new(netlist, CellLibrary::typical()),
+            Err(gpasta_tdg::BuildTdgError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "drive strength must be positive")]
+    fn bad_drive_panics() {
+        let mut timer = chain_timer(2);
+        timer.repower_gate(GateId(0), 0.0);
+    }
+
+    #[test]
+    fn hold_report_is_nonnegative_for_combinational_designs() {
+        // With hold requirement 0 and positive delays, early arrivals are
+        // always safe.
+        let mut timer = chain_timer(6);
+        timer.update_timing().run_sequential();
+        let hold = timer.report_hold(3);
+        assert!(hold.wns_ps >= 0.0, "hold WNS {}", hold.wns_ps);
+        assert_eq!(hold.num_endpoints, timer.report(1).num_endpoints);
+        // Hold slack is tighter than setup headroom on a fast clock: they
+        // measure different edges.
+        assert_ne!(hold.wns_ps, timer.report(1).wns_ps);
+    }
+
+    #[test]
+    fn negative_slack_when_clock_is_too_fast() {
+        let mut timer = chain_timer(40);
+        timer.set_clock_period(100.0); // 100 ps for a 40-stage chain: hopeless
+        timer.update_timing().run_sequential();
+        let report = timer.report(1);
+        assert!(report.wns_ps < 0.0);
+        assert!(report.tns_ps <= report.wns_ps);
+    }
+}

@@ -1,0 +1,517 @@
+//! The immutable CSR task-dependency graph and its builder.
+
+use crate::error::BuildTdgError;
+use crate::level::Levels;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (a node of the [`Tdg`]).
+///
+/// Task ids are dense: a graph with `n` tasks uses ids `0..n`. The id space
+/// is `u32` because the paper's largest TDG (leon2, 4.3 M tasks) fits
+/// comfortably and the GPU kernels pack ids into 64-bit sort keys
+/// (Algorithm 2, line 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+/// An immutable task dependency graph in compressed-sparse-row form.
+///
+/// Both forward (successor) and reverse (predecessor) adjacency are stored,
+/// because the partitioners traverse forward (frontier expansion, Algorithm 1
+/// step 2) while dependency release counts come from fan-in degrees, and the
+/// STA engine propagates backward as well.
+///
+/// Construction via [`TdgBuilder`] validates that the graph is a DAG; the
+/// invariant holds for the lifetime of the value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tdg {
+    num_edges: usize,
+    fwd_off: Vec<u32>,
+    fwd_adj: Vec<u32>,
+    rev_off: Vec<u32>,
+    rev_adj: Vec<u32>,
+    /// Estimated execution cost of each task in nanoseconds. Used by cost-
+    /// aware baselines (Sarkar) and by statistics; the schedulers measure
+    /// real time instead.
+    weights: Vec<f32>,
+}
+
+impl Tdg {
+    /// Assemble a `Tdg` from pre-built CSR arrays. The caller guarantees
+    /// the arrays are consistent (matching offsets, deduplicated sorted
+    /// adjacency, acyclic edge set); used by the quotient builder's fast
+    /// path, which establishes all three by construction.
+    pub(crate) fn from_csr(
+        fwd_off: Vec<u32>,
+        fwd_adj: Vec<u32>,
+        rev_off: Vec<u32>,
+        rev_adj: Vec<u32>,
+        weights: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(fwd_off.len(), rev_off.len());
+        debug_assert_eq!(fwd_adj.len(), rev_adj.len());
+        debug_assert_eq!(weights.len() + 1, fwd_off.len());
+        Tdg {
+            num_edges: fwd_adj.len(),
+            fwd_off,
+            fwd_adj,
+            rev_off,
+            rev_adj,
+            weights,
+        }
+    }
+
+    /// Number of tasks (nodes).
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.fwd_off.len() - 1
+    }
+
+    /// Number of dependencies (edges).
+    #[inline]
+    pub fn num_deps(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Successors (fan-out dependents) of `t`.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[u32] {
+        let i = t.index();
+        &self.fwd_adj[self.fwd_off[i] as usize..self.fwd_off[i + 1] as usize]
+    }
+
+    /// Predecessors (fan-in dependencies) of `t`.
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[u32] {
+        let i = t.index();
+        &self.rev_adj[self.rev_off[i] as usize..self.rev_off[i + 1] as usize]
+    }
+
+    /// Fan-in degree of `t` — the initial value of the paper's `dep_cnt`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> u32 {
+        let i = t.index();
+        self.rev_off[i + 1] - self.rev_off[i]
+    }
+
+    /// Fan-out degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> u32 {
+        let i = t.index();
+        self.fwd_off[i + 1] - self.fwd_off[i]
+    }
+
+    /// Estimated execution cost of `t` in nanoseconds.
+    #[inline]
+    pub fn weight(&self, t: TaskId) -> f32 {
+        self.weights[t.index()]
+    }
+
+    /// All estimated task costs, indexed by task id.
+    #[inline]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Tasks with no predecessors, in ascending id order.
+    ///
+    /// These seed the BFS frontier of every partitioner (`H` in Figure 4).
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.num_tasks() as u32)
+            .filter(|&v| self.in_degree(TaskId(v)) == 0)
+            .map(TaskId)
+            .collect()
+    }
+
+    /// Tasks with no successors, in ascending id order.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.num_tasks() as u32)
+            .filter(|&v| self.out_degree(TaskId(v)) == 0)
+            .map(TaskId)
+            .collect()
+    }
+
+    /// Fan-in degrees of every task, indexed by task id.
+    ///
+    /// This is the `dep_cnt` array that both Algorithm 1 and the scheduler
+    /// initialise before traversal.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        (0..self.num_tasks())
+            .map(|i| self.rev_off[i + 1] - self.rev_off[i])
+            .collect()
+    }
+
+    /// BFS levelisation of the graph. Level 0 contains the sources.
+    pub fn levels(&self) -> Levels {
+        Levels::new(self)
+    }
+
+    /// Iterate over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        (0..self.num_tasks() as u32).flat_map(move |u| {
+            self.successors(TaskId(u))
+                .iter()
+                .map(move |&v| (TaskId(u), TaskId(v)))
+        })
+    }
+}
+
+/// Incremental builder for a [`Tdg`].
+///
+/// Duplicate edges are merged; [`build`](TdgBuilder::build) verifies the
+/// graph is acyclic.
+///
+/// # Example
+///
+/// ```
+/// use gpasta_tdg::{TdgBuilder, TaskId};
+/// # fn main() -> Result<(), gpasta_tdg::BuildTdgError> {
+/// let mut b = TdgBuilder::new(3);
+/// b.add_edge(TaskId(0), TaskId(1));
+/// b.add_edge(TaskId(1), TaskId(2));
+/// b.add_edge(TaskId(0), TaskId(1)); // duplicate, merged away
+/// let tdg = b.build()?;
+/// assert_eq!(tdg.num_deps(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TdgBuilder {
+    num_tasks: usize,
+    edges: Vec<(u32, u32)>,
+    weights: Vec<f32>,
+}
+
+/// Default estimated task cost (ns) when none is provided: in the middle of
+/// the paper's observed 0.5–50 µs backward-propagation range.
+const DEFAULT_WEIGHT_NS: f32 = 1_000.0;
+
+impl TdgBuilder {
+    /// Create a builder for a graph with `num_tasks` tasks and no edges yet.
+    pub fn new(num_tasks: usize) -> Self {
+        TdgBuilder {
+            num_tasks,
+            edges: Vec::new(),
+            weights: vec![DEFAULT_WEIGHT_NS; num_tasks],
+        }
+    }
+
+    /// Create a builder and pre-allocate room for `num_edges` edges.
+    pub fn with_capacity(num_tasks: usize, num_edges: usize) -> Self {
+        TdgBuilder {
+            num_tasks,
+            edges: Vec::with_capacity(num_edges),
+            weights: vec![DEFAULT_WEIGHT_NS; num_tasks],
+        }
+    }
+
+    /// Number of tasks the built graph will have.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a dependency edge `from -> to` (`to` waits for `from`).
+    ///
+    /// Range and self-loop violations are reported by
+    /// [`build`](TdgBuilder::build), keeping this hot path branch-light.
+    #[inline]
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> &mut Self {
+        self.edges.push((from.0, to.0));
+        self
+    }
+
+    /// Set the estimated execution cost of `t` in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn set_weight(&mut self, t: TaskId, weight_ns: f32) -> &mut Self {
+        self.weights[t.index()] = weight_ns;
+        self
+    }
+
+    /// Finalise into an immutable [`Tdg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTdgError::TaskOutOfRange`] or
+    /// [`BuildTdgError::SelfLoop`] for malformed edges, and
+    /// [`BuildTdgError::Cycle`] if the edge set is not acyclic.
+    pub fn build(mut self) -> Result<Tdg, BuildTdgError> {
+        if self.num_tasks > u32::MAX as usize {
+            return Err(BuildTdgError::TooManyTasks { requested: self.num_tasks });
+        }
+        let n = self.num_tasks as u32;
+        for &(u, v) in &self.edges {
+            if u >= n {
+                return Err(BuildTdgError::TaskOutOfRange { task: u, num_tasks: n });
+            }
+            if v >= n {
+                return Err(BuildTdgError::TaskOutOfRange { task: v, num_tasks: n });
+            }
+            if u == v {
+                return Err(BuildTdgError::SelfLoop { task: u });
+            }
+        }
+
+        // Sort + dedup so adjacency lists are ordered and duplicate edges
+        // collapse (parallel edges would double-count dep_cnt releases).
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let num_edges = self.edges.len();
+        let n = self.num_tasks;
+
+        // Forward CSR via counting sort over `from`.
+        let mut fwd_off = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            fwd_off[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            fwd_off[i + 1] += fwd_off[i];
+        }
+        let mut fwd_adj = vec![0u32; num_edges];
+        {
+            let mut cursor = fwd_off.clone();
+            for &(u, v) in &self.edges {
+                let c = &mut cursor[u as usize];
+                fwd_adj[*c as usize] = v;
+                *c += 1;
+            }
+        }
+
+        // Reverse CSR via counting sort over `to`.
+        let mut rev_off = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            rev_off[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_off[i + 1] += rev_off[i];
+        }
+        let mut rev_adj = vec![0u32; num_edges];
+        {
+            let mut cursor = rev_off.clone();
+            for &(u, v) in &self.edges {
+                let c = &mut cursor[v as usize];
+                rev_adj[*c as usize] = u;
+                *c += 1;
+            }
+        }
+
+        let tdg = Tdg {
+            num_edges,
+            fwd_off,
+            fwd_adj,
+            rev_off,
+            rev_adj,
+            weights: self.weights,
+        };
+
+        // Kahn's algorithm: if not all tasks become ready, a cycle exists.
+        let mut indeg = tdg.in_degrees();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for &v in tdg.successors(TaskId(u)) {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if visited != n {
+            let witness = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .expect("unvisited task must have positive residual in-degree")
+                as u32;
+            return Err(BuildTdgError::Cycle { witness });
+        }
+
+        Ok(tdg)
+    }
+}
+
+impl Extend<(TaskId, TaskId)> for TdgBuilder {
+    fn extend<I: IntoIterator<Item = (TaskId, TaskId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Tdg {
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.build().expect("diamond is a DAG")
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_deps(), 4);
+        assert_eq!(g.successors(TaskId(0)), &[1, 2]);
+        assert_eq!(g.predecessors(TaskId(3)), &[1, 2]);
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TdgBuilder::new(0).build().expect("empty graph is a DAG");
+        assert_eq!(g.num_tasks(), 0);
+        assert_eq!(g.num_deps(), 0);
+        assert!(g.sources().is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_is_all_sources_and_sinks() {
+        let g = TdgBuilder::new(3).build().expect("edgeless graph is a DAG");
+        assert_eq!(g.sources().len(), 3);
+        assert_eq!(g.sinks().len(), 3);
+        assert_eq!(g.in_degrees(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(1));
+        let g = b.build().expect("duplicates collapse into a DAG");
+        assert_eq!(g.num_deps(), 1);
+        assert_eq!(g.in_degree(TaskId(1)), 1);
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(5));
+        assert_eq!(
+            b.build().expect_err("edge to task 5 exceeds the task range"),
+            BuildTdgError::TaskOutOfRange { task: 5, num_tasks: 2 }
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(1), TaskId(1));
+        assert_eq!(
+            b.build().expect_err("self-loop must be rejected"),
+            BuildTdgError::SelfLoop { task: 1 }
+        );
+    }
+
+    #[test]
+    fn two_cycle_rejected() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(1), TaskId(0));
+        assert!(matches!(
+            b.build().expect_err("2-cycle must be rejected"),
+            BuildTdgError::Cycle { .. }
+        ));
+    }
+
+    #[test]
+    fn long_cycle_rejected_but_dag_prefix_ok() {
+        // 0 -> 1 -> 2 -> 3 -> 1 has a cycle {1,2,3}.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(1), TaskId(2));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.add_edge(TaskId(3), TaskId(1));
+        assert!(matches!(
+            b.build().expect_err("3-cycle must be rejected"),
+            BuildTdgError::Cycle { .. }
+        ));
+    }
+
+    #[test]
+    fn weights_default_and_override() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.set_weight(TaskId(1), 42.5);
+        let g = b.build().expect("chain is a DAG");
+        assert_eq!(g.weight(TaskId(0)), DEFAULT_WEIGHT_NS);
+        assert_eq!(g.weight(TaskId(1)), 42.5);
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (TaskId(0), TaskId(1)),
+                (TaskId(0), TaskId(2)),
+                (TaskId(1), TaskId(3)),
+                (TaskId(2), TaskId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_trait_adds_edges() {
+        let mut b = TdgBuilder::new(3);
+        b.extend([(TaskId(0), TaskId(1)), (TaskId(1), TaskId(2))]);
+        let g = b.build().expect("chain is a DAG");
+        assert_eq!(g.num_deps(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).expect("serializes");
+        let back: Tdg = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn task_id_display_and_conversions() {
+        let t = TaskId::from(9u32);
+        assert_eq!(t.to_string(), "t9");
+        assert_eq!(t.index(), 9);
+    }
+}

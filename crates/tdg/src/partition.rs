@@ -1,0 +1,335 @@
+//! The partitioning result type shared by every partitioner.
+
+use crate::graph::{TaskId, Tdg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a partition within a [`Partition`] result.
+///
+/// Partition ids are dense (`0..num_partitions`) after
+/// [`Partition::compact`]; partitioners may produce sparse ids internally
+/// (G-PASTA's `max_pid` counter can skip ids when partitions never receive
+/// a member) and compact before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A clustering of every task of a TDG into partitions — the paper's
+/// `f_pid` array plus the partition count.
+///
+/// Invariants maintained by [`Partition::new`]:
+/// * every task has exactly one partition id;
+/// * partition ids are dense: each id in `0..num_partitions` has at least
+///   one member.
+///
+/// Whether the partition is *valid* for scheduling (acyclic quotient,
+/// convexity) is checked separately by [`validate`](crate::validate) — the
+/// type deliberately admits invalid clusterings so tests can exercise the
+/// validators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    f_pid: Vec<u32>,
+    num_partitions: u32,
+}
+
+impl Partition {
+    /// Build a partition from a raw (possibly sparse) assignment vector,
+    /// remapping partition ids to a dense `0..num_partitions` range.
+    ///
+    /// Ids are remapped *order-preservingly* (the relative order of surviving
+    /// ids is kept), which preserves the acyclicity argument of §3.2: if
+    /// `pid(i) < pid(j)` before compaction, it still holds after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_assignment` is empty-task-safe (an empty vector yields
+    /// an empty partition; no panic).
+    pub fn new(raw_assignment: Vec<u32>) -> Self {
+        Self::compact(raw_assignment)
+    }
+
+    /// Same as [`Partition::new`]; exposed under the name the operation
+    /// performs.
+    pub fn compact(mut raw: Vec<u32>) -> Self {
+        if raw.is_empty() {
+            return Partition { f_pid: raw, num_partitions: 0 };
+        }
+        let max_id = *raw.iter().max().expect("non-empty") as usize;
+        // Fast path: ids are reasonably dense — a counting remap is O(n).
+        if max_id < 4 * raw.len() + 1024 {
+            const UNSEEN: u32 = u32::MAX;
+            let mut remap = vec![UNSEEN; max_id + 1];
+            for &pid in &raw {
+                remap[pid as usize] = 0;
+            }
+            let mut next = 0u32;
+            for slot in remap.iter_mut() {
+                if *slot != UNSEEN {
+                    *slot = next;
+                    next += 1;
+                }
+            }
+            for pid in raw.iter_mut() {
+                *pid = remap[*pid as usize];
+            }
+            return Partition { f_pid: raw, num_partitions: next };
+        }
+        // Sparse ids: order-preserving remap via sort + binary search.
+        let mut ids: Vec<u32> = raw.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        let f_pid: Vec<u32> = raw
+            .into_iter()
+            .map(|pid| ids.binary_search(&pid).expect("id came from the same vector") as u32)
+            .collect();
+        let num_partitions = ids.len() as u32;
+        Partition { f_pid, num_partitions }
+    }
+
+    /// Build the trivial partition: every task alone in its own partition
+    /// (partition id == task id). This is the "no clustering" identity.
+    pub fn singletons(num_tasks: usize) -> Self {
+        Partition {
+            f_pid: (0..num_tasks as u32).collect(),
+            num_partitions: num_tasks as u32,
+        }
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.f_pid.len()
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions as usize
+    }
+
+    /// Partition id of task `t` — the paper's `f_pid[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn pid_of(&self, t: TaskId) -> PartitionId {
+        PartitionId(self.f_pid[t.index()])
+    }
+
+    /// The full assignment vector, indexed by task id.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.f_pid
+    }
+
+    /// Member task ids of every partition, indexed by partition id.
+    /// Members are listed in ascending task id order.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.num_partitions as usize];
+        for (t, &p) in self.f_pid.iter().enumerate() {
+            members[p as usize].push(t as u32);
+        }
+        members
+    }
+
+    /// Size of every partition, indexed by partition id.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_partitions as usize];
+        for &p in &self.f_pid {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Summary statistics; see [`PartitionStats`].
+    pub fn stats(&self, tdg: &Tdg) -> PartitionStats {
+        PartitionStats::of(self, tdg)
+    }
+}
+
+/// Summary statistics of a [`Partition`] against its TDG.
+///
+/// `quotient_depth` and `quotient_avg_parallelism` quantify how much of the
+/// original TDG parallelism survived clustering — the paper's quality metric
+/// (Figure 3): a good partitioner shrinks the task count without inflating
+/// the quotient depth towards the task count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Tasks in the original TDG.
+    pub num_tasks: usize,
+    /// Dependencies in the original TDG.
+    pub num_deps: usize,
+    /// Partitions produced.
+    pub num_partitions: usize,
+    /// Edges of the quotient TDG (after dedup).
+    pub quotient_deps: usize,
+    /// Largest partition size.
+    pub max_size: usize,
+    /// Mean partition size.
+    pub avg_size: f64,
+    /// Depth of the quotient TDG.
+    pub quotient_depth: usize,
+    /// `num_partitions / quotient_depth`.
+    pub quotient_avg_parallelism: f64,
+    /// Compression ratio `num_tasks / num_partitions`.
+    pub compression: f64,
+}
+
+impl PartitionStats {
+    /// Compute statistics of `p` over `tdg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not cover exactly the tasks of `tdg`, or if the
+    /// quotient graph is cyclic (validate first for untrusted partitions).
+    pub fn of(p: &Partition, tdg: &Tdg) -> Self {
+        assert_eq!(p.num_tasks(), tdg.num_tasks(), "partition/TDG task count mismatch");
+        let q = crate::quotient::QuotientTdg::build(tdg, p)
+            .expect("quotient must be acyclic; run validate::check_acyclic first");
+        let sizes = p.sizes();
+        let max_size = sizes.iter().copied().max().unwrap_or(0) as usize;
+        let num_partitions = p.num_partitions();
+        let avg_size = if num_partitions == 0 {
+            0.0
+        } else {
+            p.num_tasks() as f64 / num_partitions as f64
+        };
+        let quotient_depth = q.graph().levels().depth();
+        let quotient_avg_parallelism = if quotient_depth == 0 {
+            0.0
+        } else {
+            num_partitions as f64 / quotient_depth as f64
+        };
+        let compression = if num_partitions == 0 {
+            0.0
+        } else {
+            p.num_tasks() as f64 / num_partitions as f64
+        };
+        PartitionStats {
+            num_tasks: p.num_tasks(),
+            num_deps: tdg.num_deps(),
+            num_partitions,
+            quotient_deps: q.graph().num_deps(),
+            max_size,
+            avg_size,
+            quotient_depth,
+            quotient_avg_parallelism,
+            compression,
+        }
+    }
+}
+
+impl fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks -> {} partitions ({:.1}x compression, max size {}, quotient depth {}, quotient parallelism {:.2})",
+            self.num_tasks,
+            self.num_partitions,
+            self.compression,
+            self.max_size,
+            self.quotient_depth,
+            self.quotient_avg_parallelism
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TdgBuilder;
+
+    #[test]
+    fn compact_remaps_sparse_ids_densely_preserving_order() {
+        // Raw ids 5, 5, 9, 2 -> dense 1, 1, 2, 0 (order of 2 < 5 < 9 kept).
+        let p = Partition::new(vec![5, 5, 9, 2]);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.assignment(), &[1, 1, 2, 0]);
+    }
+
+    #[test]
+    fn compact_preserves_relative_order() {
+        let p = Partition::new(vec![10, 20, 30]);
+        assert_eq!(p.assignment(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn singletons_identity() {
+        let p = Partition::singletons(4);
+        assert_eq!(p.num_partitions(), 4);
+        for t in 0..4u32 {
+            assert_eq!(p.pid_of(TaskId(t)), PartitionId(t));
+        }
+    }
+
+    #[test]
+    fn empty_partition_of_empty_graph() {
+        let p = Partition::new(vec![]);
+        assert_eq!(p.num_tasks(), 0);
+        assert_eq!(p.num_partitions(), 0);
+        assert!(p.members().is_empty());
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let p = Partition::new(vec![0, 0, 1, 1, 1, 2]);
+        assert_eq!(p.members(), vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+        assert_eq!(p.sizes(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn stats_on_figure2b() {
+        // Figure 2(b): P0={0}, P1={1,2}, P2={3} over the diamond.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        let tdg = b.build().expect("diamond DAG");
+        let p = Partition::new(vec![0, 1, 1, 2]);
+        let s = p.stats(&tdg);
+        assert_eq!(s.num_partitions, 3);
+        assert_eq!(s.max_size, 2);
+        assert_eq!(s.quotient_depth, 3);
+        assert!((s.compression - 4.0 / 3.0).abs() < 1e-12);
+        // Quotient edges: P0->P1, P1->P2 (the two diamond arms merge).
+        assert_eq!(s.quotient_deps, 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let tdg = TdgBuilder::new(2).build().expect("DAG");
+        let p = Partition::singletons(2);
+        let s = p.stats(&tdg).to_string();
+        assert!(s.contains("2 tasks"));
+        assert!(s.contains("2 partitions"));
+    }
+
+    #[test]
+    fn partition_id_display() {
+        assert_eq!(PartitionId(3).to_string(), "P3");
+        assert_eq!(PartitionId(3).index(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Partition::new(vec![0, 1, 0, 2]);
+        let json = serde_json::to_string(&p).expect("serializes");
+        let back: Partition = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(p, back);
+    }
+}

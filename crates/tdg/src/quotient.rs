@@ -1,0 +1,331 @@
+//! The partitioned TDG (quotient graph) that the scheduler runs.
+//!
+//! After partitioning, the scheduler no longer dispatches individual tasks;
+//! it dispatches *partitions*, each of which runs its member tasks
+//! sequentially in topological order (§1 of the paper). The quotient graph
+//! has one node per partition and a deduplicated edge `P -> Q` whenever some
+//! task in `P` precedes some task in `Q`.
+
+use crate::error::ValidatePartitionError;
+use crate::graph::{TaskId, Tdg};
+use crate::partition::{Partition, PartitionId};
+use serde::{Deserialize, Serialize};
+
+/// A quotient TDG: the coarse graph over partitions, plus the sequential
+/// member order of every partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuotientTdg {
+    graph: Tdg,
+    /// Member tasks of every partition in *original-TDG topological
+    /// order*, flattened: partition `p` owns
+    /// `exec_flat[exec_off[p]..exec_off[p+1]]`.
+    exec_flat: Vec<u32>,
+    exec_off: Vec<u32>,
+}
+
+impl QuotientTdg {
+    /// Build the quotient of `tdg` under `partition`.
+    ///
+    /// Member execution order within each partition follows the levelised
+    /// topological order of the original TDG, which is always consistent for
+    /// convex partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidatePartitionError::LengthMismatch`] if the partition
+    /// does not cover the TDG, and [`ValidatePartitionError::QuotientCycle`]
+    /// if the induced quotient has a cycle (an invalid partitioning like
+    /// Figure 2(a)).
+    pub fn build(tdg: &Tdg, partition: &Partition) -> Result<Self, ValidatePartitionError> {
+        if partition.num_tasks() != tdg.num_tasks() {
+            return Err(ValidatePartitionError::LengthMismatch {
+                num_tasks: tdg.num_tasks(),
+                assignment_len: partition.num_tasks(),
+            });
+        }
+        let n = tdg.num_tasks();
+        let np = partition.num_partitions();
+        let assignment = partition.assignment();
+
+        // Forward CSR over cross-partition edges via counting sort by
+        // source partition, then per-bucket sort + dedup (buckets are
+        // small, so this beats one global edge sort on large TDGs).
+        let mut cross: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n as u32 {
+            let pu = assignment[u as usize];
+            for &v in tdg.successors(TaskId(u)) {
+                let pv = assignment[v as usize];
+                if pu != pv {
+                    cross.push((pu, pv));
+                }
+            }
+        }
+        let mut fwd_off = vec![0u32; np + 1];
+        for &(pu, _) in &cross {
+            fwd_off[pu as usize + 1] += 1;
+        }
+        for p in 0..np {
+            fwd_off[p + 1] += fwd_off[p];
+        }
+        let mut fwd_adj = vec![0u32; cross.len()];
+        {
+            let mut cursor = fwd_off.clone();
+            for &(pu, pv) in &cross {
+                let c = &mut cursor[pu as usize];
+                fwd_adj[*c as usize] = pv;
+                *c += 1;
+            }
+        }
+        drop(cross);
+        // Per-bucket sort + in-place dedup, compacting the arrays.
+        let mut new_off = vec![0u32; np + 1];
+        let mut write = 0usize;
+        for p in 0..np {
+            let (lo, hi) = (fwd_off[p] as usize, fwd_off[p + 1] as usize);
+            fwd_adj[lo..hi].sort_unstable();
+            let mut prev = u32::MAX;
+            for i in lo..hi {
+                let v = fwd_adj[i];
+                if v != prev {
+                    fwd_adj[write] = v;
+                    write += 1;
+                    prev = v;
+                }
+            }
+            new_off[p + 1] = write as u32;
+        }
+        fwd_adj.truncate(write);
+        let fwd_off = new_off;
+
+        // Reverse CSR from the deduplicated forward CSR.
+        let mut rev_off = vec![0u32; np + 1];
+        for &v in &fwd_adj {
+            rev_off[v as usize + 1] += 1;
+        }
+        for p in 0..np {
+            rev_off[p + 1] += rev_off[p];
+        }
+        let mut rev_adj = vec![0u32; fwd_adj.len()];
+        {
+            let mut cursor = rev_off.clone();
+            for p in 0..np as u32 {
+                let (lo, hi) = (fwd_off[p as usize] as usize, fwd_off[p as usize + 1] as usize);
+                for &v in &fwd_adj[lo..hi] {
+                    rev_adj[cursor[v as usize] as usize] = p;
+                    cursor[v as usize] += 1;
+                }
+            }
+        }
+
+        // Acyclicity check (Kahn) on the quotient.
+        {
+            let mut indeg: Vec<u32> =
+                (0..np).map(|p| rev_off[p + 1] - rev_off[p]).collect();
+            let mut stack: Vec<u32> =
+                (0..np as u32).filter(|&p| indeg[p as usize] == 0).collect();
+            let mut visited = 0usize;
+            while let Some(p) = stack.pop() {
+                visited += 1;
+                let (lo, hi) = (fwd_off[p as usize] as usize, fwd_off[p as usize + 1] as usize);
+                for &v in &fwd_adj[lo..hi] {
+                    indeg[v as usize] -= 1;
+                    if indeg[v as usize] == 0 {
+                        stack.push(v);
+                    }
+                }
+            }
+            if visited != np {
+                let witness = indeg.iter().position(|&d| d > 0).unwrap_or(0) as u32;
+                return Err(ValidatePartitionError::QuotientCycle { witness_pid: witness });
+            }
+        }
+
+        // Partition weights: sum of member task weights.
+        let mut weights = vec![0.0f32; np];
+        for (t, &p) in assignment.iter().enumerate() {
+            weights[p as usize] += tdg.weight(TaskId(t as u32));
+        }
+
+        let graph = Tdg::from_csr(fwd_off, fwd_adj, rev_off, rev_adj, weights);
+
+        // Member execution order: one sort-free Kahn pass over the
+        // original TDG yields a global topological order (deterministic
+        // for a given graph); counting-sorting it by partition preserves
+        // the relative order within each partition, which is all a worker
+        // needs. Flattened storage avoids one Vec per partition.
+        let mut topo = Vec::with_capacity(n);
+        let mut indeg = tdg.in_degrees();
+        let mut stack: Vec<u32> =
+            (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
+        while let Some(t) = stack.pop() {
+            topo.push(t);
+            for &s in tdg.successors(TaskId(t)) {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        let mut exec_off = vec![0u32; np + 1];
+        for &p in assignment {
+            exec_off[p as usize + 1] += 1;
+        }
+        for p in 0..np {
+            exec_off[p + 1] += exec_off[p];
+        }
+        let mut exec_flat = vec![0u32; n];
+        {
+            let mut cursor = exec_off.clone();
+            for &t in &topo {
+                let c = &mut cursor[assignment[t as usize] as usize];
+                exec_flat[*c as usize] = t;
+                *c += 1;
+            }
+        }
+
+        Ok(QuotientTdg { graph, exec_flat, exec_off })
+    }
+
+    /// The coarse DAG over partitions. Node ids are [`PartitionId`] values
+    /// reinterpreted as task ids of this graph.
+    #[inline]
+    pub fn graph(&self) -> &Tdg {
+        &self.graph
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn num_partitions(&self) -> usize {
+        self.graph.num_tasks()
+    }
+
+    /// Total member tasks across all partitions (the original TDG's task
+    /// count).
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.exec_flat.len()
+    }
+
+    /// The member tasks of partition `p` in required execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn execution_order(&self, p: PartitionId) -> &[u32] {
+        &self.exec_flat[self.exec_off[p.index()] as usize..self.exec_off[p.index() + 1] as usize]
+    }
+
+    /// Iterate over every partition's execution order.
+    pub fn execution_orders(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_partitions()).map(move |p| self.execution_order(PartitionId(p as u32)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TdgBuilder;
+
+    fn diamond() -> Tdg {
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.build().expect("diamond DAG")
+    }
+
+    #[test]
+    fn figure2b_valid_quotient() {
+        // P0={0}, P1={1,2}, P2={3}: valid (Figure 2(b)).
+        let q = QuotientTdg::build(&diamond(), &Partition::new(vec![0, 1, 1, 2]))
+            .expect("figure 2(b) partition is valid");
+        assert_eq!(q.num_partitions(), 3);
+        assert_eq!(q.graph().num_deps(), 2);
+        // Tasks 1 and 2 are incomparable, so any order of the pair is a
+        // valid execution order.
+        let mut members = q.execution_order(PartitionId(1)).to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2]);
+    }
+
+    #[test]
+    fn figure2a_cyclic_quotient_rejected() {
+        // P0={0,3}, P1={1,2}: P0 -> P1 (0->1) and P1 -> P0 (1->3) — cyclic
+        // (Figure 2(a)).
+        let err = QuotientTdg::build(&diamond(), &Partition::new(vec![0, 1, 1, 0]))
+            .expect_err("figure 2(a) partition is cyclic");
+        assert!(matches!(err, ValidatePartitionError::QuotientCycle { .. }));
+    }
+
+    #[test]
+    fn singleton_quotient_is_isomorphic() {
+        let tdg = diamond();
+        let q = QuotientTdg::build(&tdg, &Partition::singletons(4)).expect("identity is valid");
+        assert_eq!(q.num_partitions(), 4);
+        assert_eq!(q.graph().num_deps(), tdg.num_deps());
+    }
+
+    #[test]
+    fn whole_graph_in_one_partition() {
+        let q = QuotientTdg::build(&diamond(), &Partition::new(vec![0, 0, 0, 0]))
+            .expect("one big partition is trivially valid");
+        assert_eq!(q.num_partitions(), 1);
+        assert_eq!(q.graph().num_deps(), 0);
+        // Execution order must be topological: 0 first, 3 last.
+        let order = q.execution_order(PartitionId(0));
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = QuotientTdg::build(&diamond(), &Partition::new(vec![0, 0]))
+            .expect_err("short assignment must be rejected");
+        assert_eq!(
+            err,
+            ValidatePartitionError::LengthMismatch { num_tasks: 4, assignment_len: 2 }
+        );
+    }
+
+    #[test]
+    fn parallel_cross_edges_dedup() {
+        // Two tasks in P0 both feeding two tasks in P1 -> one quotient edge.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(0), TaskId(3));
+        b.add_edge(TaskId(1), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        let tdg = b.build().expect("bipartite DAG");
+        let q = QuotientTdg::build(&tdg, &Partition::new(vec![0, 0, 1, 1]))
+            .expect("bipartite split is valid");
+        assert_eq!(q.graph().num_deps(), 1);
+    }
+
+    #[test]
+    fn quotient_weights_sum_members() {
+        let mut b = TdgBuilder::new(3);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(1), TaskId(2));
+        b.set_weight(TaskId(0), 1.0);
+        b.set_weight(TaskId(1), 2.0);
+        b.set_weight(TaskId(2), 4.0);
+        let tdg = b.build().expect("chain DAG");
+        let q = QuotientTdg::build(&tdg, &Partition::new(vec![0, 0, 1])).expect("prefix partition");
+        assert_eq!(q.graph().weight(TaskId(0)), 3.0);
+        assert_eq!(q.graph().weight(TaskId(1)), 4.0);
+    }
+
+    #[test]
+    fn execution_order_is_topological_within_partition() {
+        // Chain 0->1->2->3 all in one partition: order must be 0,1,2,3.
+        let mut b = TdgBuilder::new(4);
+        for i in 0..3u32 {
+            b.add_edge(TaskId(i), TaskId(i + 1));
+        }
+        let tdg = b.build().expect("chain DAG");
+        let q = QuotientTdg::build(&tdg, &Partition::new(vec![0; 4])).expect("valid");
+        assert_eq!(q.execution_order(PartitionId(0)), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Compare every partitioner across DAG shapes and partition sizes.
+//!
+//! Sweeps the generic DAG generators (layered, fan-in tree,
+//! series-parallel, random) with all five partitioners, validating every
+//! result and printing compression, quotient depth, and retained
+//! parallelism — the quality trade-off at the heart of the paper's
+//! Figure 3.
+//!
+//! ```text
+//! cargo run --release --example partition_explorer
+//! ```
+
+use gpasta::circuits::dag;
+use gpasta::core::{
+    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
+};
+use gpasta::tdg::{validate, ParallelismProfile, QuotientTdg, Tdg};
+
+fn shapes() -> Vec<(&'static str, Tdg)> {
+    vec![
+        ("layered 64x20", dag::layered(64, 20, 2, 1)),
+        ("fanin tree 512", dag::fanin_tree(512)),
+        ("series-parallel 20x16", dag::series_parallel(20, 16)),
+        ("random 2000", dag::random_dag(2000, 1.6, 9)),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let partitioners: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(GPasta::new()),
+        Box::new(DeterGPasta::new()),
+        Box::new(SeqGPasta::new()),
+        Box::new(Gdca::new()),
+        Box::new(Sarkar::new()),
+    ];
+
+    for (name, tdg) in shapes() {
+        let orig = ParallelismProfile::of(&tdg);
+        println!(
+            "\n=== {name}: {} tasks, {} deps, parallelism {:.1} ===",
+            tdg.num_tasks(),
+            tdg.num_deps(),
+            orig.avg_parallelism
+        );
+        println!(
+            "{:<14} {:>6} {:>11} {:>9} {:>13} {:>12}",
+            "partitioner", "Ps", "partitions", "compress", "quot. depth", "parallelism"
+        );
+        for p in &partitioners {
+            for opts in [
+                PartitionerOptions::default(),
+                PartitionerOptions::with_max_size(8),
+            ] {
+                let partition = p.partition(&tdg, &opts)?;
+                validate::check_all(&tdg, &partition)?;
+                let q = QuotientTdg::build(&tdg, &partition)?;
+                let prof = ParallelismProfile::of(q.graph());
+                let stats = partition.stats(&tdg);
+                println!(
+                    "{:<14} {:>6} {:>11} {:>8.1}x {:>13} {:>12.1}",
+                    p.name(),
+                    opts.max_partition_size
+                        .map_or("auto".to_owned(), |ps| ps.to_string()),
+                    stats.num_partitions,
+                    stats.compression,
+                    prof.depth,
+                    prof.avg_parallelism
+                );
+            }
+        }
+    }
+    println!("\nall partitions validated: acyclic quotients, convex clusters");
+    Ok(())
+}

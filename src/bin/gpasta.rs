@@ -1,0 +1,253 @@
+//! `gpasta` — command-line TDG partitioner.
+//!
+//! Reads a task dependency graph from an edge-list file (one `from to`
+//! pair per line, `#` comments allowed, task ids dense from 0), partitions
+//! it with the chosen algorithm, validates the result, and prints
+//! statistics — optionally emitting the assignment as CSV or the
+//! partitioned graph as Graphviz DOT.
+//!
+//! ```text
+//! gpasta partition edges.txt --algo gpasta --ps 16 --dot out.dot
+//! gpasta stats edges.txt
+//! gpasta demo
+//! ```
+
+use gpasta::core::{
+    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
+};
+use gpasta::tdg::{partition_to_dot, validate, ParallelismProfile, TaskId, Tdg, TdgBuilder};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage:
+  gpasta partition <edges-file> [--algo gpasta|deter|seq|gdca|sarkar]
+                                [--ps <n>] [--dot <file>] [--csv <file>]
+  gpasta stats <edges-file>
+  gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]
+  gpasta demo
+
+edge-list format: one `from to` pair of task ids per line; `#` comments
+and blank lines are ignored; task count is 1 + the largest id. Netlists
+use the structural-Verilog subset produced by gpasta::sta::write_verilog;
+libraries use the Liberty subset of gpasta::sta::write_liberty.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("partition") => partition_cmd(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
+        Some("sta") => sta_cmd(&args[1..]),
+        Some("demo") => demo_cmd(),
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_edges(path: &Path) -> Result<Tdg, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    gpasta::tdg::parse_edge_list(&text).map_err(|e| e.to_string())
+}
+
+fn pick_algo(name: &str) -> Result<Box<dyn Partitioner>, String> {
+    Ok(match name {
+        "gpasta" => Box::new(GPasta::new()),
+        "deter" => Box::new(DeterGPasta::new()),
+        "seq" => Box::new(SeqGPasta::new()),
+        "gdca" => Box::new(Gdca::new()),
+        "sarkar" => Box::new(Sarkar::new()),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn partition_cmd(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut algo = "gpasta".to_owned();
+    let mut ps = None;
+    let mut dot_out = None;
+    let mut csv_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
+            "--ps" => {
+                ps = Some(
+                    it.next()
+                        .ok_or("--ps needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--ps: {e}"))?,
+                )
+            }
+            "--dot" => dot_out = Some(it.next().ok_or("--dot needs a file")?.clone()),
+            "--csv" => csv_out = Some(it.next().ok_or("--csv needs a file")?.clone()),
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing <edges-file>")?;
+    let tdg = load_edges(Path::new(&file))?;
+    let partitioner = pick_algo(&algo)?;
+    let opts = match ps {
+        Some(n) => PartitionerOptions::with_max_size(n),
+        None => PartitionerOptions::default(),
+    };
+
+    let t0 = std::time::Instant::now();
+    let partition = partitioner
+        .partition(&tdg, &opts)
+        .map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    validate::check_all(&tdg, &partition).map_err(|e| format!("internal error: {e}"))?;
+
+    println!(
+        "{}: {} tasks, {} deps -> {}",
+        partitioner.name(),
+        tdg.num_tasks(),
+        tdg.num_deps(),
+        partition.stats(&tdg)
+    );
+    println!("partitioned in {:.3} ms; result validated (acyclic, convex)", elapsed.as_secs_f64() * 1e3);
+
+    if let Some(path) = csv_out {
+        let mut out = String::from("task,partition\n");
+        for (t, &p) in partition.assignment().iter().enumerate() {
+            out.push_str(&format!("{t},{p}\n"));
+        }
+        std::fs::write(&path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = dot_out {
+        std::fs::write(&path, partition_to_dot(&tdg, &partition))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let file = args.first().ok_or("missing <edges-file>")?;
+    let tdg = load_edges(Path::new(file))?;
+    let profile = ParallelismProfile::of(&tdg);
+    println!("{} tasks, {} deps", tdg.num_tasks(), tdg.num_deps());
+    println!("{profile}");
+    println!(
+        "{} sources, {} sinks",
+        tdg.sources().len(),
+        tdg.sinks().len()
+    );
+    Ok(())
+}
+
+fn sta_cmd(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut lib_file = None;
+    let mut sdc_file = None;
+    let mut clock_ps = 1_000.0f32;
+    let mut paths = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--lib" => lib_file = Some(it.next().ok_or("--lib needs a file")?.clone()),
+            "--sdc" => sdc_file = Some(it.next().ok_or("--sdc needs a file")?.clone()),
+            "--clock" => {
+                clock_ps = it
+                    .next()
+                    .ok_or("--clock needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--clock: {e}"))?
+            }
+            "--paths" => {
+                paths = it
+                    .next()
+                    .ok_or("--paths needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--paths: {e}"))?
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing <netlist.v>")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let netlist = gpasta::sta::parse_verilog(&text).map_err(|e| e.to_string())?;
+    let library = match lib_file {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            gpasta::sta::parse_liberty(&text).map_err(|e| e.to_string())?
+        }
+        None => gpasta::sta::CellLibrary::typical(),
+    };
+    println!(
+        "design: {} gates, {} nets, {} PIs, {} POs; clock {clock_ps} ps",
+        netlist.num_gates(),
+        netlist.num_nets(),
+        netlist.num_inputs(),
+        netlist.num_outputs()
+    );
+
+    let mut timer = gpasta::sta::Timer::new(netlist, library.clone());
+    timer.set_clock_period(clock_ps);
+    if let Some(path) = sdc_file {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        gpasta::sta::apply_sdc(&mut timer, &text).map_err(|e| e.to_string())?;
+    }
+    let update = timer.update_timing();
+    println!(
+        "update_timing TDG: {} tasks, {} deps",
+        update.tdg().num_tasks(),
+        update.tdg().num_deps()
+    );
+    update.run_sequential();
+    drop(update);
+
+    let report = timer.report(paths.max(1));
+    print!("{report}");
+    for endpoint in report.worst.iter().take(paths) {
+        if let Some(path) = gpasta::sta::trace_worst_path(
+            timer.graph(),
+            timer.netlist(),
+            &library,
+            timer.data(),
+            endpoint.node,
+        ) {
+            println!();
+            print!("{path}");
+        }
+    }
+    Ok(())
+}
+
+fn demo_cmd() -> Result<(), String> {
+    // The paper's Figure 4 graph, partitioned by every algorithm.
+    let mut b = TdgBuilder::new(7);
+    for (u, v) in [(0, 1), (2, 3), (4, 5), (1, 6), (3, 6), (5, 6)] {
+        b.add_edge(TaskId(u), TaskId(v));
+    }
+    let tdg = b.build().map_err(|e| e.to_string())?;
+    println!("Figure 4 demo graph: {} tasks, {} deps\n", tdg.num_tasks(), tdg.num_deps());
+    for name in ["gpasta", "deter", "seq", "gdca", "sarkar"] {
+        let p = pick_algo(name)?;
+        let partition = p
+            .partition(&tdg, &PartitionerOptions::with_max_size(3))
+            .map_err(|e| e.to_string())?;
+        println!("{:<10} {:?}", p.name(), partition.assignment());
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # G-PASTA — GPU-Accelerated Partitioning Algorithm for Static Timing Analysis
+//!
+//! Facade crate for the G-PASTA (DAC 2024) reproduction. Re-exports every
+//! workspace crate under one roof so examples and downstream users need a
+//! single dependency:
+//!
+//! * [`tdg`] — task-dependency-graph substrate (CSR DAGs, levels, partitions,
+//!   quotient graphs, validation);
+//! * [`gpu`] — software GPU-device simulation (bulk-synchronous kernels,
+//!   atomics, Thrust-style primitives);
+//! * [`sched`] — Taskflow-like work-stealing executor for plain and
+//!   partitioned TDGs;
+//! * [`sta`] — OpenTimer-like static timing analysis engine that emits the
+//!   TDGs the paper partitions;
+//! * [`circuits`] — synthetic designs calibrated to the paper's benchmark
+//!   suite;
+//! * [`core`] — the partitioners themselves: G-PASTA, deter-G-PASTA,
+//!   seq-G-PASTA, and the GDCA / Sarkar baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpasta::core::{GPasta, Partitioner, PartitionerOptions};
+//! use gpasta::tdg::{TdgBuilder, TaskId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small TDG and partition it with G-PASTA defaults
+//! // (partition size = TDG size; the algorithm converges on its own).
+//! let mut b = TdgBuilder::new(4);
+//! b.add_edge(TaskId(0), TaskId(1));
+//! b.add_edge(TaskId(0), TaskId(2));
+//! b.add_edge(TaskId(1), TaskId(3));
+//! b.add_edge(TaskId(2), TaskId(3));
+//! let tdg = b.build()?;
+//!
+//! let partition = GPasta::new().partition(&tdg, &PartitionerOptions::default())?;
+//! gpasta::tdg::validate::check_all(&tdg, &partition)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use gpasta_circuits as circuits;
+pub use gpasta_core as core;
+pub use gpasta_gpu as gpu;
+pub use gpasta_sched as sched;
+pub use gpasta_sta as sta;
+pub use gpasta_tdg as tdg;

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `gpasta` command-line tool, driving the real
+//! binary over real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gpasta(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpasta"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gpasta_cli_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn demo_prints_all_partitioners() {
+    let out = gpasta(&["demo"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    for name in ["G-PASTA", "deter-G-PASTA", "seq-G-PASTA", "GDCA", "Sarkar"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn help_shows_usage_and_unknown_command_fails() {
+    let out = gpasta(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("usage:"));
+
+    let out = gpasta(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn partition_pipeline_writes_artifacts() {
+    let edges = tmp("diamond.txt");
+    std::fs::write(&edges, "# diamond\n0 1\n0 2\n1 3\n2 3\n").expect("write edges");
+    let csv = tmp("assign.csv");
+    let dot = tmp("out.dot");
+
+    let out = gpasta(&[
+        "partition",
+        edges.to_str().expect("utf8"),
+        "--algo",
+        "seq",
+        "--ps",
+        "2",
+        "--csv",
+        csv.to_str().expect("utf8"),
+        "--dot",
+        dot.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("seq-G-PASTA"));
+    assert!(text.contains("validated"));
+
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(csv_text.starts_with("task,partition\n"));
+    assert_eq!(csv_text.lines().count(), 5, "header + 4 tasks");
+    let dot_text = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(dot_text.contains("subgraph cluster_0"));
+}
+
+#[test]
+fn stats_reports_shape() {
+    let edges = tmp("chain.txt");
+    std::fs::write(&edges, "0 1\n1 2\n2 3\n").expect("write edges");
+    let out = gpasta(&["stats", edges.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("4 tasks, 3 deps"));
+    assert!(text.contains("1 sources, 1 sinks"));
+}
+
+#[test]
+fn sta_flow_over_files() {
+    // Write design + library + constraints through the library APIs, then
+    // drive the CLI over them.
+    let netlist = gpasta::circuits::iscas::c17();
+    let v_path = tmp("c17.v");
+    std::fs::write(&v_path, gpasta::sta::write_verilog(&netlist, "c17")).expect("write v");
+    let lib_path = tmp("cells.lib");
+    std::fs::write(
+        &lib_path,
+        gpasta::sta::write_liberty(&gpasta::sta::CellLibrary::typical(), "typ"),
+    )
+    .expect("write lib");
+    let sdc_path = tmp("c17.sdc");
+    std::fs::write(
+        &sdc_path,
+        "create_clock -period 500\nset_input_delay 50 [get_ports n1]\n",
+    )
+    .expect("write sdc");
+
+    let out = gpasta(&[
+        "sta",
+        v_path.to_str().expect("utf8"),
+        "--lib",
+        lib_path.to_str().expect("utf8"),
+        "--sdc",
+        sdc_path.to_str().expect("utf8"),
+        "--paths",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("design: 6 gates"));
+    assert!(text.contains("WNS"));
+    assert!(text.contains("worst path"));
+}
+
+#[test]
+fn malformed_inputs_produce_clean_errors() {
+    let bad = tmp("cyclic.txt");
+    std::fs::write(&bad, "0 1\n1 0\n").expect("write edges");
+    let out = gpasta(&["partition", bad.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("invalid graph"), "{}", stderr(&out));
+
+    let out = gpasta(&["partition", "/definitely/not/a/file"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+
+    let bad_v = tmp("bad.v");
+    std::fs::write(&bad_v, "module t (y);\n output y;\n FROB u1 (.y(y));\nendmodule\n")
+        .expect("write v");
+    let out = gpasta(&["sta", bad_v.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown cell"), "{}", stderr(&out));
+}

@@ -1,0 +1,100 @@
+//! Determinism guarantees across the whole stack (the paper's §3.3
+//! motivation: debugging needs reproducible partitions).
+
+use gpasta::circuits::{dag, PaperCircuit};
+use gpasta::core::{DeterGPasta, GPasta, Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta::gpu::Device;
+use gpasta::sta::{CellLibrary, Timer};
+
+/// The update-TDG of a small paper circuit — a realistic partitioner input.
+fn sta_tdg() -> gpasta::tdg::Tdg {
+    let mut timer = Timer::new(PaperCircuit::AesCore.build(0.01), CellLibrary::typical());
+    let update = timer.update_timing();
+    update.tdg().clone()
+}
+
+#[test]
+fn deter_gpasta_is_reproducible_on_sta_workloads() {
+    let tdg = sta_tdg();
+    let opts = PartitionerOptions::default();
+    let reference = DeterGPasta::with_device(Device::single())
+        .partition(&tdg, &opts)
+        .expect("valid options");
+    for workers in [1usize, 2, 3, 4, 8] {
+        for run in 0..2 {
+            let p = DeterGPasta::with_device(Device::new(workers))
+                .partition(&tdg, &opts)
+                .expect("valid options");
+            assert_eq!(p, reference, "workers={workers} run={run} diverged");
+        }
+    }
+}
+
+#[test]
+fn racy_gpasta_is_valid_but_may_differ_while_deter_never_does() {
+    // Run the racy kernel many times on a wide contended graph. Every
+    // result must validate; the deterministic kernel must be bit-identical
+    // every time. (We do not assert the racy runs differ — on a machine
+    // with few cores they often agree — only that determinism is a
+    // property of deter-G-PASTA, not luck.)
+    let tdg = dag::layered(128, 8, 2, 21);
+    let opts = PartitionerOptions::with_max_size(4);
+
+    let deter_ref = DeterGPasta::with_device(Device::new(4))
+        .partition(&tdg, &opts)
+        .expect("valid options");
+    for _ in 0..5 {
+        let racy = GPasta::with_device(Device::new(4))
+            .partition(&tdg, &opts)
+            .expect("valid options");
+        gpasta::tdg::validate::check_all(&tdg, &racy).expect("racy result is still valid");
+
+        let deter = DeterGPasta::with_device(Device::new(4))
+            .partition(&tdg, &opts)
+            .expect("valid options");
+        assert_eq!(deter, deter_ref);
+    }
+}
+
+#[test]
+fn seq_gpasta_is_reproducible() {
+    let tdg = sta_tdg();
+    let a = SeqGPasta::new()
+        .partition(&tdg, &PartitionerOptions::default())
+        .expect("valid options");
+    let b = SeqGPasta::new()
+        .partition(&tdg, &PartitionerOptions::default())
+        .expect("valid options");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn circuit_generation_is_reproducible_across_calls() {
+    let a = PaperCircuit::Leon3mp.build(0.001);
+    let b = PaperCircuit::Leon3mp.build(0.001);
+    assert_eq!(a, b);
+
+    // And the derived TDGs are identical too.
+    let mut ta = Timer::new(a, CellLibrary::typical());
+    let mut tb = Timer::new(b, CellLibrary::typical());
+    assert_eq!(ta.update_timing().tdg(), tb.update_timing().tdg());
+}
+
+#[test]
+fn sta_results_are_deterministic_across_worker_counts() {
+    use gpasta::sched::Executor;
+    let mut reference: Option<f32> = None;
+    for workers in [1usize, 2, 4] {
+        let mut timer = Timer::new(PaperCircuit::AesCore.build(0.005), CellLibrary::typical());
+        {
+            let update = timer.update_timing();
+            let payload = update.task_fn();
+            Executor::new(workers).run_tdg(update.tdg(), &payload);
+        }
+        let wns = timer.report(1).wns_ps;
+        match reference {
+            None => reference = Some(wns),
+            Some(r) => assert_eq!(wns, r, "workers={workers}"),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: circuit generation → STA engine → TDG →
+//! partitioners → scheduler, verifying that every execution strategy
+//! computes identical timing results.
+
+use gpasta::circuits::PaperCircuit;
+use gpasta::core::{
+    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
+};
+use gpasta::gpu::Device;
+use gpasta::sched::Executor;
+use gpasta::sta::{CellLibrary, Timer};
+use gpasta::tdg::{validate, QuotientTdg};
+
+fn partitioners() -> Vec<(Box<dyn Partitioner>, PartitionerOptions)> {
+    vec![
+        (Box::new(GPasta::with_device(Device::new(2))), PartitionerOptions::default()),
+        (Box::new(DeterGPasta::with_device(Device::new(2))), PartitionerOptions::default()),
+        (Box::new(SeqGPasta::new()), PartitionerOptions::default()),
+        (Box::new(Gdca::new()), PartitionerOptions::with_max_size(8)),
+        (Box::new(Sarkar::new()), PartitionerOptions::with_max_size(8)),
+    ]
+}
+
+/// Reference: full sequential analysis.
+fn reference_wns(circuit: PaperCircuit, scale: f64) -> f32 {
+    let mut timer = Timer::new(circuit.build(scale), CellLibrary::typical());
+    timer.update_timing().run_sequential();
+    let report = timer.report(1);
+    assert!(report.wns_ps.is_finite());
+    report.wns_ps
+}
+
+#[test]
+fn every_partitioner_preserves_timing_results() {
+    let circuit = PaperCircuit::AesCore;
+    let scale = 0.01;
+    let reference = reference_wns(circuit, scale);
+
+    for (p, opts) in partitioners() {
+        for workers in [1usize, 2] {
+            let mut timer = Timer::new(circuit.build(scale), CellLibrary::typical());
+            let exec = Executor::new(workers);
+            {
+                let update = timer.update_timing();
+                let partition = p.partition(update.tdg(), &opts).expect("valid options");
+                validate::check_all(update.tdg(), &partition)
+                    .unwrap_or_else(|e| panic!("{}: invalid partition: {e}", p.name()));
+                let quotient =
+                    QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+                let payload = update.task_fn();
+                exec.run_partitioned(&quotient, &payload);
+            }
+            let wns = timer.report(1).wns_ps;
+            assert_eq!(
+                wns, reference,
+                "{} on {workers} workers diverged from sequential reference",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn raw_scheduler_matches_sequential() {
+    let circuit = PaperCircuit::DesPerf;
+    let reference = reference_wns(circuit, 0.005);
+    for workers in [1usize, 2, 4] {
+        let mut timer = Timer::new(circuit.build(0.005), CellLibrary::typical());
+        let exec = Executor::new(workers);
+        {
+            let update = timer.update_timing();
+            let payload = update.task_fn();
+            let report = exec.run_tdg(update.tdg(), &payload);
+            assert_eq!(report.tasks_executed, update.tdg().num_tasks());
+        }
+        assert_eq!(timer.report(1).wns_ps, reference, "workers={workers}");
+    }
+}
+
+#[test]
+fn update_tdg_matches_paper_structure() {
+    // Full update: 2 tasks per timing-graph node; deps = 2*arcs + nodes.
+    let mut timer = Timer::new(PaperCircuit::VgaLcd.build(0.005), CellLibrary::typical());
+    let nodes = timer.graph().num_nodes();
+    let arcs = timer.graph().num_arcs();
+    let update = timer.update_timing();
+    assert_eq!(update.tdg().num_tasks(), 2 * nodes);
+    assert_eq!(update.tdg().num_deps(), 2 * arcs + nodes);
+}
+
+#[test]
+fn partitioned_incremental_stream_stays_consistent() {
+    use gpasta::sta::GateId;
+    let mut plain = Timer::new(PaperCircuit::AesCore.build(0.005), CellLibrary::typical());
+    let mut part = Timer::new(PaperCircuit::AesCore.build(0.005), CellLibrary::typical());
+    plain.update_timing().run_sequential();
+    part.update_timing().run_sequential();
+
+    let exec = Executor::new(2);
+    let gpasta = SeqGPasta::new();
+    let num_gates = plain.netlist().num_gates() as u32;
+    for i in 0..25u32 {
+        let gate = GateId((i * 37) % num_gates);
+        let drive = 1.0 + f32::from((i % 4) as u8);
+        plain.repower_gate(gate, drive);
+        part.repower_gate(gate, drive);
+
+        plain.update_timing().run_sequential();
+        {
+            let update = part.update_timing();
+            let partition = gpasta
+                .partition(update.tdg(), &PartitionerOptions::default())
+                .expect("valid options");
+            let quotient = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+            let payload = update.task_fn();
+            exec.run_partitioned(&quotient, &payload);
+        }
+        assert_eq!(
+            plain.report(1).wns_ps,
+            part.report(1).wns_ps,
+            "iteration {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn all_paper_circuits_generate_and_analyse() {
+    for &circuit in PaperCircuit::all() {
+        let netlist = circuit.build(0.002);
+        let mut timer = Timer::new(netlist, CellLibrary::typical());
+        let update = timer.update_timing();
+        assert!(update.tdg().num_tasks() > 50, "{circuit} too small");
+        update.run_sequential();
+        drop(update);
+        let report = timer.report(1);
+        assert!(report.wns_ps.is_finite(), "{circuit} produced no slack");
+        assert!(report.num_endpoints > 0, "{circuit} has no endpoints");
+    }
+}

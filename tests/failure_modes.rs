@@ -1,0 +1,125 @@
+//! Failure-injection integration tests: malformed inputs must be rejected
+//! with the right errors at every layer, and invalid partitions must never
+//! reach the scheduler.
+
+use gpasta::core::{GPasta, Partitioner, PartitionerOptions, PartitionError};
+use gpasta::sta::{BuildNetlistError, CellKind, CellLibrary, ConnectError, NetlistBuilder, TimingGraph};
+use gpasta::tdg::{validate, BuildTdgError, Partition, QuotientTdg, TaskId, TdgBuilder, ValidatePartitionError};
+
+#[test]
+fn cyclic_tdg_rejected_at_build() {
+    let mut b = TdgBuilder::new(3);
+    b.add_edge(TaskId(0), TaskId(1));
+    b.add_edge(TaskId(1), TaskId(2));
+    b.add_edge(TaskId(2), TaskId(0));
+    assert!(matches!(b.build(), Err(BuildTdgError::Cycle { .. })));
+}
+
+#[test]
+fn figure2a_partition_cannot_be_scheduled() {
+    // The paper's invalid example: diamond with {0,3} and {1,2} clustered.
+    let mut b = TdgBuilder::new(4);
+    b.add_edge(TaskId(0), TaskId(1));
+    b.add_edge(TaskId(0), TaskId(2));
+    b.add_edge(TaskId(1), TaskId(3));
+    b.add_edge(TaskId(2), TaskId(3));
+    let tdg = b.build().expect("diamond DAG");
+    let bad = Partition::new(vec![0, 1, 1, 0]);
+
+    assert!(matches!(
+        validate::check_acyclic(&tdg, &bad),
+        Err(ValidatePartitionError::QuotientCycle { .. })
+    ));
+    assert!(QuotientTdg::build(&tdg, &bad).is_err(), "scheduler input is refused");
+}
+
+#[test]
+fn zero_partition_size_rejected_through_the_facade() {
+    let tdg = TdgBuilder::new(2).build().expect("edgeless");
+    let err = GPasta::new()
+        .partition(&tdg, &PartitionerOptions::with_max_size(0))
+        .expect_err("Ps = 0 is invalid");
+    assert_eq!(err, PartitionError::ZeroPartitionSize);
+    assert!(err.to_string().contains("at least 1"));
+}
+
+#[test]
+fn netlist_errors_surface_with_context() {
+    // Dangling input pin.
+    let mut nb = NetlistBuilder::new();
+    let a = nb.add_primary_input("a");
+    let g = nb.add_gate("top_u1", CellKind::Nand2);
+    nb.connect_to_gate(a, g, 0).expect("pin 0 is valid");
+    match nb.build() {
+        Err(BuildNetlistError::UnconnectedPin { gate, pin }) => {
+            assert_eq!(gate, "top_u1");
+            assert_eq!(pin, 1);
+        }
+        other => panic!("expected UnconnectedPin, got {other:?}"),
+    }
+
+    // Out-of-range pin index is caught eagerly.
+    let mut nb = NetlistBuilder::new();
+    let a = nb.add_primary_input("a");
+    let g = nb.add_gate("u1", CellKind::Inv);
+    assert!(matches!(
+        nb.connect_to_gate(a, g, 3),
+        Err(ConnectError::PinOutOfRange { pin: 3, .. })
+    ));
+}
+
+#[test]
+fn combinational_loop_rejected_by_timing_graph() {
+    let mut nb = NetlistBuilder::new();
+    let g1 = nb.add_gate("u1", CellKind::Inv);
+    let g2 = nb.add_gate("u2", CellKind::Inv);
+    let y = nb.add_primary_output("y");
+    nb.connect_gates(g1, g2, 0).expect("valid");
+    nb.connect_gates(g2, g1, 0).expect("valid");
+    nb.connect_to_output(g2, y).expect("valid");
+    let netlist = nb.build().expect("structurally complete");
+    assert!(matches!(
+        TimingGraph::build(&netlist, &CellLibrary::typical()),
+        Err(BuildTdgError::Cycle { .. })
+    ));
+}
+
+#[test]
+fn sequential_loop_through_dff_is_fine() {
+    // A DFF in the loop breaks the combinational cycle: valid design.
+    let mut nb = NetlistBuilder::new();
+    let ff = nb.add_gate("ff", CellKind::Dff);
+    let inv = nb.add_gate("u1", CellKind::Inv);
+    let y = nb.add_primary_output("y");
+    nb.connect_gates(ff, inv, 0).expect("valid");
+    nb.connect_gates(inv, ff, 0).expect("valid");
+    nb.connect_to_output(inv, y).expect("valid");
+    let netlist = nb.build().expect("registered loop is legal");
+    let graph = TimingGraph::build(&netlist, &CellLibrary::typical())
+        .expect("DFF breaks the loop");
+    assert_eq!(graph.endpoints().len(), 2, "PO and the DFF D pin");
+}
+
+#[test]
+fn mismatched_partition_rejected_before_scheduling() {
+    let tdg = TdgBuilder::new(4).build().expect("edgeless");
+    let short = Partition::new(vec![0, 0]);
+    assert!(matches!(
+        QuotientTdg::build(&tdg, &short),
+        Err(ValidatePartitionError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn empty_design_flows_through_cleanly() {
+    use gpasta::sta::Timer;
+    let netlist = NetlistBuilder::new().build().expect("empty netlist");
+    let mut timer = Timer::new(netlist, CellLibrary::typical());
+    let update = timer.update_timing();
+    assert_eq!(update.tdg().num_tasks(), 0);
+    update.run_sequential();
+    drop(update);
+    let report = timer.report(3);
+    assert_eq!(report.num_endpoints, 0);
+    assert_eq!(report.wns_ps, f32::INFINITY, "no endpoints, nothing violated");
+}

@@ -1,0 +1,102 @@
+//! Integration tests for the interchange formats: Verilog netlists,
+//! Liberty libraries, and TDG edge lists, exercised end-to-end through
+//! generation, serialisation, parsing, and analysis.
+
+use gpasta::circuits::{dag, PaperCircuit};
+use gpasta::core::{Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta::sta::{
+    parse_liberty, parse_verilog, write_liberty, write_verilog, CellLibrary, Timer,
+};
+use gpasta::tdg::{parse_edge_list, validate, write_edge_list};
+
+#[test]
+fn generated_circuits_round_trip_through_verilog() {
+    for &circuit in &[PaperCircuit::AesCore, PaperCircuit::Leon2] {
+        let netlist = circuit.build(0.002);
+        let text = write_verilog(&netlist, circuit.name());
+        let back = parse_verilog(&text)
+            .unwrap_or_else(|e| panic!("{circuit}: generated Verilog failed to parse: {e}"));
+        assert_eq!(netlist, back, "{circuit}: round trip changed the netlist");
+    }
+}
+
+#[test]
+fn verilog_round_trip_preserves_update_tdg() {
+    let netlist = PaperCircuit::VgaLcd.build(0.003);
+    let back = parse_verilog(&write_verilog(&netlist, "t")).expect("parses");
+
+    let mut a = Timer::new(netlist, CellLibrary::typical());
+    let mut b = Timer::new(back, CellLibrary::typical());
+    assert_eq!(a.update_timing().tdg(), b.update_timing().tdg());
+}
+
+#[test]
+fn liberty_round_trip_preserves_analysis() {
+    let library = CellLibrary::typical();
+    let parsed = parse_liberty(&write_liberty(&library, "t")).expect("parses");
+    let netlist = PaperCircuit::AesCore.build(0.003);
+
+    let mut with_original = Timer::new(netlist.clone(), library);
+    with_original.update_timing().run_sequential();
+    let mut with_parsed = Timer::new(netlist, parsed);
+    with_parsed.update_timing().run_sequential();
+    assert_eq!(
+        with_original.report(1).wns_ps,
+        with_parsed.report(1).wns_ps
+    );
+}
+
+#[test]
+fn update_tdgs_round_trip_through_edge_lists() {
+    let mut timer = Timer::new(PaperCircuit::AesCore.build(0.003), CellLibrary::typical());
+    let update = timer.update_timing();
+    let tdg = update.tdg();
+
+    let text = write_edge_list(tdg);
+    let back = parse_edge_list(&text).expect("parses");
+    assert_eq!(tdg, &back);
+
+    // And the parsed TDG is still partitionable.
+    let p = SeqGPasta::new()
+        .partition(&back, &PartitionerOptions::default())
+        .expect("valid options");
+    validate::check_all(&back, &p).expect("valid partition");
+}
+
+#[test]
+fn dag_generators_round_trip_through_edge_lists() {
+    for tdg in [
+        dag::chain(20),
+        dag::fanin_tree(32),
+        dag::series_parallel(5, 4),
+        dag::layered(16, 8, 2, 3),
+        dag::random_dag(200, 1.5, 9),
+    ] {
+        let back = parse_edge_list(&write_edge_list(&tdg)).expect("parses");
+        assert_eq!(tdg, back);
+    }
+}
+
+#[test]
+fn foreign_verilog_is_accepted() {
+    // Hand-written, formatted differently from our writer.
+    let text = r"
+// a half adder, written by hand
+module half_adder (x, y, sum, carry);
+  input x, y;
+  output sum, carry;
+  wire s, c;
+  XOR2 u_sum   (.a(x), .b(y), .y(s));
+  AND2 u_carry (.a(x), .b(y), .y(c));
+  assign sum = s;
+  assign carry = c;
+endmodule
+";
+    let netlist = parse_verilog(text).expect("hand-written netlist parses");
+    assert_eq!(netlist.num_gates(), 2);
+    let mut timer = Timer::new(netlist, CellLibrary::typical());
+    timer.update_timing().run_sequential();
+    let report = timer.report(2);
+    assert_eq!(report.num_endpoints, 2);
+    assert!(report.meets_timing());
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the STA engine on randomly generated circuits:
+//! timing invariants, incremental-vs-full equivalence, and partitioned
+//! execution equivalence.
+
+use gpasta::circuits::{generate_netlist, CircuitSpec};
+use gpasta::core::{Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta::sched::Executor;
+use gpasta::sta::{CellLibrary, GateId, Mode, NodeId, Timer, Tr};
+use gpasta::tdg::QuotientTdg;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
+    (50usize..400, 4usize..20, 0.0f64..0.3, any::<u64>()).prop_map(
+        |(gates, depth, seq_ratio, seed)| {
+            let mut spec = CircuitSpec::small("prop", seed);
+            spec.num_gates = gates;
+            spec.depth = depth;
+            spec.seq_ratio = seq_ratio;
+            spec
+        },
+    )
+}
+
+fn analysed_timer(spec: &CircuitSpec) -> Timer {
+    let mut timer = Timer::new(generate_netlist(spec), CellLibrary::typical());
+    timer.update_timing().run_sequential();
+    timer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn arrivals_are_monotone_along_arcs(spec in arb_spec()) {
+        let timer = analysed_timer(&spec);
+        let graph = timer.graph();
+        let data = timer.data();
+        let worst_late = |v: NodeId| {
+            data.arrival(v, Tr::Rise, Mode::Late)
+                .max(data.arrival(v, Tr::Fall, Mode::Late))
+        };
+        for arc in graph.arcs() {
+            prop_assert!(
+                worst_late(arc.to) >= worst_late(arc.from),
+                "late arrival decreased across arc {:?}", arc
+            );
+        }
+    }
+
+    #[test]
+    fn early_never_exceeds_late(spec in arb_spec()) {
+        let timer = analysed_timer(&spec);
+        let data = timer.data();
+        for v in 0..timer.graph().num_nodes() as u32 {
+            for tr in [Tr::Rise, Tr::Fall] {
+                let node = NodeId(v);
+                prop_assert!(
+                    data.arrival(node, tr, Mode::Early) <= data.arrival(node, tr, Mode::Late),
+                    "node {v}: early arrival exceeds late"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_consistent_with_node_slacks(spec in arb_spec()) {
+        let timer = analysed_timer(&spec);
+        let report = timer.report(usize::MAX);
+        // WNS is the minimum endpoint slack; TNS sums negatives only.
+        if let Some(worst) = report.worst.first() {
+            prop_assert_eq!(report.wns_ps, worst.slack_ps);
+        }
+        let tns: f32 = report.worst.iter().map(|e| e.slack_ps.min(0.0)).sum();
+        prop_assert!((report.tns_ps - tns).abs() < 1e-3);
+        for e in &report.worst {
+            prop_assert!(
+                (timer.data().slack_late(e.node) - e.slack_ps).abs() < 1e-3,
+                "endpoint {} slack mismatch", e.name
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_equals_full_reanalysis(spec in arb_spec(), edits in proptest::collection::vec((any::<u32>(), 0.5f32..4.0), 1..6)) {
+        let mut incremental = analysed_timer(&spec);
+        let num_gates = incremental.netlist().num_gates() as u32;
+
+        // Apply the edits incrementally.
+        for &(g, drive) in &edits {
+            incremental.repower_gate(GateId(g % num_gates), drive);
+            incremental.update_timing().run_sequential();
+        }
+        let inc_report = incremental.report(3);
+
+        // Reference: same edits, then one full re-analysis.
+        let mut full = analysed_timer(&spec);
+        for &(g, drive) in &edits {
+            full.repower_gate(GateId(g % num_gates), drive);
+        }
+        full.invalidate_all();
+        full.update_timing().run_sequential();
+        let full_report = full.report(3);
+
+        prop_assert_eq!(inc_report.wns_ps, full_report.wns_ps);
+        prop_assert!((inc_report.tns_ps - full_report.tns_ps).abs() < 1e-2);
+    }
+
+    #[test]
+    fn partitioned_execution_matches_sequential(spec in arb_spec()) {
+        let reference = analysed_timer(&spec).report(1).wns_ps;
+
+        let mut timer = Timer::new(generate_netlist(&spec), CellLibrary::typical());
+        {
+            let update = timer.update_timing();
+            let partition = SeqGPasta::new()
+                .partition(update.tdg(), &PartitionerOptions::default())
+                .expect("valid options");
+            let quotient = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+            let payload = update.task_fn();
+            Executor::new(2).run_partitioned(&quotient, &payload);
+        }
+        prop_assert_eq!(timer.report(1).wns_ps, reference);
+    }
+}
