@@ -7,7 +7,8 @@
 //!    ablation counts how often the naive rule produces unschedulable
 //!    partitions;
 //! 3. the deterministic kernel's overhead vs the racy kernel;
-//! 4. auto partition size vs swept sizes.
+//! 4. auto partition size vs swept sizes;
+//! 5. sanitizer shadow-memory instrumentation overhead vs a plain device.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gpasta_circuits::dag;
@@ -81,7 +82,10 @@ fn report_rule_validity() {
         "ablation: clustering rule validity over {trials} random DAGs — \
          first-writer-wins invalid: {first_writer_invalid}, max rule invalid: {max_rule_invalid}"
     );
-    assert_eq!(max_rule_invalid, 0, "Theorem 1: the max rule never produces cycles");
+    assert_eq!(
+        max_rule_invalid, 0,
+        "Theorem 1: the max rule never produces cycles"
+    );
     assert!(
         first_writer_invalid > 0,
         "the ablation should show the naive rule failing at least once"
@@ -175,7 +179,10 @@ fn report_chain_refinement() {
         simulate_makespan(q.graph(), 8, 800.0).makespan_ns / 1e6
     };
     for (name, base) in [
-        ("seq-G-PASTA", SeqGPasta::new().partition(&tdg, &opts).expect("valid")),
+        (
+            "seq-G-PASTA",
+            SeqGPasta::new().partition(&tdg, &opts).expect("valid"),
+        ),
         ("GDCA", Gdca::new().partition(&tdg, &opts).expect("valid")),
     ] {
         let refined = gpasta_core::merge_chains(&tdg, &base, &opts);
@@ -209,6 +216,32 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("deter_gpasta", |b| {
         let p = DeterGPasta::with_device(Device::single());
         b.iter(|| p.partition(&tdg, &opts).expect("valid options"))
+    });
+    group.finish();
+
+    // Sanitizer instrumentation overhead: the same partition run on a
+    // plain vs a sanitized device. Also isolates the launch layer with a
+    // pure store kernel, where the uninstrumented path must only pay the
+    // null shadow check.
+    let mut group = c.benchmark_group("sanitizer_overhead");
+    group.sample_size(10);
+    group.bench_function("gpasta_plain", |b| {
+        let p = GPasta::with_device(Device::single());
+        b.iter(|| p.partition(&tdg, &opts).expect("valid options"))
+    });
+    group.bench_function("gpasta_sanitized", |b| {
+        let p = GPasta::with_device(Device::sanitized(1));
+        b.iter(|| p.partition(&tdg, &opts).expect("valid options"))
+    });
+    group.bench_function("launch_plain", |b| {
+        let dev = Device::new(2);
+        let buf = dev.buf_zeroed("bench.plain", 100_000);
+        b.iter(|| dev.launch(100_000, |gid| buf.store(gid as usize, gid)))
+    });
+    group.bench_function("launch_sanitized", |b| {
+        let dev = Device::sanitized(2);
+        let buf = dev.buf_zeroed("bench.shadowed", 100_000);
+        b.iter(|| dev.launch(100_000, |gid| buf.store(gid as usize, gid)))
     });
     group.finish();
 }

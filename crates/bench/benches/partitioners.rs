@@ -34,9 +34,11 @@ fn bench_partitioners(c: &mut Criterion) {
     // Sarkar only at a size it can stomach (quadratic).
     let tdg = dag::layered(40, 50, 2, 7);
     let opts = PartitionerOptions::with_max_size(16);
-    group.bench_with_input(BenchmarkId::new("Sarkar", tdg.num_tasks()), &tdg, |b, tdg| {
-        b.iter(|| Sarkar::new().partition(tdg, &opts).expect("valid options"))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("Sarkar", tdg.num_tasks()),
+        &tdg,
+        |b, tdg| b.iter(|| Sarkar::new().partition(tdg, &opts).expect("valid options")),
+    );
     group.finish();
 }
 

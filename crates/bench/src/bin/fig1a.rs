@@ -11,8 +11,7 @@
 //! ```
 
 use gpasta_bench::{
-    flow, measure_partitioned_update, measure_plain_update, write_csv, write_json, BenchConfig,
-    Row,
+    flow, measure_partitioned_update, measure_plain_update, write_csv, write_json, BenchConfig, Row,
 };
 use gpasta_circuits::PaperCircuit;
 use gpasta_core::{GPasta, PartitionerOptions};
@@ -65,12 +64,21 @@ fn main() {
         100.0 * d.as_secs_f64() / total.as_secs_f64()
     };
     let (pt, tt) = (plain.total(), part.total());
-    println!("without partitioning ({:.2} ms total):", pt.as_secs_f64() * 1e3);
+    println!(
+        "without partitioning ({:.2} ms total):",
+        pt.as_secs_f64() * 1e3
+    );
     println!("  build TDG : {:>5.1}%", pct(plain.build, pt));
     println!("  run TDG   : {:>5.1}%", pct(plain.run, pt));
-    println!("with G-PASTA partitioning ({:.2} ms total):", tt.as_secs_f64() * 1e3);
+    println!(
+        "with G-PASTA partitioning ({:.2} ms total):",
+        tt.as_secs_f64() * 1e3
+    );
     println!("  build TDG : {:>5.1}%", pct(part.build, tt));
-    println!("  partition : {:>5.1}%", pct(part.partition + part.quotient, tt));
+    println!(
+        "  partition : {:>5.1}%",
+        pct(part.partition + part.quotient, tt)
+    );
     println!("  run TDG   : {:>5.1}%", pct(part.run, tt));
     println!(
         "\ntotal improvement (this host's wall-clock): {:.1}%",

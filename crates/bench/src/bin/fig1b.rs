@@ -18,7 +18,10 @@ const SARKAR_CAP: usize = 40_000;
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("Figure 1(b) reproduction: partitioning time vs TDG size @ scale {}\n", cfg.scale);
+    println!(
+        "Figure 1(b) reproduction: partitioning time vs TDG size @ scale {}\n",
+        cfg.scale
+    );
     println!(
         "{:>10} {:>14} {:>14} {:>14}",
         "#tasks", "Sarkar (ms)", "GDCA (ms)", "G-PASTA (ms)"

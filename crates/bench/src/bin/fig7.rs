@@ -28,7 +28,10 @@ use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
 /// A named scheduling policy: `None` runs the raw TDG.
-type Policy<'a> = (&'a str, Option<(&'a dyn Partitioner, &'a PartitionerOptions)>);
+type Policy<'a> = (
+    &'a str,
+    Option<(&'a dyn Partitioner, &'a PartitionerOptions)>,
+);
 
 /// One deterministic design modifier per iteration.
 fn apply_modifier(timer: &mut Timer, rng: &mut ChaCha8Rng) {
@@ -162,8 +165,14 @@ fn main() {
                 )
             })
             .collect();
-        write_csv(&cfg.out_dir.join(format!("fig7_{}.csv", circuit.name())), &rows);
-        write_json(&cfg.out_dir.join(format!("fig7_{}.json", circuit.name())), &rows);
+        write_csv(
+            &cfg.out_dir.join(format!("fig7_{}.csv", circuit.name())),
+            &rows,
+        );
+        write_json(
+            &cfg.out_dir.join(format!("fig7_{}.json", circuit.name())),
+            &rows,
+        );
     }
     println!("wrote {}", cfg.out_dir.join("fig7_*.csv").display());
 }

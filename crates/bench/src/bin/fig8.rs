@@ -28,7 +28,6 @@ use gpasta_tdg::QuotientTdg;
 
 const PARTITION_SIZES: &[usize] = &[1, 2, 3, 5, 8, 15, 30, 60, 120, 240];
 
-
 fn main() {
     let cfg = BenchConfig::from_args();
     println!(
@@ -93,8 +92,14 @@ fn main() {
                 ],
             ));
         }
-        write_csv(&cfg.out_dir.join(format!("fig8_{}.csv", circuit.name())), &rows);
-        write_json(&cfg.out_dir.join(format!("fig8_{}.json", circuit.name())), &rows);
+        write_csv(
+            &cfg.out_dir.join(format!("fig8_{}.csv", circuit.name())),
+            &rows,
+        );
+        write_json(
+            &cfg.out_dir.join(format!("fig8_{}.json", circuit.name())),
+            &rows,
+        );
         println!();
     }
     println!("wrote {}", cfg.out_dir.join("fig8_*.csv").display());

@@ -22,7 +22,6 @@ use gpasta_sched::{simulate_makespan, Executor};
 use gpasta_sta::{CellLibrary, Timer};
 use gpasta_tdg::QuotientTdg;
 
-
 fn main() {
     let cfg = BenchConfig::from_args();
     println!(
@@ -31,7 +30,12 @@ fn main() {
     );
     println!(
         "{:<10} {:>9} {:>9} {:>10} | {:>34} | {:>34}",
-        "circuit", "#tasks", "#deps", "T_TDG(ms)", "T_TDGP ms (speedup)", "T_Partition ms (vs GDCA)"
+        "circuit",
+        "#tasks",
+        "#deps",
+        "T_TDG(ms)",
+        "T_TDGP ms (speedup)",
+        "T_Partition ms (vs GDCA)"
     );
     println!(
         "{:<10} {:>9} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8}",
@@ -59,7 +63,10 @@ fn main() {
         };
 
         let partitioners: Vec<(Box<dyn Partitioner>, PartitionerOptions)> = vec![
-            (Box::new(Gdca::new()), PartitionerOptions::with_max_size(gdca_ps)),
+            (
+                Box::new(Gdca::new()),
+                PartitionerOptions::with_max_size(gdca_ps),
+            ),
             (Box::new(SeqGPasta::new()), PartitionerOptions::default()),
             (
                 Box::new(GPasta::with_device(Device::new(cfg.workers))),

@@ -20,7 +20,9 @@ impl Default for BenchConfig {
         BenchConfig {
             scale: 0.05,
             runs: 3,
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             out_dir: PathBuf::from("results"),
         }
     }
@@ -99,7 +101,15 @@ mod tests {
 
     #[test]
     fn full_and_explicit_values() {
-        let cfg = parse(&["--full", "--runs", "10", "--workers", "2", "--out", "/tmp/x"]);
+        let cfg = parse(&[
+            "--full",
+            "--runs",
+            "10",
+            "--workers",
+            "2",
+            "--out",
+            "/tmp/x",
+        ]);
         assert_eq!(cfg.scale, 1.0);
         assert_eq!(cfg.runs, 10);
         assert_eq!(cfg.workers, 2);

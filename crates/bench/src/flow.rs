@@ -85,8 +85,8 @@ pub fn measure_partitioned_update(
         .expect("harness passes valid options");
     let partition_time = t0.elapsed();
     let t1 = std::time::Instant::now();
-    let quotient = QuotientTdg::build(tdg, &partition)
-        .expect("partitioners produce schedulable partitions");
+    let quotient =
+        QuotientTdg::build(tdg, &partition).expect("partitioners produce schedulable partitions");
     let quotient_time = t1.elapsed();
 
     let payload = update.task_fn();
@@ -187,7 +187,12 @@ mod tests {
         let ra = a.report(5);
 
         let mut b = tiny_timer();
-        measure_partitioned_update(&mut b, &exec, &SeqGPasta::new(), &PartitionerOptions::default());
+        measure_partitioned_update(
+            &mut b,
+            &exec,
+            &SeqGPasta::new(),
+            &PartitionerOptions::default(),
+        );
         let rb = b.report(5);
 
         assert_eq!(ra.wns_ps, rb.wns_ps, "partitioning must not change results");

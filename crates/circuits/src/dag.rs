@@ -37,7 +37,10 @@ pub fn independent(n: usize) -> Tdg {
 ///
 /// Panics if any parameter is zero.
 pub fn layered(width: usize, levels: usize, fanin: usize, seed: u64) -> Tdg {
-    assert!(width > 0 && levels > 0 && fanin > 0, "parameters must be positive");
+    assert!(
+        width > 0 && levels > 0 && fanin > 0,
+        "parameters must be positive"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let n = width * levels;
     let mut b = TdgBuilder::with_capacity(n, n * fanin);
@@ -60,7 +63,10 @@ pub fn layered(width: usize, levels: usize, fanin: usize, seed: u64) -> Tdg {
 ///
 /// Panics if `leaves` is not a power of two or is zero.
 pub fn fanin_tree(leaves: usize) -> Tdg {
-    assert!(leaves > 0 && leaves.is_power_of_two(), "leaves must be a power of two");
+    assert!(
+        leaves > 0 && leaves.is_power_of_two(),
+        "leaves must be a power of two"
+    );
     let n = 2 * leaves - 1;
     // Tasks 0..leaves are leaves; internal nodes follow level by level.
     let mut b = TdgBuilder::with_capacity(n, n - 1);

@@ -149,7 +149,11 @@ pub fn generate_netlist(spec: &CircuitSpec) -> Netlist {
     let mut all_gates = Vec::with_capacity(spec.num_gates);
     for i in 0..spec.num_gates {
         let is_ff = rng.gen_bool(spec.seq_ratio);
-        let kind = if is_ff { CellKind::Dff } else { draw_cell(&mut rng) };
+        let kind = if is_ff {
+            CellKind::Dff
+        } else {
+            draw_cell(&mut rng)
+        };
         let g = nb.add_gate(format!("u{i}"), kind);
         layers[i % depth].push(g);
         all_gates.push((g, kind));
@@ -209,7 +213,10 @@ pub fn generate_netlist(spec: &CircuitSpec) -> Netlist {
     // Primary outputs tap late drivers (biased to the last layers).
     for o in 0..spec.num_outputs {
         let out = nb.add_primary_output(format!("out{o}"));
-        let lo = prior.len().saturating_sub(prior.len() / 4).min(prior.len() - 1);
+        let lo = prior
+            .len()
+            .saturating_sub(prior.len() / 4)
+            .min(prior.len() - 1);
         let pick = rng.gen_range(lo..prior.len());
         match prior[pick] {
             Driver::Pi(p) => nb.connect_input_to_output(p, out),
@@ -220,7 +227,10 @@ pub fn generate_netlist(spec: &CircuitSpec) -> Netlist {
     // Sprinkle wire capacitance so net delays are non-trivial.
     for i in 0..spec.num_gates {
         if rng.gen_bool(0.3) {
-            nb.add_wire_cap(PinRef::GateOutput(GateId(i as u32)), rng.gen_range(0.2..4.0));
+            nb.add_wire_cap(
+                PinRef::GateOutput(GateId(i as u32)),
+                rng.gen_range(0.2..4.0),
+            );
         }
     }
 
@@ -276,7 +286,10 @@ mod tests {
         let mut timer = gpasta_sta::Timer::new(n, CellLibrary::typical());
         let got = timer.update_timing().tdg().num_tasks() as f64;
         let exp = spec.expected_tasks() as f64;
-        assert!((got - exp).abs() / exp < 0.08, "expected {exp}, realised {got}");
+        assert!(
+            (got - exp).abs() / exp < 0.08,
+            "expected {exp}, realised {got}"
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ mod tests {
             let got = timer.update_timing().tdg().num_tasks() as f64;
             let target = c.paper_tasks() as f64 * scale;
             let err = (got - target).abs() / target;
-            assert!(err < 0.12, "{c}: target {target}, got {got} ({:.1}% off)", err * 100.0);
+            assert!(
+                err < 0.12,
+                "{c}: target {target}, got {got} ({:.1}% off)",
+                err * 100.0
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! deter-G-PASTA (Algorithm 2): the deterministic GPU kernel.
 
 use crate::{check_opts, PartitionError, Partitioner, PartitionerOptions};
-use gpasta_gpu::{prims, AtomicBuf, Device};
+use gpasta_gpu::{prims, Device};
 use gpasta_tdg::{Partition, TaskId, Tdg};
 
 /// The deterministic variant of G-PASTA.
@@ -33,7 +33,9 @@ pub struct DeterGPasta {
 impl DeterGPasta {
     /// deter-G-PASTA on a device sized to the host's parallelism.
     pub fn new() -> Self {
-        DeterGPasta { device: Device::host_parallel() }
+        DeterGPasta {
+            device: Device::host_parallel(),
+        }
     }
 
     /// deter-G-PASTA on a specific device.
@@ -70,12 +72,15 @@ impl Partitioner for DeterGPasta {
         let sources = tdg.sources();
         let num_sources = sources.len() as u32;
 
-        let d_pid = AtomicBuf::zeroed(n);
-        let f_pid = AtomicBuf::zeroed(n);
-        let dep_cnt = AtomicBuf::from_slice(&tdg.in_degrees());
-        let pid_cnt = AtomicBuf::zeroed(n + sources.len() + 1);
-        let handle = AtomicBuf::zeroed(n);
-        let wsize = AtomicBuf::zeroed(1);
+        // Same init policy as GPasta: `d_pid`/`pid_cnt` rely on their
+        // zeros (atomicMax / occupancy counts); `f_pid`/`handle` are uninit
+        // so a sanitized run's initcheck proves full wavefront coverage.
+        let d_pid = dev.buf_zeroed("deter.d_pid", n);
+        let f_pid = dev.buf_uninit("deter.f_pid", n);
+        let dep_cnt = dev.buf_from_slice("deter.dep_cnt", &tdg.in_degrees());
+        let pid_cnt = dev.buf_zeroed("deter.pid_cnt", n + sources.len() + 1);
+        let handle = dev.buf_uninit("deter.handle", n);
+        let wsize = dev.buf_zeroed("deter.wsize", 1);
         let mut max_pid = num_sources.saturating_sub(1);
 
         for (i, s) in sources.iter().enumerate() {
@@ -110,12 +115,13 @@ impl Partitioner for DeterGPasta {
 
             // Step 3: determine if each task's desired partition is full
             // (lines 11–20).
-            let is_full = AtomicBuf::zeroed(m);
+            let is_full = dev.buf_uninit("deter.is_full", m);
             {
                 let (is_full, pid_cnt) = (&is_full, &pid_cnt);
                 let (fir_tid_arr, dpid_sorted) = (&fir_tid_arr, &dpid_sorted);
                 dev.launch(m as u32, move |gid| {
-                    let seg = prims::segment_of(fir_tid_arr, gid);
+                    let seg = prims::try_segment_of(fir_tid_arr, gid)
+                        .expect("deter.is_full: gid precedes the first segment start");
                     let used = pid_cnt.load(dpid_sorted[gid as usize] as usize);
                     let num_left = ps.saturating_sub(used);
                     let full = u32::from(gid >= fir_tid_arr[seg] + num_left);

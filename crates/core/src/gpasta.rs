@@ -2,7 +2,7 @@
 //! simulated GPU device.
 
 use crate::{check_opts, PartitionError, Partitioner, PartitionerOptions};
-use gpasta_gpu::{AtomicBuf, Device};
+use gpasta_gpu::Device;
 use gpasta_tdg::{Partition, TaskId, Tdg};
 
 /// The GPU-parallel G-PASTA partitioner.
@@ -27,7 +27,9 @@ pub struct GPasta {
 impl GPasta {
     /// G-PASTA on a device sized to the host's parallelism.
     pub fn new() -> Self {
-        GPasta { device: Device::host_parallel() }
+        GPasta {
+            device: Device::host_parallel(),
+        }
     }
 
     /// G-PASTA on a specific device (worker count of your choosing).
@@ -65,14 +67,19 @@ impl Partitioner for GPasta {
         let num_sources = sources.len() as u32;
 
         // Device state. `pid_cnt` is sized for the worst case of every task
-        // opening a fresh partition on top of the source ids.
-        let d_pid = AtomicBuf::zeroed(n);
-        let f_pid = AtomicBuf::zeroed(n);
-        let dep_cnt = AtomicBuf::from_slice(&tdg.in_degrees());
-        let pid_cnt = AtomicBuf::zeroed(n + sources.len() + 1);
-        let max_pid = AtomicBuf::from_slice(&[num_sources.saturating_sub(1)]);
-        let handle = AtomicBuf::zeroed(n);
-        let wsize = AtomicBuf::zeroed(1);
+        // opening a fresh partition on top of the source ids. The named
+        // helpers attach sanitizer shadows on a sanitized device and are
+        // free on a plain one. `d_pid` and `pid_cnt` must be *zeroed*, not
+        // uninit: the algorithm's atomicMax/atomicAdd read their initial
+        // zeros. `f_pid` and `handle` are uninit so initcheck proves the
+        // BFS wavefront writes every slot before any kernel reads it.
+        let d_pid = dev.buf_zeroed("gpasta.d_pid", n);
+        let f_pid = dev.buf_uninit("gpasta.f_pid", n);
+        let dep_cnt = dev.buf_from_slice("gpasta.dep_cnt", &tdg.in_degrees());
+        let pid_cnt = dev.buf_zeroed("gpasta.pid_cnt", n + sources.len() + 1);
+        let max_pid = dev.buf_from_slice("gpasta.max_pid", &[num_sources.saturating_sub(1)]);
+        let handle = dev.buf_uninit("gpasta.handle", n);
+        let wsize = dev.buf_zeroed("gpasta.wsize", 1);
 
         // Seed: every source task starts its own desired partition
         // (Figure 4(a): tasks 0, 2, 4 get d_pid 0, 1, 2).

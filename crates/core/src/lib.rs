@@ -62,6 +62,7 @@ mod deter;
 mod gdca;
 mod gpasta;
 pub mod refine;
+pub mod sanitize;
 mod sarkar;
 mod seq;
 
@@ -106,7 +107,9 @@ impl PartitionerOptions {
     /// assert_eq!(opts.max_partition_size, Some(16));
     /// ```
     pub fn with_max_size(ps: usize) -> Self {
-        PartitionerOptions { max_partition_size: Some(ps) }
+        PartitionerOptions {
+            max_partition_size: Some(ps),
+        }
     }
 
     /// The cap on the auto partition size. Figure 8 shows TDG runtime
@@ -177,7 +180,9 @@ mod tests {
     #[test]
     fn options_default_is_tasks_per_source() {
         // Edgeless: 7 tasks, 7 sources -> auto Ps = 1.
-        let tdg = gpasta_tdg::TdgBuilder::new(7).build().expect("edgeless DAG");
+        let tdg = gpasta_tdg::TdgBuilder::new(7)
+            .build()
+            .expect("edgeless DAG");
         assert_eq!(PartitionerOptions::default().resolve_ps(&tdg), 1);
         assert_eq!(PartitionerOptions::with_max_size(3).resolve_ps(&tdg), 3);
 
@@ -199,7 +204,9 @@ mod tests {
     fn zero_ps_is_rejected() {
         let opts = PartitionerOptions::with_max_size(0);
         assert_eq!(check_opts(&opts), Err(PartitionError::ZeroPartitionSize));
-        assert!(PartitionError::ZeroPartitionSize.to_string().contains("at least 1"));
+        assert!(PartitionError::ZeroPartitionSize
+            .to_string()
+            .contains("at least 1"));
     }
 
     #[test]

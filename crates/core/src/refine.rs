@@ -92,7 +92,11 @@ mod tests {
         let refined = merge_chains(&tdg, &singles, &PartitionerOptions::with_max_size(3));
         validate::check_all(&tdg, &refined).expect("refined partition is valid");
         validate::check_size_bound(&refined, 3).expect("bound respected");
-        assert!(refined.num_partitions() <= 3, "got {}", refined.num_partitions());
+        assert!(
+            refined.num_partitions() <= 3,
+            "got {}",
+            refined.num_partitions()
+        );
         assert!(refined.num_partitions() < 6);
     }
 
@@ -128,10 +132,11 @@ mod tests {
         for seed in 0..5u64 {
             let tdg = dag::random_dag(300, 1.4, seed);
             let opts = PartitionerOptions::with_max_size(12);
-            let base = SeqGPasta::new().partition(&tdg, &opts).expect("valid options");
+            let base = SeqGPasta::new()
+                .partition(&tdg, &opts)
+                .expect("valid options");
             let refined = merge_chains(&tdg, &base, &opts);
-            validate::check_all(&tdg, &refined)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            validate::check_all(&tdg, &refined).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             validate::check_size_bound(&refined, 12).expect("bound respected");
             assert!(
                 refined.num_partitions() <= base.num_partitions(),
@@ -152,7 +157,11 @@ mod tests {
     #[test]
     fn empty_graph() {
         let tdg = gpasta_tdg::TdgBuilder::new(0).build().expect("empty");
-        let refined = merge_chains(&tdg, &Partition::new(vec![]), &PartitionerOptions::default());
+        let refined = merge_chains(
+            &tdg,
+            &Partition::new(vec![]),
+            &PartitionerOptions::default(),
+        );
         assert_eq!(refined.num_partitions(), 0);
     }
 }

@@ -153,7 +153,8 @@ mod tests {
                 let p = sarkar
                     .partition(&tdg, &PartitionerOptions::with_max_size(ps))
                     .expect("valid options");
-                validate::check_all(&tdg, &p).unwrap_or_else(|e| panic!("seed {seed} ps {ps}: {e}"));
+                validate::check_all(&tdg, &p)
+                    .unwrap_or_else(|e| panic!("seed {seed} ps {ps}: {e}"));
                 validate::check_size_bound(&p, ps).expect("size bound");
             }
         }
@@ -183,7 +184,8 @@ mod tests {
             .expect("valid options");
         validate::check_all(&tdg, &p).expect("valid");
         assert_ne!(
-            p.assignment()[0], p.assignment()[3],
+            p.assignment()[0],
+            p.assignment()[3],
             "0 and 3 cannot share a cluster without 1 and 2"
         );
     }

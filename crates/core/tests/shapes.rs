@@ -2,9 +2,7 @@
 //! shape × partition size, with validity and quality bounds.
 
 use gpasta_circuits::dag;
-use gpasta_core::{
-    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
-};
+use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
 use gpasta_gpu::Device;
 use gpasta_tdg::{validate, ParallelismProfile, QuotientTdg, Tdg};
 

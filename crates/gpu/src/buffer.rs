@@ -5,10 +5,29 @@
 //! with `Relaxed`-ordered `fetch_*` calls on an `Arc<[AtomicU32]>`. Cloning
 //! a buffer is cheap and aliases the same memory, which is how kernels
 //! capture "device pointers".
+//!
+//! # Why `Relaxed` everywhere (ThreadSanitizer note)
+//!
+//! The all-`Relaxed` ordering is deliberate, not an oversight: these buffers
+//! *model device global memory*, whose intra-kernel semantics are exactly
+//! "atomic RMWs are well-defined but unordered, plain accesses to shared
+//! words are races". Using stronger orderings would silently serialise
+//! access patterns that on a GPU are genuinely unordered, hiding the very
+//! order-sensitivity G-PASTA's Algorithm 2 exists to eliminate. The
+//! inter-kernel happens-before edge comes from the bulk-synchronous barrier
+//! at the end of every [`Device::launch`](crate::Device::launch) (a
+//! `thread::scope` join), exactly like CUDA's implicit end-of-kernel
+//! synchronisation. Tools like ThreadSanitizer may flag the *plain*
+//! `load`/`store` methods when a kernel misuses them concurrently — that is
+//! a bug in the kernel under test, the same bug `compute-sanitizer
+//! --tool racecheck` would report on real hardware, and the in-tree
+//! [sanitizer](crate::SanitizerReport) reports it portably.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sanitizer::{BoundsError, Shadow};
 
 /// A shared, atomically-accessed `u32` buffer — simulated device global
 /// memory.
@@ -17,9 +36,16 @@ use std::sync::Arc;
 /// end of every [`Device::launch`](crate::Device::launch) provides the
 /// inter-kernel happens-before edge, exactly like CUDA's implicit
 /// end-of-kernel synchronisation.
+///
+/// Buffers allocated through a sanitized device's named helpers
+/// ([`Device::buf_zeroed`](crate::Device::buf_zeroed) and friends) carry
+/// shadow memory and report races, uninitialised reads and bounds errors;
+/// buffers from the plain constructors below are uninstrumented and pay
+/// only a null `Option` check per access.
 #[derive(Clone)]
 pub struct AtomicBuf {
     data: Arc<[AtomicU32]>,
+    shadow: Option<Arc<Shadow>>,
 }
 
 impl AtomicBuf {
@@ -32,6 +58,7 @@ impl AtomicBuf {
     pub fn filled(len: usize, value: u32) -> Self {
         AtomicBuf {
             data: (0..len).map(|_| AtomicU32::new(value)).collect(),
+            shadow: None,
         }
     }
 
@@ -39,7 +66,19 @@ impl AtomicBuf {
     pub fn from_slice(host: &[u32]) -> Self {
         AtomicBuf {
             data: host.iter().map(|&v| AtomicU32::new(v)).collect(),
+            shadow: None,
         }
+    }
+
+    /// Attach sanitizer shadow memory (done by the `Device::buf_*` helpers).
+    pub(crate) fn set_shadow(&mut self, shadow: Arc<Shadow>) {
+        self.shadow = Some(shadow);
+    }
+
+    /// The buffer's sanitizer name, if it was allocated through a sanitized
+    /// device.
+    pub fn name(&self) -> Option<&str> {
+        self.shadow.as_deref().map(Shadow::name)
     }
 
     /// Number of elements.
@@ -58,9 +97,13 @@ impl AtomicBuf {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds (with a named diagnostic on
+    /// sanitized buffers).
     #[inline]
     pub fn load(&self, i: usize) -> u32 {
+        if let Some(sh) = &self.shadow {
+            sh.on_load(i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
@@ -68,27 +111,40 @@ impl AtomicBuf {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of bounds.
+    /// Panics if `i` is out of bounds (with a named diagnostic on
+    /// sanitized buffers).
     #[inline]
     pub fn store(&self, i: usize, v: u32) {
+        if let Some(sh) = &self.shadow {
+            sh.on_store(i);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
     /// `atomicAdd(&buf[i], v)` — returns the previous value.
     #[inline]
     pub fn fetch_add(&self, i: usize, v: u32) -> u32 {
+        if let Some(sh) = &self.shadow {
+            sh.on_rmw(i);
+        }
         self.data[i].fetch_add(v, Ordering::Relaxed)
     }
 
     /// `atomicSub(&buf[i], v)` — returns the previous value.
     #[inline]
     pub fn fetch_sub(&self, i: usize, v: u32) -> u32 {
+        if let Some(sh) = &self.shadow {
+            sh.on_rmw(i);
+        }
         self.data[i].fetch_sub(v, Ordering::Relaxed)
     }
 
     /// `atomicMax(&buf[i], v)` — returns the previous value.
     #[inline]
     pub fn fetch_max(&self, i: usize, v: u32) -> u32 {
+        if let Some(sh) = &self.shadow {
+            sh.on_rmw(i);
+        }
         self.data[i].fetch_max(v, Ordering::Relaxed)
     }
 
@@ -96,41 +152,136 @@ impl AtomicBuf {
     /// success, `Err(actual)` on failure.
     #[inline]
     pub fn compare_exchange(&self, i: usize, current: u32, new: u32) -> Result<u32, u32> {
+        if let Some(sh) = &self.shadow {
+            sh.on_rmw(i);
+        }
         self.data[i].compare_exchange(current, new, Ordering::Relaxed, Ordering::Relaxed)
     }
 
-    /// Copy the buffer back to the host (`cudaMemcpy` D2H).
+    /// Copy the buffer back to the host (`cudaMemcpy` D2H). Host readback
+    /// is not race-checked: it happens after the end-of-launch barrier.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 
-    /// Overwrite every element with `value` (`cudaMemset`).
+    /// Overwrite every element with `value` (`cudaMemset`). Marks the whole
+    /// buffer initialised for initcheck purposes.
     pub fn fill(&self, value: u32) {
+        if let Some(sh) = &self.shadow {
+            sh.mark_initialized(self.len());
+        }
         for a in self.data.iter() {
             a.store(value, Ordering::Relaxed);
         }
     }
 
-    /// Copy `src` into this buffer starting at offset 0.
+    /// Copy `src` into this buffer starting at offset 0. Marks the copied
+    /// prefix initialised for initcheck purposes.
     ///
     /// # Panics
     ///
     /// Panics if `src.len() > self.len()`.
     pub fn copy_from_slice(&self, src: &[u32]) {
         assert!(src.len() <= self.len(), "source slice longer than buffer");
+        if let Some(sh) = &self.shadow {
+            sh.mark_initialized(src.len());
+        }
         for (a, &v) in self.data.iter().zip(src) {
             a.store(v, Ordering::Relaxed);
         }
+    }
+
+    /// A bounds-checked view: the same operations, but out-of-range indices
+    /// return a [`BoundsError`] naming the buffer instead of panicking. On
+    /// sanitized buffers the failed access is also recorded in the report.
+    pub fn checked(&self) -> CheckedBuf<'_> {
+        CheckedBuf { buf: self }
+    }
+
+    /// Bounds-checked [`load`](AtomicBuf::load); shorthand for
+    /// `self.checked().load(i)`.
+    pub fn try_load(&self, i: usize) -> Result<u32, BoundsError> {
+        self.checked().load(i)
+    }
+
+    /// Bounds-checked [`store`](AtomicBuf::store); shorthand for
+    /// `self.checked().store(i, v)`.
+    pub fn try_store(&self, i: usize, v: u32) -> Result<(), BoundsError> {
+        self.checked().store(i, v)
+    }
+}
+
+/// Bounds-checked view over an [`AtomicBuf`], created by
+/// [`AtomicBuf::checked`]. Failed accesses yield [`BoundsError`] diagnostics
+/// (buffer name, index, length) instead of a bare slice panic.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckedBuf<'a> {
+    buf: &'a AtomicBuf,
+}
+
+impl CheckedBuf<'_> {
+    fn guard(&self, i: usize) -> Result<(), BoundsError> {
+        if i < self.buf.len() {
+            return Ok(());
+        }
+        if let Some(sh) = &self.buf.shadow {
+            sh.record_out_of_bounds(i);
+        }
+        Err(BoundsError {
+            buffer: self.buf.name().unwrap_or("<unnamed>").to_string(),
+            index: i,
+            len: self.buf.len(),
+        })
+    }
+
+    /// Checked [`AtomicBuf::load`].
+    pub fn load(&self, i: usize) -> Result<u32, BoundsError> {
+        self.guard(i)?;
+        Ok(self.buf.load(i))
+    }
+
+    /// Checked [`AtomicBuf::store`].
+    pub fn store(&self, i: usize, v: u32) -> Result<(), BoundsError> {
+        self.guard(i)?;
+        self.buf.store(i, v);
+        Ok(())
+    }
+
+    /// Checked [`AtomicBuf::fetch_add`].
+    pub fn fetch_add(&self, i: usize, v: u32) -> Result<u32, BoundsError> {
+        self.guard(i)?;
+        Ok(self.buf.fetch_add(i, v))
+    }
+
+    /// Checked [`AtomicBuf::fetch_sub`].
+    pub fn fetch_sub(&self, i: usize, v: u32) -> Result<u32, BoundsError> {
+        self.guard(i)?;
+        Ok(self.buf.fetch_sub(i, v))
+    }
+
+    /// Checked [`AtomicBuf::fetch_max`].
+    pub fn fetch_max(&self, i: usize, v: u32) -> Result<u32, BoundsError> {
+        self.guard(i)?;
+        Ok(self.buf.fetch_max(i, v))
     }
 }
 
 impl fmt::Debug for AtomicBuf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let preview: Vec<u32> = self.data.iter().take(8).map(|a| a.load(Ordering::Relaxed)).collect();
-        f.debug_struct("AtomicBuf")
-            .field("len", &self.len())
-            .field("head", &preview)
-            .finish()
+        let preview: Vec<u32> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        let mut d = f.debug_struct("AtomicBuf");
+        if let Some(name) = self.name() {
+            d.field("name", &name);
+        }
+        d.field("len", &self.len()).field("head", &preview).finish()
     }
 }
 
@@ -141,10 +292,12 @@ impl From<Vec<u32>> for AtomicBuf {
 }
 
 /// A shared, atomically-accessed `u64` buffer — used for the 64-bit sort
-/// keys of Algorithm 2 (`d_pid << 32 | task_id`).
+/// keys of Algorithm 2 (`d_pid << 32 | task_id`). Carries the same optional
+/// sanitizer shadow as [`AtomicBuf`].
 #[derive(Clone)]
 pub struct AtomicBuf64 {
     data: Arc<[AtomicU64]>,
+    shadow: Option<Arc<Shadow>>,
 }
 
 impl AtomicBuf64 {
@@ -152,6 +305,7 @@ impl AtomicBuf64 {
     pub fn zeroed(len: usize) -> Self {
         AtomicBuf64 {
             data: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            shadow: None,
         }
     }
 
@@ -159,7 +313,20 @@ impl AtomicBuf64 {
     pub fn from_slice(host: &[u64]) -> Self {
         AtomicBuf64 {
             data: host.iter().map(|&v| AtomicU64::new(v)).collect(),
+            shadow: None,
         }
+    }
+
+    /// Attach sanitizer shadow memory (done by the `Device::buf64_*`
+    /// helpers).
+    pub(crate) fn set_shadow(&mut self, shadow: Arc<Shadow>) {
+        self.shadow = Some(shadow);
+    }
+
+    /// The buffer's sanitizer name, if it was allocated through a sanitized
+    /// device.
+    pub fn name(&self) -> Option<&str> {
+        self.shadow.as_deref().map(Shadow::name)
     }
 
     /// Number of elements.
@@ -177,24 +344,37 @@ impl AtomicBuf64 {
     /// Relaxed load of element `i`.
     #[inline]
     pub fn load(&self, i: usize) -> u64 {
+        if let Some(sh) = &self.shadow {
+            sh.on_load(i);
+        }
         self.data[i].load(Ordering::Relaxed)
     }
 
     /// Relaxed store to element `i`.
     #[inline]
     pub fn store(&self, i: usize, v: u64) {
+        if let Some(sh) = &self.shadow {
+            sh.on_store(i);
+        }
         self.data[i].store(v, Ordering::Relaxed);
     }
 
     /// Copy the buffer back to the host.
     pub fn to_vec(&self) -> Vec<u64> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
 impl fmt::Debug for AtomicBuf64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AtomicBuf64").field("len", &self.len()).finish()
+        let mut d = f.debug_struct("AtomicBuf64");
+        if let Some(name) = self.name() {
+            d.field("name", &name);
+        }
+        d.field("len", &self.len()).finish()
     }
 }
 
@@ -249,6 +429,13 @@ mod tests {
     }
 
     #[test]
+    fn compare_exchange_failure_leaves_value_untouched() {
+        let b = AtomicBuf::from_slice(&[41]);
+        assert_eq!(b.compare_exchange(0, 99, 1), Err(41));
+        assert_eq!(b.load(0), 41, "failed CAS must not write");
+    }
+
+    #[test]
     fn fill_and_copy_from_slice() {
         let b = AtomicBuf::zeroed(3);
         b.fill(4);
@@ -261,6 +448,48 @@ mod tests {
     #[should_panic(expected = "source slice longer than buffer")]
     fn copy_from_slice_overflow_panics() {
         AtomicBuf::zeroed(1).copy_from_slice(&[1, 2]);
+    }
+
+    #[test]
+    fn zero_length_buffer_edge_cases() {
+        let b = AtomicBuf::zeroed(0);
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<u32>::new());
+        b.fill(7); // memset of nothing is a no-op
+        b.copy_from_slice(&[]); // empty copy is a no-op
+        assert!(
+            b.try_load(0).is_err(),
+            "index 0 of an empty buffer is out of bounds"
+        );
+        let b64 = AtomicBuf64::zeroed(0);
+        assert!(b64.is_empty());
+        assert_eq!(b64.to_vec(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn copy_from_slice_shorter_leaves_tail() {
+        let b = AtomicBuf::filled(4, 9);
+        b.copy_from_slice(&[1]);
+        assert_eq!(b.to_vec(), vec![1, 9, 9, 9]);
+        b.copy_from_slice(&[]); // zero-length source: nothing changes
+        assert_eq!(b.to_vec(), vec![1, 9, 9, 9]);
+    }
+
+    #[test]
+    fn checked_view_reports_name_and_extent() {
+        let b = AtomicBuf::zeroed(3);
+        assert_eq!(b.checked().load(2), Ok(0));
+        assert_eq!(b.checked().store(1, 5), Ok(()));
+        assert_eq!(b.checked().fetch_add(1, 1), Ok(5));
+        assert_eq!(b.checked().fetch_sub(1, 2), Ok(6));
+        assert_eq!(b.checked().fetch_max(1, 9), Ok(4));
+        let err = b.checked().load(3).unwrap_err();
+        assert_eq!(err.buffer, "<unnamed>");
+        assert_eq!(err.index, 3);
+        assert_eq!(err.len, 3);
+        assert!(b.try_store(99, 0).is_err());
+        assert!(b.name().is_none());
     }
 
     #[test]

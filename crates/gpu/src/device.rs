@@ -2,6 +2,10 @@
 //! worker threads.
 
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::sanitizer::{self, SanitizerCore, SanitizerReport, Schedule, Shadow};
+use crate::{AtomicBuf, AtomicBuf64};
 
 /// The simulated GPU device.
 ///
@@ -17,9 +21,16 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// With one worker the device degenerates to an in-place sequential loop —
 /// this is the "seq-G-PASTA" execution mode and also the fast path on
 /// single-core hosts.
+///
+/// A device built with [`Device::sanitized`] additionally instruments every
+/// buffer allocated through its `buf_*` helpers with shadow memory (see the
+/// [sanitizer](crate::sanitizer) module) and can replay launches under a
+/// perturbed [`Schedule`].
 #[derive(Debug, Clone)]
 pub struct Device {
     num_threads: usize,
+    schedule: Schedule,
+    sanitizer: Option<Arc<SanitizerCore>>,
 }
 
 /// Grids smaller than this run inline: spawning workers costs more than the
@@ -34,7 +45,11 @@ impl Device {
     /// Panics if `num_threads == 0`.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads > 0, "a device needs at least one worker");
-        Device { num_threads }
+        Device {
+            num_threads,
+            schedule: Schedule::Forward,
+            sanitizer: None,
+        }
     }
 
     /// Create a single-worker device (sequential execution).
@@ -44,14 +59,118 @@ impl Device {
 
     /// Create a device sized to the host's available parallelism.
     pub fn host_parallel() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Device::new(n)
+    }
+
+    /// Create a sanitized device: buffers allocated through the `buf_*`
+    /// helpers get shadow memory, and [`Device::sanitizer_report`] returns
+    /// the accumulated findings.
+    pub fn sanitized(num_threads: usize) -> Self {
+        let mut dev = Device::new(num_threads);
+        dev.sanitizer = Some(Arc::new(SanitizerCore::new()));
+        dev
+    }
+
+    /// Set the gid iteration [`Schedule`] (interleaving perturbation used by
+    /// the determinism audit).
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The gid iteration schedule.
+    #[inline]
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Whether this device carries a sanitizer.
+    #[inline]
+    pub fn is_sanitized(&self) -> bool {
+        self.sanitizer.is_some()
+    }
+
+    /// Snapshot the sanitizer findings, or `None` for a plain device.
+    /// Clones of a device share one sanitizer, so reports accumulate across
+    /// clones.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
     }
 
     /// Number of workers.
     #[inline]
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    fn attach(&self, mut buf: AtomicBuf, name: &str, pre_initialized: bool) -> AtomicBuf {
+        if let Some(core) = &self.sanitizer {
+            buf.set_shadow(Arc::new(Shadow::new(
+                name,
+                core.clone(),
+                buf.len(),
+                pre_initialized,
+            )));
+        }
+        buf
+    }
+
+    fn attach64(&self, mut buf: AtomicBuf64, name: &str, pre_initialized: bool) -> AtomicBuf64 {
+        if let Some(core) = &self.sanitizer {
+            buf.set_shadow(Arc::new(Shadow::new(
+                name,
+                core.clone(),
+                buf.len(),
+                pre_initialized,
+            )));
+        }
+        buf
+    }
+
+    /// Allocate a named, zero-initialised buffer (`cudaMalloc` + `cudaMemset`).
+    /// On a plain device this is just [`AtomicBuf::zeroed`]; on a sanitized
+    /// device the buffer is instrumented and born initialised.
+    pub fn buf_zeroed(&self, name: &str, len: usize) -> AtomicBuf {
+        self.attach(AtomicBuf::zeroed(len), name, true)
+    }
+
+    /// Allocate a named buffer filled with `value`; born initialised.
+    pub fn buf_filled(&self, name: &str, len: usize, value: u32) -> AtomicBuf {
+        self.attach(AtomicBuf::filled(len, value), name, true)
+    }
+
+    /// Allocate a named buffer copied from a host slice (`cudaMemcpy` H2D);
+    /// born initialised.
+    pub fn buf_from_slice(&self, name: &str, host: &[u32]) -> AtomicBuf {
+        self.attach(AtomicBuf::from_slice(host), name, true)
+    }
+
+    /// Allocate a named *uninitialised* buffer — the moral equivalent of a
+    /// bare `cudaMalloc`. The contents still read as deterministic zeros
+    /// (this is a simulator, not UB), but on a sanitized device initcheck
+    /// flags any device-side read of a word that was never written.
+    pub fn buf_uninit(&self, name: &str, len: usize) -> AtomicBuf {
+        self.attach(AtomicBuf::zeroed(len), name, false)
+    }
+
+    /// Allocate a named, zero-initialised 64-bit buffer; born initialised.
+    pub fn buf64_zeroed(&self, name: &str, len: usize) -> AtomicBuf64 {
+        self.attach64(AtomicBuf64::zeroed(len), name, true)
+    }
+
+    /// Allocate a named 64-bit buffer copied from a host slice; born
+    /// initialised.
+    pub fn buf64_from_slice(&self, name: &str, host: &[u64]) -> AtomicBuf64 {
+        self.attach64(AtomicBuf64::from_slice(host), name, true)
+    }
+
+    /// Allocate a named *uninitialised* 64-bit buffer; see
+    /// [`Device::buf_uninit`].
+    pub fn buf64_uninit(&self, name: &str, len: usize) -> AtomicBuf64 {
+        self.attach64(AtomicBuf64::zeroed(len), name, false)
     }
 
     /// Launch a flat grid of `n` logical GPU threads running `kernel` and
@@ -66,9 +185,15 @@ impl Device {
         if n == 0 {
             return;
         }
+        let epoch = self.sanitizer.as_ref().map(|s| s.begin_launch());
         if self.num_threads == 1 || n < INLINE_THRESHOLD {
-            for gid in 0..n {
-                kernel(gid);
+            // Inline fast path: kernels run on the calling (host) thread.
+            // Under the sanitizer it still tags every access with the
+            // launch epoch and gid, and must drop back to host context
+            // afterwards so later host code is not mis-attributed.
+            self.run_range(&kernel, 0, n, epoch);
+            if epoch.is_some() {
+                sanitizer::clear_ctx();
             }
             return;
         }
@@ -80,17 +205,60 @@ impl Device {
         std::thread::scope(|s| {
             for _ in 0..self.num_threads {
                 s.spawn(move || loop {
-                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                    if start >= n {
+                    let claimed = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if claimed >= n {
                         break;
                     }
-                    let end = (start + grain).min(n);
-                    for gid in start..end {
-                        kernel(gid);
-                    }
+                    let len = grain.min(n - claimed);
+                    // Reverse mirrors the claim order too, so the global
+                    // visit order is (approximately) descending.
+                    let start = match self.schedule {
+                        Schedule::Reverse => n - claimed - len,
+                        _ => claimed,
+                    };
+                    self.run_range(kernel, start, start + len, epoch);
                 });
             }
         });
+    }
+
+    /// Run one scheduled chunk `[start, end)` of a launch, honouring the
+    /// device [`Schedule`] and, when sanitized, tagging each kernel call
+    /// with its `(epoch, gid)` context.
+    fn run_range<F>(&self, kernel: &F, start: u32, end: u32, epoch: Option<u64>)
+    where
+        F: Fn(u32),
+    {
+        let call = |gid: u32| {
+            if let Some(e) = epoch {
+                sanitizer::set_ctx(e, gid);
+            }
+            kernel(gid);
+        };
+        match self.schedule {
+            Schedule::Forward => {
+                for gid in start..end {
+                    call(gid);
+                }
+            }
+            Schedule::Reverse => {
+                for gid in (start..end).rev() {
+                    call(gid);
+                }
+            }
+            Schedule::Interleaved => {
+                let mut gid = start;
+                while gid < end {
+                    call(gid);
+                    gid += 2;
+                }
+                let mut gid = start + 1;
+                while gid < end {
+                    call(gid);
+                    gid += 2;
+                }
+            }
+        }
     }
 
     /// CUDA-style two-level launch: `grid_dim` blocks of `block_dim`
@@ -101,6 +269,8 @@ impl Device {
     /// run sequentially on one worker — the bulk-synchronous simplification
     /// of warp execution. Use this when a kernel's index math is written in
     /// block/thread terms; [`launch`](Device::launch) covers flat grids.
+    /// Under the sanitizer, all threads of one block share the block's gid:
+    /// intra-block accesses are program-ordered and never race each other.
     pub fn launch_blocks<F>(&self, grid_dim: u32, block_dim: u32, kernel: F)
     where
         F: Fn(u32, u32) + Sync,
@@ -155,7 +325,42 @@ mod tests {
         dev.launch(100_000, |gid| {
             buf.fetch_add(gid as usize, 1);
         });
-        assert!(buf.to_vec().iter().all(|&v| v == 1), "each gid ran exactly once");
+        assert!(
+            buf.to_vec().iter().all(|&v| v == 1),
+            "each gid ran exactly once"
+        );
+    }
+
+    #[test]
+    fn reverse_and_interleaved_schedules_cover_every_gid() {
+        for sched in Schedule::ALL {
+            for workers in [1, 4] {
+                let dev = Device::new(workers).with_schedule(sched);
+                assert_eq!(dev.schedule(), sched);
+                let buf = AtomicBuf::zeroed(10_000);
+                dev.launch(10_000, |gid| {
+                    buf.fetch_add(gid as usize, 1);
+                });
+                assert!(
+                    buf.to_vec().iter().all(|&v| v == 1),
+                    "schedule {sched:?} with {workers} workers must visit every gid once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_schedule_flips_sequential_order() {
+        // At one worker, Reverse visits gids descending: a last-writer-wins
+        // cell ends up holding the *first* gid instead of the last.
+        let fwd = Device::single();
+        let rev = Device::single().with_schedule(Schedule::Reverse);
+        let a = AtomicBuf::zeroed(1);
+        fwd.launch(100, |gid| a.store(0, gid));
+        assert_eq!(a.load(0), 99);
+        let b = AtomicBuf::zeroed(1);
+        rev.launch(100, |gid| b.store(0, gid));
+        assert_eq!(b.load(0), 0);
     }
 
     #[test]
@@ -233,6 +438,31 @@ mod tests {
     fn debug_shows_thread_count() {
         let dev = Device::new(2);
         assert!(format!("{dev:?}").contains("num_threads: 2"));
+    }
+
+    #[test]
+    fn plain_device_buffers_are_uninstrumented() {
+        let dev = Device::new(2);
+        assert!(!dev.is_sanitized());
+        assert!(dev.sanitizer_report().is_none());
+        let buf = dev.buf_zeroed("scratch", 8);
+        assert!(buf.name().is_none(), "no shadow without a sanitizer");
+        let buf64 = dev.buf64_zeroed("keys", 8);
+        assert!(buf64.name().is_none());
+    }
+
+    #[test]
+    fn sanitized_device_names_buffers() {
+        let dev = Device::sanitized(2);
+        assert!(dev.is_sanitized());
+        assert_eq!(dev.buf_zeroed("a", 4).name(), Some("a"));
+        assert_eq!(dev.buf_filled("b", 4, 1).name(), Some("b"));
+        assert_eq!(dev.buf_from_slice("c", &[1]).name(), Some("c"));
+        assert_eq!(dev.buf_uninit("d", 4).name(), Some("d"));
+        assert_eq!(dev.buf64_zeroed("e", 4).name(), Some("e"));
+        assert_eq!(dev.buf64_from_slice("f", &[1]).name(), Some("f"));
+        assert_eq!(dev.buf64_uninit("g", 4).name(), Some("g"));
+        assert!(dev.sanitizer_report().unwrap().is_clean());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! primitives in [`prims`] are deterministic for any worker count, which is
 //! precisely the property Algorithm 2 relies on.
 //!
+//! The [`sanitizer`] module adds opt-in shadow-memory instrumentation — a
+//! software `compute-sanitizer`: racecheck, initcheck, boundscheck and a
+//! determinism audit that classifies kernels as `Deterministic`,
+//! `AtomicOrderSensitive` or `Racy`. Build an instrumented device with
+//! [`Device::sanitized`] and allocate buffers through its named `buf_*`
+//! helpers.
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +50,13 @@
 mod buffer;
 mod device;
 pub mod prims;
+pub mod sanitizer;
 mod timer;
 
-pub use buffer::{AtomicBuf, AtomicBuf64};
+pub use buffer::{AtomicBuf, AtomicBuf64, CheckedBuf};
 pub use device::Device;
+pub use sanitizer::{
+    audit_determinism, AuditOutcome, BoundsError, SanitizerReport, Schedule, Verdict, Violation,
+    ViolationKind,
+};
 pub use timer::KernelTimer;

@@ -131,7 +131,11 @@ fn scan(dev: &Device, xs: &[u32], inclusive: bool) -> Vec<u32> {
     let mut out = vec![0u32; n];
     let mut sums = vec![0u32; xs.chunks(chunk).len()];
     std::thread::scope(|s| {
-        for ((src, dst), sum) in xs.chunks(chunk).zip(out.chunks_mut(chunk)).zip(sums.iter_mut()) {
+        for ((src, dst), sum) in xs
+            .chunks(chunk)
+            .zip(out.chunks_mut(chunk))
+            .zip(sums.iter_mut())
+        {
             s.spawn(move || {
                 let mut acc = 0u32;
                 for (d, &x) in dst.iter_mut().zip(src) {
@@ -266,6 +270,17 @@ pub fn segment_of(starts: &[u32], x: u32) -> usize {
     starts.partition_point(|&s| s <= x) - 1
 }
 
+/// Non-panicking [`segment_of`]: `None` when `starts` is empty or `x`
+/// precedes the first segment — the checked-view counterpart for host
+/// arrays, so sanitized kernels can surface a diagnostic instead of a bare
+/// assertion failure.
+pub fn try_segment_of(starts: &[u32], x: u32) -> Option<usize> {
+    if starts.is_empty() || x < starts[0] {
+        return None;
+    }
+    Some(starts.partition_point(|&s| s <= x) - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +403,20 @@ mod tests {
     #[should_panic(expected = "segment array is empty")]
     fn segment_of_empty_panics() {
         segment_of(&[], 0);
+    }
+
+    #[test]
+    fn try_segment_of_matches_and_reports() {
+        let starts = [0u32, 4, 9];
+        assert_eq!(try_segment_of(&starts, 3), Some(0));
+        assert_eq!(try_segment_of(&starts, 4), Some(1));
+        assert_eq!(try_segment_of(&starts, 100), Some(2));
+        assert_eq!(try_segment_of(&[], 0), None);
+        assert_eq!(
+            try_segment_of(&[5], 4),
+            None,
+            "position precedes the first segment"
+        );
     }
 
     #[test]

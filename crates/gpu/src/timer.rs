@@ -34,7 +34,9 @@ impl KernelTimer {
     /// Add one invocation of `name` taking `elapsed`.
     pub fn record(&self, name: &str, elapsed: Duration) {
         let mut entries = self.entries.lock();
-        let entry = entries.entry(name.to_owned()).or_insert((0, Duration::ZERO));
+        let entry = entries
+            .entry(name.to_owned())
+            .or_insert((0, Duration::ZERO));
         entry.0 += 1;
         entry.1 += elapsed;
     }

@@ -96,8 +96,24 @@ proptest! {
     }
 
     #[test]
-    fn launch_touches_every_index_once(n in 0u32..20_000, workers in 1usize..6) {
+    fn launch_touches_every_index_once(n in 0u32..20_000, workers in 1usize..9) {
+        // Covers both launch paths for every worker count 1..=8: small n
+        // takes the inline fast path, large n the self-scheduling path.
         let dev = Device::new(workers);
+        let buf = AtomicBuf::zeroed(n as usize);
+        dev.launch(n, |gid| {
+            buf.fetch_add(gid as usize, 1);
+        });
+        prop_assert!(buf.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn launch_touches_every_index_once_under_any_schedule(
+        n in 0u32..20_000,
+        workers in 1usize..9,
+        sched_ix in 0usize..3,
+    ) {
+        let dev = Device::new(workers).with_schedule(gpasta_gpu::Schedule::ALL[sched_ix]);
         let buf = AtomicBuf::zeroed(n as usize);
         dev.launch(n, |gid| {
             buf.fetch_add(gid as usize, 1);

@@ -53,7 +53,9 @@ impl Executor {
 
     /// Create an executor sized to the host's available parallelism.
     pub fn host_parallel() -> Self {
-        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Executor::new(n)
     }
 
@@ -112,7 +114,12 @@ impl Executor {
             }
         };
         let dispatches = if self.num_workers == 1 {
-            run_sequential(np, &q.in_degrees(), |p| q.successors(TaskId(p)), run_members)
+            run_sequential(
+                np,
+                &q.in_degrees(),
+                |p| q.successors(TaskId(p)),
+                run_members,
+            )
         } else {
             run_stealing(
                 self.num_workers,
@@ -220,9 +227,7 @@ fn run_stealing<'a>(
                         Some(t) => {
                             backoff.reset();
                             dispatches.fetch_add(1, Ordering::Relaxed);
-                            if let Err(payload) =
-                                catch_unwind(AssertUnwindSafe(|| execute(t)))
-                            {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| execute(t))) {
                                 *panic_payload.lock() = Some(payload);
                                 panicked.store(true, Ordering::SeqCst);
                                 break;
@@ -352,7 +357,10 @@ mod tests {
         let report = exec.run_partitioned(&q, &|t: TaskId| {
             sum_part.fetch_add(u64::from(t.0) + 1, Ordering::Relaxed);
         });
-        assert_eq!(sum_plain.load(Ordering::Relaxed), sum_part.load(Ordering::Relaxed));
+        assert_eq!(
+            sum_plain.load(Ordering::Relaxed),
+            sum_part.load(Ordering::Relaxed)
+        );
         assert_eq!(report.tasks_executed, 4, "all member tasks ran");
         assert_eq!(report.dispatches, 3, "only partitions are dispatched");
     }

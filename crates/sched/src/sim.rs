@@ -40,7 +40,11 @@ pub fn simulate_makespan(tdg: &Tdg, workers: usize, dispatch_overhead_ns: f64) -
     assert!(workers > 0, "need at least one virtual worker");
     let n = tdg.num_tasks();
     if n == 0 {
-        return SimReport { makespan_ns: 0.0, dispatches: 0, workers };
+        return SimReport {
+            makespan_ns: 0.0,
+            dispatches: 0,
+            workers,
+        };
     }
 
     // Event-driven simulation. Two heaps: worker free times, and ready
@@ -79,7 +83,11 @@ pub fn simulate_makespan(tdg: &Tdg, workers: usize, dispatch_overhead_ns: f64) -
     }
     debug_assert_eq!(completed, n, "DAG invariant: every task runs");
 
-    SimReport { makespan_ns: makespan, dispatches: n, workers }
+    SimReport {
+        makespan_ns: makespan,
+        dispatches: n,
+        workers,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +136,10 @@ mod tests {
         let tdg = b.build().expect("edgeless");
         let cheap = simulate_makespan(&tdg, 4, 0.0).makespan_ns;
         let costly = simulate_makespan(&tdg, 4, 100.0).makespan_ns;
-        assert!(costly > 20.0 * cheap, "dispatch cost must dominate: {costly} vs {cheap}");
+        assert!(
+            costly > 20.0 * cheap,
+            "dispatch cost must dominate: {costly} vs {cheap}"
+        );
     }
 
     #[test]

@@ -191,8 +191,7 @@ mod tests {
         let tdg = b.build().expect("chains");
         // 2000 chains of 10 -> one partition each.
         let assignment: Vec<u32> = (0..20_000u32).map(|t| t / 10).collect();
-        let quotient =
-            QuotientTdg::build(&tdg, &Partition::new(assignment)).expect("valid");
+        let quotient = QuotientTdg::build(&tdg, &Partition::new(assignment)).expect("valid");
         let work = |_t: TaskId| {};
 
         let t0 = Instant::now();

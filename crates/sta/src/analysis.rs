@@ -82,12 +82,26 @@ impl TimingData {
             slew: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
             arrival: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
             required: (0..n * 4).map(|_| AtomicF32::new(0.0)).collect(),
-            arc_delay: (0..graph.num_arcs() * 4).map(|_| AtomicF32::new(0.0)).collect(),
-            drive: netlist.gates().iter().map(|g| AtomicF32::new(g.drive)).collect(),
-            gate_load: (0..netlist.num_gates()).map(|_| AtomicF32::new(0.0)).collect(),
-            net_delay: (0..netlist.num_nets()).map(|_| AtomicF32::new(0.0)).collect(),
-            input_delay: (0..netlist.num_inputs()).map(|_| AtomicF32::new(0.0)).collect(),
-            output_delay: (0..netlist.num_outputs()).map(|_| AtomicF32::new(0.0)).collect(),
+            arc_delay: (0..graph.num_arcs() * 4)
+                .map(|_| AtomicF32::new(0.0))
+                .collect(),
+            drive: netlist
+                .gates()
+                .iter()
+                .map(|g| AtomicF32::new(g.drive))
+                .collect(),
+            gate_load: (0..netlist.num_gates())
+                .map(|_| AtomicF32::new(0.0))
+                .collect(),
+            net_delay: (0..netlist.num_nets())
+                .map(|_| AtomicF32::new(0.0))
+                .collect(),
+            input_delay: (0..netlist.num_inputs())
+                .map(|_| AtomicF32::new(0.0))
+                .collect(),
+            output_delay: (0..netlist.num_outputs())
+                .map(|_| AtomicF32::new(0.0))
+                .collect(),
         };
         for net in 0..netlist.num_nets() {
             data.recompute_net(net as u32, netlist, library);
@@ -358,7 +372,9 @@ impl<'a> TimingPropagator<'a> {
         if self.graph.is_endpoint(v) {
             let margin = match self.graph.node_kind(v) {
                 NodeKind::GateInput(g, 0) => {
-                    self.library.cell(self.netlist.gates()[g as usize].cell).setup_ps
+                    self.library
+                        .cell(self.netlist.gates()[g as usize].cell)
+                        .setup_ps
                 }
                 NodeKind::PrimaryOutput(p) => d.output_delay(p),
                 _ => 0.0,
@@ -468,7 +484,11 @@ mod tests {
         let library = CellLibrary::typical();
         let netlist = nb.build().expect("well-formed");
         let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
-        Fixture { netlist, graph, library }
+        Fixture {
+            netlist,
+            graph,
+            library,
+        }
     }
 
     fn full_pass(f: &Fixture, data: &TimingData) {
@@ -490,7 +510,9 @@ mod tests {
 
     fn topo_nodes(g: &TimingGraph) -> Vec<u32> {
         let n = g.num_nodes();
-        let mut indeg: Vec<u32> = (0..n).map(|v| g.fanin(NodeId(v as u32)).len() as u32).collect();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|v| g.fanin(NodeId(v as u32)).len() as u32)
+            .collect();
         let mut stack: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = stack.pop() {
@@ -584,7 +606,10 @@ mod tests {
         }
         full_pass(&f, &data);
         let fast = data.arrival(po, Tr::Rise, Mode::Late);
-        assert!(fast < slow, "repowered path must be faster: {fast} vs {slow}");
+        assert!(
+            fast < slow,
+            "repowered path must be faster: {fast} vs {slow}"
+        );
     }
 
     #[test]
@@ -626,7 +651,11 @@ mod tests {
         let library = CellLibrary::typical();
         let netlist = nb.build().expect("well-formed");
         let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
-        let f = Fixture { netlist, graph, library };
+        let f = Fixture {
+            netlist,
+            graph,
+            library,
+        };
         let data = TimingData::new(&f.graph, &f.netlist, &f.library);
         full_pass(&f, &data);
 
@@ -658,7 +687,11 @@ mod tests {
         let library = CellLibrary::typical();
         let netlist = nb.build().expect("well-formed");
         let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
-        let f = Fixture { netlist, graph, library };
+        let f = Fixture {
+            netlist,
+            graph,
+            library,
+        };
         let data = TimingData::new(&f.graph, &f.netlist, &f.library);
         full_pass(&f, &data);
         let out = f.graph.gate_output_node(crate::GateId(0));
@@ -667,7 +700,10 @@ mod tests {
         // table's delay; the rise table is characterised slower than fall.
         let fall = data.arrival(out, Tr::Fall, Mode::Late);
         let rise = data.arrival(out, Tr::Rise, Mode::Late);
-        assert!(rise > fall, "rise edges are slower in the library: {rise} vs {fall}");
+        assert!(
+            rise > fall,
+            "rise edges are slower in the library: {rise} vs {fall}"
+        );
         // And late >= early on the non-unate output.
         assert!(data.arrival(out, Tr::Rise, Mode::Early) <= rise);
     }

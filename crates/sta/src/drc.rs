@@ -180,8 +180,7 @@ mod tests {
     fn slow_transitions_violate_slew_limit() {
         let timer = fanout_timer(40);
         // The heavily loaded driver produces a slew far above a tight limit.
-        let report =
-            check_design_rules(timer.graph(), timer.netlist(), timer.data(), 30.0, 1e9);
+        let report = check_design_rules(timer.graph(), timer.netlist(), timer.data(), 30.0, 1e9);
         assert!(!report.slew_violations.is_empty());
         // Violations are sorted worst first.
         for w in report.slew_violations.windows(2) {
@@ -192,8 +191,7 @@ mod tests {
     #[test]
     fn display_counts_and_lists() {
         let timer = fanout_timer(40);
-        let report =
-            check_design_rules(timer.graph(), timer.netlist(), timer.data(), 30.0, 10.0);
+        let report = check_design_rules(timer.graph(), timer.netlist(), timer.data(), 30.0, 10.0);
         let s = report.to_string();
         assert!(s.contains("slew violations"));
         assert!(s.contains("drv.out"));

@@ -28,7 +28,11 @@ impl fmt::Display for ConnectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             ConnectError::UnknownGate { gate } => write!(f, "gate g{gate} does not exist"),
-            ConnectError::PinOutOfRange { gate, pin, num_inputs } => write!(
+            ConnectError::PinOutOfRange {
+                gate,
+                pin,
+                num_inputs,
+            } => write!(
                 f,
                 "pin {pin} out of range for gate g{gate} with {num_inputs} inputs"
             ),
@@ -85,8 +89,13 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(ConnectError::UnknownGate { gate: 3 }.to_string().contains("g3"));
-        let e = BuildNetlistError::UnconnectedPin { gate: "u7".into(), pin: 1 };
+        assert!(ConnectError::UnknownGate { gate: 3 }
+            .to_string()
+            .contains("g3"));
+        let e = BuildNetlistError::UnconnectedPin {
+            gate: "u7".into(),
+            pin: 1,
+        };
         assert!(e.to_string().contains("u7"));
         assert!(e.to_string().contains("pin 1"));
     }

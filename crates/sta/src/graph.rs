@@ -225,7 +225,9 @@ impl TimingGraph {
         };
 
         // Acyclicity check (combinational loops).
-        let mut indeg: Vec<u32> = (0..n).map(|v| graph.fanin(NodeId(v as u32)).len() as u32).collect();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|v| graph.fanin(NodeId(v as u32)).len() as u32)
+            .collect();
         let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut visited = 0;
         while let Some(u) = queue.pop() {
@@ -382,7 +384,9 @@ mod tests {
             assert!(g.fanout(arc.from).contains(&(i as u32)));
             assert!(g.fanin(arc.to).contains(&(i as u32)));
         }
-        let total_out: usize = (0..g.num_nodes()).map(|v| g.fanout(NodeId(v as u32)).len()).sum();
+        let total_out: usize = (0..g.num_nodes())
+            .map(|v| g.fanout(NodeId(v as u32)).len())
+            .sum();
         assert_eq!(total_out, g.num_arcs());
     }
 
@@ -416,7 +420,10 @@ mod tests {
         assert_eq!(tg.endpoints().len(), 2);
         // No cell arc into the DFF output node.
         let ff_out = tg.gate_output_node(ff);
-        assert!(tg.fanin(ff_out).is_empty(), "DFF output launches a fresh path");
+        assert!(
+            tg.fanin(ff_out).is_empty(),
+            "DFF output launches a fresh path"
+        );
         let d_pin = tg.gate_input_node(ff, 0);
         assert!(tg.fanout(d_pin).is_empty(), "DFF D pin terminates its path");
         assert!(tg.is_endpoint(d_pin));

@@ -74,7 +74,12 @@ pub fn k_worst_paths(
     for tr in [Tr::Rise, Tr::Fall] {
         heap.push(Candidate {
             potential: data.arrival(endpoint, tr, Mode::Late),
-            suffix: Rc::new(Suffix { node: endpoint, tr, incr_out: 0.0, next: None }),
+            suffix: Rc::new(Suffix {
+                node: endpoint,
+                tr,
+                incr_out: 0.0,
+                next: None,
+            }),
         });
     }
 
@@ -93,7 +98,9 @@ pub fn k_worst_paths(
         let fanin = graph.fanin(head);
         if fanin.is_empty() {
             // Complete maximal path; materialise front-to-back.
-            out.push(materialise(graph, netlist, data, &suffix, potential, endpoint));
+            out.push(materialise(
+                graph, netlist, data, &suffix, potential, endpoint,
+            ));
             if out.len() == k {
                 break;
             }
@@ -118,8 +125,7 @@ pub fn k_worst_paths(
             // Suffix delay accumulated so far = potential - arrival(head).
             let suffix_delay = potential - data.arrival(head, head_tr, Mode::Late);
             for &tr_in in candidates {
-                let new_potential =
-                    data.arrival(from, tr_in, Mode::Late) + delay + suffix_delay;
+                let new_potential = data.arrival(from, tr_in, Mode::Late) + delay + suffix_delay;
                 heap.push(Candidate {
                     potential: new_potential,
                     suffix: Rc::new(Suffix {
@@ -164,7 +170,10 @@ fn materialise(
         .into_iter()
         .map(|tr| data.required(endpoint, tr, Mode::Late))
         .fold(f32::INFINITY, f32::min);
-    TimingPath { steps, slack_ps: worst_required - total_arrival }
+    TimingPath {
+        steps,
+        slack_ps: worst_required - total_arrival,
+    }
 }
 
 fn location_of(graph: &TimingGraph, netlist: &Netlist, v: NodeId) -> String {
@@ -236,7 +245,10 @@ mod tests {
         let paths = k_worst_paths(timer.graph(), timer.netlist(), timer.data(), ep, 8);
         assert!(paths.len() >= 2, "two arms yield at least two paths");
         for w in paths.windows(2) {
-            assert!(w[0].slack_ps <= w[1].slack_ps + 1e-3, "paths must rank worst-first");
+            assert!(
+                w[0].slack_ps <= w[1].slack_ps + 1e-3,
+                "paths must rank worst-first"
+            );
         }
         // The second-ranked family of paths uses the fast arm eventually.
         assert!(paths

@@ -66,9 +66,9 @@ mod atomic_f32;
 pub mod drc;
 mod error;
 mod graph;
-mod library;
 pub mod kpaths;
 pub mod liberty;
+mod library;
 mod netlist;
 mod path;
 mod report;
@@ -77,16 +77,16 @@ mod timer;
 pub mod verilog;
 
 pub use analysis::{Mode, TimingData, TimingPropagator, Tr};
-pub use drc::{check_design_rules, DrcReport, DrcViolation};
-pub use liberty::{parse_liberty, write_liberty, ParseLibertyError};
-pub use kpaths::k_worst_paths;
-pub use path::{trace_worst_path, PathStep, TimingPath};
-pub use sdc::{apply_sdc, write_sdc, ParseSdcError};
-pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};
 pub use atomic_f32::AtomicF32;
+pub use drc::{check_design_rules, DrcReport, DrcViolation};
 pub use error::{BuildNetlistError, ConnectError};
 pub use graph::{ArcKind, NodeId, NodeKind, TimingArcRef, TimingGraph};
+pub use kpaths::k_worst_paths;
+pub use liberty::{parse_liberty, write_liberty, ParseLibertyError};
 pub use library::{CellKind, CellLibrary, Lut2D, TimingSense};
 pub use netlist::{GateId, Netlist, NetlistBuilder, PinRef, PortId};
+pub use path::{trace_worst_path, PathStep, TimingPath};
 pub use report::{EndpointSlack, TimingReport};
+pub use sdc::{apply_sdc, write_sdc, ParseSdcError};
 pub use timer::{TaskKind, Timer, TimingUpdateTdg};
+pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

@@ -101,8 +101,14 @@ pub fn write_liberty(library: &CellLibrary, name: &str) -> String {
             ("slew_fall", &cell.tables.slew_fall),
         ] {
             out.push_str(&format!("    lut ({table_name}) {{\n"));
-            out.push_str(&format!("      slew_axis : \"{}\";\n", join(lut.slew_axis())));
-            out.push_str(&format!("      load_axis : \"{}\";\n", join(lut.load_axis())));
+            out.push_str(&format!(
+                "      slew_axis : \"{}\";\n",
+                join(lut.slew_axis())
+            ));
+            out.push_str(&format!(
+                "      load_axis : \"{}\";\n",
+                join(lut.load_axis())
+            ));
             out.push_str(&format!("      values : \"{}\";\n", join(lut.values())));
             out.push_str("    }\n");
         }
@@ -113,10 +119,7 @@ pub fn write_liberty(library: &CellLibrary, name: &str) -> String {
 }
 
 fn join(xs: &[f32]) -> String {
-    xs.iter()
-        .map(f32::to_string)
-        .collect::<Vec<_>>()
-        .join(", ")
+    xs.iter().map(f32::to_string).collect::<Vec<_>>().join(", ")
 }
 
 /// A parsed `name : value;` or group event from the tokenizer.
@@ -165,10 +168,7 @@ fn lex(text: &str) -> Result<Vec<(usize, Event)>, ParseLibertyError> {
             let (keyword, name) = match head.find('(') {
                 Some(p) => {
                     let keyword = head[..p].trim().to_owned();
-                    let name = head[p + 1..]
-                        .trim_end_matches(')')
-                        .trim()
-                        .to_owned();
+                    let name = head[p + 1..].trim_end_matches(')').trim().to_owned();
                     (keyword, name)
                 }
                 None => (head.to_owned(), String::new()),
@@ -220,7 +220,10 @@ fn parse_list(line: usize, name: &str, value: &str) -> Result<Vec<f32>, ParseLib
 }
 
 fn kind_from_name(name: &str) -> Option<CellKind> {
-    CellKind::all().iter().copied().find(|k| k.to_string() == name)
+    CellKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.to_string() == name)
 }
 
 /// Parse the Liberty subset back into a [`CellLibrary`].
@@ -332,10 +335,13 @@ pub fn parse_liberty(text: &str) -> Result<CellLibrary, ParseLibertyError> {
                         let cell_name = draft.kind.to_string();
                         let mut tables = Vec::with_capacity(4);
                         for (i, t) in draft.tables.into_iter().enumerate() {
-                            tables.push(t.ok_or_else(|| ParseLibertyError::MissingTable {
-                                cell: cell_name.clone(),
-                                table: ["delay_rise", "delay_fall", "slew_rise", "slew_fall"][i]
-                                    .to_owned(),
+                            tables.push(t.ok_or_else(|| {
+                                ParseLibertyError::MissingTable {
+                                    cell: cell_name.clone(),
+                                    table: ["delay_rise", "delay_fall", "slew_rise", "slew_fall"]
+                                        [i]
+                                        .to_owned(),
+                                }
                             })?);
                         }
                         let mut it = tables.into_iter();
@@ -506,7 +512,10 @@ mod tests {
 
     #[test]
     fn errors_display_cleanly() {
-        let e = ParseLibertyError::MissingTable { cell: "INV".into(), table: "slew_rise".into() };
+        let e = ParseLibertyError::MissingTable {
+            cell: "INV".into(),
+            table: "slew_rise".into(),
+        };
         assert!(e.to_string().contains("INV"));
         assert!(e.to_string().contains("slew_rise"));
     }

@@ -63,9 +63,11 @@ impl CellKind {
     pub fn sense(self) -> TimingSense {
         match self {
             CellKind::Buf | CellKind::And2 | CellKind::Or2 => TimingSense::Positive,
-            CellKind::Inv | CellKind::Nand2 | CellKind::Nor2 | CellKind::Nand3 | CellKind::Aoi21 => {
-                TimingSense::Negative
-            }
+            CellKind::Inv
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Nand3
+            | CellKind::Aoi21 => TimingSense::Negative,
             CellKind::Xor2 | CellKind::Mux2 => TimingSense::NonUnate,
             // The D->Q "arc" is not combinational; sense is unused.
             CellKind::Dff => TimingSense::Positive,
@@ -141,7 +143,10 @@ impl Lut2D {
     /// Panics if the axes are empty, not strictly increasing, or the value
     /// count does not match.
     pub fn new(slew_axis: Vec<f32>, load_axis: Vec<f32>, values: Vec<f32>) -> Self {
-        assert!(!slew_axis.is_empty() && !load_axis.is_empty(), "empty LUT axis");
+        assert!(
+            !slew_axis.is_empty() && !load_axis.is_empty(),
+            "empty LUT axis"
+        );
         assert!(
             slew_axis.windows(2).all(|w| w[0] < w[1]),
             "slew axis must be strictly increasing"
@@ -150,17 +155,21 @@ impl Lut2D {
             load_axis.windows(2).all(|w| w[0] < w[1]),
             "load axis must be strictly increasing"
         );
-        assert_eq!(values.len(), slew_axis.len() * load_axis.len(), "LUT value count mismatch");
-        Lut2D { slew_axis, load_axis, values }
+        assert_eq!(
+            values.len(),
+            slew_axis.len() * load_axis.len(),
+            "LUT value count mismatch"
+        );
+        Lut2D {
+            slew_axis,
+            load_axis,
+            values,
+        }
     }
 
     /// Generate a table on the given axes from a closure (used by the
     /// programmatic library).
-    pub fn from_fn(
-        slew_axis: Vec<f32>,
-        load_axis: Vec<f32>,
-        f: impl Fn(f32, f32) -> f32,
-    ) -> Self {
+    pub fn from_fn(slew_axis: Vec<f32>, load_axis: Vec<f32>, f: impl Fn(f32, f32) -> f32) -> Self {
         let f = &f;
         let values = slew_axis
             .iter()
@@ -354,11 +363,7 @@ mod tests {
 
     #[test]
     fn lut_exact_on_grid_points() {
-        let lut = Lut2D::new(
-            vec![1.0, 2.0],
-            vec![10.0, 20.0],
-            vec![1.0, 2.0, 3.0, 4.0],
-        );
+        let lut = Lut2D::new(vec![1.0, 2.0], vec![10.0, 20.0], vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(lut.lookup(1.0, 10.0), 1.0);
         assert_eq!(lut.lookup(1.0, 20.0), 2.0);
         assert_eq!(lut.lookup(2.0, 10.0), 3.0);
@@ -367,11 +372,7 @@ mod tests {
 
     #[test]
     fn lut_bilinear_midpoint() {
-        let lut = Lut2D::new(
-            vec![0.0, 2.0],
-            vec![0.0, 2.0],
-            vec![0.0, 2.0, 2.0, 4.0],
-        );
+        let lut = Lut2D::new(vec![0.0, 2.0], vec![0.0, 2.0], vec![0.0, 2.0, 2.0, 4.0]);
         assert_eq!(lut.lookup(1.0, 1.0), 2.0);
     }
 

@@ -176,7 +176,11 @@ impl NetlistBuilder {
 
     /// Instantiate a gate of `cell` with drive strength 1.0.
     pub fn add_gate(&mut self, name: impl Into<String>, cell: CellKind) -> GateId {
-        self.gates.push(Gate { name: name.into(), cell, drive: 1.0 });
+        self.gates.push(Gate {
+            name: name.into(),
+            cell,
+            drive: 1.0,
+        });
         GateId(self.gates.len() as u32 - 1)
     }
 
@@ -190,7 +194,12 @@ impl NetlistBuilder {
     /// # Errors
     ///
     /// Returns [`ConnectError`] if the gate or pin index is invalid.
-    pub fn connect_to_gate(&mut self, from: PortId, gate: GateId, pin: u8) -> Result<(), ConnectError> {
+    pub fn connect_to_gate(
+        &mut self,
+        from: PortId,
+        gate: GateId,
+        pin: u8,
+    ) -> Result<(), ConnectError> {
         self.check_sink(gate, pin)?;
         self.connections
             .push((PinRef::PrimaryInput(from), PinRef::GateInput(gate, pin)));
@@ -270,7 +279,9 @@ impl NetlistBuilder {
         for (driver, sink) in self.connections {
             if let Some(prev) = seen_sinks.insert(sink, driver) {
                 if prev != driver {
-                    return Err(BuildNetlistError::MultipleDrivers { sink: format!("{sink:?}") });
+                    return Err(BuildNetlistError::MultipleDrivers {
+                        sink: format!("{sink:?}"),
+                    });
                 }
                 continue; // duplicate identical connection
             }
@@ -383,7 +394,8 @@ mod tests {
         let g = nb.add_gate("u1", CellKind::Inv);
         let y = nb.add_primary_output("y");
         nb.connect_to_gate(a, g, 0).expect("valid");
-        nb.connect_to_gate(b, g, 0).expect("valid call; clash detected at build");
+        nb.connect_to_gate(b, g, 0)
+            .expect("valid call; clash detected at build");
         nb.connect_to_output(g, y).expect("valid");
         assert!(matches!(
             nb.build().expect_err("pin driven twice"),

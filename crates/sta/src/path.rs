@@ -70,7 +70,8 @@ pub fn trace_worst_path(
     let (mut tr, _) = [Tr::Rise, Tr::Fall]
         .into_iter()
         .map(|tr| {
-            let slack = data.required(endpoint, tr, Mode::Late) - data.arrival(endpoint, tr, Mode::Late);
+            let slack =
+                data.required(endpoint, tr, Mode::Late) - data.arrival(endpoint, tr, Mode::Late);
             (tr, slack)
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))?;
@@ -141,7 +142,10 @@ pub fn trace_worst_path(
         };
     }
     rev_steps.reverse();
-    Some(TimingPath { steps: rev_steps, slack_ps })
+    Some(TimingPath {
+        steps: rev_steps,
+        slack_ps,
+    })
 }
 
 /// Late-mode cached delay of arc `a` at output transition `tr`.
@@ -178,7 +182,8 @@ mod tests {
             }
             prev = Some(g);
         }
-        nb.connect_to_output(prev.expect("len > 0"), y).expect("valid");
+        nb.connect_to_output(prev.expect("len > 0"), y)
+            .expect("valid");
         let mut timer = Timer::new(nb.build().expect("valid"), CellLibrary::typical());
         timer.update_timing().run_sequential();
         let endpoint = NodeId(timer.graph().endpoints()[0]);
@@ -245,7 +250,8 @@ mod tests {
             }
             prev = Some(g);
         }
-        nb.connect_to_output(prev.expect("built"), y_slow).expect("valid");
+        nb.connect_to_output(prev.expect("built"), y_slow)
+            .expect("valid");
 
         let mut timer = Timer::new(nb.build().expect("valid"), CellLibrary::typical());
         timer.update_timing().run_sequential();
@@ -260,8 +266,14 @@ mod tests {
         )
         .expect("traceable");
         let locations: Vec<&str> = path.steps.iter().map(|s| s.location.as_str()).collect();
-        assert!(locations.contains(&"slow2.out"), "path must go through the slow chain");
-        assert!(!locations.contains(&"fast.out"), "path must avoid the fast branch");
+        assert!(
+            locations.contains(&"slow2.out"),
+            "path must go through the slow chain"
+        );
+        assert!(
+            !locations.contains(&"fast.out"),
+            "path must avoid the fast branch"
+        );
     }
 
     #[test]

@@ -65,8 +65,16 @@ mod tests {
             tns_ps: -20.0,
             num_endpoints: 3,
             worst: vec![
-                EndpointSlack { node: NodeId(9), name: "y1".into(), slack_ps: -12.5 },
-                EndpointSlack { node: NodeId(7), name: "y0".into(), slack_ps: 4.0 },
+                EndpointSlack {
+                    node: NodeId(9),
+                    name: "y1".into(),
+                    slack_ps: -12.5,
+                },
+                EndpointSlack {
+                    node: NodeId(7),
+                    name: "y0".into(),
+                    slack_ps: 4.0,
+                },
             ],
         }
     }

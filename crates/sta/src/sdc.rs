@@ -67,7 +67,10 @@ impl Error for ParseSdcError {}
 /// Emit the timer's constraint state as SDC.
 pub fn write_sdc(timer: &Timer) -> String {
     let mut out = String::new();
-    out.push_str(&format!("create_clock -period {}\n", timer.data().clock_period_ps));
+    out.push_str(&format!(
+        "create_clock -period {}\n",
+        timer.data().clock_period_ps
+    ));
     for (p, name) in timer.netlist().input_names().iter().enumerate() {
         let d = timer.data().input_delay(p as u32);
         if d != 0.0 {
@@ -95,7 +98,10 @@ fn parse_get_ports(line_no: usize, tok: &str) -> Result<&str, ParseSdcError> {
 }
 
 fn find_port(names: &[String], name: &str) -> Option<PortId> {
-    names.iter().position(|n| n == name).map(|i| PortId(i as u32))
+    names
+        .iter()
+        .position(|n| n == name)
+        .map(|i| PortId(i as u32))
 }
 
 /// Apply SDC constraints to `timer`, marking affected timing dirty; the
@@ -188,13 +194,20 @@ pub fn apply_sdc(timer: &mut Timer, text: &str) -> Result<(), ParseSdcError> {
                 let name = parse_get_ports(line_no, ports_tok)?;
                 if cmd == "set_input_delay" {
                     let port = find_port(timer.netlist().input_names(), name).ok_or_else(|| {
-                        ParseSdcError::UnknownPort { line: line_no, port: name.to_owned() }
+                        ParseSdcError::UnknownPort {
+                            line: line_no,
+                            port: name.to_owned(),
+                        }
                     })?;
                     timer.set_input_delay(port, delay);
                 } else {
-                    let port = find_port(timer.netlist().output_names(), name).ok_or_else(|| {
-                        ParseSdcError::UnknownPort { line: line_no, port: name.to_owned() }
-                    })?;
+                    let port =
+                        find_port(timer.netlist().output_names(), name).ok_or_else(|| {
+                            ParseSdcError::UnknownPort {
+                                line: line_no,
+                                port: name.to_owned(),
+                            }
+                        })?;
                     timer.set_output_delay(port, delay);
                 }
             }
@@ -250,16 +263,39 @@ mod tests {
         let mut timer = buf_timer();
         timer.update_timing().run_sequential();
         let before = timer.report(2);
-        let y_before = before.worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        let y_before = before
+            .worst
+            .iter()
+            .find(|e| e.name == "y")
+            .expect("y")
+            .slack_ps;
 
         apply_sdc(&mut timer, "set_input_delay 200 [get_ports a]\n").expect("valid");
         timer.update_timing().run_sequential();
         let after = timer.report(2);
-        let y_after = after.worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
-        let z_after = after.worst.iter().find(|e| e.name == "z").expect("z").slack_ps;
-        assert!((y_before - y_after - 200.0).abs() < 0.5, "y slack drops by the input delay");
+        let y_after = after
+            .worst
+            .iter()
+            .find(|e| e.name == "y")
+            .expect("y")
+            .slack_ps;
+        let z_after = after
+            .worst
+            .iter()
+            .find(|e| e.name == "z")
+            .expect("z")
+            .slack_ps;
+        assert!(
+            (y_before - y_after - 200.0).abs() < 0.5,
+            "y slack drops by the input delay"
+        );
         // z's path from b is unaffected.
-        let z_before = before.worst.iter().find(|e| e.name == "z").expect("z").slack_ps;
+        let z_before = before
+            .worst
+            .iter()
+            .find(|e| e.name == "z")
+            .expect("z")
+            .slack_ps;
         assert_eq!(z_before, z_after);
     }
 
@@ -267,10 +303,22 @@ mod tests {
     fn output_delay_tightens_required_time() {
         let mut timer = buf_timer();
         timer.update_timing().run_sequential();
-        let before = timer.report(2).worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        let before = timer
+            .report(2)
+            .worst
+            .iter()
+            .find(|e| e.name == "y")
+            .expect("y")
+            .slack_ps;
         apply_sdc(&mut timer, "set_output_delay 150 [get_ports y]\n").expect("valid");
         timer.update_timing().run_sequential();
-        let after = timer.report(2).worst.iter().find(|e| e.name == "y").expect("y").slack_ps;
+        let after = timer
+            .report(2)
+            .worst
+            .iter()
+            .find(|e| e.name == "y")
+            .expect("y")
+            .slack_ps;
         assert!((before - after - 150.0).abs() < 0.5, "{before} -> {after}");
     }
 
@@ -308,7 +356,10 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let mut timer = buf_timer();
-        match apply_sdc(&mut timer, "create_clock -period 500\nset_input_delay 1 [get_ports nope]\n") {
+        match apply_sdc(
+            &mut timer,
+            "create_clock -period 500\nset_input_delay 1 [get_ports nope]\n",
+        ) {
             Err(ParseSdcError::UnknownPort { line, port }) => {
                 assert_eq!(line, 2);
                 assert_eq!(port, "nope");

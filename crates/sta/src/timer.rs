@@ -112,7 +112,10 @@ impl Timer {
     /// Panics if `g` is out of range or `drive` is not positive.
     pub fn repower_gate(&mut self, g: GateId, drive: f32) {
         assert!(drive > 0.0, "drive strength must be positive");
-        assert!(g.index() < self.netlist.num_gates(), "gate {g} out of range");
+        assert!(
+            g.index() < self.netlist.num_gates(),
+            "gate {g} out of range"
+        );
         self.data.set_drive(g.0, drive);
 
         // Recompute electrical state of every net feeding g, and mark the
@@ -159,7 +162,10 @@ impl Timer {
     ///
     /// Panics if `port` is out of range.
     pub fn set_input_delay(&mut self, port: crate::PortId, delay_ps: f32) {
-        assert!(port.index() < self.netlist.num_inputs(), "input port out of range");
+        assert!(
+            port.index() < self.netlist.num_inputs(),
+            "input port out of range"
+        );
         self.data.set_input_delay(port.0, delay_ps);
         // The PI node is the graph node with the same index as the port.
         self.dirty.push(port.0);
@@ -172,7 +178,10 @@ impl Timer {
     ///
     /// Panics if `port` is out of range.
     pub fn set_output_delay(&mut self, port: crate::PortId, delay_ps: f32) {
-        assert!(port.index() < self.netlist.num_outputs(), "output port out of range");
+        assert!(
+            port.index() < self.netlist.num_outputs(),
+            "output port out of range"
+        );
         self.data.set_output_delay(port.0, delay_ps);
         // Dirtying the PO node regenerates the backward cone's required
         // times (its forward cone is empty).
@@ -258,7 +267,8 @@ impl Timer {
         }
         let num_tasks = task_node.len();
 
-        let mut builder = TdgBuilder::with_capacity(num_tasks, 2 * self.graph.num_arcs() + num_fprop);
+        let mut builder =
+            TdgBuilder::with_capacity(num_tasks, 2 * self.graph.num_arcs() + num_fprop);
         for arc in self.graph.arcs() {
             let (u, v) = (arc.from.0 as usize, arc.to.0 as usize);
             if in_f[u] && in_f[v] {
@@ -335,13 +345,15 @@ impl Timer {
             .collect();
         endpoints.sort_by(|a, b| a.slack_ps.total_cmp(&b.slack_ps));
         let wns_ps = endpoints.first().map_or(f32::INFINITY, |e| e.slack_ps);
-        let tns_ps = endpoints
-            .iter()
-            .map(|e| e.slack_ps.min(0.0))
-            .sum();
+        let tns_ps = endpoints.iter().map(|e| e.slack_ps.min(0.0)).sum();
         let num_endpoints = endpoints.len();
         endpoints.truncate(k);
-        TimingReport { wns_ps, tns_ps, num_endpoints, worst: endpoints }
+        TimingReport {
+            wns_ps,
+            tns_ps,
+            num_endpoints,
+            worst: endpoints,
+        }
     }
 
     fn endpoint_name(&self, v: NodeId) -> String {
@@ -454,7 +466,8 @@ mod tests {
             }
             prev = Some(g);
         }
-        nb.connect_to_output(prev.expect("len > 0"), y).expect("valid");
+        nb.connect_to_output(prev.expect("len > 0"), y)
+            .expect("valid");
         Timer::new(nb.build().expect("well-formed"), CellLibrary::typical())
     }
 
@@ -469,7 +482,11 @@ mod tests {
         drop(update);
         let report = timer.report(3);
         assert!(report.wns_ps.is_finite());
-        assert!(report.wns_ps > 0.0, "short chain meets 1 ns: {}", report.wns_ps);
+        assert!(
+            report.wns_ps > 0.0,
+            "short chain meets 1 ns: {}",
+            report.wns_ps
+        );
     }
 
     #[test]
@@ -485,7 +502,10 @@ mod tests {
                 TaskKind::Bprop => {}
             }
         }
-        assert!(fprop_seen.iter().all(|&s| s), "every node has an fprop task");
+        assert!(
+            fprop_seen.iter().all(|&s| s),
+            "every node has an fprop task"
+        );
     }
 
     #[test]
@@ -555,7 +575,10 @@ mod tests {
         timer.set_net_cap(2, 50.0);
         timer.update_timing().run_sequential();
         let after = timer.report(1).wns_ps;
-        assert!(after < before, "added 50 fF, slack must drop: {after} vs {before}");
+        assert!(
+            after < before,
+            "added 50 fF, slack must drop: {after} vs {before}"
+        );
     }
 
     #[test]
@@ -566,7 +589,10 @@ mod tests {
         timer.set_clock_period(2_000.0);
         timer.update_timing().run_sequential();
         let at_2ns = timer.report(1).wns_ps;
-        assert!((at_2ns - at_1ns - 1_000.0).abs() < 1.0, "slack shifts by the period delta");
+        assert!(
+            (at_2ns - at_1ns - 1_000.0).abs() < 1.0,
+            "slack shifts by the period delta"
+        );
     }
 
     #[test]
@@ -588,7 +614,10 @@ mod tests {
         timer.update_timing().run_sequential();
         let report = timer.report(2);
         assert_eq!(report.num_endpoints, 2);
-        assert_eq!(report.worst[0].name, "y_long", "longer path is more critical");
+        assert_eq!(
+            report.worst[0].name, "y_long",
+            "longer path is more critical"
+        );
         assert!(report.worst[0].slack_ps < report.worst[1].slack_ps);
     }
 

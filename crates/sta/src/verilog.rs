@@ -140,7 +140,10 @@ pub fn write_verilog(netlist: &Netlist, name: &str) -> String {
         out.push_str(&format!("  input {};\n", netlist.input_names().join(", ")));
     }
     if !netlist.output_names().is_empty() {
-        out.push_str(&format!("  output {};\n", netlist.output_names().join(", ")));
+        out.push_str(&format!(
+            "  output {};\n",
+            netlist.output_names().join(", ")
+        ));
     }
     if netlist.num_gates() > 0 {
         let wires: Vec<String> = (0..netlist.num_gates() as u32).map(wire_of_gate).collect();
@@ -175,8 +178,17 @@ pub fn write_verilog(netlist: &Netlist, name: &str) -> String {
                 .expect("netlist invariant: every input pin is driven");
             pins.push(format!(".{}({net})", input_pin_name(gate.cell, pin)));
         }
-        pins.push(format!(".{}({})", output_pin_name(gate.cell), wire_of_gate(g32)));
-        out.push_str(&format!("  {} {} ({});\n", gate.cell, gate.name, pins.join(", ")));
+        pins.push(format!(
+            ".{}({})",
+            output_pin_name(gate.cell),
+            wire_of_gate(g32)
+        ));
+        out.push_str(&format!(
+            "  {} {} ({});\n",
+            gate.cell,
+            gate.name,
+            pins.join(", ")
+        ));
     }
 
     // Primary outputs.
@@ -208,7 +220,10 @@ pub fn write_verilog(netlist: &Netlist, name: &str) -> String {
 }
 
 fn kind_from_name(name: &str) -> Option<CellKind> {
-    CellKind::all().iter().copied().find(|k| k.to_string() == name)
+    CellKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.to_string() == name)
 }
 
 /// Parse the structural-Verilog subset back into a [`Netlist`].
@@ -227,14 +242,14 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
             let mut it = p.split_whitespace();
             let kind = it.next().unwrap_or("");
             let name = it.next().unwrap_or("").to_owned();
-            let value: f32 = it
-                .next()
-                .unwrap_or("")
-                .parse()
-                .map_err(|_| ParseVerilogError::Syntax {
-                    line: i + 1,
-                    message: "malformed gpasta pragma".into(),
-                })?;
+            let value: f32 =
+                it.next()
+                    .unwrap_or("")
+                    .parse()
+                    .map_err(|_| ParseVerilogError::Syntax {
+                        line: i + 1,
+                        message: "malformed gpasta pragma".into(),
+                    })?;
             match kind {
                 "drive" => drive_pragmas.push((name, value)),
                 "wire_cap" => cap_pragmas.push((name, value)),
@@ -347,23 +362,20 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
                         message: "assign without `=`".into(),
                     })?
                     .trim();
-                let port = outputs
-                    .get(lhs)
-                    .ok_or_else(|| ParseVerilogError::Syntax {
-                        line,
-                        message: format!("assign target `{lhs}` is not an output"),
-                    })?;
+                let port = outputs.get(lhs).ok_or_else(|| ParseVerilogError::Syntax {
+                    line,
+                    message: format!("assign target `{lhs}` is not an output"),
+                })?;
                 sinks.push((line, rhs.to_owned(), PinRef::PrimaryOutput(*port)));
             }
             Some("endmodule") => break,
             Some(cell_name) => {
                 // CELL instance ( .pin(net), ... )
-                let kind = kind_from_name(cell_name).ok_or_else(|| {
-                    ParseVerilogError::UnknownCell {
+                let kind =
+                    kind_from_name(cell_name).ok_or_else(|| ParseVerilogError::UnknownCell {
                         name: cell_name.to_owned(),
                         instance: words.next().unwrap_or("?").to_owned(),
-                    }
-                })?;
+                    })?;
                 let rest = stmt[cell_name.len()..].trim();
                 let open = rest.find('(').ok_or_else(|| ParseVerilogError::Syntax {
                     line,
@@ -381,12 +393,12 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
 
                 let list = rest[open + 1..].trim_end_matches(')');
                 for conn in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-                    let conn = conn.strip_prefix('.').ok_or_else(|| {
-                        ParseVerilogError::Syntax {
+                    let conn = conn
+                        .strip_prefix('.')
+                        .ok_or_else(|| ParseVerilogError::Syntax {
                             line,
                             message: format!("expected named connection, got `{conn}`"),
-                        }
-                    })?;
+                        })?;
                     let p = conn.find('(').ok_or_else(|| ParseVerilogError::Syntax {
                         line,
                         message: format!("malformed connection `.{conn}`"),
@@ -394,7 +406,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
                     let pin_name = conn[..p].trim();
                     let net = conn[p + 1..].trim_end_matches(')').trim().to_owned();
                     if pin_name == output_pin_name(kind) {
-                        if drivers.insert(net.clone(), PinRef::GateOutput(gate)).is_some() {
+                        if drivers
+                            .insert(net.clone(), PinRef::GateOutput(gate))
+                            .is_some()
+                        {
                             return Err(ParseVerilogError::DoubleDrivenNet { net });
                         }
                     } else if let Some(idx) = input_pin_index(kind, pin_name) {
@@ -442,9 +457,8 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
         let _ = line;
         match (driver, sink) {
             (PinRef::PrimaryInput(p), PinRef::GateInput(g, pin)) => {
-                nb.connect_to_gate(p, g, pin).map_err(|e| {
-                    ParseVerilogError::Netlist(e.to_string())
-                })?;
+                nb.connect_to_gate(p, g, pin)
+                    .map_err(|e| ParseVerilogError::Netlist(e.to_string()))?;
             }
             (PinRef::GateOutput(d), PinRef::GateInput(g, pin)) => {
                 nb.connect_gates(d, g, pin)
@@ -477,9 +491,9 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, ParseVerilogError> {
         .build()
         .map_err(|e| ParseVerilogError::Netlist(e.to_string()))?;
     for (inst, drive) in drive_pragmas {
-        let gate = gate_names
-            .get(&inst)
-            .ok_or_else(|| ParseVerilogError::Netlist(format!("pragma names unknown instance `{inst}`")))?;
+        let gate = gate_names.get(&inst).ok_or_else(|| {
+            ParseVerilogError::Netlist(format!("pragma names unknown instance `{inst}`"))
+        })?;
         netlist.set_drive(*gate, drive);
     }
     Ok(netlist)
@@ -551,7 +565,9 @@ mod tests {
     fn generated_circuits_round_trip() {
         // A bigger, machine-generated netlist must survive the trip too.
         let mut nb = NetlistBuilder::new();
-        let pis: Vec<_> = (0..6).map(|i| nb.add_primary_input(format!("in{i}"))).collect();
+        let pis: Vec<_> = (0..6)
+            .map(|i| nb.add_primary_input(format!("in{i}")))
+            .collect();
         let mut prev: Vec<GateId> = Vec::new();
         for (i, &pi) in pis.iter().enumerate() {
             let g = nb.add_gate(format!("g{i}"), CellKind::Buf);
@@ -561,11 +577,13 @@ mod tests {
         for i in 0..8 {
             let g = nb.add_gate(format!("x{i}"), CellKind::Xor2);
             nb.connect_gates(prev[i % prev.len()], g, 0).expect("valid");
-            nb.connect_gates(prev[(i + 1) % prev.len()], g, 1).expect("valid");
+            nb.connect_gates(prev[(i + 1) % prev.len()], g, 1)
+                .expect("valid");
             prev.push(g);
         }
         let po = nb.add_primary_output("out");
-        nb.connect_to_output(*prev.last().expect("gates"), po).expect("valid");
+        nb.connect_to_output(*prev.last().expect("gates"), po)
+            .expect("valid");
         let n = nb.build().expect("valid");
 
         let back = parse_verilog(&write_verilog(&n, "gen")).expect("parses");
@@ -658,7 +676,10 @@ mod tests {
 
     #[test]
     fn errors_display_cleanly() {
-        let e = ParseVerilogError::UnknownPin { instance: "u1".into(), pin: "z".into() };
+        let e = ParseVerilogError::UnknownPin {
+            instance: "u1".into(),
+            pin: "z".into(),
+        };
         assert!(e.to_string().contains("u1"));
         assert!(e.to_string().contains("z"));
     }

@@ -42,7 +42,8 @@ pub fn partition_to_dot(tdg: &Tdg, partition: &Partition) -> String {
         tdg.num_tasks(),
         "partition/TDG task count mismatch"
     );
-    let mut out = String::from("digraph partitioned_tdg {\n  rankdir=TB;\n  node [shape=circle];\n");
+    let mut out =
+        String::from("digraph partitioned_tdg {\n  rankdir=TB;\n  node [shape=circle];\n");
     for (pid, members) in partition.members().iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_{pid} {{");
         let _ = writeln!(out, "    label=\"P{pid}\";");

@@ -35,14 +35,23 @@ impl fmt::Display for BuildTdgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             BuildTdgError::TaskOutOfRange { task, num_tasks } => {
-                write!(f, "task id {task} out of range (graph has {num_tasks} tasks)")
+                write!(
+                    f,
+                    "task id {task} out of range (graph has {num_tasks} tasks)"
+                )
             }
             BuildTdgError::SelfLoop { task } => write!(f, "self-loop on task {task}"),
             BuildTdgError::Cycle { witness } => {
-                write!(f, "dependency cycle detected (task {witness} never becomes ready)")
+                write!(
+                    f,
+                    "dependency cycle detected (task {witness} never becomes ready)"
+                )
             }
             BuildTdgError::TooManyTasks { requested } => {
-                write!(f, "requested {requested} tasks, which exceeds the u32 task-id space")
+                write!(
+                    f,
+                    "requested {requested} tasks, which exceeds the u32 task-id space"
+                )
             }
         }
     }
@@ -144,7 +153,10 @@ mod tests {
         assert!(e.to_string().contains("cycle"));
         let e = ValidatePartitionError::QuotientCycle { witness_pid: 2 };
         assert!(e.to_string().contains("partition 2"));
-        let e = ValidatePartitionError::NotConvex { pid: 1, via_task: 9 };
+        let e = ValidatePartitionError::NotConvex {
+            pid: 1,
+            via_task: 9,
+        };
         assert!(e.to_string().contains("convex"));
     }
 

@@ -11,7 +11,9 @@ use std::fmt;
 /// is `u32` because the paper's largest TDG (leon2, 4.3 M tasks) fits
 /// comfortably and the GPU kernels pack ids into 64-bit sort keys
 /// (Algorithm 2, line 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -264,15 +266,23 @@ impl TdgBuilder {
     /// [`BuildTdgError::Cycle`] if the edge set is not acyclic.
     pub fn build(mut self) -> Result<Tdg, BuildTdgError> {
         if self.num_tasks > u32::MAX as usize {
-            return Err(BuildTdgError::TooManyTasks { requested: self.num_tasks });
+            return Err(BuildTdgError::TooManyTasks {
+                requested: self.num_tasks,
+            });
         }
         let n = self.num_tasks as u32;
         for &(u, v) in &self.edges {
             if u >= n {
-                return Err(BuildTdgError::TaskOutOfRange { task: u, num_tasks: n });
+                return Err(BuildTdgError::TaskOutOfRange {
+                    task: u,
+                    num_tasks: n,
+                });
             }
             if v >= n {
-                return Err(BuildTdgError::TaskOutOfRange { task: v, num_tasks: n });
+                return Err(BuildTdgError::TaskOutOfRange {
+                    task: v,
+                    num_tasks: n,
+                });
             }
             if u == v {
                 return Err(BuildTdgError::SelfLoop { task: u });
@@ -334,9 +344,7 @@ impl TdgBuilder {
 
         // Kahn's algorithm: if not all tasks become ready, a cycle exists.
         let mut indeg = tdg.in_degrees();
-        let mut queue: Vec<u32> = (0..n as u32)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut visited = 0usize;
         while let Some(u) = queue.pop() {
             visited += 1;
@@ -427,8 +435,12 @@ mod tests {
         let mut b = TdgBuilder::new(2);
         b.add_edge(TaskId(0), TaskId(5));
         assert_eq!(
-            b.build().expect_err("edge to task 5 exceeds the task range"),
-            BuildTdgError::TaskOutOfRange { task: 5, num_tasks: 2 }
+            b.build()
+                .expect_err("edge to task 5 exceeds the task range"),
+            BuildTdgError::TaskOutOfRange {
+                task: 5,
+                num_tasks: 2
+            }
         );
     }
 

@@ -92,28 +92,25 @@ pub fn parse_edge_list(text: &str) -> Result<Tdg, ParseEdgeListError> {
         if let Some(rest) = trimmed.strip_prefix('#') {
             let rest = rest.trim();
             if let Some(n) = rest.strip_prefix("tasks:") {
-                declared_tasks = Some(n.trim().parse().map_err(|_| {
-                    ParseEdgeListError::Syntax {
+                declared_tasks =
+                    Some(n.trim().parse().map_err(|_| ParseEdgeListError::Syntax {
                         line: line_no,
                         message: "malformed `# tasks:` header".into(),
-                    }
-                })?);
+                    })?);
             } else if let Some(w) = rest.strip_prefix("weight:") {
                 let mut it = w.split_whitespace();
-                let t: u32 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseEdgeListError::Syntax {
+                let t: u32 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    ParseEdgeListError::Syntax {
                         line: line_no,
                         message: "malformed `# weight:` header".into(),
-                    })?;
-                let v: f32 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ParseEdgeListError::Syntax {
+                    }
+                })?;
+                let v: f32 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    ParseEdgeListError::Syntax {
                         line: line_no,
                         message: "malformed `# weight:` header".into(),
-                    })?;
+                    }
+                })?;
                 weights.push((t, v));
                 max_id = max_id.max(t);
             }
@@ -210,7 +207,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert_eq!(parse_edge_list("# nothing\n"), Err(ParseEdgeListError::Empty));
+        assert_eq!(
+            parse_edge_list("# nothing\n"),
+            Err(ParseEdgeListError::Empty)
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl Levels {
         }
         debug_assert_eq!(order.len(), n, "Tdg invariant guarantees acyclicity");
 
-        Levels { level_of, order, offsets }
+        Levels {
+            level_of,
+            order,
+            offsets,
+        }
     }
 
     /// Number of levels (the depth of the TDG). Zero for an empty graph.

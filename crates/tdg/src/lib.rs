@@ -55,10 +55,10 @@ pub mod validate;
 
 pub use dot::{partition_to_dot, quotient_to_dot, tdg_to_dot};
 pub use error::{BuildTdgError, ValidatePartitionError};
-pub use io::{parse_edge_list, write_edge_list, ParseEdgeListError};
-pub use reduce::transitive_reduction;
 pub use graph::{TaskId, Tdg, TdgBuilder};
+pub use io::{parse_edge_list, write_edge_list, ParseEdgeListError};
 pub use level::Levels;
 pub use partition::{Partition, PartitionId, PartitionStats};
 pub use quotient::QuotientTdg;
+pub use reduce::transitive_reduction;
 pub use topo::{critical_path_len, topo_order, ParallelismProfile};

@@ -10,7 +10,9 @@ use std::fmt;
 /// [`Partition::compact`]; partitioners may produce sparse ids internally
 /// (G-PASTA's `max_pid` counter can skip ids when partitions never receive
 /// a member) and compact before returning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PartitionId(pub u32);
 
 impl PartitionId {
@@ -65,7 +67,10 @@ impl Partition {
     /// performs.
     pub fn compact(mut raw: Vec<u32>) -> Self {
         if raw.is_empty() {
-            return Partition { f_pid: raw, num_partitions: 0 };
+            return Partition {
+                f_pid: raw,
+                num_partitions: 0,
+            };
         }
         let max_id = *raw.iter().max().expect("non-empty") as usize;
         // Fast path: ids are reasonably dense — a counting remap is O(n).
@@ -85,7 +90,10 @@ impl Partition {
             for pid in raw.iter_mut() {
                 *pid = remap[*pid as usize];
             }
-            return Partition { f_pid: raw, num_partitions: next };
+            return Partition {
+                f_pid: raw,
+                num_partitions: next,
+            };
         }
         // Sparse ids: order-preserving remap via sort + binary search.
         let mut ids: Vec<u32> = raw.clone();
@@ -93,10 +101,16 @@ impl Partition {
         ids.dedup();
         let f_pid: Vec<u32> = raw
             .into_iter()
-            .map(|pid| ids.binary_search(&pid).expect("id came from the same vector") as u32)
+            .map(|pid| {
+                ids.binary_search(&pid)
+                    .expect("id came from the same vector") as u32
+            })
             .collect();
         let num_partitions = ids.len() as u32;
-        Partition { f_pid, num_partitions }
+        Partition {
+            f_pid,
+            num_partitions,
+        }
     }
 
     /// Build the trivial partition: every task alone in its own partition
@@ -197,7 +211,11 @@ impl PartitionStats {
     /// Panics if `p` does not cover exactly the tasks of `tdg`, or if the
     /// quotient graph is cyclic (validate first for untrusted partitions).
     pub fn of(p: &Partition, tdg: &Tdg) -> Self {
-        assert_eq!(p.num_tasks(), tdg.num_tasks(), "partition/TDG task count mismatch");
+        assert_eq!(
+            p.num_tasks(),
+            tdg.num_tasks(),
+            "partition/TDG task count mismatch"
+        );
         let q = crate::quotient::QuotientTdg::build(tdg, p)
             .expect("quotient must be acyclic; run validate::check_acyclic first");
         let sizes = p.sizes();

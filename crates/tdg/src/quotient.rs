@@ -109,7 +109,10 @@ impl QuotientTdg {
         {
             let mut cursor = rev_off.clone();
             for p in 0..np as u32 {
-                let (lo, hi) = (fwd_off[p as usize] as usize, fwd_off[p as usize + 1] as usize);
+                let (lo, hi) = (
+                    fwd_off[p as usize] as usize,
+                    fwd_off[p as usize + 1] as usize,
+                );
                 for &v in &fwd_adj[lo..hi] {
                     rev_adj[cursor[v as usize] as usize] = p;
                     cursor[v as usize] += 1;
@@ -119,14 +122,15 @@ impl QuotientTdg {
 
         // Acyclicity check (Kahn) on the quotient.
         {
-            let mut indeg: Vec<u32> =
-                (0..np).map(|p| rev_off[p + 1] - rev_off[p]).collect();
-            let mut stack: Vec<u32> =
-                (0..np as u32).filter(|&p| indeg[p as usize] == 0).collect();
+            let mut indeg: Vec<u32> = (0..np).map(|p| rev_off[p + 1] - rev_off[p]).collect();
+            let mut stack: Vec<u32> = (0..np as u32).filter(|&p| indeg[p as usize] == 0).collect();
             let mut visited = 0usize;
             while let Some(p) = stack.pop() {
                 visited += 1;
-                let (lo, hi) = (fwd_off[p as usize] as usize, fwd_off[p as usize + 1] as usize);
+                let (lo, hi) = (
+                    fwd_off[p as usize] as usize,
+                    fwd_off[p as usize + 1] as usize,
+                );
                 for &v in &fwd_adj[lo..hi] {
                     indeg[v as usize] -= 1;
                     if indeg[v as usize] == 0 {
@@ -136,7 +140,9 @@ impl QuotientTdg {
             }
             if visited != np {
                 let witness = indeg.iter().position(|&d| d > 0).unwrap_or(0) as u32;
-                return Err(ValidatePartitionError::QuotientCycle { witness_pid: witness });
+                return Err(ValidatePartitionError::QuotientCycle {
+                    witness_pid: witness,
+                });
             }
         }
 
@@ -155,8 +161,7 @@ impl QuotientTdg {
         // needs. Flattened storage avoids one Vec per partition.
         let mut topo = Vec::with_capacity(n);
         let mut indeg = tdg.in_degrees();
-        let mut stack: Vec<u32> =
-            (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
+        let mut stack: Vec<u32> = (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
         while let Some(t) = stack.pop() {
             topo.push(t);
             for &s in tdg.successors(TaskId(t)) {
@@ -183,7 +188,11 @@ impl QuotientTdg {
             }
         }
 
-        Ok(QuotientTdg { graph, exec_flat, exec_off })
+        Ok(QuotientTdg {
+            graph,
+            exec_flat,
+            exec_off,
+        })
     }
 
     /// The coarse DAG over partitions. Node ids are [`PartitionId`] values
@@ -285,7 +294,10 @@ mod tests {
             .expect_err("short assignment must be rejected");
         assert_eq!(
             err,
-            ValidatePartitionError::LengthMismatch { num_tasks: 4, assignment_len: 2 }
+            ValidatePartitionError::LengthMismatch {
+                num_tasks: 4,
+                assignment_len: 2
+            }
         );
     }
 

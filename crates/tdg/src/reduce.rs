@@ -98,8 +98,7 @@ pub fn transitive_reduction(tdg: &Tdg) -> Tdg {
     for t in 0..n as u32 {
         b.set_weight(TaskId(t), tdg.weight(TaskId(t)));
     }
-    b.build()
-        .expect("a subgraph of a DAG is a DAG")
+    b.build().expect("a subgraph of a DAG is a DAG")
 }
 
 #[cfg(test)]

@@ -75,7 +75,11 @@ impl ParallelismProfile {
         let depth = levels.depth();
         let num_tasks = tdg.num_tasks();
         let max_width = levels.max_width();
-        let avg_parallelism = if depth == 0 { 0.0 } else { num_tasks as f64 / depth as f64 };
+        let avg_parallelism = if depth == 0 {
+            0.0
+        } else {
+            num_tasks as f64 / depth as f64
+        };
 
         // Weighted span: longest path under task weights, via one pass over
         // the levelised order.

@@ -91,7 +91,10 @@ pub fn check_convex(tdg: &Tdg, p: &Partition) -> Result<(), ValidatePartitionErr
             for &w in tdg.successors(TaskId(v)) {
                 if assignment[w as usize] == pu {
                     // Path u -> … -> v -> w with v outside the partition.
-                    return Err(ValidatePartitionError::NotConvex { pid: pu, via_task: v });
+                    return Err(ValidatePartitionError::NotConvex {
+                        pid: pu,
+                        via_task: v,
+                    });
                 }
                 if visited[w as usize] != u {
                     stack.push(w);
@@ -158,7 +161,13 @@ mod tests {
     fn figure5a_is_not_convex() {
         let (tdg, p) = figure5a();
         let err = check_convex(&tdg, &p).expect_err("figure 5(a) violates convexity");
-        assert_eq!(err, ValidatePartitionError::NotConvex { pid: 0, via_task: 1 });
+        assert_eq!(
+            err,
+            ValidatePartitionError::NotConvex {
+                pid: 0,
+                via_task: 1
+            }
+        );
     }
 
     #[test]
@@ -197,7 +206,11 @@ mod tests {
         let err = check_size_bound(&p, 2).expect_err("partition 0 has 3 > 2 tasks");
         assert_eq!(
             err,
-            ValidatePartitionError::PartitionTooLarge { pid: 0, size: 3, max_size: 2 }
+            ValidatePartitionError::PartitionTooLarge {
+                pid: 0,
+                size: 3,
+                max_size: 2
+            }
         );
     }
 
@@ -216,8 +229,7 @@ mod tests {
         // Tasks 1 and 2 of the diamond are incomparable; clustering them is
         // convex (no path between them at all).
         let tdg = diamond();
-        check_convex(&tdg, &Partition::new(vec![0, 1, 1, 2]))
-            .expect("antichain cluster is convex");
+        check_convex(&tdg, &Partition::new(vec![0, 1, 1, 2])).expect("antichain cluster is convex");
     }
 
     #[test]
@@ -231,7 +243,10 @@ mod tests {
         let tdg = b.build().expect("chain DAG");
         let err = check_convex(&tdg, &Partition::new(vec![0, 1, 2, 0]))
             .expect_err("P0 = {0,3} is not convex");
-        assert!(matches!(err, ValidatePartitionError::NotConvex { pid: 0, .. }));
+        assert!(matches!(
+            err,
+            ValidatePartitionError::NotConvex { pid: 0, .. }
+        ));
     }
 
     #[test]

@@ -55,7 +55,9 @@ fn main() {
     println!("block-reduce total {total} across {grid_dim} blocks");
 
     // 4. Deterministic primitives (Algorithm 2's pipeline).
-    let mut keys: Vec<u64> = (0..50_000u64).map(|i| (i * 2_654_435_761) % 100_000).collect();
+    let mut keys: Vec<u64> = (0..50_000u64)
+        .map(|i| (i * 2_654_435_761) % 100_000)
+        .collect();
     timer.time("sort_u64", || prims::sort_u64(&dev, &mut keys));
     assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     let ones = vec![1u32; keys.len()];
@@ -103,7 +105,10 @@ fn main() {
         waves += 1;
     }
     assert_eq!(roffset as usize, tdg.num_tasks(), "BFS reached every task");
-    println!("frontier BFS covered {} tasks in {waves} waves", tdg.num_tasks());
+    println!(
+        "frontier BFS covered {} tasks in {waves} waves",
+        tdg.num_tasks()
+    );
 
     println!("\nkernel timings:");
     for (name, count, total) in timer.report() {

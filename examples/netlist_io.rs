@@ -9,9 +9,7 @@
 //! ```
 
 use gpasta::circuits::PaperCircuit;
-use gpasta::sta::{
-    parse_liberty, parse_verilog, write_liberty, write_verilog, CellLibrary, Timer,
-};
+use gpasta::sta::{parse_liberty, parse_verilog, write_liberty, write_verilog, CellLibrary, Timer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = PaperCircuit::DesPerf.build(0.003);

@@ -11,9 +11,7 @@
 //! ```
 
 use gpasta::circuits::dag;
-use gpasta::core::{
-    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
-};
+use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
 use gpasta::tdg::{validate, ParallelismProfile, QuotientTdg, Tdg};
 
 fn shapes() -> Vec<(&'static str, Tdg)> {

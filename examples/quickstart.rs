@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Box::new(DeterGPasta::new()), PartitionerOptions::default()),
         (Box::new(SeqGPasta::new()), PartitionerOptions::default()),
         (Box::new(Gdca::new()), PartitionerOptions::with_max_size(3)),
-        (Box::new(Sarkar::new()), PartitionerOptions::with_max_size(3)),
+        (
+            Box::new(Sarkar::new()),
+            PartitionerOptions::with_max_size(3),
+        ),
     ];
 
     for (p, opts) in &partitioners {

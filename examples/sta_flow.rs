@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{reference}");
 
     println!("\nruntimes:");
-    println!("  sequential          : {:>9.3} ms", sequential.as_secs_f64() * 1e3);
+    println!(
+        "  sequential          : {:>9.3} ms",
+        sequential.as_secs_f64() * 1e3
+    );
     println!(
         "  scheduler (raw TDG) : {:>9.3} ms ({} dispatches)",
         plain.elapsed.as_secs_f64() * 1e3,

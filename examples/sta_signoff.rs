@@ -6,9 +6,7 @@
 //! ```
 
 use gpasta::circuits::PaperCircuit;
-use gpasta::sta::{
-    apply_sdc, check_design_rules, k_worst_paths, write_sdc, CellLibrary, Timer,
-};
+use gpasta::sta::{apply_sdc, check_design_rules, k_worst_paths, write_sdc, CellLibrary, Timer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let library = CellLibrary::typical();
@@ -17,10 +15,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Constrain the design the way a signoff run would: a clock plus
     // boundary delays on the first few ports.
     let mut sdc = String::from("create_clock -name core_clk -period 700\n");
-    for name in timer.netlist().input_names().iter().take(3).cloned().collect::<Vec<_>>() {
+    for name in timer
+        .netlist()
+        .input_names()
+        .iter()
+        .take(3)
+        .cloned()
+        .collect::<Vec<_>>()
+    {
         sdc.push_str(&format!("set_input_delay 90 [get_ports {name}]\n"));
     }
-    for name in timer.netlist().output_names().iter().take(3).cloned().collect::<Vec<_>>() {
+    for name in timer
+        .netlist()
+        .output_names()
+        .iter()
+        .take(3)
+        .cloned()
+        .collect::<Vec<_>>()
+    {
         sdc.push_str(&format!("set_output_delay 60 [get_ports {name}]\n"));
     }
     apply_sdc(&mut timer, &sdc)?;
@@ -40,12 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The three worst paths into the most critical endpoint.
     let endpoint = setup.worst.first().expect("endpoints exist");
     println!("top paths into {}:", endpoint.name);
-    for (i, path) in
-        k_worst_paths(timer.graph(), timer.netlist(), timer.data(), endpoint.node, 3)
-            .into_iter()
-            .enumerate()
+    for (i, path) in k_worst_paths(
+        timer.graph(),
+        timer.netlist(),
+        timer.data(),
+        endpoint.node,
+        3,
+    )
+    .into_iter()
+    .enumerate()
     {
-        println!("\n#{} (slack {:.1} ps, {} hops)", i + 1, path.slack_ps, path.steps.len());
+        println!(
+            "\n#{} (slack {:.1} ps, {} hops)",
+            i + 1,
+            path.slack_ps,
+            path.steps.len()
+        );
         // Print only the gate-output hops to keep it readable.
         for step in path.steps.iter().filter(|s| s.location.ends_with(".out")) {
             println!(

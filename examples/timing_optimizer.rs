@@ -70,8 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Trace the worst path and pick its weakest (lowest-drive) gate.
         let endpoint = report.worst.first().expect("violating endpoint").node;
-        let path = trace_worst_path(timer.graph(), timer.netlist(), &library, timer.data(), endpoint)
-            .expect("endpoint is traceable");
+        let path = trace_worst_path(
+            timer.graph(),
+            timer.netlist(),
+            &library,
+            timer.data(),
+            endpoint,
+        )
+        .expect("endpoint is traceable");
         let victim: Option<GateId> = path
             .steps
             .iter()
@@ -80,16 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 _ => None,
             })
             .filter(|&g| timer.data().drive(g.0) < MAX_DRIVE)
-            .min_by(|&a, &b| {
-                timer
-                    .data()
-                    .drive(a.0)
-                    .total_cmp(&timer.data().drive(b.0))
-            });
+            .min_by(|&a, &b| timer.data().drive(a.0).total_cmp(&timer.data().drive(b.0)));
 
         let Some(gate) = victim else {
             println!("\nno upsizable gate left on the critical path; stopping");
-            println!("best achieved WNS {:.1} ps at clock {clock:.0} ps", report.wns_ps);
+            println!(
+                "best achieved WNS {:.1} ps at clock {clock:.0} ps",
+                report.wns_ps
+            );
             return Ok(());
         };
         let new_drive = timer.data().drive(gate.0) * 2.0;
@@ -106,6 +110,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!("\nstopped after {MAX_ROUNDS} rounds; WNS {:.1} ps", timer.report(1).wns_ps);
+    println!(
+        "\nstopped after {MAX_ROUNDS} rounds; WNS {:.1} ps",
+        timer.report(1).wns_ps
+    );
     Ok(())
 }

@@ -8,13 +8,13 @@
 //!
 //! ```text
 //! gpasta partition edges.txt --algo gpasta --ps 16 --dot out.dot
+//! gpasta sanitize edges.txt --algo gpasta --workers 1,2,4
 //! gpasta stats edges.txt
 //! gpasta demo
 //! ```
 
-use gpasta::core::{
-    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
-};
+use gpasta::core::sanitize::{audit_host_partitioner, audit_partitioner};
+use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
 use gpasta::tdg::{partition_to_dot, validate, ParallelismProfile, TaskId, Tdg, TdgBuilder};
 use std::path::Path;
 use std::process::ExitCode;
@@ -23,6 +23,8 @@ const USAGE: &str = "\
 usage:
   gpasta partition <edges-file> [--algo gpasta|deter|seq|gdca|sarkar]
                                 [--ps <n>] [--dot <file>] [--csv <file>]
+  gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|all]
+                                [--ps <n>] [--workers <w1,w2,..>] [--runs <n>]
   gpasta stats <edges-file>
   gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]
   gpasta demo
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("partition") => partition_cmd(&args[1..]),
+        Some("sanitize") => sanitize_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
         Some("sta") => sta_cmd(&args[1..]),
         Some("demo") => demo_cmd(),
@@ -121,7 +124,10 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
         tdg.num_deps(),
         partition.stats(&tdg)
     );
-    println!("partitioned in {:.3} ms; result validated (acyclic, convex)", elapsed.as_secs_f64() * 1e3);
+    println!(
+        "partitioned in {:.3} ms; result validated (acyclic, convex)",
+        elapsed.as_secs_f64() * 1e3
+    );
 
     if let Some(path) = csv_out {
         let mut out = String::from("task,partition\n");
@@ -135,6 +141,90 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, partition_to_dot(&tdg, &partition))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn sanitize_cmd(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut algo = "all".to_owned();
+    let mut ps = None;
+    let mut workers = vec![1usize, 2, 4];
+    let mut runs = 2usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
+            "--ps" => {
+                ps = Some(
+                    it.next()
+                        .ok_or("--ps needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--ps: {e}"))?,
+                )
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a comma-separated list")?
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--workers: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if workers.is_empty() || workers.contains(&0) {
+                    return Err("--workers needs positive worker counts".into());
+                }
+            }
+            "--runs" => {
+                runs = it
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--runs: {e}"))?;
+                if runs == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing <edges-file>")?;
+    let tdg = load_edges(Path::new(&file))?;
+    let opts = match ps {
+        Some(n) => PartitionerOptions::with_max_size(n),
+        None => PartitionerOptions::default(),
+    };
+    let algos: Vec<&str> = if algo == "all" {
+        vec!["gpasta", "deter", "seq", "gdca", "sarkar"]
+    } else {
+        vec![algo.as_str()]
+    };
+    if let Some(bad) = algos
+        .iter()
+        .find(|a| !matches!(**a, "gpasta" | "deter" | "seq" | "gdca" | "sarkar"))
+    {
+        return Err(format!("unknown algorithm `{bad}`"));
+    }
+    println!(
+        "sanitizing {} tasks, {} deps under workers {workers:?} x {} schedule(s) x {runs} run(s)\n",
+        tdg.num_tasks(),
+        tdg.num_deps(),
+        gpasta::gpu::Schedule::ALL.len(),
+    );
+    for name in algos {
+        let outcome = match name {
+            "gpasta" => audit_partitioner(GPasta::with_device, &tdg, &opts, &workers, runs),
+            "deter" => audit_partitioner(DeterGPasta::with_device, &tdg, &opts, &workers, runs),
+            "seq" => audit_host_partitioner(&SeqGPasta::new(), &tdg, &opts, &workers, runs),
+            "gdca" => audit_host_partitioner(&Gdca::new(), &tdg, &opts, &workers, runs),
+            "sarkar" => audit_host_partitioner(&Sarkar::new(), &tdg, &opts, &workers, runs),
+            other => unreachable!("algorithm `{other}` validated above"),
+        };
+        println!("{name:<10} {outcome}");
     }
     Ok(())
 }
@@ -241,7 +331,11 @@ fn demo_cmd() -> Result<(), String> {
         b.add_edge(TaskId(u), TaskId(v));
     }
     let tdg = b.build().map_err(|e| e.to_string())?;
-    println!("Figure 4 demo graph: {} tasks, {} deps\n", tdg.num_tasks(), tdg.num_deps());
+    println!(
+        "Figure 4 demo graph: {} tasks, {} deps\n",
+        tdg.num_tasks(),
+        tdg.num_deps()
+    );
     for name in ["gpasta", "deter", "seq", "gdca", "sarkar"] {
         let p = pick_algo(name)?;
         let partition = p

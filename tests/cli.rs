@@ -138,8 +138,11 @@ fn malformed_inputs_produce_clean_errors() {
     assert!(stderr(&out).contains("cannot read"));
 
     let bad_v = tmp("bad.v");
-    std::fs::write(&bad_v, "module t (y);\n output y;\n FROB u1 (.y(y));\nendmodule\n")
-        .expect("write v");
+    std::fs::write(
+        &bad_v,
+        "module t (y);\n output y;\n FROB u1 (.y(y));\nendmodule\n",
+    )
+    .expect("write v");
     let out = gpasta(&["sta", bad_v.to_str().expect("utf8")]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown cell"), "{}", stderr(&out));

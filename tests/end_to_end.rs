@@ -3,9 +3,7 @@
 //! computes identical timing results.
 
 use gpasta::circuits::PaperCircuit;
-use gpasta::core::{
-    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
-};
+use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
 use gpasta::gpu::Device;
 use gpasta::sched::Executor;
 use gpasta::sta::{CellLibrary, Timer};
@@ -13,11 +11,20 @@ use gpasta::tdg::{validate, QuotientTdg};
 
 fn partitioners() -> Vec<(Box<dyn Partitioner>, PartitionerOptions)> {
     vec![
-        (Box::new(GPasta::with_device(Device::new(2))), PartitionerOptions::default()),
-        (Box::new(DeterGPasta::with_device(Device::new(2))), PartitionerOptions::default()),
+        (
+            Box::new(GPasta::with_device(Device::new(2))),
+            PartitionerOptions::default(),
+        ),
+        (
+            Box::new(DeterGPasta::with_device(Device::new(2))),
+            PartitionerOptions::default(),
+        ),
         (Box::new(SeqGPasta::new()), PartitionerOptions::default()),
         (Box::new(Gdca::new()), PartitionerOptions::with_max_size(8)),
-        (Box::new(Sarkar::new()), PartitionerOptions::with_max_size(8)),
+        (
+            Box::new(Sarkar::new()),
+            PartitionerOptions::with_max_size(8),
+        ),
     ]
 }
 
@@ -45,14 +52,14 @@ fn every_partitioner_preserves_timing_results() {
                 let partition = p.partition(update.tdg(), &opts).expect("valid options");
                 validate::check_all(update.tdg(), &partition)
                     .unwrap_or_else(|e| panic!("{}: invalid partition: {e}", p.name()));
-                let quotient =
-                    QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
+                let quotient = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
                 let payload = update.task_fn();
                 exec.run_partitioned(&quotient, &payload);
             }
             let wns = timer.report(1).wns_ps;
             assert_eq!(
-                wns, reference,
+                wns,
+                reference,
                 "{} on {workers} workers diverged from sequential reference",
                 p.name()
             );

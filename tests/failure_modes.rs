@@ -2,9 +2,13 @@
 //! with the right errors at every layer, and invalid partitions must never
 //! reach the scheduler.
 
-use gpasta::core::{GPasta, Partitioner, PartitionerOptions, PartitionError};
-use gpasta::sta::{BuildNetlistError, CellKind, CellLibrary, ConnectError, NetlistBuilder, TimingGraph};
-use gpasta::tdg::{validate, BuildTdgError, Partition, QuotientTdg, TaskId, TdgBuilder, ValidatePartitionError};
+use gpasta::core::{GPasta, PartitionError, Partitioner, PartitionerOptions};
+use gpasta::sta::{
+    BuildNetlistError, CellKind, CellLibrary, ConnectError, NetlistBuilder, TimingGraph,
+};
+use gpasta::tdg::{
+    validate, BuildTdgError, Partition, QuotientTdg, TaskId, TdgBuilder, ValidatePartitionError,
+};
 
 #[test]
 fn cyclic_tdg_rejected_at_build() {
@@ -30,7 +34,10 @@ fn figure2a_partition_cannot_be_scheduled() {
         validate::check_acyclic(&tdg, &bad),
         Err(ValidatePartitionError::QuotientCycle { .. })
     ));
-    assert!(QuotientTdg::build(&tdg, &bad).is_err(), "scheduler input is refused");
+    assert!(
+        QuotientTdg::build(&tdg, &bad).is_err(),
+        "scheduler input is refused"
+    );
 }
 
 #[test]
@@ -95,8 +102,7 @@ fn sequential_loop_through_dff_is_fine() {
     nb.connect_gates(inv, ff, 0).expect("valid");
     nb.connect_to_output(inv, y).expect("valid");
     let netlist = nb.build().expect("registered loop is legal");
-    let graph = TimingGraph::build(&netlist, &CellLibrary::typical())
-        .expect("DFF breaks the loop");
+    let graph = TimingGraph::build(&netlist, &CellLibrary::typical()).expect("DFF breaks the loop");
     assert_eq!(graph.endpoints().len(), 2, "PO and the DFF D pin");
 }
 
@@ -121,5 +127,9 @@ fn empty_design_flows_through_cleanly() {
     drop(update);
     let report = timer.report(3);
     assert_eq!(report.num_endpoints, 0);
-    assert_eq!(report.wns_ps, f32::INFINITY, "no endpoints, nothing violated");
+    assert_eq!(
+        report.wns_ps,
+        f32::INFINITY,
+        "no endpoints, nothing violated"
+    );
 }

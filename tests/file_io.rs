@@ -4,9 +4,7 @@
 
 use gpasta::circuits::{dag, PaperCircuit};
 use gpasta::core::{Partitioner, PartitionerOptions, SeqGPasta};
-use gpasta::sta::{
-    parse_liberty, parse_verilog, write_liberty, write_verilog, CellLibrary, Timer,
-};
+use gpasta::sta::{parse_liberty, parse_verilog, write_liberty, write_verilog, CellLibrary, Timer};
 use gpasta::tdg::{parse_edge_list, validate, write_edge_list};
 
 #[test]
@@ -40,10 +38,7 @@ fn liberty_round_trip_preserves_analysis() {
     with_original.update_timing().run_sequential();
     let mut with_parsed = Timer::new(netlist, parsed);
     with_parsed.update_timing().run_sequential();
-    assert_eq!(
-        with_original.report(1).wns_ps,
-        with_parsed.report(1).wns_ps
-    );
+    assert_eq!(with_original.report(1).wns_ps, with_parsed.report(1).wns_ps);
 }
 
 #[test]

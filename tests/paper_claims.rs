@@ -158,7 +158,10 @@ fn sarkar_grows_superlinearly() {
         "Sarkar growth {sarkar_growth:.1}x for 4x tasks should be superlinear"
     );
     // And Sarkar is much slower than seq-G-PASTA outright at 4k tasks.
-    assert!(sarkar_large > 4 * seq_large, "{sarkar_large:?} vs {seq_large:?}");
+    assert!(
+        sarkar_large > 4 * seq_large,
+        "{sarkar_large:?} vs {seq_large:?}"
+    );
     let _ = seq_small;
 }
 

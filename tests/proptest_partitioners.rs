@@ -1,9 +1,7 @@
 //! Property-based tests: every partitioner produces valid, schedulable
 //! partitions on arbitrary DAGs, for arbitrary partition sizes.
 
-use gpasta::core::{
-    DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
-};
+use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
 use gpasta::gpu::Device;
 use gpasta::tdg::{validate, Partition, QuotientTdg, TaskId, Tdg, TdgBuilder};
 use proptest::prelude::*;
@@ -30,7 +28,12 @@ fn arb_dag(max_n: usize) -> impl Strategy<Value = Tdg> {
 
 fn check_partitioner(p: &dyn Partitioner, tdg: &Tdg, opts: &PartitionerOptions) {
     let partition = p.partition(tdg, opts).expect("options are valid");
-    assert_eq!(partition.num_tasks(), tdg.num_tasks(), "{}: coverage", p.name());
+    assert_eq!(
+        partition.num_tasks(),
+        tdg.num_tasks(),
+        "{}: coverage",
+        p.name()
+    );
     validate::check_all(tdg, &partition)
         .unwrap_or_else(|e| panic!("{} produced an invalid partition: {e}", p.name()));
     if let Some(ps) = opts.max_partition_size {

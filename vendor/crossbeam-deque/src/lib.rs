@@ -1,0 +1,260 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Implements the work-stealing deque API the executor uses — [`Injector`],
+//! [`Worker`], [`Stealer`], [`Steal`] — over mutex-guarded `VecDeque`s.
+//! Semantics match crossbeam: the worker end is LIFO (`new_lifo`), steals
+//! take the oldest task (FIFO end), and `steal_batch_and_pop` moves a batch
+//! from the injector into the local queue and returns one task. The lock-
+//! based implementation trades the lock-free fast path for simplicity; the
+//! scheduling behaviour (and therefore every test) is unchanged.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether this is a `Retry`.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Whether this is `Empty`.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Chain a second steal attempt, preserving `Retry`-ness like
+    /// crossbeam: a `Retry` on either side without a `Success` means the
+    /// caller should try again rather than park.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Empty => f(),
+            Steal::Success(t) => Steal::Success(t),
+            Steal::Retry => match f() {
+                Steal::Success(t) => Steal::Success(t),
+                _ => Steal::Retry,
+            },
+        }
+    }
+}
+
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    /// First `Success` wins; otherwise `Retry` if any attempt said so;
+    /// otherwise `Empty` — the same combination rule as crossbeam.
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Self {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(t) => return Steal::Success(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// A FIFO injector queue shared by all workers.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task onto the global queue.
+    pub fn push(&self, task: T) {
+        self.queue.lock().expect("injector lock").push_back(task);
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().expect("injector lock").is_empty()
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().expect("injector lock").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest`'s local queue and pop one of them.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.queue.lock().expect("injector lock");
+        let take = (q.len() / 2).clamp(usize::from(!q.is_empty()), 16);
+        if take == 0 {
+            return Steal::Empty;
+        }
+        let mut local = dest.deque.lock().expect("worker lock");
+        for _ in 1..take {
+            if let Some(t) = q.pop_front() {
+                local.push_back(t);
+            }
+        }
+        match q.pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+/// A worker-local deque. The owning worker pushes and pops at one end;
+/// [`Stealer`]s take from the other.
+#[derive(Debug)]
+pub struct Worker<T> {
+    deque: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a LIFO worker queue (the owner pops the most recent push).
+    pub fn new_lifo() -> Self {
+        Worker {
+            deque: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Create a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Push a task onto the local queue.
+    pub fn push(&self, task: T) {
+        self.deque.lock().expect("worker lock").push_back(task);
+    }
+
+    /// Pop the task the owner should run next (LIFO end).
+    pub fn pop(&self) -> Option<T> {
+        self.deque.lock().expect("worker lock").pop_back()
+    }
+
+    /// Whether the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deque.lock().expect("worker lock").is_empty()
+    }
+
+    /// A handle other workers use to steal from this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+/// A steal handle onto another worker's queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    deque: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest task from the owner's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.deque.lock().expect("stealer lock").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "steal takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner pops the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_pop_moves_work() {
+        let inj = Injector::new();
+        for t in 0..10 {
+            inj.push(t);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(4));
+        assert!(!w.is_empty(), "a batch landed in the local queue");
+        let drained: Vec<i32> = std::iter::from_fn(|| w.pop()).collect();
+        assert_eq!(drained, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_steals_report_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.steal().success().is_none());
+        assert!(inj.is_empty());
+        let w: Worker<u32> = Worker::new_fifo();
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+        assert!(w.stealer().steal().is_empty());
+        assert!(!Steal::Success(1).is_retry());
+    }
+
+    #[test]
+    fn steal_collect_combines() {
+        let all: Steal<u32> = [Steal::Empty, Steal::Retry, Steal::Success(7)]
+            .into_iter()
+            .collect();
+        assert_eq!(all.success(), Some(7));
+        let retry: Steal<u32> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+        let empty: Steal<u32> = std::iter::empty().collect();
+        assert!(matches!(empty, Steal::<u32>::Empty));
+    }
+}

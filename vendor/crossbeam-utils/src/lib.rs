@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! Provides the [`Backoff`] exponential-backoff helper used by the
+//! work-stealing executor: a few spin rounds, then cooperative yields.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+/// Exponential backoff for spin loops, mirroring
+/// `crossbeam_utils::Backoff`'s behaviour: short spins first, yielding to
+/// the OS scheduler once the loop has been hot for a while.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+/// Below this step the backoff busy-spins; at or above it, it yields.
+const SPIN_LIMIT: u32 = 6;
+/// Steps stop growing here so the yield cadence stays bounded.
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Create a fresh backoff.
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    /// Reset to the initial (cheapest) state after useful work was found.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Busy-spin a few cycles (for very short waits).
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Back off, spinning first and yielding the thread once the wait has
+    /// lasted long enough that spinning wastes cycles.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Whether the caller should stop snoozing and park instead.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snooze_progresses_to_completion() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn spin_caps_at_limit() {
+        let b = Backoff::new();
+        for _ in 0..20 {
+            b.spin();
+        }
+        assert!(b.step.get() <= SPIN_LIMIT + 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the generate-and-check core of proptest's API — the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`arbitrary::any`], the
+//! [`proptest!`] / [`prop_assert!`] macros and [`test_runner::ProptestConfig`]
+//! — without shrinking. Failing cases report their deterministic case index
+//! instead of a minimized input; re-running is reproducible because seeds
+//! derive from the case index (override the base with `PROPTEST_SEED`).
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The pieces `use proptest::prelude::*` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+///
+/// The real proptest threads a `Result` through the test; this stub simply
+/// panics, which the runner catches to report the failing case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case! { ($cfg); ( $($params)* ) $body }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ( ($cfg:expr); ( $($p:pat in $s:expr),+ $(,)? ) $body:block ) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let __strategies = ( $($s,)+ );
+        for __case in 0..__config.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(u64::from(__case));
+            let ( $($p,)+ ) =
+                $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+            let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            ));
+            match __outcome {
+                ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                ::std::result::Result::Ok(::std::result::Result::Err(
+                    $crate::test_runner::TestCaseError::Reject(__reason),
+                )) => {
+                    ::std::eprintln!("proptest: case {__case} rejected: {__reason}");
+                }
+                ::std::result::Result::Ok(::std::result::Result::Err(__err)) => {
+                    ::std::panic!("proptest: case {__case}: {__err}");
+                }
+                ::std::result::Result::Err(__payload) => {
+                    ::std::eprintln!(
+                        "proptest: property failed at case {__case} of {} \
+                         (deterministic; re-run reproduces it)",
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(__payload);
+                }
+            }
+        }
+    }};
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha8Rng`]: a real ChaCha stream cipher with 8 rounds,
+//! keyed from a 32-byte seed, implementing the vendored `rand` traits.
+//! Streams are deterministic per seed but do not match upstream
+//! `rand_chacha` bit-for-bit (nothing in this workspace depends on the
+//! upstream stream — only on per-seed determinism).
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha8 deterministic random-number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher state template: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Run the block function and advance the 64-bit counter.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.block.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    /// The number of 32-bit words drawn so far (diagnostic).
+    pub fn word_pos(&self) -> u128 {
+        let counter = u64::from(self.state[13]) << 32 | u64::from(self.state[12]);
+        if counter == 0 {
+            return 0; // No block generated yet.
+        }
+        (u128::from(counter) - 1) * 16 + self.cursor as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16: block counter and nonce, all zero at start.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32();
+        let hi = self.next_u32();
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "distinct seeds must produce distinct streams");
+    }
+
+    #[test]
+    fn stream_is_not_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first = rng.next_u32();
+        assert!((0..1000).any(|_| rng.next_u32() != first));
+    }
+
+    #[test]
+    fn word_pos_advances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(rng.word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.word_pos(), 1);
+        let _ = rng.gen_range(0u32..10);
+        assert!(rng.word_pos() >= 2);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        a.next_u32();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

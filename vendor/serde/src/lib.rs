@@ -1,0 +1,268 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendor crate
+//! provides the subset of serde this workspace relies on: derivable
+//! [`Serialize`]/[`Deserialize`] traits over an owned JSON-like
+//! [`value::Value`] tree. The vendored `serde_json` crate renders and
+//! parses that tree as JSON text. Conventions match upstream serde's JSON
+//! representation (newtype structs collapse to their inner value, enum
+//! variants encode as `"Name"` / `{"Name": ...}`), so round-trip tests
+//! written against real serde behave identically.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{FromValueError, Value};
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FromValueError`] when the tree's shape or types do not
+    /// match `Self`.
+    fn from_value(v: &Value) -> Result<Self, FromValueError>;
+}
+
+// ---- primitive impls -----------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, FromValueError> {
+                let n = v.expect_number()?;
+                if n.fract() != 0.0 {
+                    return Err(FromValueError::new(format!(
+                        "expected integer, found fractional number {n}"
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(FromValueError::new(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        v.expect_number()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        Ok(v.expect_number()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(FromValueError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(FromValueError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        v.expect_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, FromValueError> {
+                let items = v.expect_array()?;
+                let arity = [$($n),+].len();
+                if items.len() != arity {
+                    return Err(FromValueError::new(format!(
+                        "expected {arity}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f32::from_value(&1.5f32.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+    }
+
+    #[test]
+    fn integer_deser_rejects_fractions_and_ranges() {
+        assert!(u8::from_value(&Value::Number(1.5)).is_err());
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(7u32).to_value()),
+            Ok(Some(7))
+        );
+    }
+
+    #[test]
+    fn tuple_arity_mismatch_errors() {
+        let three = (1u32, 2u32, 3u32).to_value();
+        assert!(<(u32, u32)>::from_value(&three).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The owned value tree shared by the vendored `serde` and `serde_json`.
+//!
+//! Lives in `serde` (rather than `serde_json`) so the `Serialize` /
+//! `Deserialize` traits can be defined over it without a circular
+//! dependency; `serde_json` re-exports it as `serde_json::Value`.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON-shaped value tree.
+///
+/// Objects preserve insertion order (serde_json's `preserve_order`
+/// behaviour), which keeps serialized field order equal to declaration
+/// order — what the derive emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all numbers are `f64`, like JavaScript).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromValueError {
+    message: String,
+}
+
+impl FromValueError {
+    /// Build an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        FromValueError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FromValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for FromValueError {}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up an object field, `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number within, or a shape error.
+    pub fn expect_number(&self) -> Result<f64, FromValueError> {
+        self.as_f64()
+            .ok_or_else(|| FromValueError::new(format!("expected number, found {}", self.kind())))
+    }
+
+    /// The array within, or a shape error.
+    pub fn expect_array(&self) -> Result<&[Value], FromValueError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(FromValueError::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The named object field, or a missing-field/shape error.
+    pub fn expect_field(&self, key: &str) -> Result<&Value, FromValueError> {
+        match self {
+            Value::Object(_) => self
+                .get(key)
+                .ok_or_else(|| FromValueError::new(format!("missing field `{key}`"))),
+            other => Err(FromValueError::new(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array element at `idx`, or a shape/arity error.
+    pub fn expect_index(&self, idx: usize) -> Result<&Value, FromValueError> {
+        let items = self.expect_array()?;
+        items.get(idx).ok_or_else(|| {
+            FromValueError::new(format!(
+                "index {idx} out of bounds for array of {}",
+                items.len()
+            ))
+        })
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Array indexing; yields `Null` out of bounds or on non-arrays,
+    /// matching serde_json's forgiving `Index` behaviour.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Object-field indexing; yields `Null` for missing keys or
+    /// non-objects, matching serde_json.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_forgiving() {
+        let v = Value::Array(vec![Value::Object(vec![(
+            "label".to_string(),
+            Value::String("a".to_string()),
+        )])]);
+        assert_eq!(v[0]["label"], "a");
+        assert_eq!(v[3], Value::Null);
+        assert_eq!(v[0]["missing"], Value::Null);
+    }
+
+    #[test]
+    fn expect_helpers_report_shape() {
+        let v = Value::Number(1.0);
+        assert!(v.expect_array().is_err());
+        assert!(v.expect_field("x").is_err());
+        assert_eq!(v.expect_number(), Ok(1.0));
+        let arr = Value::Array(vec![Value::Null]);
+        assert!(arr.expect_index(1).is_err());
+        assert_eq!(arr.expect_index(0), Ok(&Value::Null));
+    }
+
+    #[test]
+    fn numeric_equality_spans_integer_types() {
+        let v = Value::Number(7.0);
+        assert_eq!(v, 7u32);
+        assert_eq!(v, 7i64);
+        assert_eq!(v, 7.0f64);
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (value-tree based, see the vendored `serde` crate). The input item is
+//! parsed directly from its `proc_macro::TokenStream` — the real `syn` /
+//! `quote` stack is unavailable offline — which is sufficient because the
+//! generated impls only need field *names* and *arities*; field types are
+//! recovered by inference at the use site (`field: Deserialize::from_value(..)?`
+//! inside a struct literal resolves to the field's declared type).
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes) produce a
+//! `compile_error!` rather than silently wrong code.
+
+// Vendored stand-in: exempt from the workspace lint policy.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// The parsed shape of a derive input item.
+enum Shape {
+    UnitStruct,
+    /// Tuple struct; `1` is a newtype.
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consume any number of leading `#[...]` attributes (doc comments arrive
+/// in this form too). Rejects `#[serde(...)]`, which this stub cannot honor.
+fn skip_attributes(iter: &mut Tokens) -> Result<(), String> {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let body = g.stream().to_string();
+                        if body.starts_with("serde") {
+                            return Err(format!(
+                                "vendored serde_derive does not support #[{body}] attributes"
+                            ));
+                        }
+                    }
+                    _ => return Err("malformed attribute".to_string()),
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(iter: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Count top-level (angle-bracket-depth-0) comma-separated entries of a
+/// tuple-field list.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut depth = 0i32;
+    let mut has_content = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    has_content = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    has_content = true;
+                }
+                ',' if depth == 0 => {
+                    if has_content {
+                        arity += 1;
+                    }
+                    has_content = false;
+                }
+                _ => has_content = true,
+            },
+            _ => has_content = true,
+        }
+    }
+    if has_content {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parse `name: Type, ...` field lists, returning the names in order.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut iter)?;
+        if iter.peek().is_none() {
+            return Ok(names);
+        }
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse the variants of an enum body.
+fn enum_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter)?;
+        if iter.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                iter.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parse the full derive input into an [`Item`].
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter)?;
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(enum_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error! snippet parses")
+}
+
+// ---- Serialize codegen ---------------------------------------------------
+
+/// `Value::Object(Vec::from([...pairs...]))` from `(key, value-expr)` pairs.
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from({k:?}), {v})"))
+        .collect();
+    format!(
+        "::serde::value::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn array_expr(items: &[String]) -> String {
+    format!(
+        "::serde::value::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            array_expr(&items)
+        }
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            object_expr(&pairs)
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vshape)| match vshape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => ::serde::value::Value::String(\
+                         ::std::string::String::from({vname:?})),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            array_expr(&items)
+                        };
+                        let wrapped = object_expr(&[(vname.clone(), inner)]);
+                        format!("{name}::{vname}({}) => {wrapped},", binders.join(", "))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        let inner = object_expr(&pairs);
+                        let wrapped = object_expr(&[(vname.clone(), inner)]);
+                        format!("{name}::{vname} {{ {} }} => {wrapped},", fields.join(", "))
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- Deserialize codegen -------------------------------------------------
+
+/// Statements + constructor expr rebuilding a tuple shape of `arity`
+/// fields from the value expression `src`.
+fn tuple_from_value(ctor: &str, arity: usize, src: &str) -> String {
+    if arity == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({src})?))"
+        );
+    }
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __items = {src}.expect_array()?;\n\
+            if __items.len() != {arity} {{\n\
+                return ::std::result::Result::Err(::serde::value::FromValueError::new(\
+                    ::std::format!(\"expected {arity} fields, found {{}}\", __items.len())));\n\
+            }}\n\
+            ::std::result::Result::Ok({ctor}({})) }}",
+        items.join(", ")
+    )
+}
+
+/// Constructor expr rebuilding named fields from the object expr `src`.
+fn named_from_value(ctor: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({src}.expect_field({f:?})?)?"))
+        .collect();
+    format!(
+        "::std::result::Result::Ok({ctor} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(n) => tuple_from_value(name, *n, "__v"),
+        Shape::NamedStruct(fields) => named_from_value(name, fields, "__v"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (vname, vshape) in variants {
+                match vshape {
+                    VariantShape::Unit => unit_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let ctor = format!("{name}::{vname}");
+                        data_arms.push(format!(
+                            "{vname:?} => {},",
+                            tuple_from_value(&ctor, *n, "__inner")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        data_arms.push(format!(
+                            "{vname:?} => {},",
+                            named_from_value(&ctor, fields, "__inner")
+                        ));
+                    }
+                }
+            }
+            let unknown = format!(
+                "__other => ::std::result::Result::Err(::serde::value::FromValueError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` for enum {name}\"))),"
+            );
+            format!(
+                "match __v {{\n\
+                    ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                        {unit}\n{unknown}\n\
+                    }},\n\
+                    ::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                        let (__k, __inner) = &__pairs[0];\n\
+                        match __k.as_str() {{\n\
+                            {data}\n{unknown}\n\
+                        }}\n\
+                    }},\n\
+                    __other => ::std::result::Result::Err(::serde::value::FromValueError::new(\
+                        ::std::format!(\"invalid value of kind {{}} for enum {name}\", __other.kind()))),\n\
+                }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::value::Value)\n\
+                -> ::std::result::Result<Self, ::serde::value::FromValueError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
