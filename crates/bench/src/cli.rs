@@ -13,6 +13,10 @@ pub struct BenchConfig {
     pub workers: usize,
     /// Output directory for CSV/JSON results.
     pub out_dir: PathBuf,
+    /// Run the incremental-partition-maintenance variant (fig7 only):
+    /// cached partition repaired inside the dirty cone instead of
+    /// re-partitioning from scratch each iteration.
+    pub incremental: bool,
 }
 
 impl Default for BenchConfig {
@@ -24,13 +28,14 @@ impl Default for BenchConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             out_dir: PathBuf::from("results"),
+            incremental: false,
         }
     }
 }
 
 impl BenchConfig {
-    /// Parse `--scale <f> | --full | --runs <n> | --workers <n> | --out <dir>`
-    /// from the process arguments, ignoring the binary name.
+    /// Parse `--scale <f> | --full | --runs <n> | --workers <n> | --out <dir>
+    /// | --incremental` from the process arguments, ignoring the binary name.
     ///
     /// # Panics
     ///
@@ -67,9 +72,10 @@ impl BenchConfig {
                     let v = it.next().expect("--out needs a directory");
                     cfg.out_dir = PathBuf::from(v);
                 }
+                "--incremental" => cfg.incremental = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--scale <f>] [--full] [--runs <n>] [--workers <n>] [--out <dir>]"
+                        "usage: [--scale <f>] [--full] [--runs <n>] [--workers <n>] [--out <dir>] [--incremental]"
                     );
                     std::process::exit(0);
                 }
@@ -97,6 +103,14 @@ mod tests {
         assert_eq!(cfg.scale, 0.05);
         assert_eq!(cfg.runs, 3);
         assert!(cfg.workers >= 1);
+        assert!(!cfg.incremental);
+    }
+
+    #[test]
+    fn incremental_flag() {
+        let cfg = parse(&["--incremental", "--scale", "0.5"]);
+        assert!(cfg.incremental);
+        assert_eq!(cfg.scale, 0.5);
     }
 
     #[test]

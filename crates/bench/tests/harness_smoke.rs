@@ -1,0 +1,206 @@
+//! Smoke tests for the harness binaries: run `fig7` (both modes) and
+//! `table1` at a tiny `--scale` inside `cargo test` and pin the CSV/JSON
+//! schemas their consumers (plot scripts, CI artifact checks) rely on.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .expect("harness binary runs")
+}
+
+/// A unique output directory per test, so parallel tests never collide.
+fn out_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gpasta_harness_smoke")
+        .join(format!("{}_{}", name, std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale output dir");
+    }
+    dir
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn csv_header(path: &Path) -> String {
+    read(path).lines().next().expect("non-empty CSV").to_owned()
+}
+
+fn assert_csv_rows(path: &Path) {
+    let text = read(path);
+    let cols = text.lines().next().expect("header").split(',').count();
+    let rows: Vec<&str> = text.lines().skip(1).collect();
+    assert!(!rows.is_empty(), "{} has no data rows", path.display());
+    for row in rows {
+        assert_eq!(
+            row.split(',').count(),
+            cols,
+            "ragged row in {}: {row}",
+            path.display()
+        );
+    }
+}
+
+fn json_rows(path: &Path) -> serde_json::Value {
+    serde_json::from_str(&read(path)).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Column names of one `Row` in the `write_json` format:
+/// `{"label": ..., "values": [[name, value], ...]}`.
+fn json_columns(row: &serde_json::Value) -> Vec<String> {
+    row["values"]
+        .as_array()
+        .expect("values array")
+        .iter()
+        .map(|kv| kv[0].as_str().expect("column name").to_owned())
+        .collect()
+}
+
+#[test]
+fn fig7_scratch_mode_writes_the_documented_schema() {
+    let out = out_dir("fig7_scratch");
+    let dir = out.to_str().expect("utf8");
+    let res = run(
+        env!("CARGO_BIN_EXE_fig7"),
+        &[
+            "--scale",
+            "0.0006",
+            "--workers",
+            "2",
+            "--runs",
+            "1",
+            "--out",
+            dir,
+        ],
+    );
+    assert!(
+        res.status.success(),
+        "{}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+
+    for circuit in ["vga_lcd", "leon2"] {
+        let csv = out.join(format!("fig7_{circuit}.csv"));
+        assert_eq!(
+            csv_header(&csv),
+            "label,original_wall_ms,gdca_wall_ms,gpasta_wall_ms,\
+             original_sim_ms,gdca_sim_ms,gpasta_sim_ms"
+        );
+        assert_csv_rows(&csv);
+
+        let rows = json_rows(&out.join(format!("fig7_{circuit}.json")));
+        let rows = rows.as_array().expect("row array");
+        assert!(!rows.is_empty());
+        assert_eq!(
+            json_columns(&rows[0]),
+            [
+                "original_wall_ms",
+                "gdca_wall_ms",
+                "gpasta_wall_ms",
+                "original_sim_ms",
+                "gdca_sim_ms",
+                "gpasta_sim_ms"
+            ]
+        );
+    }
+}
+
+#[test]
+fn fig7_incremental_mode_writes_the_documented_schema() {
+    let out = out_dir("fig7_incremental");
+    let dir = out.to_str().expect("utf8");
+    let res = run(
+        env!("CARGO_BIN_EXE_fig7"),
+        &[
+            "--incremental",
+            "--scale",
+            "0.0006",
+            "--workers",
+            "2",
+            "--out",
+            dir,
+        ],
+    );
+    assert!(
+        res.status.success(),
+        "{}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+
+    for circuit in ["vga_lcd", "leon2"] {
+        let csv = out.join(format!("fig7_{circuit}_incremental.csv"));
+        assert_eq!(
+            csv_header(&csv),
+            "label,scratch_part_ms,inc_part_ms,scratch_wall_ms,\
+             inc_wall_ms,scratch_sim_ms,inc_sim_ms"
+        );
+        assert_csv_rows(&csv);
+    }
+
+    // The machine-readable summary: one row per circuit with the fields
+    // CI uploads and downstream dashboards key on.
+    let summary = json_rows(&out.join("BENCH_incremental.json"));
+    let rows = summary.as_array().expect("summary array");
+    let labels: Vec<&str> = rows
+        .iter()
+        .map(|r| r["label"].as_str().expect("label"))
+        .collect();
+    assert_eq!(labels, ["vga_lcd", "leon2"]);
+    for row in rows {
+        assert_eq!(
+            json_columns(row),
+            [
+                "iterations",
+                "install_ms",
+                "scratch_part_ms",
+                "incremental_part_ms",
+                "speedup",
+                "scratch_wall_ms",
+                "incremental_wall_ms"
+            ]
+        );
+    }
+}
+
+#[test]
+fn table1_writes_the_documented_schema() {
+    let out = out_dir("table1");
+    let dir = out.to_str().expect("utf8");
+    let res = run(
+        env!("CARGO_BIN_EXE_table1"),
+        &[
+            "--scale",
+            "0.0006",
+            "--workers",
+            "2",
+            "--runs",
+            "1",
+            "--out",
+            dir,
+        ],
+    );
+    assert!(
+        res.status.success(),
+        "{}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+
+    let csv = out.join("table1.csv");
+    assert_eq!(
+        csv_header(&csv),
+        "label,tasks,deps,t_tdg_ms,sim_tdg_ms,sim_tdgp_gdca_ms,sim_tdgp_seq_ms,\
+         sim_tdgp_gpasta_ms,sim_tdgp_deter_ms,t_tdgp_gdca_ms,t_tdgp_seq_ms,\
+         t_tdgp_gpasta_ms,t_tdgp_deter_ms,t_part_gdca_ms,t_part_seq_ms,\
+         t_part_gpasta_ms,t_part_deter_ms,gdca_ps"
+    );
+    assert_csv_rows(&csv);
+
+    let rows = json_rows(&out.join("table1.json"));
+    let rows = rows.as_array().expect("row array");
+    assert_eq!(rows.len(), 6, "one row per paper circuit");
+}

@@ -61,6 +61,7 @@
 mod deter;
 mod gdca;
 mod gpasta;
+pub mod incremental;
 pub mod refine;
 pub mod sanitize;
 mod sarkar;
@@ -69,6 +70,7 @@ mod seq;
 pub use deter::DeterGPasta;
 pub use gdca::Gdca;
 pub use gpasta::GPasta;
+pub use incremental::{forward_closure, IncrementalError, IncrementalPartitioner, RepairStats};
 pub use refine::merge_chains;
 pub use sarkar::Sarkar;
 pub use seq::SeqGPasta;
@@ -164,6 +166,16 @@ pub trait Partitioner {
     /// Returns [`PartitionError::ZeroPartitionSize`] if
     /// `opts.max_partition_size == Some(0)`.
     fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError>;
+}
+
+impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError> {
+        (**self).partition(tdg, opts)
+    }
 }
 
 pub(crate) fn check_opts(opts: &PartitionerOptions) -> Result<(), PartitionError> {

@@ -1,0 +1,202 @@
+//! Reusable graph-build structures for repeated (incremental) scheduling.
+//!
+//! [`Taskflow`](crate::Taskflow) reproduces OpenTimer's per-update
+//! construction cost on purpose: one boxed closure and one owned adjacency
+//! list per node, allocated from scratch every iteration. When the same
+//! timer is updated thousands of times (the Fig. 7 workload), that
+//! allocation churn is pure overhead — the graph *shape* changes, but the
+//! buffers backing it could be recycled.
+//!
+//! [`FlowArena`] is the recycled counterpart: flat CSR-style buffers
+//! (`Vec<u32>`) that [`FlowArena::load_tdg`] refills in place. Loading a
+//! graph after a bigger one performs **zero** allocations; loading a bigger
+//! one grows geometrically like any `Vec`. There is no per-node closure at
+//! all — [`FlowArena::run`] takes the node payload as a single `FnMut`,
+//! which is the piece the incremental fig7 mode pairs with a patched
+//! partition cache.
+
+use crate::report::RunReport;
+use gpasta_tdg::{QuotientTdg, TaskId, Tdg};
+use std::time::Instant;
+
+/// Reusable flat buffers for building and running a task graph, amortising
+/// graph-construction allocations across iterations.
+#[derive(Debug, Default)]
+pub struct FlowArena {
+    /// CSR offsets into `succ`; `succ_off[n + 1]` entries for `n` nodes.
+    succ_off: Vec<u32>,
+    /// Concatenated successor lists.
+    succ: Vec<u32>,
+    /// In-degree per node (immutable template).
+    indeg: Vec<u32>,
+    /// Scratch dependency counters consumed by [`FlowArena::run`].
+    dep: Vec<u32>,
+    /// Scratch ready queue.
+    ready: Vec<u32>,
+}
+
+impl FlowArena {
+    /// An empty arena; buffers grow on first load and are recycled after.
+    pub fn new() -> Self {
+        FlowArena::default()
+    }
+
+    /// Number of nodes of the currently loaded graph.
+    pub fn num_nodes(&self) -> usize {
+        self.indeg.len()
+    }
+
+    /// Load the shape of `tdg`, reusing every buffer's capacity.
+    pub fn load_tdg(&mut self, tdg: &Tdg) {
+        let n = tdg.num_tasks();
+        self.succ_off.clear();
+        self.succ.clear();
+        self.indeg.clear();
+        self.succ_off.push(0);
+        for t in 0..n as u32 {
+            self.succ.extend_from_slice(tdg.successors(TaskId(t)));
+            self.succ_off.push(self.succ.len() as u32);
+            self.indeg.push(tdg.in_degree(TaskId(t)));
+        }
+    }
+
+    /// Load the shape of a partitioned TDG: one node per partition.
+    pub fn load_quotient(&mut self, quotient: &QuotientTdg) {
+        self.load_tdg(quotient.graph());
+    }
+
+    /// Execute the loaded graph on the calling thread through a ready
+    /// queue, calling `node_work` once per node in dependency order.
+    /// Reuses the dependency-counter and ready-queue scratch buffers, so
+    /// repeated runs over similar graphs allocate nothing.
+    pub fn run(&mut self, mut node_work: impl FnMut(u32)) -> RunReport {
+        let n = self.indeg.len();
+        let start = Instant::now();
+        self.dep.clear();
+        self.dep.extend_from_slice(&self.indeg);
+        self.ready.clear();
+        self.ready
+            .extend((0..n as u32).filter(|&t| self.dep[t as usize] == 0));
+        let mut dispatches = 0u64;
+        while let Some(t) = self.ready.pop() {
+            dispatches += 1;
+            node_work(t);
+            let (lo, hi) = (
+                self.succ_off[t as usize] as usize,
+                self.succ_off[t as usize + 1] as usize,
+            );
+            for i in lo..hi {
+                let s = self.succ[i] as usize;
+                self.dep[s] -= 1;
+                if self.dep[s] == 0 {
+                    self.ready.push(s as u32);
+                }
+            }
+        }
+        debug_assert_eq!(dispatches as usize, n);
+        RunReport {
+            elapsed: start.elapsed(),
+            tasks_executed: n,
+            dispatches,
+            num_workers: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpasta_tdg::{Partition, TdgBuilder};
+
+    fn diamond() -> Tdg {
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.build().expect("diamond DAG")
+    }
+
+    #[test]
+    fn arena_runs_in_dependency_order() {
+        let tdg = diamond();
+        let mut arena = FlowArena::new();
+        arena.load_tdg(&tdg);
+        assert_eq!(arena.num_nodes(), 4);
+        let mut order = Vec::new();
+        let report = arena.run(|t| order.push(t));
+        assert_eq!(report.dispatches, 4);
+        let pos = |t: u32| order.iter().position(|&x| x == t).expect("ran");
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn arena_matches_taskflow_dispatch_counts_on_a_quotient() {
+        let tdg = diamond();
+        let quotient = QuotientTdg::build(&tdg, &Partition::new(vec![0, 1, 1, 2])).expect("valid");
+        let mut arena = FlowArena::new();
+        arena.load_quotient(&quotient);
+        assert_eq!(arena.num_nodes(), 3);
+        let report = arena.run(|_| {});
+        assert_eq!(report.dispatches, 3, "one dispatch per partition");
+
+        let tf_report = crate::Taskflow::from_quotient(&quotient, &|_t: TaskId| {}).run();
+        assert_eq!(report.dispatches, tf_report.dispatches);
+        assert_eq!(report.tasks_executed, tf_report.tasks_executed);
+    }
+
+    #[test]
+    fn reloading_a_smaller_graph_reuses_capacity() {
+        let big = {
+            let mut b = TdgBuilder::new(64);
+            for i in 1..64u32 {
+                b.add_edge(TaskId(i - 1), TaskId(i));
+            }
+            b.build().expect("chain")
+        };
+        let mut arena = FlowArena::new();
+        arena.load_tdg(&big);
+        let cap_before = (
+            arena.succ_off.capacity(),
+            arena.succ.capacity(),
+            arena.indeg.capacity(),
+        );
+        arena.run(|_| {});
+
+        arena.load_tdg(&diamond());
+        assert_eq!(arena.num_nodes(), 4);
+        let report = arena.run(|_| {});
+        assert_eq!(report.dispatches, 4);
+        let cap_after = (
+            arena.succ_off.capacity(),
+            arena.succ.capacity(),
+            arena.indeg.capacity(),
+        );
+        assert_eq!(cap_before, cap_after, "no buffer was reallocated");
+    }
+
+    #[test]
+    fn empty_graph_runs_cleanly() {
+        let tdg = TdgBuilder::new(0).build().expect("empty");
+        let mut arena = FlowArena::new();
+        arena.load_tdg(&tdg);
+        let report = arena.run(|_| {});
+        assert_eq!(report.dispatches, 0);
+        assert_eq!(report.tasks_executed, 0);
+    }
+
+    #[test]
+    fn repeated_runs_do_not_require_reload() {
+        let tdg = diamond();
+        let mut arena = FlowArena::new();
+        arena.load_tdg(&tdg);
+        for _ in 0..3 {
+            let mut count = 0u32;
+            arena.run(|_| count += 1);
+            assert_eq!(count, 4);
+        }
+    }
+}

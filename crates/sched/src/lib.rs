@@ -16,6 +16,10 @@
 //!   node per schedulable unit, which is the "building the TDG" share of
 //!   the paper's Figure 1(a) and the cost that shrinks when the scheduler
 //!   receives partitions instead of tasks;
+//! * [`FlowArena`] — the *reusable* graph-build path: flat CSR buffers
+//!   refilled in place across iterations, pairing with the incremental
+//!   partition cache so repeated updates stop paying construction
+//!   allocations;
 //! * [`RunReport`] — wall-clock plus scheduling-op counts, so benchmarks can
 //!   attribute time to scheduling vs. payload;
 //! * [`measure_sched_overhead`] — calibrates the per-task scheduling cost on
@@ -50,12 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod executor;
 mod overhead;
 mod report;
 pub mod sim;
 mod taskflow;
 
+pub use arena::FlowArena;
 pub use executor::{Executor, TaskWork};
 pub use overhead::{measure_sched_overhead, OverheadProfile};
 pub use report::RunReport;

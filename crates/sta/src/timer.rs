@@ -421,6 +421,40 @@ impl<'a> TimingUpdateTdg<'a> {
         NodeId(self.task_node[t.index()])
     }
 
+    /// Size of the *full task space*: two tasks (fprop + bprop) per
+    /// timing-graph node, regardless of how many tasks this particular
+    /// update contains. Full-space ids are stable across updates, which is
+    /// what lets a partition cache (keyed on a full update's TDG) survive
+    /// incremental updates whose TDGs are induced subgraphs of it.
+    pub fn full_space_len(&self) -> usize {
+        2 * self.prop.graph.num_nodes()
+    }
+
+    /// The stable full-space id of task `t`: `node` for an fprop task and
+    /// `num_nodes + node` for a bprop task. A *full* update (after
+    /// [`Timer::invalidate_all`]) numbers its tasks exactly this way, so
+    /// its TDG is the full-space TDG and incremental update TDGs map into
+    /// it via this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn full_space_id(&self, t: TaskId) -> u32 {
+        let node = self.node(t).0;
+        match self.kind(t) {
+            TaskKind::Fprop => node,
+            TaskKind::Bprop => node + self.prop.graph.num_nodes() as u32,
+        }
+    }
+
+    /// The full-space ids of every task of this update, indexed by task id
+    /// — the dirty set to feed an incremental partition cache.
+    pub fn full_space_ids(&self) -> Vec<u32> {
+        (0..self.tdg.num_tasks() as u32)
+            .map(|t| self.full_space_id(TaskId(t)))
+            .collect()
+    }
+
     /// Execute one task (the payload the scheduler dispatches).
     pub fn execute_task(&self, t: TaskId) {
         let v = NodeId(self.task_node[t.index()]);
@@ -506,6 +540,72 @@ mod tests {
             fprop_seen.iter().all(|&s| s),
             "every node has an fprop task"
         );
+    }
+
+    #[test]
+    fn full_update_task_ids_are_the_full_space_ids() {
+        let mut timer = chain_timer(4);
+        let update = timer.update_timing();
+        let n = update.prop.graph.num_nodes();
+        assert_eq!(update.full_space_len(), 2 * n);
+        // A full update numbers tasks exactly as the full space does:
+        // fprop task of node v is task v, bprop task of node v is n + v.
+        let ids = update.full_space_ids();
+        for (t, &id) in ids.iter().enumerate() {
+            assert_eq!(id, t as u32, "full update is the identity embedding");
+        }
+    }
+
+    #[test]
+    fn incremental_update_embeds_into_the_full_space_tdg() {
+        let mut timer = chain_timer(8);
+        // Capture the full-space TDG from the initial full update.
+        let full_update = timer.update_timing();
+        let full_tdg = full_update.tdg().clone();
+        full_update.run_sequential();
+        drop(full_update);
+
+        timer.repower_gate(GateId(4), 3.0);
+        let update = timer.update_timing();
+        let ids = update.full_space_ids();
+        assert_eq!(ids.len(), update.tdg().num_tasks());
+        assert!(
+            ids.len() < full_tdg.num_tasks(),
+            "incremental update must be a strict subset"
+        );
+        // Ids are consistent with kind/node and within the full space.
+        let n = update.prop.graph.num_nodes() as u32;
+        for (t, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < update.full_space_len());
+            match update.kind(TaskId(t as u32)) {
+                TaskKind::Fprop => assert_eq!(id, update.node(TaskId(t as u32)).0),
+                TaskKind::Bprop => assert_eq!(id, update.node(TaskId(t as u32)).0 + n),
+            }
+        }
+        // Every edge of the incremental TDG exists in the full-space TDG:
+        // the incremental TDG is an induced subgraph under this embedding.
+        for (u, v) in update.tdg().edges() {
+            let (fu, fv) = (ids[u.index()], ids[v.index()]);
+            assert!(
+                full_tdg.successors(TaskId(fu)).contains(&fv),
+                "incremental edge {fu} -> {fv} missing from the full-space TDG"
+            );
+        }
+        // The dirty set is successor-closed in the full space: every
+        // full-space successor of a dirty task is itself dirty. This is
+        // the precondition of incremental partition repair.
+        let mut dirty = vec![false; full_tdg.num_tasks()];
+        for &id in &ids {
+            dirty[id as usize] = true;
+        }
+        for &id in &ids {
+            for &succ in full_tdg.successors(TaskId(id)) {
+                assert!(
+                    dirty[succ as usize],
+                    "dirty task {id} has clean full-space successor {succ}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,15 @@ pub enum ValidatePartitionError {
         /// A task outside `pid` that lies on a path between two members.
         via_task: u32,
     },
+    /// A raw partition assignment decreases along a TDG edge, breaking the
+    /// §3.2 ordering certificate (monotone ids imply an acyclic quotient
+    /// and convex partitions; see `validate::check_edge_monotone`).
+    NotMonotone {
+        /// Source task of the offending edge.
+        from: u32,
+        /// Destination task of the offending edge.
+        to: u32,
+    },
     /// A partition holds more tasks than the configured maximum size `Ps`.
     PartitionTooLarge {
         /// The oversized partition.
@@ -130,6 +139,10 @@ impl fmt::Display for ValidatePartitionError {
             ValidatePartitionError::NotConvex { pid, via_task } => write!(
                 f,
                 "partition {pid} is not convex: a path between two members passes through outside task {via_task}"
+            ),
+            ValidatePartitionError::NotMonotone { from, to } => write!(
+                f,
+                "partition id decreases along edge {from} -> {to}, violating the monotone-id ordering"
             ),
             ValidatePartitionError::PartitionTooLarge { pid, size, max_size } => write!(
                 f,

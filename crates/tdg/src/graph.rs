@@ -168,6 +168,34 @@ impl Tdg {
         Levels::new(self)
     }
 
+    /// A 64-bit structural fingerprint of the graph (FNV-1a over the task
+    /// count and the forward CSR arrays).
+    ///
+    /// Two graphs with the same task ids and edge set share a fingerprint;
+    /// weights are deliberately excluded, so re-weighting a TDG (as
+    /// incremental timing updates do) does not invalidate caches keyed on
+    /// the structure. This is the epoch key used by
+    /// `gpasta-core`'s incremental partition cache.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u32| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_tasks() as u32);
+        for &off in &self.fwd_off {
+            mix(off);
+        }
+        for &v in &self.fwd_adj {
+            mix(v);
+        }
+        h
+    }
+
     /// Iterate over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
         (0..self.num_tasks() as u32).flat_map(move |u| {
@@ -518,6 +546,36 @@ mod tests {
         let json = serde_json::to_string(&g).expect("serializes");
         let back: Tdg = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_weights() {
+        let g1 = diamond();
+        let g2 = diamond();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+
+        // Same shape, different weights: structure-only key is unchanged.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.set_weight(TaskId(2), 9.0);
+        let reweighted = b.build().expect("diamond is a DAG");
+        assert_eq!(g1.fingerprint(), reweighted.fingerprint());
+
+        // One edge fewer: different key.
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        let smaller = b.build().expect("DAG");
+        assert_ne!(g1.fingerprint(), smaller.fingerprint());
+
+        // Same edge count, different endpoints: different key.
+        let empty3 = TdgBuilder::new(3).build().expect("DAG");
+        let empty4 = TdgBuilder::new(4).build().expect("DAG");
+        assert_ne!(empty3.fingerprint(), empty4.fingerprint());
     }
 
     #[test]

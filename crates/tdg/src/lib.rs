@@ -13,7 +13,9 @@
 //! * [`Partition`] — a clustering of tasks into partitions, the output type
 //!   of every partitioner, plus [`PartitionStats`];
 //! * [`quotient`] — construction of the *partitioned TDG*
-//!   (quotient graph) that the scheduler actually runs;
+//!   (quotient graph) that the scheduler actually runs, and
+//!   [`patch`] — in-place maintenance of the quotient's structure under
+//!   incremental partition repair;
 //! * [`validate`] — the paper's validity conditions:
 //!   acyclic quotient, convex partitions, bounded partition size;
 //! * [`transitive_reduction`] — the minimal equivalent DAG, and
@@ -48,6 +50,7 @@ mod graph;
 pub mod io;
 mod level;
 mod partition;
+pub mod patch;
 pub mod quotient;
 mod reduce;
 mod topo;
@@ -59,6 +62,7 @@ pub use graph::{TaskId, Tdg, TdgBuilder};
 pub use io::{parse_edge_list, write_edge_list, ParseEdgeListError};
 pub use level::Levels;
 pub use partition::{Partition, PartitionId, PartitionStats};
+pub use patch::{PatchableQuotient, TaskMove};
 pub use quotient::QuotientTdg;
 pub use reduce::transitive_reduction;
 pub use topo::{critical_path_len, topo_order, ParallelismProfile};

@@ -1,0 +1,412 @@
+//! In-place patching of a quotient graph under partition-assignment moves.
+//!
+//! [`QuotientTdg::build`](crate::QuotientTdg::build) costs `O(V + E)` per
+//! call. When an incremental repair moves only the tasks of a dirty cone,
+//! rebuilding the full quotient wastes that work: [`PatchableQuotient`]
+//! maintains the cross-partition edge *multiset* and the per-partition
+//! member counts, and [`PatchableQuotient::apply`] updates both in time
+//! proportional to the moved tasks' adjacency — not `|V|`.
+//!
+//! The structure tracks raw (pre-compaction, possibly sparse) partition
+//! ids, because incremental repair works in the raw id space where fresh
+//! partitions are allocated above the cached `max_pid` (§3.2's ordering
+//! argument). [`PatchableQuotient::is_edge_monotone`] turns that ordering
+//! into an `O(E_q)` acyclicity certificate: if every cross edge goes from a
+//! smaller raw id to a larger one, no quotient cycle can exist.
+
+use crate::graph::{TaskId, Tdg};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A minimal FxHash-style hasher for the small integer keys used here.
+/// The default SipHash is DoS-resistant but ~5x slower per lookup, which
+/// dominates [`PatchableQuotient::apply`] on large move logs; partition
+/// ids are not attacker-controlled, so the cheap multiply-xor hash is the
+/// right trade.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Pack a cross-partition edge into one map key.
+#[inline]
+fn edge_key(pu: u32, pv: u32) -> u64 {
+    (u64::from(pu) << 32) | u64::from(pv)
+}
+
+#[inline]
+fn unpack_edge(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// One task reassignment applied by a partition repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskMove {
+    /// The moved task.
+    pub task: u32,
+    /// Its raw partition id before the repair.
+    pub old_pid: u32,
+    /// Its raw partition id after the repair.
+    pub new_pid: u32,
+}
+
+/// A quotient graph maintained incrementally as a cross-partition edge
+/// multiset plus per-partition member counts.
+///
+/// Unlike [`QuotientTdg`](crate::QuotientTdg), this structure is mutable
+/// and keyed by *raw* partition ids; it answers structural questions
+/// (partition count, cross-edge set, acyclicity certificate) without ever
+/// rebuilding from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct PatchableQuotient {
+    /// Multiplicity of each cross-partition edge, keyed by
+    /// [`edge_key`]`(pu, pv)` with `pu != pv`.
+    edge_mult: FxMap<u64, u32>,
+    /// Member count of each non-empty raw partition id.
+    sizes: FxMap<u32, u32>,
+}
+
+impl PatchableQuotient {
+    /// Build from a TDG and a raw assignment (one id per task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` does not cover `tdg`.
+    pub fn build(tdg: &Tdg, assignment: &[u32]) -> Self {
+        assert_eq!(
+            assignment.len(),
+            tdg.num_tasks(),
+            "assignment/TDG task count mismatch"
+        );
+        let mut q = PatchableQuotient::default();
+        for &pid in assignment {
+            *q.sizes.entry(pid).or_insert(0) += 1;
+        }
+        for (u, v) in tdg.edges() {
+            let (pu, pv) = (assignment[u.index()], assignment[v.index()]);
+            if pu != pv {
+                *q.edge_mult.entry(edge_key(pu, pv)).or_insert(0) += 1;
+            }
+        }
+        q
+    }
+
+    /// Patch the quotient after a repair moved `moves` tasks.
+    ///
+    /// `assignment` is the **post-move** assignment; each move records the
+    /// task's previous id, so the patch can reconstruct both endpoints of
+    /// every affected edge before and after. Each affected TDG edge is
+    /// handled exactly once, even when both of its endpoints moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move is inconsistent with `assignment` (its `new_pid`
+    /// must be the task's current id), or if removing an edge that was
+    /// never added (a sign the caller's move log is incomplete).
+    pub fn apply(&mut self, tdg: &Tdg, assignment: &[u32], moves: &[TaskMove]) {
+        assert_eq!(
+            assignment.len(),
+            tdg.num_tasks(),
+            "assignment/TDG task count mismatch"
+        );
+        // Previous id of every moved task; also serves as the moved set.
+        let old_of: HashMap<u32, u32> = moves.iter().map(|m| (m.task, m.old_pid)).collect();
+        let before = |t: u32| -> u32 {
+            old_of
+                .get(&t)
+                .copied()
+                .unwrap_or_else(|| assignment[t as usize])
+        };
+        for m in moves {
+            assert_eq!(
+                assignment[m.task as usize], m.new_pid,
+                "move log disagrees with the post-move assignment for task {}",
+                m.task
+            );
+            self.retag(m.old_pid, m.new_pid);
+            for &v in tdg.successors(TaskId(m.task)) {
+                // Out-edges of a moved task are always handled here.
+                self.remove_edge(m.old_pid, before(v));
+                self.add_edge(m.new_pid, assignment[v as usize]);
+            }
+            for &u in tdg.predecessors(TaskId(m.task)) {
+                // In-edges are handled here only when the source did NOT
+                // move; moved-to-moved edges were covered by the source's
+                // successor loop above (or will be, order-independently:
+                // both passes use the same before/after views).
+                if old_of.contains_key(&u) {
+                    continue;
+                }
+                self.remove_edge(assignment[u as usize], m.old_pid);
+                self.add_edge(assignment[u as usize], m.new_pid);
+            }
+        }
+    }
+
+    fn retag(&mut self, old_pid: u32, new_pid: u32) {
+        let cnt = self
+            .sizes
+            .get_mut(&old_pid)
+            .expect("moved task's old partition must exist");
+        *cnt -= 1;
+        if *cnt == 0 {
+            self.sizes.remove(&old_pid);
+        }
+        *self.sizes.entry(new_pid).or_insert(0) += 1;
+    }
+
+    fn remove_edge(&mut self, pu: u32, pv: u32) {
+        if pu == pv {
+            return;
+        }
+        let key = edge_key(pu, pv);
+        let cnt = self
+            .edge_mult
+            .get_mut(&key)
+            .expect("removing a cross edge that was never added");
+        *cnt -= 1;
+        if *cnt == 0 {
+            self.edge_mult.remove(&key);
+        }
+    }
+
+    fn add_edge(&mut self, pu: u32, pv: u32) {
+        if pu != pv {
+            *self.edge_mult.entry(edge_key(pu, pv)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of non-empty partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of distinct cross-partition edges (the quotient's edge count
+    /// after dedup).
+    pub fn num_cross_edges(&self) -> usize {
+        self.edge_mult.len()
+    }
+
+    /// Member count of raw partition `pid` (0 if empty/unknown).
+    pub fn size_of(&self, pid: u32) -> u32 {
+        self.sizes.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// The deduplicated cross-partition edges, sorted for deterministic
+    /// consumption.
+    pub fn cross_edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self.edge_mult.keys().map(|&k| unpack_edge(k)).collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// The `O(E_q)` acyclicity certificate: every cross edge goes from a
+    /// smaller raw id to a larger one. Holds for any assignment produced by
+    /// G-PASTA's `atomicMax` rule or the incremental repair wavefront; a
+    /// `true` answer proves the quotient is a DAG.
+    pub fn is_edge_monotone(&self) -> bool {
+        self.edge_mult.keys().all(|&k| {
+            let (pu, pv) = unpack_edge(k);
+            pu < pv
+        })
+    }
+
+    /// Whether this patched state equals a from-scratch rebuild over
+    /// `(tdg, assignment)` — the differential-test oracle.
+    pub fn matches(&self, tdg: &Tdg, assignment: &[u32]) -> bool {
+        let fresh = PatchableQuotient::build(tdg, assignment);
+        self.edge_mult == fresh.edge_mult && self.sizes == fresh.sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TdgBuilder;
+
+    fn diamond() -> Tdg {
+        let mut b = TdgBuilder::new(4);
+        b.add_edge(TaskId(0), TaskId(1));
+        b.add_edge(TaskId(0), TaskId(2));
+        b.add_edge(TaskId(1), TaskId(3));
+        b.add_edge(TaskId(2), TaskId(3));
+        b.build().expect("diamond DAG")
+    }
+
+    #[test]
+    fn build_counts_cross_edges_and_sizes() {
+        let tdg = diamond();
+        let q = PatchableQuotient::build(&tdg, &[0, 1, 1, 2]);
+        assert_eq!(q.num_partitions(), 3);
+        // 0->1, 0->2 collapse onto (0,1); 1->3, 2->3 onto (1,2).
+        assert_eq!(q.cross_edges(), vec![(0, 1), (1, 2)]);
+        assert_eq!(q.size_of(1), 2);
+        assert!(q.is_edge_monotone());
+    }
+
+    #[test]
+    fn single_move_matches_rebuild() {
+        let tdg = diamond();
+        let mut assignment = vec![0u32, 1, 1, 2];
+        let mut q = PatchableQuotient::build(&tdg, &assignment);
+        // Move task 3 into a fresh partition 5.
+        assignment[3] = 5;
+        q.apply(
+            &tdg,
+            &assignment,
+            &[TaskMove {
+                task: 3,
+                old_pid: 2,
+                new_pid: 5,
+            }],
+        );
+        assert!(q.matches(&tdg, &assignment));
+        assert_eq!(q.size_of(2), 0);
+        assert_eq!(q.size_of(5), 1);
+        assert_eq!(q.cross_edges(), vec![(0, 1), (1, 5)]);
+    }
+
+    #[test]
+    fn moving_both_endpoints_of_an_edge_is_handled_once() {
+        let tdg = diamond();
+        let mut assignment = vec![0u32, 1, 1, 2];
+        let mut q = PatchableQuotient::build(&tdg, &assignment);
+        // Move 1 and 3 together: the 1 -> 3 edge has both endpoints moved.
+        assignment[1] = 4;
+        assignment[3] = 6;
+        q.apply(
+            &tdg,
+            &assignment,
+            &[
+                TaskMove {
+                    task: 1,
+                    old_pid: 1,
+                    new_pid: 4,
+                },
+                TaskMove {
+                    task: 3,
+                    old_pid: 2,
+                    new_pid: 6,
+                },
+            ],
+        );
+        assert!(q.matches(&tdg, &assignment));
+    }
+
+    #[test]
+    fn move_order_does_not_matter() {
+        let tdg = diamond();
+        let initial = vec![0u32, 1, 1, 2];
+        let target = vec![0u32, 4, 3, 6];
+        let moves = [
+            TaskMove {
+                task: 1,
+                old_pid: 1,
+                new_pid: 4,
+            },
+            TaskMove {
+                task: 2,
+                old_pid: 1,
+                new_pid: 3,
+            },
+            TaskMove {
+                task: 3,
+                old_pid: 2,
+                new_pid: 6,
+            },
+        ];
+        let mut a = PatchableQuotient::build(&tdg, &initial);
+        a.apply(&tdg, &target, &moves);
+        let mut b = PatchableQuotient::build(&tdg, &initial);
+        let reversed: Vec<TaskMove> = moves.iter().rev().copied().collect();
+        b.apply(&tdg, &target, &reversed);
+        assert!(a.matches(&tdg, &target));
+        assert!(b.matches(&tdg, &target));
+    }
+
+    #[test]
+    fn merging_partitions_drops_the_cross_edge() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(1));
+        let tdg = b.build().expect("chain");
+        let mut assignment = vec![0u32, 1];
+        let mut q = PatchableQuotient::build(&tdg, &assignment);
+        assert_eq!(q.num_cross_edges(), 1);
+        assignment[1] = 0;
+        q.apply(
+            &tdg,
+            &assignment,
+            &[TaskMove {
+                task: 1,
+                old_pid: 1,
+                new_pid: 0,
+            }],
+        );
+        assert_eq!(q.num_cross_edges(), 0);
+        assert_eq!(q.num_partitions(), 1);
+        assert!(q.matches(&tdg, &assignment));
+    }
+
+    #[test]
+    fn non_monotone_edge_is_detected() {
+        let mut b = TdgBuilder::new(2);
+        b.add_edge(TaskId(0), TaskId(1));
+        let tdg = b.build().expect("chain");
+        let q = PatchableQuotient::build(&tdg, &[5, 2]);
+        assert!(!q.is_edge_monotone());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let tdg = TdgBuilder::new(0).build().expect("empty");
+        let mut q = PatchableQuotient::build(&tdg, &[]);
+        q.apply(&tdg, &[], &[]);
+        assert_eq!(q.num_partitions(), 0);
+        assert_eq!(q.num_cross_edges(), 0);
+        assert!(q.is_edge_monotone());
+        assert!(q.matches(&tdg, &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "task count mismatch")]
+    fn bad_coverage_panics() {
+        let _ = PatchableQuotient::build(&diamond(), &[0, 1]);
+    }
+}

@@ -135,6 +135,45 @@ pub fn check_all(tdg: &Tdg, p: &Partition) -> Result<(), ValidatePartitionError>
     check_convex(tdg, p)
 }
 
+/// Check the §3.2 ordering certificate on a raw (possibly sparse) partition
+/// assignment: ids never decrease along any TDG edge.
+///
+/// Monotone ids *prove* both scheduling-validity conditions in one `O(E)`
+/// pass: a cross-partition edge strictly increases the id, so every
+/// quotient edge points from a smaller id to a larger one (no cycle is
+/// possible), and on any path between two tasks with the same id every
+/// intermediate id is squeezed to that same value (convexity). G-PASTA's
+/// `atomicMax` rule produces monotone ids by construction; the incremental
+/// repair path re-proves this invariant after every patch, where the full
+/// [`check_convex`] reachability sweep would be too slow for a debug-build
+/// hot path.
+///
+/// The certificate is sufficient, not necessary: a valid partition whose
+/// ids were permuted can fail this check while passing [`check_all`].
+///
+/// # Errors
+///
+/// Returns [`ValidatePartitionError::LengthMismatch`] if `assignment` does
+/// not cover the TDG, and [`ValidatePartitionError::NotMonotone`] with the
+/// offending edge otherwise.
+pub fn check_edge_monotone(tdg: &Tdg, assignment: &[u32]) -> Result<(), ValidatePartitionError> {
+    if assignment.len() != tdg.num_tasks() {
+        return Err(ValidatePartitionError::LengthMismatch {
+            num_tasks: tdg.num_tasks(),
+            assignment_len: assignment.len(),
+        });
+    }
+    for u in 0..tdg.num_tasks() as u32 {
+        let pu = assignment[u as usize];
+        for &v in tdg.successors(TaskId(u)) {
+            if assignment[v as usize] < pu {
+                return Err(ValidatePartitionError::NotMonotone { from: u, to: v });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +224,35 @@ mod tests {
         let tdg = diamond();
         let p = Partition::new(vec![0, 1, 1, 2]);
         check_all(&tdg, &p).expect("figure 2(b) partition is fully valid");
+    }
+
+    #[test]
+    fn monotone_certificate_accepts_and_rejects() {
+        let tdg = diamond();
+        // Monotone (sparse ids allowed): 2 -> {5, 5} -> 9.
+        check_edge_monotone(&tdg, &[2, 5, 5, 9]).expect("monotone along all edges");
+        // Constant assignments are trivially monotone.
+        check_edge_monotone(&tdg, &[7, 7, 7, 7]).expect("constant is monotone");
+        // Decreasing edge 0 -> 1.
+        assert_eq!(
+            check_edge_monotone(&tdg, &[3, 1, 3, 3]).expect_err("0 -> 1 decreases"),
+            ValidatePartitionError::NotMonotone { from: 0, to: 1 }
+        );
+        // Wrong coverage.
+        assert!(matches!(
+            check_edge_monotone(&tdg, &[0, 1]).expect_err("short assignment"),
+            ValidatePartitionError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn monotone_certificate_implies_full_validity() {
+        // The theorem the certificate rests on, spot-checked: a monotone
+        // raw assignment compacts to a partition that passes check_all.
+        let tdg = diamond();
+        let raw = vec![2u32, 5, 5, 9];
+        check_edge_monotone(&tdg, &raw).expect("monotone");
+        check_all(&tdg, &Partition::new(raw)).expect("monotone implies valid");
     }
 
     #[test]

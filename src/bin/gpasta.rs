@@ -13,8 +13,11 @@
 //! gpasta demo
 //! ```
 
-use gpasta::core::sanitize::{audit_host_partitioner, audit_partitioner};
-use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
+use gpasta::core::sanitize::{audit_host_partitioner, audit_incremental_repair, audit_partitioner};
+use gpasta::core::{
+    forward_closure, DeterGPasta, GPasta, Gdca, IncrementalPartitioner, Partitioner,
+    PartitionerOptions, Sarkar, SeqGPasta,
+};
 use gpasta::tdg::{partition_to_dot, validate, ParallelismProfile, TaskId, Tdg, TdgBuilder};
 use std::path::Path;
 use std::process::ExitCode;
@@ -23,7 +26,8 @@ const USAGE: &str = "\
 usage:
   gpasta partition <edges-file> [--algo gpasta|deter|seq|gdca|sarkar]
                                 [--ps <n>] [--dot <file>] [--csv <file>]
-  gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|all]
+                                [--incremental]
+  gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|incremental|all]
                                 [--ps <n>] [--workers <w1,w2,..>] [--runs <n>]
   gpasta stats <edges-file>
   gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]
@@ -84,6 +88,7 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
     let mut ps = None;
     let mut dot_out = None;
     let mut csv_out = None;
+    let mut incremental = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -98,6 +103,7 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
             }
             "--dot" => dot_out = Some(it.next().ok_or("--dot needs a file")?.clone()),
             "--csv" => csv_out = Some(it.next().ok_or("--csv needs a file")?.clone()),
+            "--incremental" => incremental = true,
             other if file.is_none() => file = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -109,6 +115,9 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
         Some(n) => PartitionerOptions::with_max_size(n),
         None => PartitionerOptions::default(),
     };
+    if incremental {
+        return incremental_demo(&tdg, partitioner, &opts);
+    }
 
     let t0 = std::time::Instant::now();
     let partition = partitioner
@@ -142,6 +151,53 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
+    Ok(())
+}
+
+/// The `partition --incremental` demo: install the cache once, then
+/// repair the forward cone of a mid-graph task and compare the repair
+/// cost against the cold install.
+fn incremental_demo(
+    tdg: &Tdg,
+    partitioner: Box<dyn Partitioner>,
+    opts: &PartitionerOptions,
+) -> Result<(), String> {
+    if tdg.num_tasks() == 0 {
+        return Err("--incremental needs a non-empty graph".into());
+    }
+    let name = partitioner.name();
+    let mut inc = IncrementalPartitioner::new(partitioner);
+    let t0 = std::time::Instant::now();
+    inc.install(tdg, opts).map_err(|e| e.to_string())?;
+    let install = t0.elapsed();
+
+    let seed = (tdg.num_tasks() / 2) as u32;
+    let dirty = forward_closure(tdg, &[seed]);
+    let t0 = std::time::Instant::now();
+    let stats = inc.repair(&dirty).map_err(|e| e.to_string())?;
+    let repair = t0.elapsed();
+
+    let partition = inc.full_partition().expect("cache is warm");
+    validate::check_all(tdg, &partition).map_err(|e| format!("internal error: {e}"))?;
+
+    println!(
+        "incremental({name}): {} tasks, {} deps -> {}",
+        tdg.num_tasks(),
+        tdg.num_deps(),
+        partition.stats(tdg)
+    );
+    println!(
+        "install (cold {name}): {:.3} ms; repair of task {seed}'s forward cone \
+         ({} dirty): {:.3} ms",
+        install.as_secs_f64() * 1e3,
+        stats.num_dirty,
+        repair.as_secs_f64() * 1e3
+    );
+    println!(
+        "repair moved {} task(s), allocated {} fresh partition(s), epoch {}; \
+         result validated (acyclic, convex)",
+        stats.moved, stats.fresh_partitions, stats.epoch
+    );
     Ok(())
 }
 
@@ -199,14 +255,16 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
         None => PartitionerOptions::default(),
     };
     let algos: Vec<&str> = if algo == "all" {
-        vec!["gpasta", "deter", "seq", "gdca", "sarkar"]
+        vec!["gpasta", "deter", "seq", "gdca", "sarkar", "incremental"]
     } else {
         vec![algo.as_str()]
     };
-    if let Some(bad) = algos
-        .iter()
-        .find(|a| !matches!(**a, "gpasta" | "deter" | "seq" | "gdca" | "sarkar"))
-    {
+    if let Some(bad) = algos.iter().find(|a| {
+        !matches!(
+            **a,
+            "gpasta" | "deter" | "seq" | "gdca" | "sarkar" | "incremental"
+        )
+    }) {
         return Err(format!("unknown algorithm `{bad}`"));
     }
     println!(
@@ -222,9 +280,26 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
             "seq" => audit_host_partitioner(&SeqGPasta::new(), &tdg, &opts, &workers, runs),
             "gdca" => audit_host_partitioner(&Gdca::new(), &tdg, &opts, &workers, runs),
             "sarkar" => audit_host_partitioner(&Sarkar::new(), &tdg, &opts, &workers, runs),
+            // The incremental repair path, backed by the deterministic
+            // partitioner so any nondeterminism is the repair's own.
+            "incremental" => {
+                let dirty = if tdg.num_tasks() == 0 {
+                    Vec::new()
+                } else {
+                    forward_closure(&tdg, &[(tdg.num_tasks() / 2) as u32])
+                };
+                audit_incremental_repair(
+                    DeterGPasta::with_device,
+                    &tdg,
+                    &opts,
+                    &dirty,
+                    &workers,
+                    runs,
+                )
+            }
             other => unreachable!("algorithm `{other}` validated above"),
         };
-        println!("{name:<10} {outcome}");
+        println!("{name:<12} {outcome}");
     }
     Ok(())
 }

@@ -1,0 +1,143 @@
+//! Differential test layer for incremental partition maintenance.
+//!
+//! Two timers receive the identical random modifier stream. One runs the
+//! cached path: a partition installed once on the full task space and
+//! *repaired* inside each iteration's dirty cone, with the incremental
+//! update executed through the projected sub-partition. The other is the
+//! oracle: full invalidation, full re-analysis, from-scratch partition.
+//! Every iteration asserts that
+//!
+//! 1. the repaired partition is valid — total, acyclic quotient, convex,
+//!    within the size bound — and edge-monotone (the §3.2 certificate);
+//! 2. executing the repaired partitioned TDG leaves the timer in a state
+//!    **bit-identical** (`f32::to_bits`) to the full re-analysis: arrival,
+//!    slew, and required times for every node, transition, and mode, plus
+//!    both slacks.
+
+use gpasta::circuits::PaperCircuit;
+use gpasta::core::{IncrementalPartitioner, Partitioner, PartitionerOptions, SeqGPasta};
+use gpasta::sched::Executor;
+use gpasta::sta::{CellLibrary, GateId, Mode, NodeId, Timer, Tr};
+use gpasta::tdg::{validate, QuotientTdg};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const ITERATIONS: usize = 20;
+
+fn modify(timer: &mut Timer, rng: &mut ChaCha8Rng) {
+    if rng.gen_bool(0.5) {
+        let g = GateId(rng.gen_range(0..timer.netlist().num_gates() as u32));
+        timer.repower_gate(g, *[0.5f32, 1.0, 2.0, 4.0].choose(rng).expect("non-empty"));
+    } else {
+        let net = rng.gen_range(0..timer.netlist().num_nets() as u32);
+        timer.set_net_cap(net, rng.gen_range(0.0..6.0));
+    }
+}
+
+/// Assert the two timers' full timing states agree bit-for-bit.
+fn assert_bit_identical(reference: &Timer, cached: &Timer, iteration: usize) {
+    let n = reference.graph().num_nodes();
+    assert_eq!(n, cached.graph().num_nodes());
+    let (a, b) = (reference.data(), cached.data());
+    for v in 0..n as u32 {
+        let v = NodeId(v);
+        for tr in [Tr::Rise, Tr::Fall] {
+            for mode in [Mode::Early, Mode::Late] {
+                for (what, x, y) in [
+                    ("arrival", a.arrival(v, tr, mode), b.arrival(v, tr, mode)),
+                    ("slew", a.slew(v, tr, mode), b.slew(v, tr, mode)),
+                    ("required", a.required(v, tr, mode), b.required(v, tr, mode)),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{what} diverged at node {v:?} {tr:?}/{mode:?}, iteration {iteration}: \
+                         {x} vs {y}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            a.slack_late(v).to_bits(),
+            b.slack_late(v).to_bits(),
+            "late slack diverged at node {v:?}, iteration {iteration}"
+        );
+        assert_eq!(
+            a.slack_early(v).to_bits(),
+            b.slack_early(v).to_bits(),
+            "early slack diverged at node {v:?}, iteration {iteration}"
+        );
+    }
+}
+
+fn differential(circuit: PaperCircuit, scale: f64, seed: u64) {
+    let netlist = circuit.build(scale);
+    let library = CellLibrary::typical();
+    let exec = Executor::new(2);
+    let opts = PartitionerOptions::default();
+
+    let mut reference = Timer::new(netlist.clone(), library.clone());
+    let mut cached = Timer::new(netlist, library);
+    reference.update_timing().run_sequential();
+
+    let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+    let full_update = cached.update_timing();
+    inc.install(full_update.tdg(), &opts).expect("install");
+    full_update.run_sequential();
+    drop(full_update);
+    let ps = inc.ps().expect("warm cache");
+
+    let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+    for i in 0..ITERATIONS {
+        modify(&mut reference, &mut rng_a);
+        modify(&mut cached, &mut rng_b);
+
+        // Oracle: full re-analysis with a from-scratch partition.
+        {
+            reference.invalidate_all();
+            let update = reference.update_timing();
+            let scratch = SeqGPasta::new()
+                .partition(update.tdg(), &opts)
+                .expect("scratch partition");
+            let quotient = QuotientTdg::build(update.tdg(), &scratch).expect("schedulable");
+            let payload = update.task_fn();
+            exec.run_partitioned(&quotient, &payload);
+        }
+
+        // Cached path: repair the dirty cone, execute through the
+        // projected sub-partition.
+        {
+            let update = cached.update_timing();
+            let ids = update.full_space_ids();
+            inc.repair(&ids).expect("dirty cone is successor-closed");
+            let sub = inc.sub_partition(&ids).expect("ids in range");
+            let quotient = QuotientTdg::build(update.tdg(), &sub).expect("schedulable");
+            let payload = update.task_fn();
+            exec.run_partitioned(&quotient, &payload);
+        }
+
+        // (1) The repaired full partition is valid every iteration.
+        let tdg = inc.cached_tdg().expect("warm cache");
+        let full = inc.full_partition().expect("warm cache");
+        validate::check_all(tdg, &full)
+            .unwrap_or_else(|e| panic!("invalid repaired partition at iteration {i}: {e}"));
+        validate::check_size_bound(&full, ps)
+            .unwrap_or_else(|e| panic!("size bound broken at iteration {i}: {e}"));
+        validate::check_edge_monotone(tdg, inc.raw_assignment().expect("warm cache"))
+            .unwrap_or_else(|e| panic!("monotone certificate broken at iteration {i}: {e}"));
+
+        // (2) The timing state matches the oracle bit-for-bit.
+        assert_bit_identical(&reference, &cached, i);
+    }
+}
+
+#[test]
+fn vga_lcd_cached_repairs_match_full_reanalysis_bit_for_bit() {
+    differential(PaperCircuit::VgaLcd, 0.002, 0xD1FF);
+}
+
+#[test]
+fn aes_core_cached_repairs_match_full_reanalysis_bit_for_bit() {
+    differential(PaperCircuit::AesCore, 0.004, 0xAE5);
+}

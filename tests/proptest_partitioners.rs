@@ -1,10 +1,22 @@
 //! Property-based tests: every partitioner produces valid, schedulable
 //! partitions on arbitrary DAGs, for arbitrary partition sizes.
 
-use gpasta::core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar, SeqGPasta};
+use gpasta::core::{
+    forward_closure, DeterGPasta, GPasta, Gdca, IncrementalError, IncrementalPartitioner,
+    Partitioner, PartitionerOptions, Sarkar, SeqGPasta,
+};
 use gpasta::gpu::Device;
 use gpasta::tdg::{validate, Partition, QuotientTdg, TaskId, Tdg, TdgBuilder};
 use proptest::prelude::*;
+
+/// Case count for the incremental suite, overridable via `PROPTEST_CASES`
+/// (the nightly CI job raises it).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
 
 /// Random DAG via low-to-high edge orientation.
 fn arb_dag(max_n: usize) -> impl Strategy<Value = Tdg> {
@@ -123,5 +135,114 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn warm_repair_of_empty_dirty_set_is_identity(tdg in arb_dag(100), ps in 1usize..30) {
+        let opts = PartitionerOptions::with_max_size(ps);
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        inc.install(&tdg, &opts).expect("install");
+        let before = inc.raw_assignment().expect("warm").to_vec();
+        let stats = inc.repair(&[]).expect("empty repair");
+        prop_assert_eq!(stats.moved, 0);
+        prop_assert_eq!(stats.fresh_partitions, 0);
+        prop_assert_eq!(inc.raw_assignment().expect("warm"), before.as_slice());
+        // Compacted, the warm cache equals what the trait entry serves —
+        // i.e. the inner partitioner's cold result.
+        let served = inc.partition(&tdg, &opts).expect("served from cache");
+        prop_assert_eq!(served, inc.full_partition().expect("warm"));
+    }
+
+    #[test]
+    fn invalidate_all_forces_a_full_repartition(tdg in arb_dag(80), ps in 1usize..20) {
+        let opts = PartitionerOptions::with_max_size(ps);
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        inc.install(&tdg, &opts).expect("install");
+        inc.invalidate_all();
+        prop_assert!(!inc.is_warm());
+        prop_assert_eq!(inc.repair(&[]), Err(IncrementalError::NotInstalled));
+        // Cold trait partition falls through to the inner partitioner.
+        let cold = inc.partition(&tdg, &opts).expect("cold");
+        let direct = SeqGPasta::new().partition(&tdg, &opts).expect("direct");
+        prop_assert_eq!(cold, direct);
+    }
+
+    #[test]
+    fn repaired_partitions_stay_valid_on_random_dirty_cones(
+        tdg in arb_dag(100),
+        ps in 1usize..30,
+        seeds in proptest::collection::vec(0usize..100, 1..6),
+    ) {
+        let opts = PartitionerOptions::with_max_size(ps);
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        inc.install(&tdg, &opts).expect("install");
+        let n = tdg.num_tasks();
+        for chunk in seeds.chunks(2) {
+            let seed_ids: Vec<u32> = chunk.iter().map(|&s| (s % n) as u32).collect();
+            let dirty = forward_closure(&tdg, &seed_ids);
+            inc.repair(&dirty).expect("forward closures are successor-closed");
+            let full = inc.full_partition().expect("warm");
+            validate::check_all(&tdg, &full).expect("valid after repair");
+            validate::check_size_bound(&full, ps).expect("size bound after repair");
+            validate::check_edge_monotone(&tdg, inc.raw_assignment().expect("warm"))
+                .expect("monotone certificate after repair");
+        }
+    }
+
+    #[test]
+    fn fused_projections_match_the_unfused_pair_on_random_cones(
+        tdg in arb_dag(100),
+        ps in 1usize..30,
+        seeds in proptest::collection::vec(0usize..100, 1..6),
+    ) {
+        let opts = PartitionerOptions::with_max_size(ps);
+        let mut unfused = IncrementalPartitioner::new(SeqGPasta::new());
+        let mut fused = IncrementalPartitioner::new(SeqGPasta::new());
+        let mut trusted = IncrementalPartitioner::new(SeqGPasta::new());
+        unfused.install(&tdg, &opts).expect("install");
+        fused.install(&tdg, &opts).expect("install");
+        trusted.install(&tdg, &opts).expect("install");
+        let n = tdg.num_tasks();
+        for chunk in seeds.chunks(2) {
+            let seed_ids: Vec<u32> = chunk.iter().map(|&s| (s % n) as u32).collect();
+            let dirty = forward_closure(&tdg, &seed_ids);
+            let su = unfused.repair(&dirty).expect("repair");
+            let pu = unfused.sub_partition(&dirty).expect("project");
+            let (sf, pf) = fused.repair_and_project(&dirty).expect("fused");
+            let (st, pt) = trusted
+                .repair_and_project_trusted(&dirty)
+                .expect("forward closures satisfy the trusted contract");
+            prop_assert_eq!(su, sf);
+            prop_assert_eq!(&pu, &pf);
+            prop_assert_eq!(sf, st);
+            prop_assert_eq!(&pf, &pt);
+        }
+    }
+
+    #[test]
+    fn deter_backed_incremental_identical_across_workers_and_repeats(
+        tdg in arb_dag(80),
+        ps in 1usize..20,
+        seed in 0usize..80,
+    ) {
+        let opts = PartitionerOptions::with_max_size(ps);
+        let n = tdg.num_tasks();
+        let dirty = forward_closure(&tdg, &[(seed % n) as u32]);
+        let run = |workers: usize| {
+            let mut inc =
+                IncrementalPartitioner::new(DeterGPasta::with_device(Device::new(workers)));
+            inc.install(&tdg, &opts).expect("install");
+            inc.repair(&dirty).expect("repair");
+            inc.raw_assignment().expect("warm").to_vec()
+        };
+        let a = run(1);
+        let b = run(3);
+        let c = run(1);
+        prop_assert_eq!(&a, &b, "worker count changed the incremental result");
+        prop_assert_eq!(&a, &c, "repeated run changed the incremental result");
     }
 }
