@@ -168,6 +168,64 @@ fn fig7_incremental_mode_writes_the_documented_schema() {
 }
 
 #[test]
+fn fault_recovery_writes_the_documented_schema() {
+    let out = out_dir("fault_recovery");
+    let dir = out.to_str().expect("utf8");
+    let res = run(
+        env!("CARGO_BIN_EXE_fault_recovery"),
+        &[
+            "--scale",
+            "0.002",
+            "--workers",
+            "2",
+            "--runs",
+            "2",
+            "--out",
+            dir,
+        ],
+    );
+    assert!(
+        res.status.success(),
+        "{}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+
+    let csv = out.join("fault_recovery.csv");
+    assert_eq!(
+        csv_header(&csv),
+        "label,tasks,plain_ms,recovering_ms,overhead_pct,faults_fired,\
+         salvaged_frac,heal_ms"
+    );
+    assert_csv_rows(&csv);
+
+    // The summary CI uploads: one row per circuit, healed-WNS bit-identity
+    // already asserted inside the binary.
+    let summary = json_rows(&out.join("BENCH_fault_recovery.json"));
+    let rows = summary.as_array().expect("summary array");
+    let labels: Vec<&str> = rows
+        .iter()
+        .map(|r| r["label"].as_str().expect("label"))
+        .collect();
+    assert_eq!(labels, ["vga_lcd", "leon2"]);
+    for row in rows {
+        assert_eq!(
+            json_columns(row),
+            [
+                "tasks",
+                "plain_ms",
+                "recovering_ms",
+                "overhead_pct",
+                "faults_fired",
+                "salvaged_frac",
+                "heal_ms"
+            ]
+        );
+        let frac = row["values"][5][1].as_f64().expect("salvaged_frac");
+        assert!((0.0..=1.0).contains(&frac), "salvaged_frac {frac} in [0,1]");
+    }
+}
+
+#[test]
 fn table1_writes_the_documented_schema() {
     let out = out_dir("table1");
     let dir = out.to_str().expect("utf8");

@@ -22,6 +22,14 @@
 //!   allocations;
 //! * [`RunReport`] — wall-clock plus scheduling-op counts, so benchmarks can
 //!   attribute time to scheduling vs. payload;
+//! * fault tolerance — [`Executor::run_tdg_recovering`] /
+//!   [`Executor::run_partitioned_recovering`] contain payload failures
+//!   instead of unwinding: per-attempt `catch_unwind`, bounded retry with
+//!   exponential backoff ([`RetryPolicy`]), and partition quarantine (a
+//!   permanent failure poisons its dispatch unit's forward closure while
+//!   everything else is salvaged — reported in a [`RunOutcome`]);
+//! * [`FaultPlan`] / [`FaultyWork`] — deterministic fault injection keyed
+//!   by `(task, attempt)`, the test oracle for the recovering path;
 //! * [`measure_sched_overhead`] — calibrates the per-task scheduling cost on
 //!   the host, reproducing the paper's 0.2–3 µs observation;
 //! * [`sim`] — a deterministic Graham list-scheduling simulator for
@@ -56,13 +64,17 @@
 
 mod arena;
 mod executor;
+mod fault;
+mod outcome;
 mod overhead;
 mod report;
 pub mod sim;
 mod taskflow;
 
 pub use arena::FlowArena;
-pub use executor::{Executor, TaskWork};
+pub use executor::{Executor, ExecutorError, TaskWork};
+pub use fault::{FaultKind, FaultPlan, FaultyWork};
+pub use outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, TaskError};
 pub use overhead::{measure_sched_overhead, OverheadProfile};
 pub use report::RunReport;
 pub use sim::{simulate_makespan, SimReport};

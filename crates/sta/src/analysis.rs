@@ -199,20 +199,57 @@ impl TimingData {
     }
 
     /// Setup (late-mode) slack at `v`: worst over transitions of
-    /// `required − arrival`.
+    /// `required − arrival`. NaN when any contributing value is unknown —
+    /// `f32::min` would silently discard the NaN, and a degraded run must
+    /// report *unknown*, not a fabricated slack.
     pub fn slack_late(&self, v: NodeId) -> f32 {
         TRS.iter()
             .map(|&tr| self.required(v, tr, Mode::Late) - self.arrival(v, tr, Mode::Late))
-            .fold(f32::INFINITY, f32::min)
+            .fold(f32::INFINITY, nan_preserving_min)
     }
 
     /// Hold (early-mode) slack at `v`: worst over transitions of
     /// `arrival − required`. Positive means the earliest edge arrives
-    /// safely after the hold window.
+    /// safely after the hold window. NaN when any contributing value is
+    /// unknown (see [`slack_late`](TimingData::slack_late)).
     pub fn slack_early(&self, v: NodeId) -> f32 {
         TRS.iter()
             .map(|&tr| self.arrival(v, tr, Mode::Early) - self.required(v, tr, Mode::Early))
-            .fold(f32::INFINITY, f32::min)
+            .fold(f32::INFINITY, nan_preserving_min)
+    }
+
+    /// Mark the forward-propagated state of `v` (arrival and slew, all
+    /// corners) as *unknown* by storing NaN. The recovering update uses
+    /// this for nodes inside a poisoned cone: an explicit NaN is auditable,
+    /// a stale-but-plausible number is silently wrong. Any slack computed
+    /// through an unknown value is NaN, which endpoint reports surface.
+    pub fn mark_arrival_unknown(&self, v: NodeId) {
+        for &tr in &TRS {
+            for &mode in &MODES {
+                self.set_arrival(v, tr, mode, f32::NAN);
+                self.set_slew(v, tr, mode, f32::NAN);
+            }
+        }
+    }
+
+    /// Mark the required times of `v` (all corners) as unknown (NaN); the
+    /// backward-cone counterpart of
+    /// [`mark_arrival_unknown`](TimingData::mark_arrival_unknown).
+    pub fn mark_required_unknown(&self, v: NodeId) {
+        for &tr in &TRS {
+            for &mode in &MODES {
+                self.set_required(v, tr, mode, f32::NAN);
+            }
+        }
+    }
+
+    /// Whether any timing value at `v` is marked unknown (NaN).
+    pub fn is_unknown(&self, v: NodeId) -> bool {
+        TRS.iter().any(|&tr| {
+            MODES.iter().any(|&mode| {
+                self.arrival(v, tr, mode).is_nan() || self.required(v, tr, mode).is_nan()
+            })
+        })
     }
 
     #[inline]
@@ -438,6 +475,18 @@ impl<'a> TimingPropagator<'a> {
             d.set_required(v, tr, Mode::Early, req[tr as usize][0]);
             d.set_required(v, tr, Mode::Late, req[tr as usize][1]);
         }
+    }
+}
+
+/// `min` that propagates NaN instead of discarding it (IEEE `minNum`, and
+/// hence `f32::min`, treats NaN as missing data; for slack folds NaN means
+/// *unknown*, which must dominate).
+#[inline]
+fn nan_preserving_min(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else {
+        a.min(b)
     }
 }
 

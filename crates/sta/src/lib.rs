@@ -20,6 +20,13 @@
 //!   backward-propagation task per affected node, plus design modifiers
 //!   ([`Timer::repower_gate`], [`Timer::set_net_cap`]) that drive the
 //!   incremental-timing experiment (Figure 7);
+//! * graceful degradation — [`TimingUpdateTdg::run_recovering`] /
+//!   [`TimingUpdateTdg::run_partitioned_recovering`] execute the update
+//!   through the fault-tolerant scheduler: values outside the poisoned
+//!   cone are salvaged bit-exactly, poisoned endpoints read *unknown*
+//!   (NaN) after [`TimingUpdateTdg::mark_unknown`], and
+//!   [`TimingUpdateTdg::heal`] re-runs just the quarantined cone to
+//!   converge to the fault-free answer ([`RecoveredUpdate`]);
 //! * [`TimingReport`] — setup and hold WNS/TNS and per-endpoint slack
 //!   reporting, plus [`trace_worst_path`] and [`k_worst_paths`] for path
 //!   diagnostics and [`drc`] for electrical design-rule checks;
@@ -71,6 +78,7 @@ pub mod liberty;
 mod library;
 mod netlist;
 mod path;
+mod recover;
 mod report;
 pub mod sdc;
 mod timer;
@@ -86,6 +94,7 @@ pub use liberty::{parse_liberty, write_liberty, ParseLibertyError};
 pub use library::{CellKind, CellLibrary, Lut2D, TimingSense};
 pub use netlist::{GateId, Netlist, NetlistBuilder, PinRef, PortId};
 pub use path::{trace_worst_path, PathStep, TimingPath};
+pub use recover::RecoveredUpdate;
 pub use report::{EndpointSlack, TimingReport};
 pub use sdc::{apply_sdc, write_sdc, ParseSdcError};
 pub use timer::{TaskKind, Timer, TimingUpdateTdg};

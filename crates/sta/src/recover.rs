@@ -1,0 +1,306 @@
+//! Graceful degradation for `update_timing`: run the update TDG through the
+//! recovering executor, salvage every timing value outside the poisoned
+//! cone, mark poisoned endpoints unknown, and optionally *heal* — re-run
+//! just the quarantined cone sequentially to converge to the bit-identical
+//! fault-free answer.
+//!
+//! The recovery contract leans on two properties of the engine:
+//!
+//! * the poisoned task set returned by the executor is the exact forward
+//!   closure of the permanently failed tasks, so every salvaged task's
+//!   inputs were produced by salvaged tasks — salvaged values are exactly
+//!   the fault-free values;
+//! * `fprop`/`bprop` fully overwrite everything they produce from upstream
+//!   state, so re-running the poisoned tasks in topological order (after
+//!   the salvage) converges to the same bits a fault-free run produces.
+
+use crate::graph::NodeId;
+use crate::timer::{TaskKind, TimingUpdateTdg};
+use gpasta_sched::{Executor, FaultPlan, FaultyWork, RetryPolicy, RunOutcome};
+use gpasta_tdg::{QuotientTdg, TaskId};
+
+/// Result of a recovering timing update: the executor's [`RunOutcome`]
+/// plus its projection onto the timing graph.
+#[derive(Debug, Clone)]
+pub struct RecoveredUpdate {
+    /// The executor-level outcome (salvaged/poisoned tasks, failures,
+    /// retries, scheduling report).
+    pub outcome: RunOutcome,
+    /// Nodes whose forward state (arrival/slew) is poisoned: their fprop
+    /// task is in the quarantine. Sorted by node id.
+    pub poisoned_fprop_nodes: Vec<NodeId>,
+    /// Nodes whose required times are poisoned: their bprop task is in the
+    /// quarantine. Sorted by node id.
+    pub poisoned_bprop_nodes: Vec<NodeId>,
+    /// Endpoints whose slack cannot be trusted (their fprop or bprop task
+    /// is poisoned). Sorted, deduplicated.
+    pub poisoned_endpoints: Vec<NodeId>,
+}
+
+impl RecoveredUpdate {
+    /// `true` when nothing failed: the update is complete and every value
+    /// is the fault-free value.
+    pub fn is_clean(&self) -> bool {
+        self.outcome.is_clean()
+    }
+}
+
+impl<'a> TimingUpdateTdg<'a> {
+    /// Run this update through the recovering executor with faults drawn
+    /// from `plan` (use [`FaultPlan::none`] in production for a
+    /// fault-transparent run). Never unwinds: failures are contained to
+    /// their forward closure and reported in the returned
+    /// [`RecoveredUpdate`]; all other timing values are salvaged.
+    pub fn run_recovering(
+        &self,
+        exec: &Executor,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> RecoveredUpdate {
+        let payload = self.task_fn();
+        let work = FaultyWork::new(&payload, plan);
+        let outcome = exec.run_tdg_recovering(self.tdg(), &work, policy);
+        self.project(outcome)
+    }
+
+    /// Partitioned variant of
+    /// [`run_recovering`](TimingUpdateTdg::run_recovering): dispatches
+    /// `quotient` nodes, so a failure quarantines the whole partition plus
+    /// its quotient-graph forward closure. `quotient` must be built over
+    /// this update's TDG.
+    pub fn run_partitioned_recovering(
+        &self,
+        exec: &Executor,
+        quotient: &QuotientTdg,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> RecoveredUpdate {
+        let payload = self.task_fn();
+        let work = FaultyWork::new(&payload, plan);
+        let outcome = exec.run_partitioned_recovering(quotient, &work, policy);
+        self.project(outcome)
+    }
+
+    /// Project an executor outcome onto the timing graph: split the
+    /// poisoned task set by propagation direction and collect the affected
+    /// endpoints.
+    fn project(&self, outcome: RunOutcome) -> RecoveredUpdate {
+        let graph = self.graph();
+        let mut poisoned_fprop_nodes = Vec::new();
+        let mut poisoned_bprop_nodes = Vec::new();
+        let mut poisoned_endpoints = Vec::new();
+        for &t in &outcome.poisoned_tasks {
+            let t = TaskId(t);
+            let v = self.node(t);
+            match self.kind(t) {
+                TaskKind::Fprop => poisoned_fprop_nodes.push(v),
+                TaskKind::Bprop => poisoned_bprop_nodes.push(v),
+            }
+            if graph.is_endpoint(v) {
+                poisoned_endpoints.push(v);
+            }
+        }
+        poisoned_fprop_nodes.sort_unstable_by_key(|v| v.0);
+        poisoned_bprop_nodes.sort_unstable_by_key(|v| v.0);
+        poisoned_endpoints.sort_unstable_by_key(|v| v.0);
+        poisoned_endpoints.dedup();
+        RecoveredUpdate {
+            outcome,
+            poisoned_fprop_nodes,
+            poisoned_bprop_nodes,
+            poisoned_endpoints,
+        }
+    }
+
+    /// Degrade explicitly: store NaN into every poisoned value so reports
+    /// show *unknown* instead of a stale-but-plausible number. Arrival and
+    /// slew are marked for poisoned fprop nodes, required times for
+    /// poisoned bprop nodes. Salvaged values are untouched.
+    ///
+    /// A subsequent [`heal`](TimingUpdateTdg::heal) overwrites the NaNs
+    /// with the converged values.
+    pub fn mark_unknown(&self, rec: &RecoveredUpdate) {
+        let data = self.data();
+        for &v in &rec.poisoned_fprop_nodes {
+            data.mark_arrival_unknown(v);
+        }
+        for &v in &rec.poisoned_bprop_nodes {
+            data.mark_required_unknown(v);
+        }
+    }
+
+    /// Re-run exactly the quarantined cone sequentially (fault-free), in
+    /// topological order, converging the whole design to the bit-identical
+    /// fault-free answer — the salvaged region is already exact, and
+    /// propagation tasks rebuild everything they produce from upstream
+    /// state. Returns the number of tasks re-executed.
+    pub fn heal(&self, rec: &RecoveredUpdate) -> usize {
+        if rec.outcome.poisoned_tasks.is_empty() {
+            return 0;
+        }
+        let mut poisoned = vec![false; self.tdg().num_tasks()];
+        for &t in &rec.outcome.poisoned_tasks {
+            poisoned[t as usize] = true;
+        }
+        let mut healed = 0usize;
+        for &t in self.tdg().levels().order() {
+            if poisoned[t as usize] {
+                self.execute_task(TaskId(t));
+                healed += 1;
+            }
+        }
+        healed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{CellKind, CellLibrary};
+    use crate::netlist::NetlistBuilder;
+    use crate::timer::Timer;
+    use gpasta_sched::FaultKind;
+
+    /// A small multi-cone design: two mostly-independent chains sharing
+    /// the input stage, so one cone can be poisoned while the other is
+    /// salvaged.
+    fn two_cone_timer() -> Timer {
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let b = nb.add_primary_input("b");
+        let y0 = nb.add_primary_output("y0");
+        let y1 = nb.add_primary_output("y1");
+        let mut prev0 = None;
+        let mut prev1 = None;
+        for i in 0..4 {
+            let g0 = nb.add_gate(format!("u0_{i}"), CellKind::Inv);
+            let g1 = nb.add_gate(format!("u1_{i}"), CellKind::Buf);
+            match prev0 {
+                None => nb.connect_to_gate(a, g0, 0).expect("valid"),
+                Some(p) => nb.connect_gates(p, g0, 0).expect("valid"),
+            }
+            match prev1 {
+                None => nb.connect_to_gate(b, g1, 0).expect("valid"),
+                Some(p) => nb.connect_gates(p, g1, 0).expect("valid"),
+            }
+            prev0 = Some(g0);
+            prev1 = Some(g1);
+        }
+        nb.connect_to_output(prev0.expect("built"), y0)
+            .expect("valid");
+        nb.connect_to_output(prev1.expect("built"), y1)
+            .expect("valid");
+        Timer::new(nb.build().expect("well-formed"), CellLibrary::typical())
+    }
+
+    /// Bit-exact snapshot of every endpoint's late slack.
+    fn slack_bits(timer: &Timer) -> Vec<u32> {
+        timer
+            .graph()
+            .endpoints()
+            .iter()
+            .map(|&v| timer.data().slack_late(NodeId(v)).to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_recovers_everything() {
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        let rec = update.run_recovering(
+            &Executor::new(2),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        );
+        assert!(rec.is_clean());
+        assert_eq!(rec.outcome.salvaged_tasks, update.tdg().num_tasks());
+        assert!(rec.poisoned_endpoints.is_empty());
+        drop(update);
+        assert!(timer.report(1).wns_ps.is_finite());
+    }
+
+    #[test]
+    fn poisoned_cone_is_contained_and_marked_unknown() {
+        // Reference: fault-free run.
+        let mut ref_timer = two_cone_timer();
+        let ref_update = ref_timer.update_timing();
+        ref_update.run_sequential();
+        drop(ref_update);
+        let reference = slack_bits(&ref_timer);
+
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        // Poison the fprop of the first cone's second gate output — found
+        // by walking tasks for a node on cone 0.
+        let seed_task = (0..update.num_fprop_tasks() as u32)
+            .map(TaskId)
+            .find(|&t| {
+                !update.graph().fanin(update.node(t)).is_empty()
+                    && !update.graph().is_endpoint(update.node(t))
+            })
+            .expect("an interior fprop task exists");
+        let plan = FaultPlan::none().inject(seed_task.0, 0, FaultKind::WrongResult);
+        let rec = update.run_recovering(&Executor::new(2), &plan, &RetryPolicy::no_retries());
+        assert!(!rec.is_clean());
+        assert!(!rec.poisoned_endpoints.is_empty(), "cone reaches endpoints");
+        assert!(
+            rec.poisoned_endpoints.len() < update.graph().endpoints().len(),
+            "the other cone's endpoints are salvaged"
+        );
+        update.mark_unknown(&rec);
+        let data = update.data();
+        for &v in &rec.poisoned_fprop_nodes {
+            assert!(data.is_unknown(v), "poisoned node {v:?} must read unknown");
+        }
+        drop(update);
+        // Salvaged endpoints carry the bit-exact fault-free slack.
+        let damaged = slack_bits(&timer);
+        let poisoned: Vec<u32> = rec.poisoned_endpoints.iter().map(|v| v.0).collect();
+        for (i, &v) in timer.graph().endpoints().iter().enumerate() {
+            if poisoned.contains(&v) {
+                assert!(
+                    f32::from_bits(damaged[i]).is_nan(),
+                    "poisoned endpoint {v} must be unknown"
+                );
+            } else {
+                assert_eq!(damaged[i], reference[i], "salvaged endpoint {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn heal_converges_to_bit_identical_results() {
+        let mut ref_timer = two_cone_timer();
+        let ref_update = ref_timer.update_timing();
+        ref_update.run_sequential();
+        drop(ref_update);
+        let reference = slack_bits(&ref_timer);
+
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        let kinds = [
+            FaultKind::Panic,
+            FaultKind::Transient,
+            FaultKind::WrongResult,
+        ];
+        let plan = FaultPlan::random(0xBEEF, 0.08, &kinds);
+        let rec = update.run_recovering(
+            &Executor::new(2),
+            &plan,
+            &RetryPolicy {
+                max_retries: 1,
+                base_backoff: std::time::Duration::ZERO,
+                max_backoff: std::time::Duration::ZERO,
+            },
+        );
+        update.mark_unknown(&rec);
+        let healed = update.heal(&rec);
+        assert_eq!(healed, rec.outcome.poisoned_tasks.len());
+        drop(update);
+        assert_eq!(
+            slack_bits(&timer),
+            reference,
+            "healed results must be bit-identical to the fault-free run"
+        );
+    }
+}

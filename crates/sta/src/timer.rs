@@ -391,6 +391,16 @@ impl<'a> TimingUpdateTdg<'a> {
         &self.tdg
     }
 
+    /// The pin-level timing graph this update propagates over.
+    pub fn graph(&self) -> &'a TimingGraph {
+        self.prop.graph
+    }
+
+    /// The shared timing state this update writes into.
+    pub fn data(&self) -> &'a TimingData {
+        self.prop.data
+    }
+
     /// Number of forward-propagation tasks (they occupy ids
     /// `0..num_fprop_tasks`).
     pub fn num_fprop_tasks(&self) -> usize {

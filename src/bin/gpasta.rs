@@ -18,7 +18,10 @@ use gpasta::core::{
     forward_closure, DeterGPasta, GPasta, Gdca, IncrementalPartitioner, Partitioner,
     PartitionerOptions, Sarkar, SeqGPasta,
 };
-use gpasta::tdg::{partition_to_dot, validate, ParallelismProfile, TaskId, Tdg, TdgBuilder};
+use gpasta::sched::{Executor, FaultKind, FaultPlan, FaultyWork, RetryPolicy};
+use gpasta::tdg::{
+    partition_to_dot, validate, ParallelismProfile, QuotientTdg, TaskId, Tdg, TdgBuilder,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -27,10 +30,13 @@ usage:
   gpasta partition <edges-file> [--algo gpasta|deter|seq|gdca|sarkar]
                                 [--ps <n>] [--dot <file>] [--csv <file>]
                                 [--incremental]
-  gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|incremental|all]
+  gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|incremental|recovery|all]
                                 [--ps <n>] [--workers <w1,w2,..>] [--runs <n>]
   gpasta stats <edges-file>
   gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]
+  gpasta faults <edges-file>    [--algo gpasta|deter|seq|gdca|sarkar] [--ps <n>]
+                                [--workers <n>] [--seed <n>] [--rate <f>]
+                                [--retries <n>]
   gpasta demo
 
 edge-list format: one `from to` pair of task ids per line; `#` comments
@@ -56,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sanitize") => sanitize_cmd(&args[1..]),
         Some("stats") => stats_cmd(&args[1..]),
         Some("sta") => sta_cmd(&args[1..]),
+        Some("faults") => faults_cmd(&args[1..]),
         Some("demo") => demo_cmd(),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -177,7 +184,9 @@ fn incremental_demo(
     let stats = inc.repair(&dirty).map_err(|e| e.to_string())?;
     let repair = t0.elapsed();
 
-    let partition = inc.full_partition().expect("cache is warm");
+    let partition = inc
+        .full_partition()
+        .ok_or("incremental cache is cold after repair (internal invariant violated)")?;
     validate::check_all(tdg, &partition).map_err(|e| format!("internal error: {e}"))?;
 
     println!(
@@ -255,14 +264,22 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
         None => PartitionerOptions::default(),
     };
     let algos: Vec<&str> = if algo == "all" {
-        vec!["gpasta", "deter", "seq", "gdca", "sarkar", "incremental"]
+        vec![
+            "gpasta",
+            "deter",
+            "seq",
+            "gdca",
+            "sarkar",
+            "incremental",
+            "recovery",
+        ]
     } else {
         vec![algo.as_str()]
     };
     if let Some(bad) = algos.iter().find(|a| {
         !matches!(
             **a,
-            "gpasta" | "deter" | "seq" | "gdca" | "sarkar" | "incremental"
+            "gpasta" | "deter" | "seq" | "gdca" | "sarkar" | "incremental" | "recovery"
         )
     }) {
         return Err(format!("unknown algorithm `{bad}`"));
@@ -297,11 +314,64 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
                     runs,
                 )
             }
+            // Fault recovery under a fixed plan: same seed + same worker
+            // count must yield the identical salvage/poison sets.
+            "recovery" => audit_recovery(&tdg, &opts, &workers, runs)?,
             other => unreachable!("algorithm `{other}` validated above"),
         };
         println!("{name:<12} {outcome}");
     }
     Ok(())
+}
+
+/// Determinism audit of the fault-recovery path itself: partition the
+/// graph once (deterministic partitioner), then replay a fixed
+/// [`FaultPlan`] through `run_partitioned_recovering` under every audited
+/// worker count, fingerprinting the salvage/poison sets. Recovery is
+/// sound only if the fingerprint is independent of scheduling — the audit
+/// must report `Deterministic`.
+fn audit_recovery(
+    tdg: &Tdg,
+    opts: &PartitionerOptions,
+    workers: &[usize],
+    runs: usize,
+) -> Result<gpasta::core::sanitize::AuditOutcome, String> {
+    let partition = DeterGPasta::new()
+        .partition(tdg, opts)
+        .map_err(|e| e.to_string())?;
+    let quotient = QuotientTdg::build(tdg, &partition).map_err(|e| e.to_string())?;
+    let kinds = [
+        FaultKind::Panic,
+        FaultKind::Transient,
+        FaultKind::WrongResult,
+    ];
+    let policy = RetryPolicy {
+        max_retries: 1,
+        base_backoff: std::time::Duration::ZERO,
+        max_backoff: std::time::Duration::ZERO,
+    };
+    // Injected panics are expected; keep the default hook's stderr lines
+    // out of the audit output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = gpasta::gpu::audit_determinism(workers, runs, |dev| {
+        let plan = FaultPlan::random(0xFA17_0001, 0.05, &kinds);
+        let payload = |_t: TaskId| {};
+        let work = FaultyWork::new(&payload, &plan);
+        let exec = Executor::new(dev.num_threads());
+        let outcome = exec.run_partitioned_recovering(&quotient, &work, &policy);
+        // Fingerprint: poisoned units, poisoned tasks, then the counters.
+        let mut fp = outcome.poisoned_units.clone();
+        fp.push(u32::MAX);
+        fp.extend_from_slice(&outcome.poisoned_tasks);
+        fp.push(u32::MAX);
+        fp.push(outcome.salvaged_tasks as u32);
+        fp.push(outcome.retries as u32);
+        fp.push(outcome.failures.len() as u32);
+        fp
+    });
+    std::panic::set_hook(default_hook);
+    Ok(outcome)
 }
 
 fn stats_cmd(args: &[String]) -> Result<(), String> {
@@ -366,7 +436,8 @@ fn sta_cmd(args: &[String]) -> Result<(), String> {
         netlist.num_outputs()
     );
 
-    let mut timer = gpasta::sta::Timer::new(netlist, library.clone());
+    let mut timer = gpasta::sta::Timer::try_new(netlist, library.clone())
+        .map_err(|e| format!("cannot build timing graph: {e}"))?;
     timer.set_clock_period(clock_ps);
     if let Some(path) = sdc_file {
         let text =
@@ -396,6 +467,147 @@ fn sta_cmd(args: &[String]) -> Result<(), String> {
             print!("{path}");
         }
     }
+    Ok(())
+}
+
+/// The `faults` subcommand: partition the TDG, run it through the
+/// recovering executor under a seeded fault plan, and report the salvage /
+/// quarantine split — verifying on the way out that the poisoned set is
+/// exactly the forward closure of the failed partitions.
+fn faults_cmd(args: &[String]) -> Result<(), String> {
+    let mut file = None;
+    let mut algo = "deter".to_owned();
+    let mut ps = None;
+    let mut workers = 2usize;
+    let mut seed = 0xFA17u64;
+    let mut rate = 0.02f64;
+    let mut retries = 2u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
+            "--ps" => {
+                ps = Some(
+                    it.next()
+                        .ok_or("--ps needs a value")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--ps: {e}"))?,
+                )
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--rate" => {
+                rate = it
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--rate must be within [0, 1]".into());
+                }
+            }
+            "--retries" => {
+                retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            other if file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing <edges-file>")?;
+    let tdg = load_edges(Path::new(&file))?;
+    let exec = Executor::try_new(workers).map_err(|e| format!("--workers: {e}"))?;
+    let partitioner = pick_algo(&algo)?;
+    let opts = match ps {
+        Some(n) => PartitionerOptions::with_max_size(n),
+        None => PartitionerOptions::default(),
+    };
+    let partition = partitioner
+        .partition(&tdg, &opts)
+        .map_err(|e| e.to_string())?;
+    let quotient = QuotientTdg::build(&tdg, &partition).map_err(|e| e.to_string())?;
+
+    let kinds = [
+        FaultKind::Panic,
+        FaultKind::Transient,
+        FaultKind::WrongResult,
+    ];
+    let plan = FaultPlan::random(seed, rate, &kinds);
+    let policy = RetryPolicy {
+        max_retries: retries,
+        ..RetryPolicy::default()
+    };
+    println!(
+        "{}: {} tasks in {} partitions; injecting faults at rate {rate} (seed {seed}, \
+         {retries} retr{} max) on {workers} worker(s)",
+        partitioner.name(),
+        tdg.num_tasks(),
+        quotient.graph().num_tasks(),
+        if retries == 1 { "y" } else { "ies" },
+    );
+
+    let payload = |_t: TaskId| {};
+    let work = FaultyWork::new(&payload, &plan);
+    // Injected panics are expected and reported below as failure records;
+    // keep the default hook's per-panic stderr lines out of the output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = exec.run_partitioned_recovering(&quotient, &work, &policy);
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "{} fault(s) fired, {} retr(y/ies) absorbed",
+        plan.fired(),
+        outcome.retries
+    );
+    for f in &outcome.failures {
+        println!(
+            "  partition {} quarantined: task {} failed after {} attempt(s): {}",
+            f.unit, f.task, f.attempts, f.error
+        );
+    }
+    println!("{outcome}");
+
+    // The quarantine contract: poisoned partitions are exactly the forward
+    // closure (in the quotient graph) of the partitions that failed.
+    let failed_units: Vec<u32> = outcome.failures.iter().map(|f| f.unit).collect();
+    let mut expected = if failed_units.is_empty() {
+        Vec::new()
+    } else {
+        forward_closure(quotient.graph(), &failed_units)
+    };
+    expected.sort_unstable();
+    if expected != outcome.poisoned_units {
+        return Err(format!(
+            "quarantine mismatch: poisoned {:?}, expected closure {:?}",
+            outcome.poisoned_units, expected
+        ));
+    }
+    let salvage_check: usize = quotient
+        .graph()
+        .num_tasks()
+        .saturating_sub(outcome.poisoned_units.len());
+    println!(
+        "quarantine verified: poisoned set is the forward closure of {} failed \
+         partition(s); {} partition(s) salvaged",
+        failed_units.len(),
+        salvage_check,
+    );
     Ok(())
 }
 

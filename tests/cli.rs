@@ -189,3 +189,100 @@ fn malformed_inputs_produce_clean_errors() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown cell"), "{}", stderr(&out));
 }
+
+/// A layered DAG big enough for a 5% fault rate to reliably fire.
+fn layered_edges(name: &str) -> PathBuf {
+    let path = tmp(name);
+    let mut text = String::new();
+    for layer in 0..19u32 {
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if (i + j) % 3 != 2 {
+                    text.push_str(&format!("{} {}\n", layer * 8 + i, (layer + 1) * 8 + j));
+                }
+            }
+        }
+    }
+    std::fs::write(&path, text).expect("write edges");
+    path
+}
+
+#[test]
+fn faults_quarantines_and_verifies_the_closure() {
+    let edges = layered_edges("faults_demo.txt");
+    let out = gpasta(&[
+        "faults",
+        edges.to_str().expect("utf8"),
+        "--seed",
+        "7",
+        "--rate",
+        "0.05",
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fault(s) fired"), "{text}");
+    assert!(
+        text.contains("quarantine verified: poisoned set is the forward closure"),
+        "{text}"
+    );
+}
+
+#[test]
+fn faults_with_a_clean_seed_salvages_everything() {
+    let edges = layered_edges("faults_clean.txt");
+    // Rate 0 fires nothing regardless of seed.
+    let out = gpasta(&["faults", edges.to_str().expect("utf8"), "--rate", "0"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 fault(s) fired"), "{text}");
+    assert!(text.contains("0 poisoned"), "{text}");
+}
+
+#[test]
+fn faults_rejects_bad_flags_cleanly() {
+    let edges = layered_edges("faults_flags.txt");
+    let out = gpasta(&["faults", edges.to_str().expect("utf8"), "--workers", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("at least one worker"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = gpasta(&["faults", edges.to_str().expect("utf8"), "--rate", "1.5"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--rate must be within [0, 1]"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = gpasta(&["faults"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("missing <edges-file>"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sanitize_recovery_is_deterministic_across_worker_counts() {
+    let edges = layered_edges("recovery_sanitize.txt");
+    let out = gpasta(&[
+        "sanitize",
+        edges.to_str().expect("utf8"),
+        "--algo",
+        "recovery",
+        "--workers",
+        "1,2,4",
+        "--runs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("recovery"), "{text}");
+    assert!(text.contains("Deterministic"), "{text}");
+}
