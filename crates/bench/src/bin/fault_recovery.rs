@@ -17,7 +17,7 @@
 //! cargo run --release -p gpasta-bench --bin fault_recovery -- --scale 0.05
 //! ```
 
-use gpasta_bench::{write_csv, write_json, BenchConfig, Row};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
 use gpasta_circuits::PaperCircuit;
 use gpasta_sched::{Executor, FaultKind, FaultPlan, RetryPolicy};
 use gpasta_sta::{CellLibrary, Timer};
@@ -37,6 +37,13 @@ fn median(mut samples: Vec<f64>) -> f64 {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     println!(
         "Fault-recovery benchmark: scale {}, {} workers, {} runs, seeds {:#x?}\n",
@@ -159,11 +166,12 @@ fn main() {
         ));
     }
 
-    write_csv(&cfg.out_dir.join("fault_recovery.csv"), &rows);
-    write_json(&cfg.out_dir.join("fault_recovery.json"), &rows);
-    write_json(&cfg.out_dir.join("BENCH_fault_recovery.json"), &rows);
+    write_csv(&cfg.out_dir.join("fault_recovery.csv"), &rows)?;
+    write_json(&cfg.out_dir.join("fault_recovery.json"), &rows)?;
+    write_json(&cfg.out_dir.join("BENCH_fault_recovery.json"), &rows)?;
     println!(
         "wrote {}",
         cfg.out_dir.join("BENCH_fault_recovery.json").display()
     );
+    Ok(())
 }

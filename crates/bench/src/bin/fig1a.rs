@@ -11,7 +11,8 @@
 //! ```
 
 use gpasta_bench::{
-    flow, measure_partitioned_update, measure_plain_update, write_csv, write_json, BenchConfig, Row,
+    flow, measure_partitioned_update, measure_plain_update, write_csv, write_json, BenchConfig,
+    OutputError, Row,
 };
 use gpasta_circuits::PaperCircuit;
 use gpasta_core::{GPasta, PartitionerOptions};
@@ -20,6 +21,13 @@ use gpasta_sched::Executor;
 use gpasta_sta::{CellLibrary, Timer};
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     let circuit = PaperCircuit::Netcard;
     println!(
@@ -118,7 +126,8 @@ fn main() {
             ],
         ),
     ];
-    write_csv(&cfg.out_dir.join("fig1a.csv"), &rows);
-    write_json(&cfg.out_dir.join("fig1a.json"), &rows);
+    write_csv(&cfg.out_dir.join("fig1a.csv"), &rows)?;
+    write_json(&cfg.out_dir.join("fig1a.json"), &rows)?;
     println!("wrote {}", cfg.out_dir.join("fig1a.csv").display());
+    Ok(())
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p gpasta-bench --bin fig1b -- --scale 0.05
 //! ```
 
-use gpasta_bench::{write_csv, write_json, BenchConfig, Row};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
 use gpasta_circuits::dag;
 use gpasta_core::{GPasta, Gdca, Partitioner, PartitionerOptions, Sarkar};
 use gpasta_gpu::Device;
@@ -17,6 +17,13 @@ use std::time::Instant;
 const SARKAR_CAP: usize = 40_000;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     println!(
         "Figure 1(b) reproduction: partitioning time vs TDG size @ scale {}\n",
@@ -73,7 +80,8 @@ fn main() {
         ));
     }
 
-    write_csv(&cfg.out_dir.join("fig1b.csv"), &rows);
-    write_json(&cfg.out_dir.join("fig1b.json"), &rows);
+    write_csv(&cfg.out_dir.join("fig1b.csv"), &rows)?;
+    write_json(&cfg.out_dir.join("fig1b.json"), &rows)?;
     println!("\nwrote {}", cfg.out_dir.join("fig1b.csv").display());
+    Ok(())
 }

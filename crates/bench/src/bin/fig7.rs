@@ -25,7 +25,7 @@
 //! that both policies end on the exact same WNS.
 
 use gpasta_bench::tuning::{gpasta_for, tune_gdca_ps, DISPATCH_NS, SIM_WORKERS};
-use gpasta_bench::{write_csv, write_json, BenchConfig, Row};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
 use gpasta_circuits::PaperCircuit;
 use gpasta_core::{Gdca, IncrementalPartitioner, Partitioner, PartitionerOptions};
 use gpasta_sched::{simulate_makespan, Executor, FlowArena, Taskflow};
@@ -222,7 +222,7 @@ fn run_incremental_policy(
 
 /// The `--incremental` mode: from-scratch G-PASTA vs. the dirty-cone
 /// partition cache, identical modifier streams, WNS cross-checked.
-fn run_incremental_mode(cfg: &BenchConfig) {
+fn run_incremental_mode(cfg: &BenchConfig) -> Result<(), OutputError> {
     let iterations = ((8_000.0 * cfg.scale) as usize).max(20);
     println!(
         "Figure 7 (incremental partition maintenance): {} iterations @ scale {}\n",
@@ -331,12 +331,12 @@ fn run_incremental_mode(cfg: &BenchConfig) {
             &cfg.out_dir
                 .join(format!("fig7_{}_incremental.csv", circuit.name())),
             &rows,
-        );
+        )?;
         write_json(
             &cfg.out_dir
                 .join(format!("fig7_{}_incremental.json", circuit.name())),
             &rows,
-        );
+        )?;
 
         summary.push(Row::new(
             circuit.name(),
@@ -351,18 +351,25 @@ fn run_incremental_mode(cfg: &BenchConfig) {
             ],
         ));
     }
-    write_json(&cfg.out_dir.join("BENCH_incremental.json"), &summary);
+    write_json(&cfg.out_dir.join("BENCH_incremental.json"), &summary)?;
     println!(
         "wrote {} and fig7_*_incremental.csv",
         cfg.out_dir.join("BENCH_incremental.json").display()
     );
+    Ok(())
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     if cfg.incremental {
-        run_incremental_mode(&cfg);
-        return;
+        return run_incremental_mode(&cfg);
     }
     let iterations = ((8_000.0 * cfg.scale) as usize).max(20);
     println!(
@@ -446,11 +453,12 @@ fn main() {
         write_csv(
             &cfg.out_dir.join(format!("fig7_{}.csv", circuit.name())),
             &rows,
-        );
+        )?;
         write_json(
             &cfg.out_dir.join(format!("fig7_{}.json", circuit.name())),
             &rows,
-        );
+        )?;
     }
     println!("wrote {}", cfg.out_dir.join("fig7_*.csv").display());
+    Ok(())
 }

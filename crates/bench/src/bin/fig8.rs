@@ -18,7 +18,9 @@
 //! ```
 
 use gpasta_bench::tuning::{DISPATCH_NS, SIM_WORKERS};
-use gpasta_bench::{flow, measure_partitioned_update, write_csv, write_json, BenchConfig, Row};
+use gpasta_bench::{
+    flow, measure_partitioned_update, write_csv, write_json, BenchConfig, OutputError, Row,
+};
 use gpasta_circuits::PaperCircuit;
 use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
 use gpasta_gpu::Device;
@@ -29,6 +31,13 @@ use gpasta_tdg::QuotientTdg;
 const PARTITION_SIZES: &[usize] = &[1, 2, 3, 5, 8, 15, 30, 60, 120, 240];
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     println!(
         "Figure 8 reproduction: TDG runtime vs partition size @ scale {} (simulated {} workers, {} ns/dispatch)\n",
@@ -95,12 +104,13 @@ fn main() {
         write_csv(
             &cfg.out_dir.join(format!("fig8_{}.csv", circuit.name())),
             &rows,
-        );
+        )?;
         write_json(
             &cfg.out_dir.join(format!("fig8_{}.json", circuit.name())),
             &rows,
-        );
+        )?;
         println!();
     }
     println!("wrote {}", cfg.out_dir.join("fig8_*.csv").display());
+    Ok(())
 }

@@ -13,7 +13,7 @@
 use gpasta_bench::tuning::{DISPATCH_NS, SIM_WORKERS};
 use gpasta_bench::{
     flow, measure_partitioned_update, measure_plain_update, tune_gdca_ps, write_csv, write_json,
-    BenchConfig, Row,
+    BenchConfig, OutputError, Row,
 };
 use gpasta_circuits::PaperCircuit;
 use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
@@ -23,6 +23,13 @@ use gpasta_sta::{CellLibrary, Timer};
 use gpasta_tdg::QuotientTdg;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
     let cfg = BenchConfig::from_args();
     println!(
         "Table 1 reproduction @ scale {} ({} runs, {} workers)\n",
@@ -156,7 +163,8 @@ fn main() {
         ));
     }
 
-    write_csv(&cfg.out_dir.join("table1.csv"), &rows);
-    write_json(&cfg.out_dir.join("table1.json"), &rows);
+    write_csv(&cfg.out_dir.join("table1.csv"), &rows)?;
+    write_json(&cfg.out_dir.join("table1.json"), &rows)?;
     println!("\nwrote {}", cfg.out_dir.join("table1.csv").display());
+    Ok(())
 }

@@ -1,6 +1,43 @@
 //! Minimal command-line handling shared by the harness binaries.
 
+use std::error::Error;
+use std::fmt;
 use std::path::PathBuf;
+
+/// A malformed harness command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag that takes a value appeared last.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The offending value as given.
+        value: String,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// `--scale`, `--runs`, or `--workers` was zero or negative.
+    NonPositive(&'static str),
+    /// An argument no harness binary understands.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::BadValue { flag, value, why } => {
+                write!(f, "{flag}: invalid value `{value}`: {why}")
+            }
+            CliError::NonPositive(flag) => write!(f, "{flag} must be positive"),
+            CliError::UnknownFlag(arg) => write!(f, "unknown argument {arg}; try --help"),
+        }
+    }
+}
+
+impl Error for CliError {}
 
 /// Configuration parsed from the common harness flags.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,56 +73,81 @@ impl Default for BenchConfig {
 impl BenchConfig {
     /// Parse `--scale <f> | --full | --runs <n> | --workers <n> | --out <dir>
     /// | --incremental` from the process arguments, ignoring the binary name.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments (acceptable for a
-    /// benchmark binary).
+    /// This is the harness binaries' process boundary: a malformed command
+    /// line prints the typed error plus usage and exits with status 2
+    /// instead of panicking.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", Self::USAGE);
+                std::process::exit(2);
+            }
+        }
     }
+
+    /// Usage line shared by `--help` and error reporting.
+    pub const USAGE: &'static str =
+        "usage: [--scale <f>] [--full] [--runs <n>] [--workers <n>] [--out <dir>] [--incremental]";
 
     /// Parse from an explicit argument iterator (testable).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    /// [`CliError`] describing the offending flag and value.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
         let mut cfg = BenchConfig::default();
         let mut it = args.into_iter();
+        let value = |flag: &'static str, it: &mut dyn Iterator<Item = String>| {
+            it.next().ok_or(CliError::MissingValue(flag))
+        };
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = it.next().expect("--scale needs a value");
-                    cfg.scale = v.parse().expect("--scale needs a float");
+                    let v = value("--scale", &mut it)?;
+                    cfg.scale = v.parse().map_err(|e| CliError::BadValue {
+                        flag: "--scale",
+                        value: v,
+                        why: format!("{e}"),
+                    })?;
                 }
                 "--full" => cfg.scale = 1.0,
                 "--runs" => {
-                    let v = it.next().expect("--runs needs a value");
-                    cfg.runs = v.parse().expect("--runs needs an integer");
+                    let v = value("--runs", &mut it)?;
+                    cfg.runs = v.parse().map_err(|e| CliError::BadValue {
+                        flag: "--runs",
+                        value: v,
+                        why: format!("{e}"),
+                    })?;
                 }
                 "--workers" => {
-                    let v = it.next().expect("--workers needs a value");
-                    cfg.workers = v.parse().expect("--workers needs an integer");
+                    let v = value("--workers", &mut it)?;
+                    cfg.workers = v.parse().map_err(|e| CliError::BadValue {
+                        flag: "--workers",
+                        value: v,
+                        why: format!("{e}"),
+                    })?;
                 }
-                "--out" => {
-                    let v = it.next().expect("--out needs a directory");
-                    cfg.out_dir = PathBuf::from(v);
-                }
+                "--out" => cfg.out_dir = PathBuf::from(value("--out", &mut it)?),
                 "--incremental" => cfg.incremental = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--scale <f>] [--full] [--runs <n>] [--workers <n>] [--out <dir>] [--incremental]"
-                    );
+                    eprintln!("{}", Self::USAGE);
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument {other}; try --help"),
+                other => return Err(CliError::UnknownFlag(other.to_owned())),
             }
         }
-        assert!(cfg.scale > 0.0, "--scale must be positive");
-        assert!(cfg.runs > 0, "--runs must be positive");
-        assert!(cfg.workers > 0, "--workers must be positive");
-        cfg
+        if cfg.scale <= 0.0 {
+            return Err(CliError::NonPositive("--scale"));
+        }
+        if cfg.runs == 0 {
+            return Err(CliError::NonPositive("--runs"));
+        }
+        if cfg.workers == 0 {
+            return Err(CliError::NonPositive("--workers"));
+        }
+        Ok(cfg)
     }
 }
 
@@ -93,13 +155,13 @@ impl BenchConfig {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> BenchConfig {
+    fn parse(args: &[&str]) -> Result<BenchConfig, CliError> {
         BenchConfig::parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults() {
-        let cfg = parse(&[]);
+        let cfg = parse(&[]).expect("empty args are valid");
         assert_eq!(cfg.scale, 0.05);
         assert_eq!(cfg.runs, 3);
         assert!(cfg.workers >= 1);
@@ -108,7 +170,7 @@ mod tests {
 
     #[test]
     fn incremental_flag() {
-        let cfg = parse(&["--incremental", "--scale", "0.5"]);
+        let cfg = parse(&["--incremental", "--scale", "0.5"]).expect("valid");
         assert!(cfg.incremental);
         assert_eq!(cfg.scale, 0.5);
     }
@@ -123,7 +185,8 @@ mod tests {
             "2",
             "--out",
             "/tmp/x",
-        ]);
+        ])
+        .expect("valid");
         assert_eq!(cfg.scale, 1.0);
         assert_eq!(cfg.runs, 10);
         assert_eq!(cfg.workers, 2);
@@ -132,19 +195,52 @@ mod tests {
 
     #[test]
     fn scale_overrides() {
-        let cfg = parse(&["--scale", "0.25"]);
+        let cfg = parse(&["--scale", "0.25"]).expect("valid");
         assert_eq!(cfg.scale, 0.25);
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn unknown_flag_panics() {
-        let _ = parse(&["--bogus"]);
+    fn unknown_flag_is_a_typed_error() {
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(CliError::UnknownFlag("--bogus".into()))
+        );
     }
 
     #[test]
-    #[should_panic(expected = "--scale must be positive")]
-    fn zero_scale_panics() {
-        let _ = parse(&["--scale", "0"]);
+    fn zero_scale_is_a_typed_error() {
+        assert_eq!(
+            parse(&["--scale", "0"]),
+            Err(CliError::NonPositive("--scale"))
+        );
+        assert_eq!(
+            parse(&["--runs", "0"]),
+            Err(CliError::NonPositive("--runs"))
+        );
+        assert_eq!(
+            parse(&["--workers", "0"]),
+            Err(CliError::NonPositive("--workers"))
+        );
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_typed_errors() {
+        assert_eq!(parse(&["--runs"]), Err(CliError::MissingValue("--runs")));
+        match parse(&["--scale", "fast"]) {
+            Err(CliError::BadValue { flag, value, .. }) => {
+                assert_eq!(flag, "--scale");
+                assert_eq!(value, "fast");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let msg = parse(&["--workers", "many"])
+            .expect_err("malformed")
+            .to_string();
+        assert!(msg.contains("--workers"), "{msg}");
+        assert!(msg.contains("many"), "{msg}");
     }
 }

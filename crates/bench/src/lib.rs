@@ -27,7 +27,7 @@ pub mod flow;
 pub mod output;
 pub mod tuning;
 
-pub use cli::BenchConfig;
+pub use cli::{BenchConfig, CliError};
 pub use flow::{measure_partitioned_update, measure_plain_update, FlowTiming};
-pub use output::{to_markdown, write_csv, write_json, Row};
+pub use output::{to_markdown, write_csv, write_json, OutputError, Row};
 pub use tuning::tune_gdca_ps;

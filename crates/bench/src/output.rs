@@ -1,8 +1,73 @@
 //! Result files: CSV for plotting, JSON for machine consumption.
 
 use serde::Serialize;
+use std::error::Error;
+use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Writing a result file failed.
+#[derive(Debug)]
+pub enum OutputError {
+    /// A filesystem operation failed; `op` names it and `path` is the
+    /// file (or directory) involved.
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// Which operation failed (`create directory`, `write`).
+        op: &'static str,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The rows do not share a column layout, so no single CSV header
+    /// can describe them.
+    InconsistentColumns {
+        /// Label of the first offending row.
+        label: String,
+        /// Columns that row carries.
+        found: usize,
+        /// Columns the header (first row) carries.
+        expected: usize,
+    },
+    /// JSON serialization failed.
+    Serialize {
+        /// Destination the rows were meant for.
+        path: PathBuf,
+        /// The serializer's error.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for OutputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputError::Io { path, op, source } => {
+                write!(f, "cannot {op} {}: {source}", path.display())
+            }
+            OutputError::InconsistentColumns {
+                label,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row `{label}` has {found} column(s) but the header has {expected}"
+            ),
+            OutputError::Serialize { path, source } => {
+                write!(f, "cannot serialize rows for {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for OutputError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OutputError::Io { source, .. } => Some(source),
+            OutputError::Serialize { source, .. } => Some(source),
+            OutputError::InconsistentColumns { .. } => None,
+        }
+    }
+}
 
 /// One output row: a label plus named numeric columns.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -23,15 +88,33 @@ impl Row {
     }
 }
 
+fn ensure_parent(path: &Path) -> Result<(), OutputError> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|source| OutputError::Io {
+            path: dir.to_path_buf(),
+            op: "create directory",
+            source,
+        })?;
+    }
+    Ok(())
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), OutputError> {
+    fs::write(path, contents).map_err(|source| OutputError::Io {
+        path: path.to_path_buf(),
+        op: "write",
+        source,
+    })
+}
+
 /// Write rows as CSV (header from the first row's column names).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors or inconsistent columns (benchmark-binary policy).
-pub fn write_csv(path: &Path, rows: &[Row]) {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create output directory");
-    }
+/// [`OutputError::Io`] with the failing path and operation, or
+/// [`OutputError::InconsistentColumns`] when the rows disagree on layout.
+pub fn write_csv(path: &Path, rows: &[Row]) -> Result<(), OutputError> {
+    ensure_parent(path)?;
     let mut out = String::new();
     if let Some(first) = rows.first() {
         out.push_str("label");
@@ -41,12 +124,13 @@ pub fn write_csv(path: &Path, rows: &[Row]) {
         }
         out.push('\n');
         for row in rows {
-            assert_eq!(
-                row.values.len(),
-                first.values.len(),
-                "inconsistent columns in row {}",
-                row.label
-            );
+            if row.values.len() != first.values.len() {
+                return Err(OutputError::InconsistentColumns {
+                    label: row.label.clone(),
+                    found: row.values.len(),
+                    expected: first.values.len(),
+                });
+            }
             out.push_str(&row.label);
             for (_, v) in &row.values {
                 out.push(',');
@@ -55,7 +139,7 @@ pub fn write_csv(path: &Path, rows: &[Row]) {
             out.push('\n');
         }
     }
-    fs::write(path, out).expect("write CSV");
+    write_file(path, &out)
 }
 
 /// Render rows as a GitHub-flavoured markdown table (for pasting into
@@ -86,15 +170,17 @@ pub fn to_markdown(rows: &[Row]) -> String {
 
 /// Write rows as pretty JSON.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on I/O errors.
-pub fn write_json(path: &Path, rows: &[Row]) {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create output directory");
-    }
-    let json = serde_json::to_string_pretty(rows).expect("rows serialize");
-    fs::write(path, json).expect("write JSON");
+/// [`OutputError::Io`] with the failing path and operation, or
+/// [`OutputError::Serialize`] if the rows cannot be rendered.
+pub fn write_json(path: &Path, rows: &[Row]) -> Result<(), OutputError> {
+    ensure_parent(path)?;
+    let json = serde_json::to_string_pretty(rows).map_err(|source| OutputError::Serialize {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    write_file(path, &json)
 }
 
 #[cfg(test)]
@@ -109,7 +195,7 @@ mod tests {
             Row::new("a", &[("x", 1.0), ("y", 2.5)]),
             Row::new("b", &[("x", 3.0), ("y", 4.0)]),
         ];
-        write_csv(&path, &rows);
+        write_csv(&path, &rows).expect("temp dir is writable");
         let text = fs::read_to_string(&path).expect("readable");
         assert_eq!(text, "label,x,y\na,1,2.5\nb,3,4\n");
     }
@@ -118,7 +204,7 @@ mod tests {
     fn json_is_valid() {
         let dir = std::env::temp_dir().join("gpasta_bench_test");
         let path = dir.join("t.json");
-        write_json(&path, &[Row::new("a", &[("x", 1.0)])]);
+        write_json(&path, &[Row::new("a", &[("x", 1.0)])]).expect("temp dir is writable");
         let text = fs::read_to_string(&path).expect("readable");
         let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(parsed[0]["label"], "a");
@@ -140,7 +226,41 @@ mod tests {
     fn empty_rows_write_empty_file() {
         let dir = std::env::temp_dir().join("gpasta_bench_test");
         let path = dir.join("empty.csv");
-        write_csv(&path, &[]);
+        write_csv(&path, &[]).expect("temp dir is writable");
         assert_eq!(fs::read_to_string(&path).expect("readable"), "");
+    }
+
+    #[test]
+    fn inconsistent_columns_are_a_typed_error() {
+        let dir = std::env::temp_dir().join("gpasta_bench_test");
+        let path = dir.join("bad.csv");
+        let rows = vec![
+            Row::new("a", &[("x", 1.0), ("y", 2.5)]),
+            Row::new("b", &[("x", 3.0)]),
+        ];
+        match write_csv(&path, &rows) {
+            Err(OutputError::InconsistentColumns {
+                label,
+                found: 1,
+                expected: 2,
+            }) => assert_eq!(label, "b"),
+            other => panic!("expected InconsistentColumns, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_errors_carry_path_and_operation() {
+        let path = Path::new("/proc/definitely-not-writable/out.csv");
+        match write_csv(path, &[Row::new("a", &[("x", 1.0)])]) {
+            Err(OutputError::Io { op, path: p, .. }) => {
+                assert!(op == "create directory" || op == "write");
+                assert!(p.starts_with("/proc"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let msg = write_csv(path, &[Row::new("a", &[("x", 1.0)])])
+            .expect_err("unwritable")
+            .to_string();
+        assert!(msg.contains("/proc"), "message names the path: {msg}");
     }
 }

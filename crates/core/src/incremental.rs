@@ -59,7 +59,8 @@
 
 use crate::{check_opts, PartitionError, Partitioner, PartitionerOptions};
 use gpasta_tdg::{
-    topo_order, validate, Partition, PatchableQuotient, QuotientTdg, TaskId, TaskMove, Tdg,
+    topo_order, validate, CancelObserver, Partition, PatchableQuotient, QuotientTdg, TaskId,
+    TaskMove, Tdg,
 };
 use std::error::Error;
 use std::fmt;
@@ -87,6 +88,14 @@ pub enum IncrementalError {
         /// …with this clean successor.
         clean_successor: u32,
     },
+    /// A [`CancelToken`](gpasta_tdg::CancelToken) fired during a
+    /// cancellable repair. The cache is unchanged: cancellation is only
+    /// polled before the first cache mutation.
+    Cancelled,
+    /// A [`CacheExport`] snapshot failed validation against the target TDG
+    /// (shape, fingerprint, or the edge-monotone certificate); the cache is
+    /// unchanged.
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for IncrementalError {
@@ -108,6 +117,10 @@ impl fmt::Display for IncrementalError {
                 "dirty set is not successor-closed: dirty task {task} has clean successor \
                  {clean_successor}"
             ),
+            IncrementalError::Cancelled => f.write_str("repair was cancelled"),
+            IncrementalError::InvalidSnapshot(ref why) => {
+                write!(f, "cache snapshot rejected: {why}")
+            }
         }
     }
 }
@@ -201,6 +214,29 @@ fn merge_candidate(tdg: &Tdg, raw: &[u32], sizes: &[u32], ps: usize, t: u32) -> 
         .max()
         .unwrap_or(old);
     seed < old && (sizes[seed as usize] as usize) < ps
+}
+
+/// A portable snapshot of the incremental partition cache — the minimal
+/// state from which [`IncrementalPartitioner::restore_cache`] can rebuild
+/// a warm cache bit-identical (in every observable way) to the one that
+/// was exported. Only the durable fields are captured; everything lazy or
+/// derivable (sizes, merge bits, topological ranks, the patched quotient)
+/// is recomputed on restore, which keeps snapshots small and makes a
+/// corrupted snapshot detectable by re-validation rather than trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheExport {
+    /// Structural [`fingerprint`](Tdg::fingerprint) of the cached TDG.
+    pub fingerprint: u64,
+    /// Resolved `Ps` of the cached partition.
+    pub ps: usize,
+    /// Raw (sparse, edge-monotone) partition id per task.
+    pub raw: Vec<u32>,
+    /// Largest raw pid ever allocated — preserved so fresh pids minted
+    /// after a restore are numbered exactly as they would have been
+    /// without the export/restore round trip.
+    pub max_pid: u32,
+    /// Cache epoch at export time.
+    pub epoch: u64,
 }
 
 /// Wraps any [`Partitioner`] with a partition + quotient cache that is
@@ -405,7 +441,27 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
     /// [`IncrementalError::DirtySetNotClosed`] if some successor of a dirty
     /// task is clean (the cache is left unchanged in every error case).
     pub fn repair(&mut self, dirty: &[u32]) -> Result<RepairStats, IncrementalError> {
-        self.repair_impl(dirty, false)
+        self.repair_impl(dirty, false, None)
+    }
+
+    /// Cancellable [`Self::repair`]: polls `cancel` at the pre-mutation
+    /// boundaries of the repair (entry, after dedup, after the
+    /// closedness check — all before the first write to the cached
+    /// assignment) and returns [`IncrementalError::Cancelled`] with the
+    /// cache **unchanged** if the observer has tripped. A repair that has
+    /// started mutating always runs to completion, so cancellation can
+    /// never leave a half-repaired partition behind; the latency bound is
+    /// one dirty-cone re-place pass.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`Self::repair`], plus [`IncrementalError::Cancelled`].
+    pub fn repair_cancellable(
+        &mut self,
+        dirty: &[u32],
+        cancel: &CancelObserver,
+    ) -> Result<RepairStats, IncrementalError> {
+        self.repair_impl(dirty, false, Some(cancel))
     }
 
     /// [`Self::repair`] and [`Self::sub_partition`] over the same ids, fused:
@@ -421,7 +477,7 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
         &mut self,
         ids: &[u32],
     ) -> Result<(RepairStats, Partition), IncrementalError> {
-        let stats = self.repair_impl(ids, true)?;
+        let stats = self.repair_impl(ids, true, None)?;
         let cache = self
             .cache
             .as_mut()
@@ -501,7 +557,12 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
         &mut self,
         dirty: &[u32],
         project: bool,
+        cancel: Option<&CancelObserver>,
     ) -> Result<RepairStats, IncrementalError> {
+        let cancelled = |c: Option<&CancelObserver>| c.is_some_and(|c| c.is_cancelled());
+        if cancelled(cancel) {
+            return Err(IncrementalError::Cancelled);
+        }
         let cache = self.cache.as_mut().ok_or(IncrementalError::NotInstalled)?;
         let n = cache.tdg.num_tasks();
 
@@ -541,6 +602,12 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
             }
         }
 
+        // Dedup only touched scratch state (stamps, order, projection), so
+        // the partition itself is still exactly the cached one here.
+        if cancelled(cancel) {
+            return Err(IncrementalError::Cancelled);
+        }
+
         // Successor-closedness: an edge from a re-placed dirty task to a
         // clean task could otherwise end up decreasing.
         for &t in &cache.order {
@@ -552,6 +619,12 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
                     });
                 }
             }
+        }
+
+        // Last poll before the vacate pass, which is the first write to the
+        // cached assignment; past this point the repair runs to completion.
+        if cancelled(cancel) {
+            return Err(IncrementalError::Cancelled);
         }
 
         let mut fresh = 0usize;
@@ -725,6 +798,106 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
 
         self.epoch += 1;
         Ok(stats)
+    }
+
+    /// Snapshot the warm cache into a [`CacheExport`], or `None` when cold.
+    pub fn export_cache(&self) -> Option<CacheExport> {
+        self.cache.as_ref().map(|c| CacheExport {
+            fingerprint: c.fingerprint,
+            ps: c.ps,
+            raw: c.raw.clone(),
+            max_pid: c.max_pid,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Rebuild a warm cache from a [`CacheExport`] taken against (a TDG
+    /// structurally identical to) `tdg`. The snapshot is fully re-validated
+    /// before anything is touched — shape, fingerprint, `Ps` bound, pid
+    /// range, and the `O(E)` edge-monotone certificate that proves the
+    /// restored partition convex with an acyclic quotient — so a truncated
+    /// or bit-flipped snapshot is rejected with the cache unchanged.
+    /// Derived state (sizes, merge bits) is recomputed; lazy state
+    /// (topological ranks, the patched quotient) starts unbuilt, exactly as
+    /// after [`Self::install`]. The partitioner's epoch is set to the
+    /// snapshot's, so repair stats after a restore match an uninterrupted
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::InvalidSnapshot`] if any validation fails.
+    pub fn restore_cache(
+        &mut self,
+        tdg: &Tdg,
+        export: CacheExport,
+    ) -> Result<(), IncrementalError> {
+        let n = tdg.num_tasks();
+        let snap = |why: String| Err(IncrementalError::InvalidSnapshot(why));
+        if export.ps == 0 {
+            return snap("partition size Ps is zero".to_string());
+        }
+        if export.raw.len() != n {
+            return snap(format!(
+                "assignment covers {} tasks but the TDG has {n}",
+                export.raw.len()
+            ));
+        }
+        if export.fingerprint != tdg.fingerprint() {
+            return snap(format!(
+                "TDG fingerprint {:#018x} does not match the snapshot's {:#018x}",
+                tdg.fingerprint(),
+                export.fingerprint
+            ));
+        }
+        if let Some(&m) = export.raw.iter().max() {
+            if m > export.max_pid {
+                return snap(format!(
+                    "assignment uses pid {m} above the recorded max_pid {}",
+                    export.max_pid
+                ));
+            }
+        }
+        if let Err(e) = validate::check_edge_monotone(tdg, &export.raw) {
+            return snap(format!("edge-monotone certificate failed: {e}"));
+        }
+        let np = export.max_pid as usize + 1;
+        let mut sizes = vec![0u32; np];
+        for &r in &export.raw {
+            sizes[r as usize] += 1;
+        }
+        if let Some((pid, &s)) = sizes
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| s as usize > export.ps)
+        {
+            return snap(format!(
+                "partition {pid} holds {s} tasks, above Ps = {}",
+                export.ps
+            ));
+        }
+        let merge_bit = (0..n as u32)
+            .map(|t| merge_candidate(tdg, &export.raw, &sizes, export.ps, t))
+            .collect();
+        self.epoch = export.epoch;
+        self.cache = Some(Cache {
+            fingerprint: export.fingerprint,
+            tdg: tdg.clone(),
+            ps: export.ps,
+            raw: export.raw,
+            sizes,
+            reserved: vec![0; np],
+            max_pid: export.max_pid,
+            topo_rank: Vec::new(),
+            quotient: None,
+            stamp: vec![0; n],
+            stamp_cur: 0,
+            order: Vec::new(),
+            moves: Vec::new(),
+            merge_bit,
+            sort_keys: Vec::new(),
+            proj: Vec::new(),
+        });
+        Ok(())
     }
 
     /// The full cached partition (raw ids compacted), if warm.
@@ -1180,6 +1353,154 @@ mod tests {
         let s2 = inc.repair(&forward_closure(&tdg, &[1])).expect("repair");
         assert_eq!(s2.epoch, 3);
         assert_eq!(inc.epoch(), 3);
+    }
+
+    #[test]
+    fn cancellable_repair_matches_plain_repair_when_not_cancelled() {
+        use gpasta_tdg::CancelToken;
+        let tdg = diamond();
+        let opts = PartitionerOptions::with_max_size(2);
+        let mut a = IncrementalPartitioner::new(SeqGPasta::new());
+        let mut b = IncrementalPartitioner::new(SeqGPasta::new());
+        a.install(&tdg, &opts).expect("install");
+        b.install(&tdg, &opts).expect("install");
+        let dirty = forward_closure(&tdg, &[1]);
+        let token = CancelToken::new();
+        let sa = a.repair(&dirty).expect("plain");
+        let sb = b
+            .repair_cancellable(&dirty, &token.observe())
+            .expect("uncancelled");
+        assert_eq!(sa, sb);
+        assert_eq!(a.raw_assignment(), b.raw_assignment());
+    }
+
+    #[test]
+    fn tripped_observer_cancels_repair_and_leaves_cache_unchanged() {
+        use gpasta_tdg::CancelToken;
+        let tdg = diamond();
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        inc.install(&tdg, &PartitionerOptions::default())
+            .expect("install");
+        let before = inc.raw_assignment().expect("warm").to_vec();
+        let e0 = inc.epoch();
+        let token = CancelToken::new();
+        let obs = token.observe();
+        token.cancel();
+        assert_eq!(
+            inc.repair_cancellable(&forward_closure(&tdg, &[0]), &obs),
+            Err(IncrementalError::Cancelled)
+        );
+        assert_eq!(inc.raw_assignment().expect("warm"), before.as_slice());
+        assert_eq!(
+            inc.epoch(),
+            e0,
+            "cancelled repair does not advance the epoch"
+        );
+        // The cache is still fully usable afterwards.
+        inc.repair(&forward_closure(&tdg, &[0])).expect("repair");
+        validate::check_all(&tdg, &inc.full_partition().expect("warm")).expect("valid");
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_observably_identical() {
+        let tdg = diamond();
+        let opts = PartitionerOptions::with_max_size(2);
+        let mut orig = IncrementalPartitioner::new(SeqGPasta::new());
+        orig.install(&tdg, &opts).expect("install");
+        orig.repair(&forward_closure(&tdg, &[1])).expect("repair");
+        let export = orig.export_cache().expect("warm cache exports");
+        assert_eq!(export.epoch, orig.epoch());
+
+        let mut restored = IncrementalPartitioner::new(SeqGPasta::new());
+        assert!(restored.export_cache().is_none(), "cold cache exports None");
+        restored
+            .restore_cache(&tdg, export.clone())
+            .expect("restore");
+        assert!(restored.is_warm());
+        assert_eq!(restored.epoch(), orig.epoch());
+        assert_eq!(restored.ps(), orig.ps());
+        assert_eq!(restored.raw_assignment(), orig.raw_assignment());
+
+        // Subsequent identical repairs evolve both caches identically —
+        // including fresh-pid numbering, which `max_pid` preserves.
+        let dirty = forward_closure(&tdg, &[0]);
+        let so = orig.repair(&dirty).expect("repair original");
+        let sr = restored.repair(&dirty).expect("repair restored");
+        assert_eq!(so, sr);
+        assert_eq!(restored.raw_assignment(), orig.raw_assignment());
+        validate::check_all(&tdg, &restored.full_partition().expect("warm")).expect("valid");
+    }
+
+    #[test]
+    fn restore_rejects_invalid_snapshots() {
+        let tdg = diamond();
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        inc.install(&tdg, &PartitionerOptions::with_max_size(2))
+            .expect("install");
+        let good = inc.export_cache().expect("warm");
+
+        let reject = |export: CacheExport, needle: &str| {
+            let mut fresh = IncrementalPartitioner::new(SeqGPasta::new());
+            let err = fresh
+                .restore_cache(&tdg, export)
+                .expect_err("snapshot must be rejected");
+            assert!(
+                err.to_string().contains(needle),
+                "expected {needle:?} in {err}"
+            );
+            assert!(
+                !fresh.is_warm(),
+                "rejected restore must leave the cache cold"
+            );
+        };
+
+        reject(
+            CacheExport {
+                ps: 0,
+                ..good.clone()
+            },
+            "Ps is zero",
+        );
+        reject(
+            CacheExport {
+                raw: vec![0; 3],
+                ..good.clone()
+            },
+            "covers 3 tasks",
+        );
+        reject(
+            CacheExport {
+                fingerprint: good.fingerprint ^ 1,
+                ..good.clone()
+            },
+            "fingerprint",
+        );
+        reject(
+            CacheExport {
+                max_pid: 0,
+                raw: vec![0, 0, 1, 1],
+                ..good.clone()
+            },
+            "above the recorded max_pid",
+        );
+        // Anti-monotone assignment: valid shape, broken certificate.
+        reject(
+            CacheExport {
+                raw: vec![1, 0, 0, 0],
+                max_pid: 1,
+                ..good.clone()
+            },
+            "edge-monotone",
+        );
+        // Overfilled partition under the snapshot's Ps.
+        reject(
+            CacheExport {
+                raw: vec![0, 0, 0, 0],
+                ps: 2,
+                ..good.clone()
+            },
+            "above Ps",
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ mod seq;
 pub use deter::DeterGPasta;
 pub use gdca::Gdca;
 pub use gpasta::GPasta;
-pub use incremental::{forward_closure, IncrementalError, IncrementalPartitioner, RepairStats};
+pub use incremental::{
+    forward_closure, CacheExport, IncrementalError, IncrementalPartitioner, RepairStats,
+};
 pub use refine::merge_chains;
 pub use sarkar::Sarkar;
 pub use seq::SeqGPasta;
@@ -138,6 +140,9 @@ impl PartitionerOptions {
 pub enum PartitionError {
     /// `max_partition_size` was zero.
     ZeroPartitionSize,
+    /// A [`CancelToken`](gpasta_tdg::CancelToken) fired during a
+    /// cancellable partitioning run; no partition was produced.
+    Cancelled,
 }
 
 impl fmt::Display for PartitionError {
@@ -146,6 +151,7 @@ impl fmt::Display for PartitionError {
             PartitionError::ZeroPartitionSize => {
                 f.write_str("maximum partition size must be at least 1")
             }
+            PartitionError::Cancelled => f.write_str("partitioning was cancelled"),
         }
     }
 }
@@ -166,6 +172,26 @@ pub trait Partitioner {
     /// Returns [`PartitionError::ZeroPartitionSize`] if
     /// `opts.max_partition_size == Some(0)`.
     fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError>;
+
+    /// Cancellable variant of [`partition`](Partitioner::partition): checks
+    /// `cancel` at least on entry and returns
+    /// [`PartitionError::Cancelled`] if the observer has tripped.
+    ///
+    /// The default implementation polls once and delegates, which bounds
+    /// cancellation latency by one full partitioning run; partitioners with
+    /// natural internal boundaries (BFS levels, repair passes) override it
+    /// to poll per boundary (see [`SeqGPasta`]).
+    fn partition_cancellable(
+        &self,
+        tdg: &Tdg,
+        opts: &PartitionerOptions,
+        cancel: &gpasta_tdg::CancelObserver,
+    ) -> Result<Partition, PartitionError> {
+        if cancel.is_cancelled() {
+            return Err(PartitionError::Cancelled);
+        }
+        self.partition(tdg, opts)
+    }
 }
 
 impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
@@ -175,6 +201,15 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
 
     fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError> {
         (**self).partition(tdg, opts)
+    }
+
+    fn partition_cancellable(
+        &self,
+        tdg: &Tdg,
+        opts: &PartitionerOptions,
+        cancel: &gpasta_tdg::CancelObserver,
+    ) -> Result<Partition, PartitionError> {
+        (**self).partition_cancellable(tdg, opts, cancel)
     }
 }
 
@@ -225,5 +260,27 @@ mod tests {
     fn empty_graph_resolves_ps_to_one() {
         let tdg = gpasta_tdg::TdgBuilder::new(0).build().expect("empty DAG");
         assert_eq!(PartitionerOptions::default().resolve_ps(&tdg), 1);
+    }
+
+    #[test]
+    fn default_cancellable_partition_checks_on_entry() {
+        use gpasta_tdg::CancelToken;
+        let mut b = gpasta_tdg::TdgBuilder::new(3);
+        b.add_edge(gpasta_tdg::TaskId(0), gpasta_tdg::TaskId(1));
+        b.add_edge(gpasta_tdg::TaskId(1), gpasta_tdg::TaskId(2));
+        let tdg = b.build().expect("chain DAG");
+        let token = CancelToken::new();
+        // Gdca does not override the default method, so this exercises the
+        // trait-level entry check (and the Box forwarding impl).
+        let algo: Box<dyn Partitioner> = Box::new(Gdca::new());
+        let obs = token.observe();
+        assert!(algo
+            .partition_cancellable(&tdg, &PartitionerOptions::default(), &obs)
+            .is_ok());
+        token.cancel();
+        assert_eq!(
+            algo.partition_cancellable(&tdg, &PartitionerOptions::default(), &obs),
+            Err(PartitionError::Cancelled)
+        );
     }
 }

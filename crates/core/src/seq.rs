@@ -1,7 +1,7 @@
 //! seq-G-PASTA: the single-threaded CPU variant of Algorithm 1.
 
 use crate::{check_opts, PartitionError, Partitioner, PartitionerOptions};
-use gpasta_tdg::{Partition, TaskId, Tdg};
+use gpasta_tdg::{CancelObserver, Partition, TaskId, Tdg};
 
 /// The sequential CPU implementation of G-PASTA's clustering rule.
 ///
@@ -24,12 +24,16 @@ impl SeqGPasta {
     }
 }
 
-impl Partitioner for SeqGPasta {
-    fn name(&self) -> &'static str {
-        "seq-G-PASTA"
-    }
-
-    fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError> {
+impl SeqGPasta {
+    /// The wavefront kernel, polling `cancel` once per BFS level — the
+    /// natural unit boundary of the algorithm, so cancellation latency is
+    /// one level's worth of constant-time per-task work.
+    fn partition_impl(
+        &self,
+        tdg: &Tdg,
+        opts: &PartitionerOptions,
+        cancel: &CancelObserver,
+    ) -> Result<Partition, PartitionError> {
         check_opts(opts)?;
         let n = tdg.num_tasks();
         if n == 0 {
@@ -53,6 +57,9 @@ impl Partitioner for SeqGPasta {
 
         let mut next = Vec::new();
         while !frontier.is_empty() {
+            if cancel.is_cancelled() {
+                return Err(PartitionError::Cancelled);
+            }
             for &cur in &frontier {
                 // Step 1: commit or overflow.
                 let cur_pid = d_pid[cur as usize];
@@ -86,6 +93,25 @@ impl Partitioner for SeqGPasta {
         }
 
         Ok(Partition::new(f_pid))
+    }
+}
+
+impl Partitioner for SeqGPasta {
+    fn name(&self) -> &'static str {
+        "seq-G-PASTA"
+    }
+
+    fn partition(&self, tdg: &Tdg, opts: &PartitionerOptions) -> Result<Partition, PartitionError> {
+        self.partition_impl(tdg, opts, &CancelObserver::never())
+    }
+
+    fn partition_cancellable(
+        &self,
+        tdg: &Tdg,
+        opts: &PartitionerOptions,
+        cancel: &CancelObserver,
+    ) -> Result<Partition, PartitionError> {
+        self.partition_impl(tdg, opts, cancel)
     }
 }
 
@@ -184,5 +210,32 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(SeqGPasta::new().name(), "seq-G-PASTA");
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run_when_not_cancelled() {
+        use gpasta_tdg::CancelToken;
+        let tdg = dag::random_dag(300, 1.6, 11);
+        let token = CancelToken::new();
+        let plain = SeqGPasta::new()
+            .partition(&tdg, &PartitionerOptions::default())
+            .expect("valid options");
+        let cancellable = SeqGPasta::new()
+            .partition_cancellable(&tdg, &PartitionerOptions::default(), &token.observe())
+            .expect("uncancelled run succeeds");
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn tripped_observer_cancels_partitioning() {
+        use gpasta_tdg::CancelToken;
+        let tdg = dag::random_dag(300, 1.6, 12);
+        let token = CancelToken::new();
+        let obs = token.observe();
+        token.cancel();
+        assert_eq!(
+            SeqGPasta::new().partition_cancellable(&tdg, &PartitionerOptions::default(), &obs),
+            Err(PartitionError::Cancelled)
+        );
     }
 }

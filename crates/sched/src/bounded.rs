@@ -1,0 +1,999 @@
+//! Bounded-time recovering runners: wall-clock deadlines, cooperative
+//! cancellation, and a hung-task watchdog on top of the fault-tolerant
+//! wavefront from `executor.rs`.
+//!
+//! The bounded runners keep the PR 3 recovery contract intact — poison is
+//! still the exact forward closure of permanently failed units, worker-count
+//! independent — and add a third, disjoint unit class: *unfinished*. When
+//! the budget expires or a [`CancelToken`] fires, the scheduler stops
+//! *admitting* units (already-running payloads finish normally) and drains
+//! the remaining wavefront administratively: each drained unit either
+//! inherits poison from a failed predecessor or is marked unfinished. The
+//! drain preserves the dependency-counting discipline, so the unfinished set
+//! is exactly the forward closure of the unadmitted frontier minus the
+//! poison cone — which is what lets `gpasta-sta` re-run exactly
+//! `poisoned ∪ unfinished` later and converge to the bit-identical full
+//! analysis.
+//!
+//! The watchdog is a sibling thread inside the same scope. Workers publish
+//! their in-flight unit in a per-worker slot (`(unit+1) << 32 | start_µs`);
+//! the watchdog polls those slots at a fraction of the stall window and
+//! *claims* any unit in flight longer than the window via a per-unit state
+//! CAS (`pending → stalled`). The claim loser is simply whichever side the
+//! CAS rejects: if the worker finishes first the watchdog backs off; if the
+//! watchdog wins it records a [`TaskError::Stalled`] failure, poisons the
+//! unit's forward closure, and advances the completion count so the
+//! wavefront keeps flowing around the hole. A *finite* stall therefore
+//! completes degraded within ~2× the window; a truly infinite hang still
+//! pins its worker thread (threads cannot be killed safely) — that is what
+//! the crash-safe checkpoint/resume path is for.
+//!
+//! Budget polling happens once per unit admission: one `Instant::now()`
+//! plus one atomic load. Unbounded runs keep using the original runners and
+//! pay nothing.
+
+use crate::executor::{Executor, RecoveryState, TaskWork};
+use crate::outcome::{RecoverableWork, RetryPolicy, RunOutcome, StopCause, TaskError};
+use crate::report::RunReport;
+use crossbeam_deque::{Injector, Stealer, Worker};
+use crossbeam_utils::Backoff;
+use gpasta_tdg::{CancelObserver, CancelToken, PartitionId, QuotientTdg, TaskId, Tdg};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// The time bounds attached to one bounded run. All three knobs are
+/// optional and independent; [`RunBudget::unbounded`] makes the bounded
+/// runners behave like their unbounded counterparts.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock budget for the run. When it expires the scheduler stops
+    /// admitting units and drains the rest as *unfinished*
+    /// ([`StopCause::DeadlineExpired`]).
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation handle. A [`CancelToken::cancel`] issued
+    /// during the run stops admission at the next unit boundary
+    /// ([`StopCause::Cancelled`]). The run observes the token's generation
+    /// at start, so cancels issued *before* the run are ignored.
+    pub cancel: Option<CancelToken>,
+    /// Hung-task watchdog: a unit in flight longer than this window is
+    /// claimed as [`TaskError::Stalled`] and its forward closure poisoned,
+    /// so the run completes (degraded) instead of wedging. Enabling this
+    /// always uses the work-stealing runner (the watchdog needs its own
+    /// thread), even with one worker.
+    pub stall_window: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No deadline, no cancellation, no watchdog.
+    pub fn unbounded() -> Self {
+        RunBudget::default()
+    }
+
+    /// Set the wall-clock budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Enable the hung-task watchdog with the given stall window.
+    pub fn with_stall_window(mut self, window: Duration) -> Self {
+        self.stall_window = Some(window);
+        self
+    }
+
+    /// `true` when no bound is set: the bounded runners then behave
+    /// identically to the unbounded ones (modulo one deadline poll per
+    /// unit, which is how the `deadline_overhead` bench pins the cost).
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.stall_window.is_none()
+    }
+
+    fn observe_cancel(&self) -> Option<CancelObserver> {
+        self.cancel.as_ref().map(CancelToken::observe)
+    }
+}
+
+/// Raw result of a bounded wavefront: per-unit poison and unfinished flags
+/// plus why admission stopped.
+struct BoundedRun {
+    dispatches: u64,
+    poisoned: Vec<bool>,
+    unfinished: Vec<bool>,
+    stop: StopCause,
+}
+
+impl Executor {
+    /// Bounded variant of
+    /// [`run_tdg_recovering`](Executor::run_tdg_recovering): same recovery
+    /// contract, plus `budget`'s deadline / cancellation / watchdog. On an
+    /// early stop the returned outcome's `unfinished_tasks` is exactly the
+    /// forward closure of the unadmitted units (minus the poison cone) and
+    /// [`RunOutcome::stop`] says why; with an unbounded budget the result
+    /// is behaviourally identical to the unbounded runner.
+    pub fn run_tdg_recovering_bounded<W: RecoverableWork>(
+        &self,
+        tdg: &Tdg,
+        work: &W,
+        policy: &RetryPolicy,
+        budget: &RunBudget,
+    ) -> RunOutcome {
+        let n = tdg.num_tasks();
+        let start = Instant::now();
+        let deadline = budget.deadline.map(|d| start + d);
+        let cancel = budget.observe_cancel();
+        let state = RecoveryState::new(policy);
+        let run_unit = |t: u32| state.attempt_task(work, t, t);
+        let run = if self.num_workers() == 1 && budget.stall_window.is_none() {
+            run_sequential_bounded(
+                n,
+                &tdg.in_degrees(),
+                |t| tdg.successors(TaskId(t)),
+                run_unit,
+                deadline,
+                cancel.as_ref(),
+            )
+        } else {
+            run_stealing_bounded(
+                self.num_workers(),
+                n,
+                &tdg.in_degrees(),
+                &|t| tdg.successors(TaskId(t)),
+                &run_unit,
+                &|u| u,
+                deadline,
+                cancel.as_ref(),
+                budget.stall_window,
+                &state,
+            )
+        };
+        let poisoned_units: Vec<u32> = (0..n as u32)
+            .filter(|&t| run.poisoned[t as usize])
+            .collect();
+        let unfinished_units: Vec<u32> = (0..n as u32)
+            .filter(|&t| run.unfinished[t as usize])
+            .collect();
+        let salvaged = n - poisoned_units.len() - unfinished_units.len();
+        let (failures, retries) = state.into_parts();
+        RunOutcome {
+            report: RunReport {
+                elapsed: start.elapsed(),
+                tasks_executed: salvaged,
+                dispatches: run.dispatches,
+                num_workers: self.num_workers(),
+            },
+            salvaged_tasks: salvaged,
+            poisoned_tasks: poisoned_units.clone(),
+            poisoned_units,
+            unfinished_tasks: unfinished_units.clone(),
+            unfinished_units,
+            failures,
+            retries,
+            stop: run.stop,
+        }
+    }
+
+    /// Bounded variant of
+    /// [`run_partitioned_recovering`](Executor::run_partitioned_recovering):
+    /// the dispatch (and budget-polling) unit is the quotient node, so
+    /// cancellation and deadline expiry act at partition boundaries and an
+    /// unfinished partition contributes all its member tasks to
+    /// `unfinished_tasks`.
+    pub fn run_partitioned_recovering_bounded<W: RecoverableWork>(
+        &self,
+        quotient: &QuotientTdg,
+        work: &W,
+        policy: &RetryPolicy,
+        budget: &RunBudget,
+    ) -> RunOutcome {
+        let q = quotient.graph();
+        let np = q.num_tasks();
+        let total_tasks = quotient.num_tasks();
+        let start = Instant::now();
+        let deadline = budget.deadline.map(|d| start + d);
+        let cancel = budget.observe_cancel();
+        let state = RecoveryState::new(policy);
+        let run_unit = |p: u32| {
+            for &t in quotient.execution_order(PartitionId(p)) {
+                if !state.attempt_task(work, p, t) {
+                    return false;
+                }
+            }
+            true
+        };
+        let repr_task = |p: u32| {
+            quotient
+                .execution_order(PartitionId(p))
+                .first()
+                .copied()
+                .unwrap_or(p)
+        };
+        let run = if self.num_workers() == 1 && budget.stall_window.is_none() {
+            run_sequential_bounded(
+                np,
+                &q.in_degrees(),
+                |p| q.successors(TaskId(p)),
+                run_unit,
+                deadline,
+                cancel.as_ref(),
+            )
+        } else {
+            run_stealing_bounded(
+                self.num_workers(),
+                np,
+                &q.in_degrees(),
+                &|p| q.successors(TaskId(p)),
+                &run_unit,
+                &repr_task,
+                deadline,
+                cancel.as_ref(),
+                budget.stall_window,
+                &state,
+            )
+        };
+        let member_tasks = |units: &[u32]| -> Vec<u32> {
+            let mut tasks: Vec<u32> = units
+                .iter()
+                .flat_map(|&p| quotient.execution_order(PartitionId(p)).iter().copied())
+                .collect();
+            tasks.sort_unstable();
+            tasks
+        };
+        let poisoned_units: Vec<u32> = (0..np as u32)
+            .filter(|&p| run.poisoned[p as usize])
+            .collect();
+        let unfinished_units: Vec<u32> = (0..np as u32)
+            .filter(|&p| run.unfinished[p as usize])
+            .collect();
+        let poisoned_tasks = member_tasks(&poisoned_units);
+        let unfinished_tasks = member_tasks(&unfinished_units);
+        let salvaged = total_tasks - poisoned_tasks.len() - unfinished_tasks.len();
+        let (failures, retries) = state.into_parts();
+        RunOutcome {
+            report: RunReport {
+                elapsed: start.elapsed(),
+                tasks_executed: salvaged,
+                dispatches: run.dispatches,
+                num_workers: self.num_workers(),
+            },
+            salvaged_tasks: salvaged,
+            poisoned_tasks,
+            poisoned_units,
+            unfinished_tasks,
+            unfinished_units,
+            failures,
+            retries,
+            stop: run.stop,
+        }
+    }
+
+    /// Bounded, recovering plain-TDG run for infallible payloads: lifts a
+    /// [`TaskWork`] payload (no faults, no retries) into the bounded
+    /// runner. Convenience for callers that only want deadline /
+    /// cancellation semantics.
+    pub fn run_tdg_bounded<W: TaskWork>(
+        &self,
+        tdg: &Tdg,
+        work: &W,
+        budget: &RunBudget,
+    ) -> RunOutcome {
+        let lifted = |t: TaskId, _attempt: u32| -> Result<(), TaskError> {
+            work.execute(t);
+            Ok(())
+        };
+        self.run_tdg_recovering_bounded(tdg, &lifted, &RetryPolicy::no_retries(), budget)
+    }
+}
+
+const STOP_RUNNING: u8 = 0;
+const STOP_DEADLINE: u8 = 1;
+const STOP_CANCELLED: u8 = 2;
+
+fn stop_cause(code: u8) -> StopCause {
+    match code {
+        STOP_DEADLINE => StopCause::DeadlineExpired,
+        STOP_CANCELLED => StopCause::Cancelled,
+        _ => StopCause::Completed,
+    }
+}
+
+/// Poll the budget once: returns the stop code to set (0 = keep running).
+/// With no deadline and no cancel observer this is two register tests —
+/// an unbounded run touches neither the clock nor any shared state here.
+#[inline]
+fn poll_budget(deadline: Option<Instant>, cancel: Option<&CancelObserver>) -> u8 {
+    if cancel.is_some_and(CancelObserver::is_cancelled) {
+        STOP_CANCELLED
+    } else if deadline.is_some_and(|d| Instant::now() >= d) {
+        STOP_DEADLINE
+    } else {
+        STOP_RUNNING
+    }
+}
+
+/// Single-threaded bounded recovering wavefront.
+///
+/// Before admitting each unit the budget is polled; once it trips, the
+/// remaining wavefront *drains*: poisoned units keep propagating poison
+/// (their state was final before the stop) and everything else is marked
+/// unfinished, with dependency counting intact so every unit is visited
+/// exactly once and the drain terminates.
+fn run_sequential_bounded<'a, S, R>(
+    n: usize,
+    in_degrees: &[u32],
+    successors: S,
+    run_unit: R,
+    deadline: Option<Instant>,
+    cancel: Option<&CancelObserver>,
+) -> BoundedRun
+where
+    S: Fn(u32) -> &'a [u32],
+    R: Fn(u32) -> bool,
+{
+    let mut poisoned = vec![false; n];
+    let mut unfinished = vec![false; n];
+    let mut dep: Vec<u32> = in_degrees.to_vec();
+    let mut ready: Vec<u32> = (0..n as u32).filter(|&t| dep[t as usize] == 0).collect();
+    let mut dispatches = 0u64;
+    let mut stop = STOP_RUNNING;
+    while let Some(t) = ready.pop() {
+        if stop == STOP_RUNNING {
+            stop = poll_budget(deadline, cancel);
+        }
+        if stop != STOP_RUNNING {
+            // Drain: never admit. Poison (decided before the stop) still
+            // propagates; everything else becomes unfinished.
+            let was_poisoned = poisoned[t as usize];
+            if !was_poisoned {
+                unfinished[t as usize] = true;
+            }
+            for &s in successors(t) {
+                if was_poisoned {
+                    poisoned[s as usize] = true;
+                }
+                dep[s as usize] -= 1;
+                if dep[s as usize] == 0 {
+                    ready.push(s);
+                }
+            }
+            continue;
+        }
+        dispatches += 1;
+        let ok = !poisoned[t as usize] && run_unit(t);
+        if !ok {
+            poisoned[t as usize] = true;
+        }
+        for &s in successors(t) {
+            if !ok {
+                poisoned[s as usize] = true;
+            }
+            dep[s as usize] -= 1;
+            if dep[s as usize] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    BoundedRun {
+        dispatches,
+        poisoned,
+        unfinished,
+        stop: stop_cause(stop),
+    }
+}
+
+/// Encode worker `w`'s in-flight unit for the watchdog: `(unit+1) << 32`
+/// ored with the start time in microseconds since run start, truncated to
+/// `u32`. Zero means idle. The truncation wraps every ~71.6 minutes; a
+/// stall spanning a wrap is detected one poll late at worst because ages
+/// are computed with wrapping subtraction in the same 32-bit domain.
+#[inline]
+fn encode_inflight(unit: u32, started_micros: u32) -> u64 {
+    (u64::from(unit) + 1) << 32 | u64::from(started_micros)
+}
+
+const UNIT_PENDING: u8 = 0;
+const UNIT_DONE: u8 = 1;
+const UNIT_STALLED: u8 = 2;
+
+/// Work-stealing bounded recovering wavefront with an optional watchdog.
+///
+/// Per-unit completion is arbitrated by a `pending → done|stalled` CAS so
+/// the worker that ran a unit and the watchdog that claimed it stalled can
+/// never both account for it. The CAS winner performs the unit's poison
+/// publication, successor decrements, and completion increment; the loser
+/// discards its result. Poison is always stored (`Release`) before the
+/// dependency decrement (`AcqRel`) that can ready a successor, so the
+/// inherited-poison check (`Acquire`) observes every parent failure — the
+/// same ordering argument as the unbounded recovering runner.
+#[allow(clippy::too_many_arguments)]
+fn run_stealing_bounded<'a, S, R, P>(
+    workers: usize,
+    n: usize,
+    in_degrees: &[u32],
+    successors: &S,
+    run_unit: &R,
+    repr_task: &P,
+    deadline: Option<Instant>,
+    cancel: Option<&CancelObserver>,
+    stall_window: Option<Duration>,
+    state: &RecoveryState<'_>,
+) -> BoundedRun
+where
+    S: Fn(u32) -> &'a [u32] + Sync,
+    R: Fn(u32) -> bool + Sync,
+    P: Fn(u32) -> u32 + Sync,
+{
+    if n == 0 {
+        return BoundedRun {
+            dispatches: 0,
+            poisoned: Vec::new(),
+            unfinished: Vec::new(),
+            stop: StopCause::Completed,
+        };
+    }
+    let run_start = Instant::now();
+    // Watchdog bookkeeping (in-flight slots, per-unit claim states, and the
+    // per-unit clock read that stamps them) is only paid when a stall window
+    // is armed; without one, no other claimant exists and the admission path
+    // stays as lean as the unbounded runner's.
+    let watching = stall_window.is_some();
+    let dep: Vec<AtomicU32> = in_degrees.iter().map(|&d| AtomicU32::new(d)).collect();
+    let poisoned: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let unfinished: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let unit_state: Vec<AtomicU8> = (0..if watching { n } else { 0 })
+        .map(|_| AtomicU8::new(UNIT_PENDING))
+        .collect();
+    let inflight: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let injector = Injector::new();
+    for t in 0..n as u32 {
+        if dep[t as usize].load(Ordering::Relaxed) == 0 {
+            injector.push(t);
+        }
+    }
+    let completed = AtomicUsize::new(0);
+    let dispatches = AtomicU64::new(0);
+    let stop = AtomicU8::new(STOP_RUNNING);
+
+    let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
+
+    std::thread::scope(|scope| {
+        for (w, local) in locals.into_iter().enumerate() {
+            let dep = &dep;
+            let poisoned = &poisoned;
+            let unfinished = &unfinished;
+            let unit_state = &unit_state;
+            let inflight = &inflight;
+            let injector = &injector;
+            let stealers = &stealers;
+            let completed = &completed;
+            let dispatches = &dispatches;
+            let stop = &stop;
+            scope.spawn(move || {
+                let backoff = Backoff::new();
+                loop {
+                    let unit = local.pop().or_else(|| {
+                        std::iter::repeat_with(|| {
+                            injector.steal_batch_and_pop(&local).or_else(|| {
+                                stealers
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(i, _)| i != w)
+                                    .map(|(_, s)| s.steal())
+                                    .collect()
+                            })
+                        })
+                        .find(|s| !s.is_retry())
+                        .and_then(|s| s.success())
+                    });
+                    match unit {
+                        Some(t) => {
+                            backoff.reset();
+                            let mut cause = stop.load(Ordering::Acquire);
+                            if cause == STOP_RUNNING {
+                                cause = poll_budget(deadline, cancel);
+                                if cause != STOP_RUNNING {
+                                    // First observer wins; losers just see
+                                    // a non-zero stop and drain too.
+                                    let _ = stop.compare_exchange(
+                                        STOP_RUNNING,
+                                        cause,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    );
+                                }
+                            }
+                            if cause != STOP_RUNNING {
+                                // Drain without admitting (see the
+                                // sequential runner for the semantics).
+                                let was_poisoned = poisoned[t as usize].load(Ordering::Acquire);
+                                if !was_poisoned {
+                                    unfinished[t as usize].store(true, Ordering::Release);
+                                }
+                                for &s in successors(t) {
+                                    if was_poisoned {
+                                        poisoned[s as usize].store(true, Ordering::Release);
+                                    }
+                                    if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                        local.push(s);
+                                    }
+                                }
+                                completed.fetch_add(1, Ordering::Release);
+                                continue;
+                            }
+                            dispatches.fetch_add(1, Ordering::Relaxed);
+                            if watching {
+                                let started = run_start.elapsed().as_micros() as u32;
+                                inflight[w].store(encode_inflight(t, started), Ordering::Release);
+                            }
+                            let ok = !poisoned[t as usize].load(Ordering::Acquire) && run_unit(t);
+                            if watching {
+                                inflight[w].store(0, Ordering::Release);
+                                if unit_state[t as usize]
+                                    .compare_exchange(
+                                        UNIT_PENDING,
+                                        UNIT_DONE,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    )
+                                    .is_err()
+                                {
+                                    // The watchdog claimed this unit stalled
+                                    // and already did its bookkeeping; the
+                                    // late result is discarded.
+                                    continue;
+                                }
+                            }
+                            if !ok {
+                                poisoned[t as usize].store(true, Ordering::Release);
+                            }
+                            for &s in successors(t) {
+                                if !ok {
+                                    poisoned[s as usize].store(true, Ordering::Release);
+                                }
+                                if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    local.push(s);
+                                }
+                            }
+                            completed.fetch_add(1, Ordering::Release);
+                        }
+                        None => {
+                            if completed.load(Ordering::Acquire) == n {
+                                break;
+                            }
+                            backoff.snooze();
+                        }
+                    }
+                }
+            });
+        }
+
+        if let Some(window) = stall_window {
+            let dep = &dep;
+            let poisoned = &poisoned;
+            let unit_state = &unit_state;
+            let inflight = &inflight;
+            let injector = &injector;
+            let completed = &completed;
+            scope.spawn(move || {
+                let window_us = window.as_micros().min(u128::from(u32::MAX / 2)) as u64;
+                let poll = Duration::from_micros((window_us / 4).max(50));
+                while completed.load(Ordering::Acquire) < n {
+                    std::thread::sleep(poll);
+                    if completed.load(Ordering::Acquire) >= n {
+                        break;
+                    }
+                    let now = run_start.elapsed().as_micros() as u32;
+                    for slot in inflight {
+                        let v = slot.load(Ordering::Acquire);
+                        if v == 0 {
+                            continue;
+                        }
+                        let unit = ((v >> 32) - 1) as u32;
+                        let started = v as u32;
+                        let age = u64::from(now.wrapping_sub(started));
+                        if age <= window_us {
+                            continue;
+                        }
+                        if unit_state[unit as usize]
+                            .compare_exchange(
+                                UNIT_PENDING,
+                                UNIT_STALLED,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        state.record(
+                            unit,
+                            repr_task(unit),
+                            1,
+                            TaskError::Stalled(format!(
+                                "no progress within the {} µs stall window (in flight {} µs)",
+                                window_us, age
+                            )),
+                        );
+                        poisoned[unit as usize].store(true, Ordering::Release);
+                        for &s in successors(unit) {
+                            poisoned[s as usize].store(true, Ordering::Release);
+                            if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                injector.push(s);
+                            }
+                        }
+                        completed.fetch_add(1, Ordering::Release);
+                    }
+                }
+            });
+        }
+    });
+
+    BoundedRun {
+        dispatches: dispatches.load(Ordering::Relaxed),
+        poisoned: poisoned.into_iter().map(AtomicBool::into_inner).collect(),
+        unfinished: unfinished.into_iter().map(AtomicBool::into_inner).collect(),
+        stop: stop_cause(stop.into_inner()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyWork};
+    use gpasta_tdg::TdgBuilder;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    fn chain(n: usize) -> Tdg {
+        let mut b = TdgBuilder::new(n);
+        for i in 1..n {
+            b.add_edge(TaskId(i as u32 - 1), TaskId(i as u32));
+        }
+        b.build().expect("chain DAG")
+    }
+
+    fn layered(n_per_level: usize, levels: usize) -> Tdg {
+        let n = n_per_level * levels;
+        let mut b = TdgBuilder::new(n);
+        for l in 1..levels {
+            for i in 0..n_per_level {
+                let v = (l * n_per_level + i) as u32;
+                let u = ((l - 1) * n_per_level + (i * 7 + 3) % n_per_level) as u32;
+                b.add_edge(TaskId(u), TaskId(v));
+                let u2 = ((l - 1) * n_per_level + (i * 11 + 1) % n_per_level) as u32;
+                b.add_edge(TaskId(u2), TaskId(v));
+            }
+        }
+        b.build().expect("layered DAG")
+    }
+
+    /// Reference forward closure over raw TDG successors (BFS).
+    fn closure_of(tdg: &Tdg, seeds: &[u32]) -> Vec<u32> {
+        let mut seen = vec![false; tdg.num_tasks()];
+        let mut stack: Vec<u32> = seeds.to_vec();
+        for &s in seeds {
+            seen[s as usize] = true;
+        }
+        while let Some(t) = stack.pop() {
+            for &s in tdg.successors(TaskId(t)) {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        (0..tdg.num_tasks() as u32)
+            .filter(|&t| seen[t as usize])
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_budget_matches_unbounded_runner() {
+        let tdg = layered(16, 8);
+        let plan = FaultPlan::random(0xFA17, 0.02, &[FaultKind::WrongResult]);
+        for workers in [1usize, 4] {
+            let payload = |_t: TaskId| {};
+            let work = FaultyWork::new(&payload, &plan);
+            let exec = Executor::new(workers);
+            let reference = exec.run_tdg_recovering(&tdg, &work, &RetryPolicy::no_retries());
+            let bounded = exec.run_tdg_recovering_bounded(
+                &tdg,
+                &work,
+                &RetryPolicy::no_retries(),
+                &RunBudget::unbounded(),
+            );
+            assert_eq!(bounded.stop, StopCause::Completed);
+            assert_eq!(bounded.poisoned_tasks, reference.poisoned_tasks);
+            assert_eq!(bounded.salvaged_tasks, reference.salvaged_tasks);
+            assert!(bounded.unfinished_tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_leaves_everything_unfinished() {
+        let tdg = layered(8, 6);
+        let ran = StdAtomicU64::new(0);
+        for workers in [1usize, 3] {
+            ran.store(0, Ordering::Relaxed);
+            let work = |_t: TaskId, _a: u32| -> Result<(), TaskError> {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            };
+            let outcome = Executor::new(workers).run_tdg_recovering_bounded(
+                &tdg,
+                &work,
+                &RetryPolicy::no_retries(),
+                &RunBudget::unbounded().with_deadline(Duration::ZERO),
+            );
+            assert_eq!(
+                outcome.stop,
+                StopCause::DeadlineExpired,
+                "workers={workers}"
+            );
+            assert_eq!(outcome.salvaged_tasks, 0);
+            assert_eq!(
+                outcome.unfinished_tasks,
+                (0..tdg.num_tasks() as u32).collect::<Vec<_>>()
+            );
+            assert!(outcome.poisoned_tasks.is_empty());
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "nothing was admitted");
+        }
+    }
+
+    #[test]
+    fn deadline_mid_run_leaves_exactly_the_unadmitted_closure() {
+        // A chain makes admission order deterministic; a slow payload
+        // guarantees the deadline trips mid-run.
+        let n = 32;
+        let tdg = chain(n);
+        let ran = parking_lot::Mutex::new(Vec::new());
+        let work = |t: TaskId, _a: u32| -> Result<(), TaskError> {
+            std::thread::sleep(Duration::from_millis(2));
+            ran.lock().push(t.0);
+            Ok(())
+        };
+        let outcome = Executor::new(1).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_deadline(Duration::from_millis(10)),
+        );
+        assert_eq!(outcome.stop, StopCause::DeadlineExpired);
+        let executed = ran.into_inner();
+        assert!(!executed.is_empty(), "some prefix ran");
+        assert!(executed.len() < n, "the deadline tripped mid-run");
+        // Executed tasks are exactly the chain prefix; unfinished is the
+        // forward closure of the first unadmitted task.
+        let first_unadmitted = executed.len() as u32;
+        assert_eq!(
+            outcome.unfinished_tasks,
+            closure_of(&tdg, &[first_unadmitted])
+        );
+        assert_eq!(outcome.salvaged_tasks, executed.len());
+        // Partition: salvage ∪ unfinished = task set, poison empty.
+        assert!(outcome.poisoned_tasks.is_empty());
+        assert_eq!(outcome.salvaged_tasks + outcome.unfinished_tasks.len(), n);
+    }
+
+    #[test]
+    fn cancellation_stops_admission_promptly() {
+        let n = 64;
+        let tdg = chain(n);
+        let token = CancelToken::new();
+        let cancel_after = 5u64;
+        let count = StdAtomicU64::new(0);
+        let token_ref = &token;
+        let work = move |_t: TaskId, _a: u32| -> Result<(), TaskError> {
+            if count.fetch_add(1, Ordering::Relaxed) + 1 == cancel_after {
+                token_ref.cancel();
+            }
+            Ok(())
+        };
+        let outcome = Executor::new(1).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_cancel(token.clone()),
+        );
+        assert_eq!(outcome.stop, StopCause::Cancelled);
+        assert_eq!(
+            outcome.salvaged_tasks, cancel_after as usize,
+            "admission stops at the next unit boundary"
+        );
+        assert_eq!(outcome.unfinished_tasks.len(), n - cancel_after as usize);
+    }
+
+    #[test]
+    fn stale_cancel_from_a_previous_run_is_ignored() {
+        let tdg = chain(8);
+        let token = CancelToken::new();
+        token.cancel(); // fired before the run starts
+        let work = |_t: TaskId, _a: u32| -> Result<(), TaskError> { Ok(()) };
+        let outcome = Executor::new(2).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_cancel(token),
+        );
+        assert_eq!(outcome.stop, StopCause::Completed);
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn deadline_expiry_with_faults_keeps_sets_disjoint() {
+        let tdg = layered(8, 16);
+        let plan = FaultPlan::random(0xD1ED, 0.05, &[FaultKind::WrongResult, FaultKind::Panic]);
+        for workers in [1usize, 4] {
+            let slow = |_t: TaskId| {
+                std::thread::sleep(Duration::from_micros(200));
+            };
+            let work = FaultyWork::new(&slow, &plan);
+            let outcome = Executor::new(workers).run_tdg_recovering_bounded(
+                &tdg,
+                &work,
+                &RetryPolicy::no_retries(),
+                &RunBudget::unbounded().with_deadline(Duration::from_millis(3)),
+            );
+            let mut all: Vec<u32> = Vec::new();
+            all.extend(&outcome.poisoned_tasks);
+            all.extend(&outcome.unfinished_tasks);
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), before, "poisoned ∩ unfinished = ∅");
+            assert_eq!(
+                outcome.salvaged_tasks + before,
+                tdg.num_tasks(),
+                "salvage ∪ poisoned ∪ unfinished = task set (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_claims_a_hung_unit_and_the_run_completes() {
+        // Task 1 sleeps far beyond the stall window; the watchdog must
+        // quarantine it (and its closure) while the rest completes.
+        let tdg = layered(4, 4);
+        let window = Duration::from_millis(5);
+        let started = Instant::now();
+        let work = |t: TaskId, _a: u32| -> Result<(), TaskError> {
+            if t.0 == 1 {
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            Ok(())
+        };
+        let outcome = Executor::new(2).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_stall_window(window),
+        );
+        assert_eq!(outcome.stop, StopCause::Completed, "the run must not hang");
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].unit, 1);
+        assert!(
+            matches!(outcome.failures[0].error, TaskError::Stalled(_)),
+            "got {:?}",
+            outcome.failures[0].error
+        );
+        assert_eq!(outcome.poisoned_tasks, closure_of(&tdg, &[1]));
+        assert_eq!(
+            outcome.salvaged_tasks,
+            tdg.num_tasks() - outcome.poisoned_tasks.len()
+        );
+        // Detection latency: the stall must be claimed well before the
+        // sleeping payload returns on its own. The run still joins the
+        // sleeping thread (~60 ms), so bound the *claim*, not the join:
+        // the claim happened iff the failure record exists, and the whole
+        // run is bounded by the payload sleep plus slack.
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "run took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn watchdog_with_one_worker_still_detects_stalls() {
+        let tdg = chain(6);
+        let work = |t: TaskId, _a: u32| -> Result<(), TaskError> {
+            if t.0 == 2 {
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            Ok(())
+        };
+        let outcome = Executor::new(1).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_stall_window(Duration::from_millis(4)),
+        );
+        assert_eq!(outcome.stop, StopCause::Completed);
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].unit, 2);
+        assert!(matches!(outcome.failures[0].error, TaskError::Stalled(_)));
+        assert_eq!(outcome.poisoned_tasks, closure_of(&tdg, &[2]));
+    }
+
+    #[test]
+    fn fast_payloads_never_trip_the_watchdog() {
+        let tdg = layered(16, 8);
+        let work = |_t: TaskId, _a: u32| -> Result<(), TaskError> { Ok(()) };
+        let outcome = Executor::new(4).run_tdg_recovering_bounded(
+            &tdg,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_stall_window(Duration::from_millis(200)),
+        );
+        assert!(outcome.is_clean(), "got {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn bounded_partitioned_run_respects_deadline_at_partition_boundaries() {
+        use gpasta_tdg::Partition;
+        // Chain 0..8 grouped into 4 partitions of 2.
+        let tdg = chain(8);
+        let p = Partition::new(vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        let q = QuotientTdg::build(&tdg, &p).expect("valid partition");
+        let work = |_t: TaskId, _a: u32| -> Result<(), TaskError> {
+            std::thread::sleep(Duration::from_millis(3));
+            Ok(())
+        };
+        let outcome = Executor::new(1).run_partitioned_recovering_bounded(
+            &q,
+            &work,
+            &RetryPolicy::no_retries(),
+            &RunBudget::unbounded().with_deadline(Duration::from_millis(8)),
+        );
+        assert_eq!(outcome.stop, StopCause::DeadlineExpired);
+        assert!(!outcome.unfinished_units.is_empty());
+        // Unfinished units expand to whole member-task blocks of 2.
+        assert_eq!(outcome.unfinished_tasks.len() % 2, 0);
+        assert_eq!(
+            outcome.salvaged_tasks + outcome.unfinished_tasks.len(),
+            tdg.num_tasks()
+        );
+    }
+
+    #[test]
+    fn salvage_partition_is_worker_count_independent_under_cancel_free_budget() {
+        let tdg = layered(24, 12);
+        let plan = FaultPlan::random(0xFA17, 0.02, &[FaultKind::Panic, FaultKind::WrongResult]);
+        let mut reference: Option<Vec<u32>> = None;
+        for workers in [1usize, 2, 4] {
+            let payload = |_t: TaskId| {};
+            let work = FaultyWork::new(&payload, &plan);
+            let outcome = Executor::new(workers).run_tdg_recovering_bounded(
+                &tdg,
+                &work,
+                &RetryPolicy::no_retries(),
+                &RunBudget::unbounded(),
+            );
+            assert!(outcome.unfinished_tasks.is_empty());
+            match &reference {
+                None => reference = Some(outcome.poisoned_tasks),
+                Some(r) => assert_eq!(&outcome.poisoned_tasks, r, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_tdg_bounded_lifts_infallible_payloads() {
+        let tdg = chain(5);
+        let count = StdAtomicU64::new(0);
+        let outcome = Executor::new(2).run_tdg_bounded(
+            &tdg,
+            &|_t: TaskId| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+            &RunBudget::unbounded(),
+        );
+        assert!(outcome.is_clean());
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+}

@@ -222,8 +222,11 @@ impl Executor {
             salvaged_tasks: salvaged,
             poisoned_tasks: poisoned_units.clone(),
             poisoned_units,
+            unfinished_tasks: Vec::new(),
+            unfinished_units: Vec::new(),
             failures,
             retries,
+            stop: crate::outcome::StopCause::Completed,
         }
     }
 
@@ -285,22 +288,27 @@ impl Executor {
             salvaged_tasks: salvaged,
             poisoned_tasks,
             poisoned_units,
+            unfinished_tasks: Vec::new(),
+            unfinished_units: Vec::new(),
             failures,
             retries,
+            stop: crate::outcome::StopCause::Completed,
         }
     }
 }
 
 /// Shared bookkeeping for the recovering runners: retry loop, failure
-/// records, retry counter.
-struct RecoveryState<'p> {
+/// records, retry counter. Crate-visible so the bounded runners (deadline /
+/// cancellation / watchdog, `bounded.rs`) reuse the identical retry loop —
+/// keeping failure semantics byte-for-byte the same across both paths.
+pub(crate) struct RecoveryState<'p> {
     policy: &'p RetryPolicy,
     retries: AtomicU64,
     failures: parking_lot::Mutex<Vec<FailureRecord>>,
 }
 
 impl<'p> RecoveryState<'p> {
-    fn new(policy: &'p RetryPolicy) -> Self {
+    pub(crate) fn new(policy: &'p RetryPolicy) -> Self {
         RecoveryState {
             policy,
             retries: AtomicU64::new(0),
@@ -311,7 +319,7 @@ impl<'p> RecoveryState<'p> {
     /// Run `task` (dispatched as part of `unit`) with bounded retries.
     /// Returns `true` on success; on permanent failure records a
     /// [`FailureRecord`] and returns `false`.
-    fn attempt_task<W: RecoverableWork>(&self, work: &W, unit: u32, task: u32) -> bool {
+    pub(crate) fn attempt_task<W: RecoverableWork>(&self, work: &W, unit: u32, task: u32) -> bool {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         let mut attempt = 0u32;
         loop {
@@ -342,7 +350,7 @@ impl<'p> RecoveryState<'p> {
         }
     }
 
-    fn record(&self, unit: u32, task: u32, attempts: u32, error: TaskError) {
+    pub(crate) fn record(&self, unit: u32, task: u32, attempts: u32, error: TaskError) {
         self.failures.lock().push(FailureRecord {
             unit,
             task,
@@ -353,7 +361,7 @@ impl<'p> RecoveryState<'p> {
 
     /// Failure records (sorted by unit then task, so parallel runs report
     /// deterministically) plus the retry count.
-    fn into_parts(self) -> (Vec<FailureRecord>, u64) {
+    pub(crate) fn into_parts(self) -> (Vec<FailureRecord>, u64) {
         let mut failures = self.failures.into_inner();
         failures.sort_by_key(|f| (f.unit, f.task));
         (failures, self.retries.into_inner())

@@ -30,6 +30,12 @@
 //!   everything else is salvaged — reported in a [`RunOutcome`]);
 //! * [`FaultPlan`] / [`FaultyWork`] — deterministic fault injection keyed
 //!   by `(task, attempt)`, the test oracle for the recovering path;
+//! * bounded-time execution — [`Executor::run_tdg_recovering_bounded`] /
+//!   [`Executor::run_partitioned_recovering_bounded`] accept a
+//!   [`RunBudget`] (wall-clock deadline, [`CancelToken`] cooperative
+//!   cancellation, hung-task watchdog stall window) and report early stops
+//!   as a structured partial [`RunOutcome`] whose *unfinished* set is the
+//!   exact forward closure of the unadmitted units ([`StopCause`]);
 //! * [`measure_sched_overhead`] — calibrates the per-task scheduling cost on
 //!   the host, reproducing the paper's 0.2–3 µs observation;
 //! * [`sim`] — a deterministic Graham list-scheduling simulator for
@@ -63,6 +69,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod bounded;
 mod executor;
 mod fault;
 mod outcome;
@@ -72,9 +79,11 @@ pub mod sim;
 mod taskflow;
 
 pub use arena::FlowArena;
+pub use bounded::RunBudget;
 pub use executor::{Executor, ExecutorError, TaskWork};
 pub use fault::{FaultKind, FaultPlan, FaultyWork};
-pub use outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, TaskError};
+pub use gpasta_tdg::{CancelObserver, CancelToken};
+pub use outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, StopCause, TaskError};
 pub use overhead::{measure_sched_overhead, OverheadProfile};
 pub use report::RunReport;
 pub use sim::{simulate_makespan, SimReport};

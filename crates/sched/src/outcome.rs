@@ -4,11 +4,12 @@
 
 use crate::report::RunReport;
 use gpasta_tdg::TaskId;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
 /// Why a single payload attempt failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TaskError {
     /// Retryable: a later attempt may succeed (lost launch, spurious
     /// allocation failure). The executor retries with backoff up to
@@ -17,6 +18,16 @@ pub enum TaskError {
     /// Permanent: retrying cannot help (detected corruption, payload
     /// panic). The task's dispatch unit is quarantined immediately.
     Fatal(String),
+    /// The watchdog observed no progress on the unit within the stall
+    /// window and quarantined it administratively. Permanent for this run;
+    /// the payload itself may still be executing (a finite stall finishes
+    /// harmlessly, an infinite hang is contained instead of wedging the
+    /// wavefront).
+    Stalled(String),
+    /// The run's wall-clock budget expired before the unit was admitted.
+    /// Not a payload fault: the unit is *unfinished*, not poisoned, and a
+    /// later run with a fresh budget completes it.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for TaskError {
@@ -24,6 +35,8 @@ impl fmt::Display for TaskError {
         match self {
             TaskError::Transient(msg) => write!(f, "transient: {msg}"),
             TaskError::Fatal(msg) => write!(f, "fatal: {msg}"),
+            TaskError::Stalled(msg) => write!(f, "stalled: {msg}"),
+            TaskError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -93,7 +106,7 @@ impl RetryPolicy {
 }
 
 /// One permanently failed task, as recorded in a [`RunOutcome`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailureRecord {
     /// The dispatch unit that was quarantined: the task id on plain runs,
     /// the partition id on partitioned runs.
@@ -107,14 +120,45 @@ pub struct FailureRecord {
     pub error: TaskError,
 }
 
+/// Why a bounded run stopped admitting dispatch units.
+///
+/// Unbounded runs always report [`StopCause::Completed`]; the bounded
+/// runners additionally report deadline expiry and cooperative
+/// cancellation, in which case the unadmitted forward closure lands in
+/// [`RunOutcome::unfinished_tasks`] rather than the poison sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCause {
+    /// Every dispatch unit was admitted (salvaged or poisoned); nothing is
+    /// unfinished.
+    Completed,
+    /// The wall-clock budget expired; admission stopped early.
+    DeadlineExpired,
+    /// A [`CancelToken`](gpasta_tdg::CancelToken) fired; admission stopped
+    /// early.
+    Cancelled,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Completed => write!(f, "completed"),
+            StopCause::DeadlineExpired => write!(f, "deadline expired"),
+            StopCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// Structured result of a recovering run.
 ///
 /// The run never aborts: every dispatch unit is either *salvaged* (its
-/// payload completed) or *poisoned* (it failed permanently, or depends —
-/// directly or transitively — on a unit that did). The poisoned set is the
-/// exact forward closure of the failed units, so the salvaged set is its
-/// exact complement.
-#[derive(Debug, Clone)]
+/// payload completed), *poisoned* (it failed permanently, or depends —
+/// directly or transitively — on a unit that did), or — on bounded runs
+/// that stop early — *unfinished* (never admitted because the deadline
+/// expired or the run was cancelled; its inputs may be incomplete but no
+/// fault occurred in its cone). The three sets are disjoint and their
+/// union is the whole task set, so the salvaged set is the exact
+/// complement of poisoned ∪ unfinished.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Scheduling report; `tasks_executed` counts salvaged tasks only.
     pub report: RunReport,
@@ -125,16 +169,29 @@ pub struct RunOutcome {
     /// Poisoned dispatch units (sorted, ascending): task ids on plain runs,
     /// partition ids on partitioned runs.
     pub poisoned_units: Vec<u32>,
+    /// Underlying tasks never admitted because the run stopped early
+    /// (sorted, ascending). Disjoint from the poison sets; empty when
+    /// [`stop`](RunOutcome::stop) is [`StopCause::Completed`].
+    pub unfinished_tasks: Vec<u32>,
+    /// Unadmitted dispatch units (sorted, ascending): task ids on plain
+    /// runs, partition ids on partitioned runs.
+    pub unfinished_units: Vec<u32>,
     /// Permanently failed units, in the order they failed.
     pub failures: Vec<FailureRecord>,
     /// Total retry sleeps performed across all tasks.
     pub retries: u64,
+    /// Why admission stopped.
+    pub stop: StopCause,
 }
 
 impl RunOutcome {
-    /// `true` when nothing failed: every task salvaged, zero retries.
+    /// `true` when nothing failed and nothing was left behind: every task
+    /// salvaged and the run ran to completion.
     pub fn is_clean(&self) -> bool {
-        self.failures.is_empty() && self.poisoned_tasks.is_empty()
+        self.failures.is_empty()
+            && self.poisoned_tasks.is_empty()
+            && self.unfinished_tasks.is_empty()
+            && self.stop == StopCause::Completed
     }
 }
 
@@ -142,11 +199,13 @@ impl fmt::Display for RunOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} salvaged / {} poisoned tasks ({} failed units, {} retries) in {:.3} ms on {} workers",
+            "{} salvaged / {} poisoned / {} unfinished tasks ({} failed units, {} retries, {}) in {:.3} ms on {} workers",
             self.salvaged_tasks,
             self.poisoned_tasks.len(),
+            self.unfinished_tasks.len(),
             self.failures.len(),
             self.retries,
+            self.stop,
             self.report.elapsed.as_secs_f64() * 1e3,
             self.report.num_workers,
         )
@@ -204,6 +263,8 @@ mod tests {
             salvaged_tasks: 3,
             poisoned_tasks: vec![2],
             poisoned_units: vec![2],
+            unfinished_tasks: vec![],
+            unfinished_units: vec![],
             failures: vec![FailureRecord {
                 unit: 2,
                 task: 2,
@@ -211,6 +272,7 @@ mod tests {
                 error: TaskError::Fatal("boom".into()),
             }],
             retries: 3,
+            stop: StopCause::Completed,
         };
         assert!(!outcome.is_clean());
         let s = outcome.to_string();
@@ -222,5 +284,93 @@ mod tests {
             ..outcome
         };
         assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn deadline_stopped_outcome_is_not_clean() {
+        let outcome = RunOutcome {
+            report: RunReport {
+                elapsed: Duration::from_millis(1),
+                tasks_executed: 1,
+                dispatches: 1,
+                num_workers: 1,
+            },
+            salvaged_tasks: 1,
+            poisoned_tasks: vec![],
+            poisoned_units: vec![],
+            unfinished_tasks: vec![1, 2],
+            unfinished_units: vec![1, 2],
+            failures: vec![],
+            retries: 0,
+            stop: StopCause::DeadlineExpired,
+        };
+        assert!(!outcome.is_clean(), "unfinished work is not clean");
+        let s = outcome.to_string();
+        assert!(s.contains("2 unfinished"));
+        assert!(s.contains("deadline expired"));
+    }
+
+    #[test]
+    fn outcome_serde_round_trips() {
+        use serde::{Deserialize as _, Serialize as _};
+        let outcome = RunOutcome {
+            report: RunReport {
+                elapsed: Duration::new(3, 141_592_653),
+                tasks_executed: 7,
+                dispatches: 9,
+                num_workers: 4,
+            },
+            salvaged_tasks: 7,
+            poisoned_tasks: vec![8, 9],
+            poisoned_units: vec![8],
+            unfinished_tasks: vec![10, 11],
+            unfinished_units: vec![10, 11],
+            failures: vec![
+                FailureRecord {
+                    unit: 8,
+                    task: 9,
+                    attempts: 2,
+                    error: TaskError::Stalled("no progress for 5ms".into()),
+                },
+                FailureRecord {
+                    unit: 3,
+                    task: 3,
+                    attempts: 1,
+                    error: TaskError::DeadlineExceeded("budget spent".into()),
+                },
+            ],
+            retries: 5,
+            stop: StopCause::Cancelled,
+        };
+        let v = outcome.to_value();
+        let back = RunOutcome::from_value(&v).expect("round trip");
+        assert_eq!(back, outcome);
+    }
+
+    #[test]
+    fn task_error_serde_round_trips_all_variants() {
+        use serde::{Deserialize as _, Serialize as _};
+        for err in [
+            TaskError::Transient("t".into()),
+            TaskError::Fatal("f".into()),
+            TaskError::Stalled("s".into()),
+            TaskError::DeadlineExceeded("d".into()),
+        ] {
+            let back = TaskError::from_value(&err.to_value()).expect("round trip");
+            assert_eq!(back, err);
+        }
+    }
+
+    #[test]
+    fn stop_cause_serde_round_trips() {
+        use serde::{Deserialize as _, Serialize as _};
+        for cause in [
+            StopCause::Completed,
+            StopCause::DeadlineExpired,
+            StopCause::Cancelled,
+        ] {
+            let back = StopCause::from_value(&cause.to_value()).expect("round trip");
+            assert_eq!(back, cause);
+        }
     }
 }

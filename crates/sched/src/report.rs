@@ -1,5 +1,7 @@
 //! Execution reports produced by the executor.
 
+use serde::value::{FromValueError, Value};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
@@ -38,6 +40,54 @@ impl RunReport {
         } else {
             self.elapsed / u32::try_from(self.tasks_executed).unwrap_or(u32::MAX)
         }
+    }
+}
+
+// Hand-written (not derived) because `Duration` has no vendored serde
+// impl: `elapsed` encodes as exact `{secs, nanos}` integers so reports
+// round-trip bit-identically instead of through a lossy float.
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "elapsed_secs".to_string(),
+                Serialize::to_value(&self.elapsed.as_secs()),
+            ),
+            (
+                "elapsed_nanos".to_string(),
+                Serialize::to_value(&self.elapsed.subsec_nanos()),
+            ),
+            (
+                "tasks_executed".to_string(),
+                Serialize::to_value(&self.tasks_executed),
+            ),
+            (
+                "dispatches".to_string(),
+                Serialize::to_value(&self.dispatches),
+            ),
+            (
+                "num_workers".to_string(),
+                Serialize::to_value(&self.num_workers),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(v: &Value) -> Result<Self, FromValueError> {
+        let secs: u64 = Deserialize::from_value(v.expect_field("elapsed_secs")?)?;
+        let nanos: u32 = Deserialize::from_value(v.expect_field("elapsed_nanos")?)?;
+        if nanos >= 1_000_000_000 {
+            return Err(FromValueError::new(format!(
+                "elapsed_nanos {nanos} is not a subsecond count"
+            )));
+        }
+        Ok(RunReport {
+            elapsed: Duration::new(secs, nanos),
+            tasks_executed: Deserialize::from_value(v.expect_field("tasks_executed")?)?,
+            dispatches: Deserialize::from_value(v.expect_field("dispatches")?)?,
+            num_workers: Deserialize::from_value(v.expect_field("num_workers")?)?,
+        })
     }
 }
 
@@ -80,6 +130,37 @@ mod tests {
         };
         assert_eq!(r.time_per_dispatch(), Duration::ZERO);
         assert_eq!(r.time_per_task(), Duration::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_elapsed_exactly() {
+        let r = RunReport {
+            elapsed: Duration::new(12, 345_678_901),
+            tasks_executed: 42,
+            dispatches: 17,
+            num_workers: 8,
+        };
+        let back = RunReport::from_value(&r.to_value()).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn deserialize_rejects_overflowing_nanos() {
+        let mut v = RunReport {
+            elapsed: Duration::ZERO,
+            tasks_executed: 0,
+            dispatches: 0,
+            num_workers: 1,
+        }
+        .to_value();
+        if let Value::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "elapsed_nanos" {
+                    *val = Value::Number(2e9);
+                }
+            }
+        }
+        assert!(RunReport::from_value(&v).is_err());
     }
 
     #[test]

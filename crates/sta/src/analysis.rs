@@ -285,6 +285,143 @@ impl TimingData {
     }
 }
 
+/// A bit-exact snapshot of every mutable timing value — the arrays a
+/// checkpoint must persist so a resumed run is indistinguishable from an
+/// uninterrupted one. Values are stored as raw `f32` bit patterns
+/// (`to_bits`), so NaN payloads, signed zeros, and infinities all round
+/// trip exactly and two snapshots compare equal iff the timing state is
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// `clock_period_ps` as bits.
+    pub clock_period_bits: u32,
+    /// Per node × corner slews.
+    pub slew: Vec<u32>,
+    /// Per node × corner arrivals.
+    pub arrival: Vec<u32>,
+    /// Per node × corner required times.
+    pub required: Vec<u32>,
+    /// Per arc × corner cached delays.
+    pub arc_delay: Vec<u32>,
+    /// Per gate drive multipliers.
+    pub drive: Vec<u32>,
+    /// Per gate output loads.
+    pub gate_load: Vec<u32>,
+    /// Per net interconnect delays.
+    pub net_delay: Vec<u32>,
+    /// Per primary input external arrival offsets.
+    pub input_delay: Vec<u32>,
+    /// Per primary output external required-time margins.
+    pub output_delay: Vec<u32>,
+}
+
+/// A [`TimingSnapshot`] was taken against a design of a different shape
+/// than the one it is being restored into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMismatch {
+    /// Which array disagreed.
+    pub field: &'static str,
+    /// Length the live timing state expects.
+    pub expected: usize,
+    /// Length the snapshot carries.
+    pub found: usize,
+}
+
+impl std::fmt::Display for SnapshotMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "timing snapshot shape mismatch: {} holds {} entries but the design needs {}",
+            self.field, self.found, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SnapshotMismatch {}
+
+fn bits_of(cells: &[AtomicF32]) -> Vec<u32> {
+    cells.iter().map(|c| c.load().to_bits()).collect()
+}
+
+fn restore_bits(
+    cells: &[AtomicF32],
+    bits: &[u32],
+    field: &'static str,
+) -> Result<(), SnapshotMismatch> {
+    if cells.len() != bits.len() {
+        return Err(SnapshotMismatch {
+            field,
+            expected: cells.len(),
+            found: bits.len(),
+        });
+    }
+    for (c, &b) in cells.iter().zip(bits) {
+        c.store(f32::from_bits(b));
+    }
+    Ok(())
+}
+
+impl TimingData {
+    /// Capture every mutable timing value bit-exactly.
+    pub fn snapshot(&self) -> TimingSnapshot {
+        TimingSnapshot {
+            clock_period_bits: self.clock_period_ps.to_bits(),
+            slew: bits_of(&self.slew),
+            arrival: bits_of(&self.arrival),
+            required: bits_of(&self.required),
+            arc_delay: bits_of(&self.arc_delay),
+            drive: bits_of(&self.drive),
+            gate_load: bits_of(&self.gate_load),
+            net_delay: bits_of(&self.net_delay),
+            input_delay: bits_of(&self.input_delay),
+            output_delay: bits_of(&self.output_delay),
+        }
+    }
+
+    /// Overwrite every mutable timing value from `snap`, bit-exactly. All
+    /// array shapes are checked before the first store, so a mismatched
+    /// snapshot leaves the state untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotMismatch`] when any array length disagrees with the
+    /// design this state was allocated for.
+    pub fn restore(&mut self, snap: &TimingSnapshot) -> Result<(), SnapshotMismatch> {
+        let shape = |cells: &[AtomicF32], bits: &[u32], field: &'static str| {
+            if cells.len() != bits.len() {
+                Err(SnapshotMismatch {
+                    field,
+                    expected: cells.len(),
+                    found: bits.len(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        shape(&self.slew, &snap.slew, "slew")?;
+        shape(&self.arrival, &snap.arrival, "arrival")?;
+        shape(&self.required, &snap.required, "required")?;
+        shape(&self.arc_delay, &snap.arc_delay, "arc_delay")?;
+        shape(&self.drive, &snap.drive, "drive")?;
+        shape(&self.gate_load, &snap.gate_load, "gate_load")?;
+        shape(&self.net_delay, &snap.net_delay, "net_delay")?;
+        shape(&self.input_delay, &snap.input_delay, "input_delay")?;
+        shape(&self.output_delay, &snap.output_delay, "output_delay")?;
+
+        self.clock_period_ps = f32::from_bits(snap.clock_period_bits);
+        restore_bits(&self.slew, &snap.slew, "slew")?;
+        restore_bits(&self.arrival, &snap.arrival, "arrival")?;
+        restore_bits(&self.required, &snap.required, "required")?;
+        restore_bits(&self.arc_delay, &snap.arc_delay, "arc_delay")?;
+        restore_bits(&self.drive, &snap.drive, "drive")?;
+        restore_bits(&self.gate_load, &snap.gate_load, "gate_load")?;
+        restore_bits(&self.net_delay, &snap.net_delay, "net_delay")?;
+        restore_bits(&self.input_delay, &snap.input_delay, "input_delay")?;
+        restore_bits(&self.output_delay, &snap.output_delay, "output_delay")?;
+        Ok(())
+    }
+}
+
 /// The node-level propagation engine: borrowed views of the static design
 /// plus the shared [`TimingData`].
 #[derive(Debug, Clone, Copy)]
@@ -719,6 +856,43 @@ mod tests {
             data.clock_period_ps - setup
         );
         assert!(data.slack_late(d2) > 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let f = inv_chain();
+        let mut data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        // Include awkward values: NaN (unknown marker), signed zero.
+        data.mark_arrival_unknown(NodeId(1));
+        data.set_required(NodeId(0), Tr::Rise, Mode::Late, -0.0);
+        let snap = data.snapshot();
+
+        // Scramble the state, then restore.
+        data.clock_period_ps = 123.0;
+        full_pass(&f, &data);
+        data.set_drive(0, 7.0);
+        data.restore(&snap).expect("shapes match");
+        assert_eq!(data.snapshot(), snap, "restore is bit-exact");
+        assert!(data.arrival(NodeId(1), Tr::Rise, Mode::Late).is_nan());
+        assert!(data
+            .required(NodeId(0), Tr::Rise, Mode::Late)
+            .is_sign_negative());
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_rejected_before_any_store() {
+        let f = inv_chain();
+        let mut data = TimingData::new(&f.graph, &f.netlist, &f.library);
+        full_pass(&f, &data);
+        let before = data.snapshot();
+        let mut bad = before.clone();
+        bad.arc_delay.pop();
+        bad.clock_period_bits = 0.0f32.to_bits();
+        let err = data.restore(&bad).expect_err("shape mismatch");
+        assert_eq!(err.field, "arc_delay");
+        assert!(err.to_string().contains("arc_delay"));
+        assert_eq!(data.snapshot(), before, "failed restore must not write");
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   (NaN) after [`TimingUpdateTdg::mark_unknown`], and
 //!   [`TimingUpdateTdg::heal`] re-runs just the quarantined cone to
 //!   converge to the fault-free answer ([`RecoveredUpdate`]);
+//! * bounded time — [`TimingUpdateTdg::run_recovering_bounded`] accepts a
+//!   deadline/cancellation budget and projects an early stop into a
+//!   NaN-marked *partial* timing report whose unfinished region heals to
+//!   the bit-identical complete answer; [`Timer::snapshot`] /
+//!   [`Timer::restore_snapshot`] capture the whole mutable timing state
+//!   bit-exactly for crash-safe checkpointing ([`TimingSnapshot`]);
 //! * [`TimingReport`] — setup and hold WNS/TNS and per-endpoint slack
 //!   reporting, plus [`trace_worst_path`] and [`k_worst_paths`] for path
 //!   diagnostics and [`drc`] for electrical design-rule checks;
@@ -84,7 +90,7 @@ pub mod sdc;
 mod timer;
 pub mod verilog;
 
-pub use analysis::{Mode, TimingData, TimingPropagator, Tr};
+pub use analysis::{Mode, SnapshotMismatch, TimingData, TimingPropagator, TimingSnapshot, Tr};
 pub use atomic_f32::AtomicF32;
 pub use drc::{check_design_rules, DrcReport, DrcViolation};
 pub use error::{BuildNetlistError, ConnectError};

@@ -16,15 +16,15 @@
 
 use crate::graph::NodeId;
 use crate::timer::{TaskKind, TimingUpdateTdg};
-use gpasta_sched::{Executor, FaultPlan, FaultyWork, RetryPolicy, RunOutcome};
+use gpasta_sched::{Executor, FaultPlan, FaultyWork, RetryPolicy, RunBudget, RunOutcome};
 use gpasta_tdg::{QuotientTdg, TaskId};
 
 /// Result of a recovering timing update: the executor's [`RunOutcome`]
 /// plus its projection onto the timing graph.
 #[derive(Debug, Clone)]
 pub struct RecoveredUpdate {
-    /// The executor-level outcome (salvaged/poisoned tasks, failures,
-    /// retries, scheduling report).
+    /// The executor-level outcome (salvaged/poisoned/unfinished tasks,
+    /// failures, retries, stop cause, scheduling report).
     pub outcome: RunOutcome,
     /// Nodes whose forward state (arrival/slew) is poisoned: their fprop
     /// task is in the quarantine. Sorted by node id.
@@ -35,11 +35,20 @@ pub struct RecoveredUpdate {
     /// Endpoints whose slack cannot be trusted (their fprop or bprop task
     /// is poisoned). Sorted, deduplicated.
     pub poisoned_endpoints: Vec<NodeId>,
+    /// Nodes whose fprop task was never admitted because the run stopped
+    /// early (deadline or cancellation). Disjoint from the poisoned set.
+    /// Sorted by node id.
+    pub unfinished_fprop_nodes: Vec<NodeId>,
+    /// Nodes whose bprop task was never admitted. Sorted by node id.
+    pub unfinished_bprop_nodes: Vec<NodeId>,
+    /// Endpoints whose slack is stale because a task feeding it was never
+    /// admitted. Sorted, deduplicated.
+    pub unfinished_endpoints: Vec<NodeId>,
 }
 
 impl RecoveredUpdate {
-    /// `true` when nothing failed: the update is complete and every value
-    /// is the fault-free value.
+    /// `true` when nothing failed *and* the run ran to completion: every
+    /// value is the fault-free value.
     pub fn is_clean(&self) -> bool {
         self.outcome.is_clean()
     }
@@ -81,70 +90,130 @@ impl<'a> TimingUpdateTdg<'a> {
         self.project(outcome)
     }
 
+    /// Bounded-time variant of
+    /// [`run_recovering`](TimingUpdateTdg::run_recovering): the run stops
+    /// admitting tasks when `budget` expires (deadline or cancellation) and
+    /// the forward closure of everything unadmitted is reported as
+    /// *unfinished* in the returned [`RecoveredUpdate`]. Everything admitted
+    /// before the stop carries its exact fault-free value, so a later
+    /// [`heal`](TimingUpdateTdg::heal) (with a fresh budget) converges to
+    /// the bit-identical complete answer.
+    pub fn run_recovering_bounded(
+        &self,
+        exec: &Executor,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        budget: &RunBudget,
+    ) -> RecoveredUpdate {
+        let payload = self.task_fn();
+        let work = FaultyWork::new(&payload, plan);
+        let outcome = exec.run_tdg_recovering_bounded(self.tdg(), &work, policy, budget);
+        self.project(outcome)
+    }
+
+    /// Bounded-time variant of
+    /// [`run_partitioned_recovering`](TimingUpdateTdg::run_partitioned_recovering):
+    /// the budget is polled at partition boundaries, so the stop latency is
+    /// one partition's worth of propagation work.
+    pub fn run_partitioned_recovering_bounded(
+        &self,
+        exec: &Executor,
+        quotient: &QuotientTdg,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        budget: &RunBudget,
+    ) -> RecoveredUpdate {
+        let payload = self.task_fn();
+        let work = FaultyWork::new(&payload, plan);
+        let outcome = exec.run_partitioned_recovering_bounded(quotient, &work, policy, budget);
+        self.project(outcome)
+    }
+
     /// Project an executor outcome onto the timing graph: split the
     /// poisoned task set by propagation direction and collect the affected
     /// endpoints.
     fn project(&self, outcome: RunOutcome) -> RecoveredUpdate {
         let graph = self.graph();
-        let mut poisoned_fprop_nodes = Vec::new();
-        let mut poisoned_bprop_nodes = Vec::new();
-        let mut poisoned_endpoints = Vec::new();
-        for &t in &outcome.poisoned_tasks {
-            let t = TaskId(t);
-            let v = self.node(t);
-            match self.kind(t) {
-                TaskKind::Fprop => poisoned_fprop_nodes.push(v),
-                TaskKind::Bprop => poisoned_bprop_nodes.push(v),
+        let split = |tasks: &[u32]| {
+            let mut fprop = Vec::new();
+            let mut bprop = Vec::new();
+            let mut endpoints = Vec::new();
+            for &t in tasks {
+                let t = TaskId(t);
+                let v = self.node(t);
+                match self.kind(t) {
+                    TaskKind::Fprop => fprop.push(v),
+                    TaskKind::Bprop => bprop.push(v),
+                }
+                if graph.is_endpoint(v) {
+                    endpoints.push(v);
+                }
             }
-            if graph.is_endpoint(v) {
-                poisoned_endpoints.push(v);
-            }
-        }
-        poisoned_fprop_nodes.sort_unstable_by_key(|v| v.0);
-        poisoned_bprop_nodes.sort_unstable_by_key(|v| v.0);
-        poisoned_endpoints.sort_unstable_by_key(|v| v.0);
-        poisoned_endpoints.dedup();
+            fprop.sort_unstable_by_key(|v| v.0);
+            bprop.sort_unstable_by_key(|v| v.0);
+            endpoints.sort_unstable_by_key(|v| v.0);
+            endpoints.dedup();
+            (fprop, bprop, endpoints)
+        };
+        let (poisoned_fprop_nodes, poisoned_bprop_nodes, poisoned_endpoints) =
+            split(&outcome.poisoned_tasks);
+        let (unfinished_fprop_nodes, unfinished_bprop_nodes, unfinished_endpoints) =
+            split(&outcome.unfinished_tasks);
         RecoveredUpdate {
             outcome,
             poisoned_fprop_nodes,
             poisoned_bprop_nodes,
             poisoned_endpoints,
+            unfinished_fprop_nodes,
+            unfinished_bprop_nodes,
+            unfinished_endpoints,
         }
     }
 
-    /// Degrade explicitly: store NaN into every poisoned value so reports
-    /// show *unknown* instead of a stale-but-plausible number. Arrival and
-    /// slew are marked for poisoned fprop nodes, required times for
-    /// poisoned bprop nodes. Salvaged values are untouched.
+    /// Degrade explicitly: store NaN into every poisoned *and unfinished*
+    /// value so reports show *unknown* instead of a stale-but-plausible
+    /// number. Arrival and slew are marked for affected fprop nodes,
+    /// required times for affected bprop nodes. Salvaged values are
+    /// untouched.
     ///
     /// A subsequent [`heal`](TimingUpdateTdg::heal) overwrites the NaNs
     /// with the converged values.
     pub fn mark_unknown(&self, rec: &RecoveredUpdate) {
         let data = self.data();
-        for &v in &rec.poisoned_fprop_nodes {
-            data.mark_arrival_unknown(v);
+        for nodes in [&rec.poisoned_fprop_nodes, &rec.unfinished_fprop_nodes] {
+            for &v in nodes {
+                data.mark_arrival_unknown(v);
+            }
         }
-        for &v in &rec.poisoned_bprop_nodes {
-            data.mark_required_unknown(v);
+        for nodes in [&rec.poisoned_bprop_nodes, &rec.unfinished_bprop_nodes] {
+            for &v in nodes {
+                data.mark_required_unknown(v);
+            }
         }
     }
 
-    /// Re-run exactly the quarantined cone sequentially (fault-free), in
-    /// topological order, converging the whole design to the bit-identical
-    /// fault-free answer — the salvaged region is already exact, and
-    /// propagation tasks rebuild everything they produce from upstream
-    /// state. Returns the number of tasks re-executed.
+    /// Re-run exactly the degraded region — the poisoned cone plus the
+    /// unfinished closure of an early-stopped run — sequentially
+    /// (fault-free), in topological order, converging the whole design to
+    /// the bit-identical fault-free answer: the salvaged region is already
+    /// exact, and propagation tasks rebuild everything they produce from
+    /// upstream state. Returns the number of tasks re-executed.
     pub fn heal(&self, rec: &RecoveredUpdate) -> usize {
-        if rec.outcome.poisoned_tasks.is_empty() {
+        if rec.outcome.poisoned_tasks.is_empty() && rec.outcome.unfinished_tasks.is_empty() {
             return 0;
         }
-        let mut poisoned = vec![false; self.tdg().num_tasks()];
-        for &t in &rec.outcome.poisoned_tasks {
-            poisoned[t as usize] = true;
+        let mut rerun = vec![false; self.tdg().num_tasks()];
+        for &t in rec
+            .outcome
+            .poisoned_tasks
+            .iter()
+            .chain(&rec.outcome.unfinished_tasks)
+        {
+            rerun[t as usize] = true;
         }
         let mut healed = 0usize;
         for &t in self.tdg().levels().order() {
-            if poisoned[t as usize] {
+            if rerun[t as usize] {
                 self.execute_task(TaskId(t));
                 healed += 1;
             }
@@ -266,6 +335,107 @@ mod tests {
                 assert_eq!(damaged[i], reference[i], "salvaged endpoint {v}");
             }
         }
+    }
+
+    #[test]
+    fn pre_expired_deadline_yields_a_fully_unknown_partial_report() {
+        use std::time::Duration;
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        let budget = RunBudget::default().with_deadline(Duration::ZERO);
+        let rec = update.run_recovering_bounded(
+            &Executor::new(2),
+            &FaultPlan::none(),
+            &RetryPolicy::no_retries(),
+            &budget,
+        );
+        assert!(!rec.is_clean());
+        assert_eq!(rec.outcome.stop, gpasta_sched::StopCause::DeadlineExpired);
+        assert_eq!(
+            rec.outcome.unfinished_tasks.len(),
+            update.tdg().num_tasks(),
+            "nothing was admitted"
+        );
+        assert_eq!(
+            rec.unfinished_endpoints.len(),
+            update.graph().endpoints().len()
+        );
+        // Degraded projection: every endpoint reads unknown, not stale.
+        update.mark_unknown(&rec);
+        drop(update);
+        for bits in slack_bits(&timer) {
+            assert!(f32::from_bits(bits).is_nan(), "endpoint must be unknown");
+        }
+    }
+
+    #[test]
+    fn heal_after_deadline_expiry_converges_bit_identically() {
+        use std::time::Duration;
+        let mut ref_timer = two_cone_timer();
+        let ref_update = ref_timer.update_timing();
+        ref_update.run_sequential();
+        drop(ref_update);
+        let reference = slack_bits(&ref_timer);
+
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        let budget = RunBudget::default().with_deadline(Duration::ZERO);
+        let rec = update.run_recovering_bounded(
+            &Executor::new(2),
+            &FaultPlan::none(),
+            &RetryPolicy::no_retries(),
+            &budget,
+        );
+        update.mark_unknown(&rec);
+        // Heal with no budget pressure: re-runs exactly the unfinished
+        // closure (the poisoned set is empty on a fault-free plan).
+        assert!(rec.outcome.poisoned_tasks.is_empty());
+        let healed = update.heal(&rec);
+        assert_eq!(healed, rec.outcome.unfinished_tasks.len());
+        drop(update);
+        assert_eq!(
+            slack_bits(&timer),
+            reference,
+            "healed partial run must be bit-identical to the complete run"
+        );
+    }
+
+    #[test]
+    fn deadline_expired_partitioned_run_reports_unfinished_and_heals() {
+        use gpasta_core::{Partitioner, PartitionerOptions, SeqGPasta};
+        use std::time::Duration;
+
+        let mut ref_timer = two_cone_timer();
+        let ref_update = ref_timer.update_timing();
+        ref_update.run_sequential();
+        drop(ref_update);
+        let reference = slack_bits(&ref_timer);
+
+        let mut timer = two_cone_timer();
+        let update = timer.update_timing();
+        let p = SeqGPasta::new()
+            .partition(update.tdg(), &PartitionerOptions::default())
+            .expect("valid options");
+        let quotient = gpasta_tdg::QuotientTdg::build(update.tdg(), &p).expect("acyclic");
+        let budget = RunBudget::default().with_deadline(Duration::ZERO);
+        let rec = update.run_partitioned_recovering_bounded(
+            &Executor::new(2),
+            &quotient,
+            &FaultPlan::none(),
+            &RetryPolicy::no_retries(),
+            &budget,
+        );
+        assert_eq!(rec.outcome.stop, gpasta_sched::StopCause::DeadlineExpired);
+        assert!(!rec.is_clean());
+        assert_eq!(
+            rec.outcome.unfinished_tasks.len(),
+            update.tdg().num_tasks(),
+            "a pre-expired deadline admits no partition"
+        );
+        update.mark_unknown(&rec);
+        update.heal(&rec);
+        drop(update);
+        assert_eq!(slack_bits(&timer), reference);
     }
 
     #[test]

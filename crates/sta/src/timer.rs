@@ -201,6 +201,34 @@ impl Timer {
         self.full_dirty = true;
     }
 
+    /// Capture the complete mutable timing state bit-exactly (see
+    /// [`TimingData::snapshot`]). Together with the design identity this is
+    /// everything a checkpoint needs: the graph, netlist, and library are
+    /// deterministic functions of the design inputs.
+    pub fn snapshot(&self) -> crate::analysis::TimingSnapshot {
+        self.data.snapshot()
+    }
+
+    /// Restore the timing state captured by [`snapshot`](Timer::snapshot)
+    /// and clear the dirty set: the restored values are, by the snapshot
+    /// contract, exactly the values the design had when the snapshot was
+    /// taken, so nothing is pending afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotMismatch`](crate::analysis::SnapshotMismatch) when the
+    /// snapshot was taken against a differently shaped design; the timer is
+    /// unchanged in that case.
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &crate::analysis::TimingSnapshot,
+    ) -> Result<(), crate::analysis::SnapshotMismatch> {
+        self.data.restore(snap)?;
+        self.dirty.clear();
+        self.full_dirty = false;
+        Ok(())
+    }
+
     /// Build the task dependency graph that brings timing up to date —
     /// OpenTimer's `update_timing`.
     ///
@@ -616,6 +644,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn timer_snapshot_restore_resumes_bit_identically() {
+        // Reference: run two edits straight through.
+        let mut reference = chain_timer(8);
+        reference.update_timing().run_sequential();
+        reference.repower_gate(GateId(3), 2.0);
+        reference.update_timing().run_sequential();
+        reference.repower_gate(GateId(6), 0.5);
+        reference.update_timing().run_sequential();
+        let want = reference.snapshot();
+
+        // Checkpoint after the first edit, restore into a fresh timer
+        // (same design inputs), replay the second edit.
+        let mut timer = chain_timer(8);
+        timer.update_timing().run_sequential();
+        timer.repower_gate(GateId(3), 2.0);
+        timer.update_timing().run_sequential();
+        let ckpt = timer.snapshot();
+
+        let mut resumed = chain_timer(8);
+        resumed.restore_snapshot(&ckpt).expect("same design shape");
+        assert!(!resumed.has_pending_changes(), "restore clears dirtiness");
+        resumed.repower_gate(GateId(6), 0.5);
+        resumed.update_timing().run_sequential();
+        assert_eq!(resumed.snapshot(), want, "resumed run is bit-identical");
+    }
+
+    #[test]
+    fn restore_snapshot_rejects_a_different_design() {
+        let small = chain_timer(3).snapshot();
+        let mut timer = chain_timer(8);
+        timer.update_timing().run_sequential();
+        let before = timer.snapshot();
+        assert!(timer.restore_snapshot(&small).is_err());
+        assert_eq!(timer.snapshot(), before, "failed restore leaves state");
     }
 
     #[test]

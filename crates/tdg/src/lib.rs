@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod dot;
 mod error;
 mod graph;
@@ -56,6 +57,7 @@ mod reduce;
 mod topo;
 pub mod validate;
 
+pub use cancel::{CancelObserver, CancelToken};
 pub use dot::{partition_to_dot, quotient_to_dot, tdg_to_dot};
 pub use error::{BuildTdgError, ValidatePartitionError};
 pub use graph::{TaskId, Tdg, TdgBuilder};

@@ -37,6 +37,10 @@ usage:
   gpasta faults <edges-file>    [--algo gpasta|deter|seq|gdca|sarkar] [--ps <n>]
                                 [--workers <n>] [--seed <n>] [--rate <f>]
                                 [--retries <n>]
+  gpasta update --circuit <name> [--scale <f>] [--iters <n>] [--workers <n>]
+                                [--seed <n>] [--checkpoint <file>]
+                                [--resume <file>] [--kill-after <i>]
+                                [--deadline-ms <n>]
   gpasta demo
 
 edge-list format: one `from to` pair of task ids per line; `#` comments
@@ -63,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("stats") => stats_cmd(&args[1..]),
         Some("sta") => sta_cmd(&args[1..]),
         Some("faults") => faults_cmd(&args[1..]),
+        Some("update") => update_cmd(&args[1..]),
         Some("demo") => demo_cmd(),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
@@ -608,6 +613,133 @@ fn faults_cmd(args: &[String]) -> Result<(), String> {
         failed_units.len(),
         salvage_check,
     );
+    Ok(())
+}
+
+/// The `update` command: the crash-safe incremental timing-update flow —
+/// deterministic gate-repower iterations over a paper circuit with
+/// per-iteration checkpointing, kill/resume, and an optional wall-clock
+/// deadline (see `gpasta::checkpoint`).
+fn update_cmd(args: &[String]) -> Result<(), String> {
+    use gpasta::checkpoint::{run_update_flow, UpdateFlowConfig};
+    use gpasta::circuits::PaperCircuit;
+    use gpasta::sched::StopCause;
+
+    let mut circuit = None;
+    let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit" => {
+                let name = it.next().ok_or("--circuit needs a value")?;
+                circuit = Some(
+                    PaperCircuit::all()
+                        .iter()
+                        .copied()
+                        .find(|c| c.name() == name)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown circuit `{name}` (choose from {})",
+                                PaperCircuit::all()
+                                    .iter()
+                                    .map(|c| c.name())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        })?,
+                );
+            }
+            "--scale" => {
+                cfg.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if cfg.scale <= 0.0 {
+                    return Err("--scale must be positive".into());
+                }
+            }
+            "--iters" => {
+                cfg.iterations = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--checkpoint" => {
+                cfg.checkpoint_to = Some(it.next().ok_or("--checkpoint needs a path")?.into())
+            }
+            "--resume" => cfg.resume_from = Some(it.next().ok_or("--resume needs a path")?.into()),
+            "--kill-after" => {
+                cfg.kill_after = Some(
+                    it.next()
+                        .ok_or("--kill-after needs an iteration number")?
+                        .parse::<u32>()
+                        .map_err(|e| format!("--kill-after: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                cfg.deadline = Some(std::time::Duration::from_millis(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                ))
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    cfg.circuit = circuit.ok_or("update needs --circuit <name>")?;
+    if cfg.kill_after.is_some() && cfg.checkpoint_to.is_none() {
+        return Err("--kill-after needs --checkpoint (the resume point must be saved)".into());
+    }
+
+    let out = run_update_flow(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "update({}, scale {}): {}/{} iteration(s), epoch {}, WNS {} ps, TNS {} ps",
+        cfg.circuit.name(),
+        cfg.scale,
+        out.iterations_done,
+        cfg.iterations,
+        out.epoch,
+        f32::from_bits(out.wns_bits),
+        f32::from_bits(out.tns_bits),
+    );
+    match out.stop {
+        StopCause::Completed => {}
+        cause => println!(
+            "stopped early ({cause:?}): {} endpoint(s) read unknown (NaN); \
+             re-run with --resume and a fresh budget to converge",
+            out.unknown_endpoints
+        ),
+    }
+    if out.killed {
+        println!(
+            "killed after iteration {} (simulated crash); resume with --resume {}",
+            out.iterations_done,
+            cfg.checkpoint_to
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+    }
     Ok(())
 }
 

@@ -1,0 +1,931 @@
+//! Crash-safe checkpoint/resume for the incremental timing-update flow.
+//!
+//! A checkpoint captures everything the `gpasta update` loop needs to
+//! continue bit-identically after a crash: the design identity (circuit
+//! name, scale, modifier seed), the iteration counter, the complete
+//! mutable timing state ([`TimingSnapshot`] — raw `f32` bit patterns, so
+//! NaN payloads and signed zeros survive), and the incremental
+//! partitioner's cache ([`CacheExport`]). The netlist, timing graph, and
+//! cell library are *not* stored: they are deterministic functions of the
+//! circuit name and scale, and the flow mutates timing state only through
+//! [`Timer::repower_gate`] (whose drive multipliers live in the snapshot),
+//! never through netlist-mutating modifiers, so a rebuild plus a snapshot
+//! restore reproduces the pre-crash state exactly.
+//!
+//! The on-disk format is a little-endian binary record:
+//!
+//! ```text
+//! magic "GPCKPT" + version "01"          8 bytes
+//! circuit name                           u32 length + UTF-8 bytes
+//! scale (f64 bits), modifier seed        2 × u64
+//! iterations completed                   u32
+//! design shape (gates, nets, inputs,
+//!   outputs, graph nodes)                5 × u32   (early mismatch check)
+//! timing snapshot                        clock-period bits + 9 u32 arrays
+//! partition cache                        present flag + fingerprint, Ps,
+//!                                        max pid, epoch, raw assignment
+//! FNV-1a 64 checksum of all above        u64
+//! ```
+//!
+//! Writes are crash-safe: the record is serialized to a sibling temporary
+//! file, flushed with `File::sync_all`, and atomically renamed over the
+//! destination, so a crash at any point leaves either the old checkpoint
+//! or the new one — never a torn file. Reads verify the checksum before
+//! parsing and every section length before allocating, so truncated or
+//! bit-flipped files are rejected with a typed [`CheckpointError`].
+
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::circuits::PaperCircuit;
+use crate::core::{
+    CacheExport, IncrementalError, IncrementalPartitioner, PartitionerOptions, SeqGPasta,
+};
+use crate::sched::{Executor, FaultPlan, RetryPolicy, RunBudget, StopCause};
+use crate::sta::{CellLibrary, GateId, Timer, TimingSnapshot};
+use crate::tdg::QuotientTdg;
+
+const MAGIC: &[u8; 6] = b"GPCKPT";
+const VERSION: &[u8; 2] = b"01";
+
+/// A checkpoint read from or written to disk failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation failed; `op` names it (`create`, `write`,
+    /// `sync`, `rename`, `read`) and `path` is the file involved.
+    Io {
+        /// File the operation touched.
+        path: PathBuf,
+        /// Which operation failed.
+        op: &'static str,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the checkpoint magic — it is not a
+    /// gpasta checkpoint at all.
+    BadMagic,
+    /// The file is a gpasta checkpoint of an unsupported format version.
+    BadVersion {
+        /// The version bytes found after the magic.
+        found: [u8; 2],
+    },
+    /// The file is structurally damaged: checksum mismatch, truncation,
+    /// or a section length pointing past the end of the file.
+    Corrupt(String),
+    /// The checkpoint is intact but was taken against a different run:
+    /// circuit, scale, seed, or design shape disagree with the caller's.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, op, source } => {
+                write!(f, "cannot {op} {}: {source}", path.display())
+            }
+            CheckpointError::BadMagic => write!(f, "not a gpasta checkpoint (bad magic)"),
+            CheckpointError::BadVersion { found } => write!(
+                f,
+                "unsupported checkpoint version {:?} (expected {:?})",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(VERSION)
+            ),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::Mismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The design-shape fingerprint stored in a checkpoint: enough to reject
+/// a resume against the wrong design with a readable message before the
+/// per-array [`TimingSnapshot`] shape checks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignShape {
+    /// Gate count of the netlist.
+    pub gates: u32,
+    /// Net count of the netlist.
+    pub nets: u32,
+    /// Primary-input count.
+    pub inputs: u32,
+    /// Primary-output count.
+    pub outputs: u32,
+    /// Node count of the flattened timing graph.
+    pub nodes: u32,
+}
+
+impl DesignShape {
+    fn of(timer: &Timer) -> DesignShape {
+        let nl = timer.netlist();
+        DesignShape {
+            gates: nl.num_gates() as u32,
+            nets: nl.num_nets() as u32,
+            inputs: nl.num_inputs() as u32,
+            outputs: nl.num_outputs() as u32,
+            nodes: timer.graph().num_nodes() as u32,
+        }
+    }
+}
+
+/// Everything the update flow persists between iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateCheckpoint {
+    /// Paper name of the circuit (`vga_lcd`, …).
+    pub circuit: String,
+    /// Circuit scale as `f64` bits (bit-exact round trip).
+    pub scale_bits: u64,
+    /// Seed of the deterministic modifier schedule.
+    pub seed: u64,
+    /// Number of update iterations already completed.
+    pub iterations_done: u32,
+    /// Shape of the design the snapshot was taken against.
+    pub shape: DesignShape,
+    /// The complete mutable timing state, bit-exact.
+    pub snapshot: TimingSnapshot,
+    /// The incremental partitioner's cache, when warm.
+    pub cache: Option<CacheExport>,
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------------
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+fn put_arr(buf: &mut Vec<u8>, arr: &[u32]) {
+    put_u32(buf, arr.len() as u32);
+    for &v in arr {
+        put_u32(buf, v);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated while reading {what} ({} bytes left, {n} needed)",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    fn arr(&mut self, what: &str) -> Result<Vec<u32>, CheckpointError> {
+        let len = self.u32(what)? as usize;
+        // Length-check before allocating so a corrupt length cannot demand
+        // gigabytes; the 4-byte stride bounds it to what is actually there.
+        if self.buf.len() - self.pos < len * 4 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{what} claims {len} entries but only {} bytes remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        (0..len).map(|_| self.u32(what)).collect()
+    }
+}
+
+fn encode(ckpt: &UpdateCheckpoint) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(VERSION);
+    put_bytes(&mut buf, ckpt.circuit.as_bytes());
+    put_u64(&mut buf, ckpt.scale_bits);
+    put_u64(&mut buf, ckpt.seed);
+    put_u32(&mut buf, ckpt.iterations_done);
+    for v in [
+        ckpt.shape.gates,
+        ckpt.shape.nets,
+        ckpt.shape.inputs,
+        ckpt.shape.outputs,
+        ckpt.shape.nodes,
+    ] {
+        put_u32(&mut buf, v);
+    }
+    let s = &ckpt.snapshot;
+    put_u32(&mut buf, s.clock_period_bits);
+    for arr in [
+        &s.slew,
+        &s.arrival,
+        &s.required,
+        &s.arc_delay,
+        &s.drive,
+        &s.gate_load,
+        &s.net_delay,
+        &s.input_delay,
+        &s.output_delay,
+    ] {
+        put_arr(&mut buf, arr);
+    }
+    match &ckpt.cache {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            put_u64(&mut buf, c.fingerprint);
+            put_u64(&mut buf, c.ps as u64);
+            put_u32(&mut buf, c.max_pid);
+            put_u64(&mut buf, c.epoch);
+            put_arr(&mut buf, &c.raw);
+        }
+    }
+    let sum = fnv1a64(&buf);
+    put_u64(&mut buf, sum);
+    buf
+}
+
+fn decode(buf: &[u8]) -> Result<UpdateCheckpoint, CheckpointError> {
+    if buf.len() < MAGIC.len() + VERSION.len() + 8 {
+        return Err(CheckpointError::Corrupt("file shorter than header".into()));
+    }
+    if &buf[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let found = [buf[6], buf[7]];
+    if &found != VERSION {
+        return Err(CheckpointError::BadVersion { found });
+    }
+    let (payload, sum_bytes) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().expect("split_at gave 8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+        )));
+    }
+    let mut r = Reader {
+        buf: payload,
+        pos: MAGIC.len() + VERSION.len(),
+    };
+    let circuit = String::from_utf8(r.bytes("circuit name")?.to_vec())
+        .map_err(|_| CheckpointError::Corrupt("circuit name is not UTF-8".into()))?;
+    let scale_bits = r.u64("scale")?;
+    let seed = r.u64("seed")?;
+    let iterations_done = r.u32("iteration counter")?;
+    let shape = DesignShape {
+        gates: r.u32("shape")?,
+        nets: r.u32("shape")?,
+        inputs: r.u32("shape")?,
+        outputs: r.u32("shape")?,
+        nodes: r.u32("shape")?,
+    };
+    let snapshot = TimingSnapshot {
+        clock_period_bits: r.u32("clock period")?,
+        slew: r.arr("slew")?,
+        arrival: r.arr("arrival")?,
+        required: r.arr("required")?,
+        arc_delay: r.arr("arc delay")?,
+        drive: r.arr("drive")?,
+        gate_load: r.arr("gate load")?,
+        net_delay: r.arr("net delay")?,
+        input_delay: r.arr("input delay")?,
+        output_delay: r.arr("output delay")?,
+    };
+    let cache = match r.take(1, "cache flag")?[0] {
+        0 => None,
+        1 => Some(CacheExport {
+            fingerprint: r.u64("cache fingerprint")?,
+            ps: r.u64("cache Ps")? as usize,
+            max_pid: r.u32("cache max pid")?,
+            epoch: r.u64("cache epoch")?,
+            raw: r.arr("cache assignment")?,
+        }),
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "cache presence flag is {other}, expected 0 or 1"
+            )))
+        }
+    };
+    if r.pos != payload.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after the last section",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(UpdateCheckpoint {
+        circuit,
+        scale_bits,
+        seed,
+        iterations_done,
+        shape,
+        snapshot,
+        cache,
+    })
+}
+
+fn io_err<'a>(
+    path: &'a Path,
+    op: &'static str,
+) -> impl FnOnce(std::io::Error) -> CheckpointError + 'a {
+    move |source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        op,
+        source,
+    }
+}
+
+/// Write `ckpt` to `path` crash-safely: serialize to `<path>.tmp`, flush
+/// with `sync_all`, and atomically rename into place. A crash at any
+/// point leaves either the previous checkpoint or the complete new one.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] naming the failed operation and path.
+pub fn write_checkpoint(path: &Path, ckpt: &UpdateCheckpoint) -> Result<(), CheckpointError> {
+    let bytes = encode(ckpt);
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut f = File::create(&tmp).map_err(io_err(&tmp, "create"))?;
+    f.write_all(&bytes).map_err(io_err(&tmp, "write"))?;
+    f.sync_all().map_err(io_err(&tmp, "sync"))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(io_err(path, "rename"))?;
+    Ok(())
+}
+
+/// Read and fully validate a checkpoint written by [`write_checkpoint`].
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read,
+/// [`CheckpointError::BadMagic`] / [`CheckpointError::BadVersion`] for
+/// foreign files, and [`CheckpointError::Corrupt`] for checksum or
+/// structure damage.
+pub fn read_checkpoint(path: &Path) -> Result<UpdateCheckpoint, CheckpointError> {
+    let bytes = fs::read(path).map_err(io_err(path, "read"))?;
+    decode(&bytes)
+}
+
+// ---------------------------------------------------------------------------
+// The update flow
+// ---------------------------------------------------------------------------
+
+/// An error from [`run_update_flow`].
+#[derive(Debug)]
+pub enum FlowError {
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// The incremental partitioner rejected an install, repair, or
+    /// restored cache.
+    Partition(IncrementalError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Checkpoint(e) => write!(f, "{e}"),
+            FlowError::Partition(e) => write!(f, "partition maintenance failed: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Checkpoint(e) => Some(e),
+            FlowError::Partition(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for FlowError {
+    fn from(e: CheckpointError) -> Self {
+        FlowError::Checkpoint(e)
+    }
+}
+
+impl From<IncrementalError> for FlowError {
+    fn from(e: IncrementalError) -> Self {
+        FlowError::Partition(e)
+    }
+}
+
+/// Configuration of one `gpasta update` run.
+#[derive(Debug, Clone)]
+pub struct UpdateFlowConfig {
+    /// Which paper circuit to analyze.
+    pub circuit: PaperCircuit,
+    /// Circuit scale (fraction of the paper-size TDG).
+    pub scale: f64,
+    /// Total incremental-update iterations the run should reach.
+    pub iterations: u32,
+    /// Executor worker-thread count.
+    pub workers: usize,
+    /// Seed of the deterministic gate-repower schedule.
+    pub seed: u64,
+    /// Write a checkpoint here after every completed iteration.
+    pub checkpoint_to: Option<PathBuf>,
+    /// Resume from this checkpoint instead of starting at iteration 0.
+    pub resume_from: Option<PathBuf>,
+    /// Stop (simulating a crash) right after checkpointing iteration `i`.
+    pub kill_after: Option<u32>,
+    /// Optional wall-clock budget for each iteration's update run.
+    pub deadline: Option<Duration>,
+}
+
+impl UpdateFlowConfig {
+    /// A small, fast default: `aes_core` at 1% scale, 8 iterations, two
+    /// workers, no checkpointing.
+    pub fn small(circuit: PaperCircuit) -> Self {
+        UpdateFlowConfig {
+            circuit,
+            scale: 0.01,
+            iterations: 8,
+            workers: 2,
+            seed: 0x5EED,
+            checkpoint_to: None,
+            resume_from: None,
+            kill_after: None,
+            deadline: None,
+        }
+    }
+}
+
+/// What a (possibly partial) update-flow run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateFlowOutcome {
+    /// Iterations completed (including any done before a resume).
+    pub iterations_done: u32,
+    /// `true` when `kill_after` stopped the run early (simulated crash).
+    pub killed: bool,
+    /// Why the last update run stopped; [`StopCause::Completed`] unless a
+    /// deadline expired mid-iteration.
+    pub stop: StopCause,
+    /// Setup WNS as `f32` bits (bit-exact comparison across runs).
+    pub wns_bits: u32,
+    /// Setup TNS as `f32` bits.
+    pub tns_bits: u32,
+    /// Endpoints whose slack reads *unknown* (NaN) because the last
+    /// iteration stopped early; zero for completed runs.
+    pub unknown_endpoints: u32,
+    /// The incremental partitioner's raw per-task assignment.
+    pub assignment: Vec<u32>,
+    /// The partitioner's repair epoch.
+    pub epoch: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Apply iteration `i`'s deterministic modifier batch: one to three gate
+/// repowers drawn from `splitmix64(seed, i)`. Only [`Timer::repower_gate`]
+/// is used — drive multipliers live in the timing snapshot, so a resumed
+/// run rebuilds the netlist from the circuit spec and still sees the full
+/// modifier history. Netlist-mutating modifiers (`set_net_cap`) would be
+/// lost by that rebuild and are deliberately excluded.
+fn apply_modifier_schedule(timer: &mut Timer, seed: u64, iteration: u32) {
+    const DRIVES: [f32; 4] = [0.5, 1.0, 2.0, 4.0];
+    let num_gates = timer.netlist().num_gates() as u64;
+    let h = splitmix64(seed ^ splitmix64(u64::from(iteration)));
+    let count = 1 + (h % 3);
+    for k in 0..count {
+        let hk = splitmix64(h ^ splitmix64(0x4B1D ^ k));
+        let g = GateId((hk % num_gates) as u32);
+        let drive = DRIVES[(hk >> 32) as usize % DRIVES.len()];
+        timer.repower_gate(g, drive);
+    }
+}
+
+/// Run the incremental timing-update flow: build the circuit, install the
+/// partition cache on the full update TDG (or restore timer + cache from
+/// `resume_from`), then per iteration apply the deterministic modifier
+/// schedule, repair the dirty cone, execute the partitioned update through
+/// the bounded recovering executor, and checkpoint. The flow is
+/// bit-deterministic: the same config reaches the same WNS/TNS bits and
+/// partition assignment whether run straight through or killed and
+/// resumed at any iteration boundary, at any worker count.
+///
+/// # Errors
+///
+/// [`FlowError::Checkpoint`] for unreadable/unwritable or mismatched
+/// checkpoints, [`FlowError::Partition`] if partition maintenance fails.
+///
+/// # Panics
+///
+/// Panics if `scale` is not positive or `workers` is zero.
+pub fn run_update_flow(cfg: &UpdateFlowConfig) -> Result<UpdateFlowOutcome, FlowError> {
+    let mut timer = Timer::new(cfg.circuit.build(cfg.scale), CellLibrary::typical());
+    let exec = Executor::new(cfg.workers);
+    let opts = PartitionerOptions::default();
+    let policy = RetryPolicy::default();
+    let budget = match cfg.deadline {
+        Some(d) => RunBudget::unbounded().with_deadline(d),
+        None => RunBudget::unbounded(),
+    };
+    let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+
+    let start_iter = match &cfg.resume_from {
+        Some(path) => {
+            let ckpt = read_checkpoint(path)?;
+            let mismatch = |why: String| FlowError::Checkpoint(CheckpointError::Mismatch(why));
+            if ckpt.circuit != cfg.circuit.name() {
+                return Err(mismatch(format!(
+                    "checkpoint is for circuit `{}`, run is for `{}`",
+                    ckpt.circuit,
+                    cfg.circuit.name()
+                )));
+            }
+            if ckpt.scale_bits != cfg.scale.to_bits() {
+                return Err(mismatch(format!(
+                    "checkpoint scale {} differs from run scale {}",
+                    f64::from_bits(ckpt.scale_bits),
+                    cfg.scale
+                )));
+            }
+            if ckpt.seed != cfg.seed {
+                return Err(mismatch(format!(
+                    "checkpoint modifier seed {:#x} differs from run seed {:#x}",
+                    ckpt.seed, cfg.seed
+                )));
+            }
+            let shape = DesignShape::of(&timer);
+            if ckpt.shape != shape {
+                return Err(mismatch(format!(
+                    "design shape {:?} differs from the checkpoint's {:?}",
+                    shape, ckpt.shape
+                )));
+            }
+            // The full-space TDG is a pure function of the (rebuilt)
+            // design, so it can host the restored cache; building it also
+            // clears the fresh timer's full-dirty flag, which the snapshot
+            // restore below would do anyway.
+            let full_tdg = timer.update_timing().tdg().clone();
+            timer
+                .restore_snapshot(&ckpt.snapshot)
+                .map_err(|e| mismatch(e.to_string()))?;
+            match ckpt.cache {
+                Some(cache) => inc.restore_cache(&full_tdg, cache)?,
+                // A cache-less checkpoint (not produced by this flow, but
+                // legal in the format) degrades to a fresh install on the
+                // restored timing state.
+                None => inc.install(&full_tdg, &opts)?,
+            }
+            ckpt.iterations_done
+        }
+        None => {
+            let full = timer.update_timing();
+            inc.install(full.tdg(), &opts)?;
+            full.run_sequential();
+            0
+        }
+    };
+
+    let mut done = start_iter;
+    let mut killed = false;
+    let mut stop = StopCause::Completed;
+    let mut unknown_endpoints = 0u32;
+    for i in start_iter..cfg.iterations {
+        apply_modifier_schedule(&mut timer, cfg.seed, i);
+        let update = timer.update_timing();
+        let ids = update.full_space_ids();
+        let (_stats, sub) = inc.repair_and_project(&ids)?;
+        let quotient = QuotientTdg::build(update.tdg(), &sub)
+            .expect("a repaired partition always has an acyclic quotient");
+        let rec = update.run_partitioned_recovering_bounded(
+            &exec,
+            &quotient,
+            &FaultPlan::none(),
+            &policy,
+            &budget,
+        );
+        if rec.outcome.stop != StopCause::Completed {
+            // Budget expired mid-iteration: degrade explicitly (stale
+            // values read as NaN) and stop without checkpointing the
+            // partial state — the last checkpoint is the resume point.
+            update.mark_unknown(&rec);
+            stop = rec.outcome.stop;
+            unknown_endpoints =
+                (rec.unfinished_endpoints.len() + rec.poisoned_endpoints.len()) as u32;
+            break;
+        }
+        drop(update);
+        done = i + 1;
+        if let Some(path) = &cfg.checkpoint_to {
+            write_checkpoint(
+                path,
+                &UpdateCheckpoint {
+                    circuit: cfg.circuit.name().to_string(),
+                    scale_bits: cfg.scale.to_bits(),
+                    seed: cfg.seed,
+                    iterations_done: done,
+                    shape: DesignShape::of(&timer),
+                    snapshot: timer.snapshot(),
+                    cache: inc.export_cache(),
+                },
+            )?;
+        }
+        if cfg.kill_after == Some(done) {
+            killed = true;
+            break;
+        }
+    }
+
+    let report = timer.report(1);
+    Ok(UpdateFlowOutcome {
+        iterations_done: done,
+        killed,
+        stop,
+        wns_bits: report.wns_ps.to_bits(),
+        tns_bits: report.tns_ps.to_bits(),
+        unknown_endpoints,
+        assignment: inc
+            .raw_assignment()
+            .map(<[u32]>::to_vec)
+            .unwrap_or_default(),
+        epoch: inc.epoch(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "gpasta-ckpt-test-{}-{tag}-{n}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    fn sample_checkpoint() -> UpdateCheckpoint {
+        UpdateCheckpoint {
+            circuit: "aes_core".into(),
+            scale_bits: 0.01f64.to_bits(),
+            seed: 0x5EED,
+            iterations_done: 3,
+            shape: DesignShape {
+                gates: 7,
+                nets: 9,
+                inputs: 2,
+                outputs: 1,
+                nodes: 31,
+            },
+            snapshot: TimingSnapshot {
+                clock_period_bits: 1000.0f32.to_bits(),
+                slew: vec![f32::NAN.to_bits(), (-0.0f32).to_bits(), 7],
+                arrival: vec![1, 2, 3],
+                required: vec![4, 5, 6],
+                arc_delay: vec![8],
+                drive: vec![2.0f32.to_bits()],
+                gate_load: vec![9],
+                net_delay: vec![10, 11],
+                input_delay: vec![12],
+                output_delay: vec![13],
+            },
+            cache: Some(CacheExport {
+                fingerprint: 0xFEED_BEEF,
+                ps: 64,
+                raw: vec![0, 0, 1, 2],
+                max_pid: 2,
+                epoch: 5,
+            }),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        for cache in [true, false] {
+            let mut ckpt = sample_checkpoint();
+            if !cache {
+                ckpt.cache = None;
+            }
+            let path = tmp_path("roundtrip");
+            write_checkpoint(&path, &ckpt).expect("write");
+            let back = read_checkpoint(&path).expect("read");
+            assert_eq!(back, ckpt);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn write_leaves_no_temp_file_behind() {
+        let path = tmp_path("notmp");
+        write_checkpoint(&path, &sample_checkpoint()).expect("write");
+        let mut tmp_name = path.file_name().expect("file name").to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!path.with_file_name(tmp_name).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_files_are_rejected_with_typed_errors() {
+        let good = encode(&sample_checkpoint());
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(decode(&bad_magic), Err(CheckpointError::BadMagic)));
+
+        let mut bad_version = good.clone();
+        bad_version[7] = b'9';
+        assert!(matches!(
+            decode(&bad_version),
+            Err(CheckpointError::BadVersion {
+                found: [b'0', b'9']
+            })
+        ));
+
+        // A bit flip anywhere in the payload trips the checksum.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(decode(&flipped), Err(CheckpointError::Corrupt(_))));
+
+        // Every truncation point is rejected, never a panic or a bogus parse.
+        for cut in 0..good.len() {
+            let err = decode(&good[..cut]).expect_err("truncated file must fail");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Corrupt(_)
+                        | CheckpointError::BadMagic
+                        | CheckpointError::BadVersion { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_array_length_is_rejected_without_huge_allocation() {
+        let mut bytes = encode(&sample_checkpoint());
+        // The first array length (slew) sits right after the fixed-size
+        // header sections; stamp an absurd length there and re-checksum.
+        let name_len = 4 + "aes_core".len();
+        let off = 8 + name_len + 8 + 8 + 4 + 5 * 4 + 4;
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match decode(&bytes) {
+            Err(CheckpointError::Corrupt(why)) => assert!(why.contains("slew"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_errors_name_the_path_and_operation() {
+        let path = Path::new("/definitely/not/a/real/dir/x.ckpt");
+        match read_checkpoint(path) {
+            Err(CheckpointError::Io {
+                op: "read",
+                path: p,
+                ..
+            }) => {
+                assert!(p.to_string_lossy().contains("not/a/real"))
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modifier_schedule_is_deterministic() {
+        let mut a = Timer::new(PaperCircuit::AesCore.build(0.002), CellLibrary::typical());
+        let mut b = Timer::new(PaperCircuit::AesCore.build(0.002), CellLibrary::typical());
+        a.update_timing().run_sequential();
+        b.update_timing().run_sequential();
+        for i in 0..4 {
+            apply_modifier_schedule(&mut a, 0xABCD, i);
+            apply_modifier_schedule(&mut b, 0xABCD, i);
+        }
+        a.update_timing().run_sequential();
+        b.update_timing().run_sequential();
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn kill_and_resume_matches_straight_through() {
+        let path = tmp_path("resume");
+        let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+        cfg.scale = 0.002;
+        cfg.iterations = 6;
+        let straight = run_update_flow(&cfg).expect("straight run");
+        assert_eq!(straight.iterations_done, 6);
+        assert_eq!(straight.stop, StopCause::Completed);
+
+        let mut killed_cfg = cfg.clone();
+        killed_cfg.checkpoint_to = Some(path.clone());
+        killed_cfg.kill_after = Some(3);
+        let partial = run_update_flow(&killed_cfg).expect("killed run");
+        assert!(partial.killed);
+        assert_eq!(partial.iterations_done, 3);
+
+        let mut resume_cfg = cfg.clone();
+        resume_cfg.resume_from = Some(path.clone());
+        let resumed = run_update_flow(&resume_cfg).expect("resumed run");
+        assert_eq!(resumed.iterations_done, 6);
+        assert_eq!(resumed.wns_bits, straight.wns_bits);
+        assert_eq!(resumed.tns_bits, straight.tns_bits);
+        assert_eq!(resumed.assignment, straight.assignment);
+        assert_eq!(resumed.epoch, straight.epoch);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_run() {
+        let path = tmp_path("mismatch");
+        let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+        cfg.scale = 0.002;
+        cfg.iterations = 2;
+        cfg.checkpoint_to = Some(path.clone());
+        run_update_flow(&cfg).expect("checkpointing run");
+
+        for (tag, tweak) in [
+            (
+                "circuit",
+                Box::new(|c: &mut UpdateFlowConfig| c.circuit = PaperCircuit::DesPerf)
+                    as Box<dyn Fn(&mut UpdateFlowConfig)>,
+            ),
+            (
+                "scale",
+                Box::new(|c: &mut UpdateFlowConfig| c.scale = 0.004),
+            ),
+            ("seed", Box::new(|c: &mut UpdateFlowConfig| c.seed ^= 1)),
+        ] {
+            let mut bad = cfg.clone();
+            bad.checkpoint_to = None;
+            bad.resume_from = Some(path.clone());
+            tweak(&mut bad);
+            match run_update_flow(&bad) {
+                Err(FlowError::Checkpoint(CheckpointError::Mismatch(_))) => {}
+                other => panic!("{tag}: expected Mismatch, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_deadline_stops_early_and_reports_it() {
+        let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+        cfg.scale = 0.002;
+        cfg.iterations = 3;
+        cfg.deadline = Some(Duration::ZERO);
+        let out = run_update_flow(&cfg).expect("bounded run");
+        assert_eq!(out.stop, StopCause::DeadlineExpired);
+        assert_eq!(out.iterations_done, 0);
+        // Every endpoint the stopped iteration would have refreshed reads
+        // unknown (NaN), not stale-but-plausible.
+        assert!(out.unknown_endpoints > 0);
+    }
+}

@@ -15,7 +15,9 @@
 //! * [`circuits`] — synthetic designs calibrated to the paper's benchmark
 //!   suite;
 //! * [`core`] — the partitioners themselves: G-PASTA, deter-G-PASTA,
-//!   seq-G-PASTA, and the GDCA / Sarkar baselines.
+//!   seq-G-PASTA, and the GDCA / Sarkar baselines;
+//! * [`checkpoint`] — crash-safe checkpoint/resume for the incremental
+//!   timing-update flow (`gpasta update`).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+
+pub mod checkpoint;
 
 pub use gpasta_circuits as circuits;
 pub use gpasta_core as core;

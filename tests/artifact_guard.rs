@@ -1,0 +1,29 @@
+//! Guard: `tests/` holds Rust sources only.
+//!
+//! Integration tests in this repo write their scratch files (checkpoints,
+//! CSVs, logs) to the system temp directory, never next to the sources.
+//! This test pins that policy so a misdirected output path shows up as a
+//! test failure instead of silently polluting the tree.
+
+#[test]
+fn tests_directory_contains_only_rust_sources() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests");
+    let mut count = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("tests/ is readable") {
+        let entry = entry.expect("directory entry is readable");
+        let path = entry.path();
+        assert!(
+            entry.file_type().expect("file type").is_file(),
+            "unexpected non-file {} in tests/",
+            path.display()
+        );
+        assert_eq!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("rs"),
+            "non-source artifact {} in tests/ — write scratch files to std::env::temp_dir()",
+            path.display()
+        );
+        count += 1;
+    }
+    assert!(count > 0, "tests/ unexpectedly empty");
+}

@@ -1,0 +1,188 @@
+//! Differential kill/resume tests for the crash-safe checkpoint flow.
+//!
+//! The oracle is the straight-through run: the same `UpdateFlowConfig`
+//! executed without interruption. Each case then re-runs the flow with
+//! per-iteration checkpointing, kills it at a randomized iteration
+//! (simulating a crash after the checkpoint's atomic rename), resumes from
+//! the checkpoint file, and asserts the final state is **bit-identical**
+//! to the oracle: WNS and TNS as `f32` bit patterns, the full per-task
+//! partition assignment, and the partitioner's repair epoch. Cases sweep
+//! seeds and worker counts, and one chain kills the run twice to prove
+//! checkpoints compose.
+
+use gpasta::checkpoint::{run_update_flow, UpdateFlowConfig, UpdateFlowOutcome};
+use gpasta::circuits::PaperCircuit;
+use gpasta::sched::StopCause;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn tmp_ckpt(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "gpasta-resume-test-{}-{tag}-{n}.ckpt",
+        std::process::id()
+    ))
+}
+
+fn assert_same_final_state(oracle: &UpdateFlowOutcome, resumed: &UpdateFlowOutcome, what: &str) {
+    assert_eq!(resumed.stop, StopCause::Completed, "{what}: stop cause");
+    assert!(!resumed.killed, "{what}: resumed run must finish");
+    assert_eq!(
+        resumed.iterations_done, oracle.iterations_done,
+        "{what}: iteration count"
+    );
+    assert_eq!(resumed.wns_bits, oracle.wns_bits, "{what}: WNS bits");
+    assert_eq!(resumed.tns_bits, oracle.tns_bits, "{what}: TNS bits");
+    assert_eq!(
+        resumed.assignment, oracle.assignment,
+        "{what}: partition assignment"
+    );
+    assert_eq!(resumed.epoch, oracle.epoch, "{what}: repair epoch");
+}
+
+/// One full differential sweep: oracle run, then two randomized kill
+/// points, each killed + resumed and compared bit-for-bit.
+fn differential(circuit: PaperCircuit, scale: f64, seed: u64, workers: usize) {
+    const ITERS: u32 = 8;
+    let mut cfg = UpdateFlowConfig::small(circuit);
+    cfg.scale = scale;
+    cfg.iterations = ITERS;
+    cfg.workers = workers;
+    cfg.seed = seed;
+
+    let oracle = run_update_flow(&cfg).expect("oracle run");
+    assert_eq!(oracle.stop, StopCause::Completed);
+    assert_eq!(oracle.iterations_done, ITERS);
+    assert_eq!(oracle.unknown_endpoints, 0);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC4A5);
+    let mut kills: Vec<u32> = (0..2).map(|_| rng.gen_range(1..ITERS)).collect();
+    kills.dedup();
+    for kill in kills {
+        let what = format!("{circuit} seed {seed:#x}, {workers}w, kill@{kill}");
+        let path = tmp_ckpt("diff");
+
+        let mut killed_cfg = cfg.clone();
+        killed_cfg.checkpoint_to = Some(path.clone());
+        killed_cfg.kill_after = Some(kill);
+        let partial = run_update_flow(&killed_cfg).expect("killed run");
+        assert!(partial.killed, "{what}: kill_after must trigger");
+        assert_eq!(partial.iterations_done, kill, "{what}: killed at the mark");
+
+        let mut resume_cfg = cfg.clone();
+        resume_cfg.resume_from = Some(path.clone());
+        let resumed = run_update_flow(&resume_cfg).expect("resumed run");
+        assert_same_final_state(&oracle, &resumed, &what);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn aes_core_kill_resume_is_bit_identical_seed_a() {
+    for workers in [1, 3] {
+        differential(PaperCircuit::AesCore, 0.002, 0xA11CE, workers);
+    }
+}
+
+#[test]
+fn aes_core_kill_resume_is_bit_identical_seed_b() {
+    for workers in [1, 3] {
+        differential(PaperCircuit::AesCore, 0.002, 0xB0B, workers);
+    }
+}
+
+#[test]
+fn vga_lcd_kill_resume_is_bit_identical_seed_c() {
+    for workers in [2, 4] {
+        differential(PaperCircuit::VgaLcd, 0.001, 0xCAFE, workers);
+    }
+}
+
+#[test]
+fn worker_count_may_change_across_the_crash() {
+    // A resume on a different machine shape (fewer/more workers) still
+    // converges to the oracle bits: the engine is worker-count
+    // deterministic and the checkpoint stores no scheduling state.
+    let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+    cfg.scale = 0.002;
+    cfg.iterations = 6;
+    cfg.seed = 0xD00D;
+    cfg.workers = 1;
+    let oracle = run_update_flow(&cfg).expect("oracle run");
+
+    let path = tmp_ckpt("workers");
+    let mut killed_cfg = cfg.clone();
+    killed_cfg.checkpoint_to = Some(path.clone());
+    killed_cfg.kill_after = Some(3);
+    killed_cfg.workers = 4;
+    run_update_flow(&killed_cfg).expect("killed run");
+
+    let mut resume_cfg = cfg.clone();
+    resume_cfg.resume_from = Some(path.clone());
+    resume_cfg.workers = 2;
+    let resumed = run_update_flow(&resume_cfg).expect("resumed run");
+    assert_same_final_state(&oracle, &resumed, "cross-worker resume");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn double_kill_chain_composes() {
+    // Crash twice: run to 2, resume to 5, resume to the end. The final
+    // state must still match the uninterrupted oracle bit-for-bit.
+    let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+    cfg.scale = 0.002;
+    cfg.iterations = 7;
+    cfg.seed = 0x2C4A;
+    let oracle = run_update_flow(&cfg).expect("oracle run");
+
+    let path = tmp_ckpt("chain");
+    let mut stage = cfg.clone();
+    stage.checkpoint_to = Some(path.clone());
+    stage.kill_after = Some(2);
+    let first = run_update_flow(&stage).expect("first crash");
+    assert_eq!(first.iterations_done, 2);
+
+    stage.resume_from = Some(path.clone());
+    stage.kill_after = Some(5);
+    let second = run_update_flow(&stage).expect("second crash");
+    assert_eq!(second.iterations_done, 5);
+
+    stage.kill_after = None;
+    let finished = run_update_flow(&stage).expect("final leg");
+    assert_same_final_state(&oracle, &finished, "double-kill chain");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_after_a_crash_during_checkpointing_uses_the_previous_checkpoint() {
+    // Simulate a crash *mid-write*: after iteration 3's checkpoint lands,
+    // scribble a half-written temp file next to it (what a torn write
+    // would leave) and truncate nothing else. The resume must ignore the
+    // temp file, read the intact checkpoint, and still match the oracle.
+    let mut cfg = UpdateFlowConfig::small(PaperCircuit::AesCore);
+    cfg.scale = 0.002;
+    cfg.iterations = 6;
+    cfg.seed = 0x7041;
+    let oracle = run_update_flow(&cfg).expect("oracle run");
+
+    let path = tmp_ckpt("torn");
+    let mut killed_cfg = cfg.clone();
+    killed_cfg.checkpoint_to = Some(path.clone());
+    killed_cfg.kill_after = Some(3);
+    run_update_flow(&killed_cfg).expect("killed run");
+
+    let mut tmp_name = path.file_name().expect("file name").to_os_string();
+    tmp_name.push(".tmp");
+    let torn = path.with_file_name(tmp_name);
+    std::fs::write(&torn, b"GPCKPT01 torn mid-write").expect("write torn temp");
+
+    let mut resume_cfg = cfg.clone();
+    resume_cfg.resume_from = Some(path.clone());
+    let resumed = run_update_flow(&resume_cfg).expect("resumed run");
+    assert_same_final_state(&oracle, &resumed, "torn-write resume");
+    std::fs::remove_file(&torn).ok();
+    std::fs::remove_file(&path).ok();
+}
