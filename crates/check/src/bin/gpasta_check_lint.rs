@@ -1,0 +1,33 @@
+//! `gpasta-check-lint`: source-level atomic-ordering and panic-path lint
+//! for the G-PASTA workspace. See `gpasta_check::lint` for the rules.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match gpasta_check::lint::run(std::path::Path::new(&root)) {
+        Ok(report) => {
+            if report.diagnostics.is_empty() {
+                println!(
+                    "gpasta-check-lint: clean ({} files scanned)",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                for d in &report.diagnostics {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "gpasta-check-lint: {} violation(s) in {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("gpasta-check-lint: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

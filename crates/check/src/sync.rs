@@ -1,0 +1,32 @@
+//! The G-PASTA synchronisation shim.
+//!
+//! Workspace crates import atomics, fences, and mutexes from here instead
+//! of `std::sync::atomic` / `parking_lot` directly (enforced by
+//! `gpasta-check-lint`). In a normal build this module is nothing but
+//! re-exports — zero cost, identical codegen. Under `--cfg
+//! gpasta_model_check` (e.g. `RUSTFLAGS="--cfg gpasta_model_check" cargo
+//! test -p gpasta-check`) the same names resolve to the model checker's
+//! instrumented types, so protocol code can be explored without edits.
+//!
+//! The surface is deliberately the *intersection* the workspace uses:
+//! `AtomicBool`/`AtomicU8`/`AtomicU32`/`AtomicU64`/`AtomicUsize`,
+//! `Ordering`, `fence`, and a `parking_lot`-flavoured `Mutex` (no
+//! poisoning; `lock()` returns the guard directly).
+
+#[cfg(not(gpasta_model_check))]
+mod imp {
+    pub use parking_lot::{Mutex, MutexGuard};
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(gpasta_model_check)]
+mod imp {
+    pub use crate::model::sync::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Mutex, MutexGuard,
+    };
+    pub use std::sync::atomic::Ordering;
+}
+
+pub use imp::*;

@@ -1,0 +1,52 @@
+//! The workspace must stay lint-clean: zero ordering/tag violations and a
+//! panic-path budget that matches `lint-allowlist.txt` exactly. This is the
+//! same check CI's `lint` job runs via the `gpasta-check-lint` binary; the
+//! integration test keeps it enforced by plain `cargo test` too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = gpasta_check::lint::run(&root).expect("lint walks the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn lint_catches_a_seeded_violation() {
+    // Sanity-check that the clean result above is not a no-op scan: a tree
+    // containing an untagged Release store must produce a diagnostic.
+    let dir = std::env::temp_dir().join(format!("gpasta-lint-seeded-{}", std::process::id()));
+    let src = dir.join("crates").join("demo").join("src");
+    std::fs::create_dir_all(&src).expect("temp tree");
+    std::fs::write(
+        src.join("lib.rs"),
+        "use gpasta_check::sync::{AtomicBool, Ordering};\n\
+         pub fn publish(flag: &AtomicBool) {\n\
+             flag.store(true, Ordering::Release);\n\
+         }\n",
+    )
+    .expect("write seeded source");
+
+    let report = gpasta_check::lint::run(&dir).expect("lint walks the seeded tree");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "hb-tag" || d.message.contains("hb:")),
+        "seeded untagged Release store was not flagged: {:?}",
+        report.diagnostics
+    );
+}

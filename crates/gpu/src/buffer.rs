@@ -23,8 +23,8 @@
 //! --tool racecheck` would report on real hardware, and the in-tree
 //! [sanitizer](crate::SanitizerReport) reports it portably.
 
+use gpasta_check::sync::{AtomicU32, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::sanitizer::{BoundsError, Shadow};

@@ -1,7 +1,7 @@
 //! The simulated GPU device: bulk-synchronous kernel launches over scoped
 //! worker threads.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gpasta_check::sync::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use crate::sanitizer::{self, SanitizerCore, SanitizerReport, Schedule, Shadow};

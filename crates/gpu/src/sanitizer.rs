@@ -30,9 +30,9 @@
 //! [`AtomicBuf`](crate::AtomicBuf) constructors carry no shadow, and every
 //! access on them pays only one predictable `Option` null-check.
 
+use gpasta_check::sync::{AtomicU32, AtomicU64, Ordering};
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::Device;

@@ -1,6 +1,6 @@
 //! Per-kernel wall-clock accounting (the `cudaEvent` stand-in).
 
-use parking_lot::Mutex;
+use gpasta_check::sync::Mutex;
 use std::collections::BTreeMap;
 use std::time::Duration;
 

@@ -37,8 +37,8 @@ use crate::outcome::{RecoverableWork, RetryPolicy, RunOutcome, StopCause, TaskEr
 use crate::report::RunReport;
 use crossbeam_deque::{Injector, Stealer, Worker};
 use crossbeam_utils::Backoff;
+use gpasta_check::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use gpasta_tdg::{CancelObserver, CancelToken, PartitionId, QuotientTdg, TaskId, Tdg};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The time bounds attached to one bounded run. All three knobs are
@@ -494,7 +494,7 @@ where
                     match unit {
                         Some(t) => {
                             backoff.reset();
-                            let mut cause = stop.load(Ordering::Acquire);
+                            let mut cause = stop.load(Ordering::Acquire); // hb: stop-latch
                             if cause == STOP_RUNNING {
                                 cause = poll_budget(deadline, cancel);
                                 if cause != STOP_RUNNING {
@@ -503,7 +503,7 @@ where
                                     let _ = stop.compare_exchange(
                                         STOP_RUNNING,
                                         cause,
-                                        Ordering::AcqRel,
+                                        Ordering::AcqRel, // hb: stop-latch
                                         Ordering::Acquire,
                                     );
                                 }
@@ -511,34 +511,46 @@ where
                             if cause != STOP_RUNNING {
                                 // Drain without admitting (see the
                                 // sequential runner for the semantics).
+                                // hb: poison-publish
                                 let was_poisoned = poisoned[t as usize].load(Ordering::Acquire);
                                 if !was_poisoned {
-                                    unfinished[t as usize].store(true, Ordering::Release);
+                                    // Only read after the scope join (which
+                                    // synchronises); no release edge needed.
+                                    unfinished[t as usize].store(true, Ordering::Relaxed);
                                 }
                                 for &s in successors(t) {
                                     if was_poisoned {
+                                        // hb: poison-publish
                                         poisoned[s as usize].store(true, Ordering::Release);
                                     }
+                                    // hb: dep-handoff
                                     if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                         local.push(s);
                                     }
                                 }
-                                completed.fetch_add(1, Ordering::Release);
+                                completed.fetch_add(1, Ordering::Release); // hb: run-complete
                                 continue;
                             }
                             dispatches.fetch_add(1, Ordering::Relaxed);
                             if watching {
                                 let started = run_start.elapsed().as_micros() as u32;
+                                // hb: inflight-publish
                                 inflight[w].store(encode_inflight(t, started), Ordering::Release);
                             }
+                            // hb: poison-publish
                             let ok = !poisoned[t as usize].load(Ordering::Acquire) && run_unit(t);
                             if watching {
+                                // hb: inflight-publish
                                 inflight[w].store(0, Ordering::Release);
+                                // Success must be AcqRel: the winner's claim
+                                // publishes the unit's result to whoever
+                                // observes the DONE state (the model checker
+                                // catches a Relaxed downgrade here).
                                 if unit_state[t as usize]
                                     .compare_exchange(
                                         UNIT_PENDING,
                                         UNIT_DONE,
-                                        Ordering::AcqRel,
+                                        Ordering::AcqRel, // hb: unit-claim
                                         Ordering::Acquire,
                                     )
                                     .is_err()
@@ -550,19 +562,23 @@ where
                                 }
                             }
                             if !ok {
+                                // hb: poison-publish
                                 poisoned[t as usize].store(true, Ordering::Release);
                             }
                             for &s in successors(t) {
                                 if !ok {
+                                    // hb: poison-publish
                                     poisoned[s as usize].store(true, Ordering::Release);
                                 }
+                                // hb: dep-handoff
                                 if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     local.push(s);
                                 }
                             }
-                            completed.fetch_add(1, Ordering::Release);
+                            completed.fetch_add(1, Ordering::Release); // hb: run-complete
                         }
                         None => {
+                            // hb: run-complete
                             if completed.load(Ordering::Acquire) == n {
                                 break;
                             }
@@ -583,14 +599,16 @@ where
             scope.spawn(move || {
                 let window_us = window.as_micros().min(u128::from(u32::MAX / 2)) as u64;
                 let poll = Duration::from_micros((window_us / 4).max(50));
+                // hb: run-complete
                 while completed.load(Ordering::Acquire) < n {
                     std::thread::sleep(poll);
+                    // hb: run-complete
                     if completed.load(Ordering::Acquire) >= n {
                         break;
                     }
                     let now = run_start.elapsed().as_micros() as u32;
                     for slot in inflight {
-                        let v = slot.load(Ordering::Acquire);
+                        let v = slot.load(Ordering::Acquire); // hb: inflight-publish
                         if v == 0 {
                             continue;
                         }
@@ -604,7 +622,7 @@ where
                             .compare_exchange(
                                 UNIT_PENDING,
                                 UNIT_STALLED,
-                                Ordering::AcqRel,
+                                Ordering::AcqRel, // hb: unit-claim
                                 Ordering::Acquire,
                             )
                             .is_err()
@@ -620,14 +638,15 @@ where
                                 window_us, age
                             )),
                         );
-                        poisoned[unit as usize].store(true, Ordering::Release);
+                        poisoned[unit as usize].store(true, Ordering::Release); // hb: poison-publish
                         for &s in successors(unit) {
-                            poisoned[s as usize].store(true, Ordering::Release);
+                            poisoned[s as usize].store(true, Ordering::Release); // hb: poison-publish
+                                                                                 // hb: dep-handoff
                             if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 injector.push(s);
                             }
                         }
-                        completed.fetch_add(1, Ordering::Release);
+                        completed.fetch_add(1, Ordering::Release); // hb: run-complete
                     }
                 }
             });

@@ -4,9 +4,9 @@ use crate::outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, Ta
 use crate::report::RunReport;
 use crossbeam_deque::{Injector, Stealer, Worker};
 use crossbeam_utils::Backoff;
+use gpasta_check::sync::{AtomicU32, AtomicU64, AtomicUsize, Mutex, Ordering};
 use gpasta_tdg::{PartitionId, QuotientTdg, TaskId, Tdg};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Typed construction error for [`Executor::try_new`].
@@ -304,7 +304,7 @@ impl Executor {
 pub(crate) struct RecoveryState<'p> {
     policy: &'p RetryPolicy,
     retries: AtomicU64,
-    failures: parking_lot::Mutex<Vec<FailureRecord>>,
+    failures: Mutex<Vec<FailureRecord>>,
 }
 
 impl<'p> RecoveryState<'p> {
@@ -312,7 +312,7 @@ impl<'p> RecoveryState<'p> {
         RecoveryState {
             policy,
             retries: AtomicU64::new(0),
-            failures: parking_lot::Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -416,8 +416,8 @@ fn run_stealing<'a>(
     successors: &(dyn Fn(u32) -> &'a [u32] + Sync),
     execute: &(dyn Fn(u32) + Sync),
 ) -> u64 {
+    use gpasta_check::sync::AtomicBool;
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-    use std::sync::atomic::AtomicBool;
 
     if n == 0 {
         return 0;
@@ -432,8 +432,7 @@ fn run_stealing<'a>(
     let completed = AtomicUsize::new(0);
     let dispatches = AtomicU64::new(0);
     let panicked = AtomicBool::new(false);
-    let panic_payload: parking_lot::Mutex<Option<Box<dyn std::any::Any + Send>>> =
-        parking_lot::Mutex::new(None);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     let locals: Vec<Worker<u32>> = (0..workers).map(|_| Worker::new_lifo()).collect();
     let stealers: Vec<Stealer<u32>> = locals.iter().map(Worker::stealer).collect();
@@ -470,23 +469,29 @@ fn run_stealing<'a>(
                             dispatches.fetch_add(1, Ordering::Relaxed);
                             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| execute(t))) {
                                 *panic_payload.lock() = Some(payload);
-                                panicked.store(true, Ordering::SeqCst);
+                                // The payload travels through the mutex
+                                // above; the flag's Release pairs with the
+                                // Acquire loads below, so a worker that sees
+                                // it set also sees the stored payload.
+                                panicked.store(true, Ordering::Release); // hb: panic-flag
                                 break;
                             }
                             for &s in successors(t) {
+                                // hb: dep-handoff
                                 if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     local.push(s);
                                 }
                             }
-                            completed.fetch_add(1, Ordering::Release);
-                            if panicked.load(Ordering::SeqCst) {
+                            completed.fetch_add(1, Ordering::Release); // hb: run-complete
+                                                                       // hb: panic-flag
+                            if panicked.load(Ordering::Acquire) {
                                 break;
                             }
                         }
                         None => {
-                            if completed.load(Ordering::Acquire) == n
-                                || panicked.load(Ordering::SeqCst)
-                            {
+                            let all_done = completed.load(Ordering::Acquire) == n; // hb: run-complete
+                            let aborted = panicked.load(Ordering::Acquire); // hb: panic-flag
+                            if all_done || aborted {
                                 break;
                             }
                             backoff.snooze();
@@ -561,7 +566,7 @@ where
     S: Fn(u32) -> &'a [u32] + Sync,
     R: Fn(u32) -> bool + Sync,
 {
-    use std::sync::atomic::AtomicBool;
+    use gpasta_check::sync::AtomicBool;
 
     if n == 0 {
         return (0, Vec::new());
@@ -609,21 +614,31 @@ where
                         Some(t) => {
                             backoff.reset();
                             dispatches.fetch_add(1, Ordering::Relaxed);
+                            // hb: poison-publish
                             let ok = !poisoned[t as usize].load(Ordering::Acquire) && run_unit(t);
                             if !ok {
+                                // hb: poison-publish
                                 poisoned[t as usize].store(true, Ordering::Release);
                             }
                             for &s in successors(t) {
                                 if !ok {
+                                    // hb: poison-publish
                                     poisoned[s as usize].store(true, Ordering::Release);
                                 }
+                                // The AcqRel decrement is the poison handoff:
+                                // it orders each parent's Release poison mark
+                                // before the successor's Acquire check above.
+                                // Weakening it to Relaxed is the mutation the
+                                // model checker catches (see gpasta-check).
+                                // hb: dep-handoff
                                 if dep[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                                     local.push(s);
                                 }
                             }
-                            completed.fetch_add(1, Ordering::Release);
+                            completed.fetch_add(1, Ordering::Release); // hb: run-complete
                         }
                         None => {
+                            // hb: run-complete
                             if completed.load(Ordering::Acquire) == n {
                                 break;
                             }

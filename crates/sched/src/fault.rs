@@ -15,9 +15,9 @@
 
 use crate::executor::TaskWork;
 use crate::outcome::{RecoverableWork, TaskError};
+use gpasta_check::sync::{AtomicU64, Ordering};
 use gpasta_tdg::TaskId;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The classes of fault the harness can inject into a task attempt.

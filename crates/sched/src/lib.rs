@@ -46,7 +46,7 @@
 //! ```
 //! use gpasta_sched::Executor;
 //! use gpasta_tdg::{TdgBuilder, TaskId};
-//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use gpasta_check::sync::{AtomicU32, Ordering};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut b = TdgBuilder::new(3);

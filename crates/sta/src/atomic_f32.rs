@@ -5,7 +5,7 @@
 //! dependency countdown provides the happens-before edge, so relaxed
 //! bit-level atomics are sufficient and keep the engine free of `unsafe`.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gpasta_check::sync::{AtomicU32, Ordering};
 
 /// An `f32` stored in an `AtomicU32` via bit transmutation.
 #[derive(Debug, Default)]
@@ -27,6 +27,39 @@ impl AtomicF32 {
     #[inline]
     pub fn store(&self, v: f32) {
         self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Lower the cell to `min(current, v)`, treating NaN as absorbing: if
+    /// either side is NaN the cell becomes NaN, so a poisoned slack is
+    /// never masked by a later finite contribution (IEEE `min` would drop
+    /// the NaN and hide the corruption).
+    ///
+    /// Concurrent callers fold commutatively, so the result is the same
+    /// for every interleaving — the `slack-min` model-check harness in
+    /// `gpasta-check` explores all of them to prove it. The reduction
+    /// transfers only the value itself (no payload to publish), so
+    /// `Relaxed` is sufficient.
+    pub fn fetch_min_nan_preserving(&self, v: f32) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let cur_f = f32::from_bits(cur);
+            let new = if cur_f.is_nan() || v.is_nan() {
+                f32::NAN
+            } else {
+                cur_f.min(v)
+            }
+            .to_bits();
+            if new == cur {
+                return;
+            }
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
     }
 }
 
@@ -73,5 +106,23 @@ mod tests {
         let b = a.clone();
         a.store(9.0);
         assert_eq!(b.load(), 2.0);
+    }
+
+    #[test]
+    fn fetch_min_lowers_monotonically() {
+        let a = AtomicF32::new(5.0);
+        a.fetch_min_nan_preserving(7.0);
+        assert_eq!(a.load(), 5.0, "larger value must not raise the min");
+        a.fetch_min_nan_preserving(-1.5);
+        assert_eq!(a.load(), -1.5);
+    }
+
+    #[test]
+    fn fetch_min_nan_is_absorbing() {
+        let a = AtomicF32::new(3.0);
+        a.fetch_min_nan_preserving(f32::NAN);
+        assert!(a.load().is_nan(), "NaN input must poison the cell");
+        a.fetch_min_nan_preserving(-100.0);
+        assert!(a.load().is_nan(), "finite input must not mask the NaN");
     }
 }

@@ -333,25 +333,20 @@ pub fn parse_liberty(text: &str) -> Result<CellLibrary, ParseLibertyError> {
                             message: "unmatched `}`".into(),
                         })?;
                         let cell_name = draft.kind.to_string();
-                        let mut tables = Vec::with_capacity(4);
-                        for (i, t) in draft.tables.into_iter().enumerate() {
-                            tables.push(t.ok_or_else(|| {
-                                ParseLibertyError::MissingTable {
-                                    cell: cell_name.clone(),
-                                    table: ["delay_rise", "delay_fall", "slew_rise", "slew_fall"]
-                                        [i]
-                                        .to_owned(),
-                                }
-                            })?);
-                        }
-                        let mut it = tables.into_iter();
+                        let [delay_rise, delay_fall, slew_rise, slew_fall] = draft.tables;
+                        let require = |t: Option<Lut2D>, table: &str| {
+                            t.ok_or_else(|| ParseLibertyError::MissingTable {
+                                cell: cell_name.clone(),
+                                table: table.to_owned(),
+                            })
+                        };
                         let timing = CellTiming {
                             input_cap_ff: draft.input_cap.unwrap_or(1.0),
                             tables: ArcTables {
-                                delay_rise: it.next().expect("four tables"),
-                                delay_fall: it.next().expect("four tables"),
-                                slew_rise: it.next().expect("four tables"),
-                                slew_fall: it.next().expect("four tables"),
+                                delay_rise: require(delay_rise, "delay_rise")?,
+                                delay_fall: require(delay_fall, "delay_fall")?,
+                                slew_rise: require(slew_rise, "slew_rise")?,
+                                slew_fall: require(slew_fall, "slew_fall")?,
                             },
                             clk_to_q_ps: draft.clk_to_q.unwrap_or(0.0),
                             setup_ps: draft.setup.unwrap_or(0.0),
@@ -359,7 +354,10 @@ pub fn parse_liberty(text: &str) -> Result<CellLibrary, ParseLibertyError> {
                         let idx = CellKind::all()
                             .iter()
                             .position(|&k| k == draft.kind)
-                            .expect("kind came from all()");
+                            .ok_or_else(|| ParseLibertyError::Syntax {
+                                line,
+                                message: format!("cell `{cell_name}` missing from CellKind::all()"),
+                            })?;
                         library.set_cell(draft.kind, timing);
                         found[idx] = true;
                     }
@@ -373,41 +371,61 @@ pub fn parse_liberty(text: &str) -> Result<CellLibrary, ParseLibertyError> {
                 }
                 depth = depth.saturating_sub(1);
             }
-            Event::Attribute { name, value } => match (depth, name.as_str()) {
-                (1, "input_slew") => library.input_slew_ps = parse_f32(line, &name, &value)?,
-                (1, "output_load") => library.output_load_ff = parse_f32(line, &name, &value)?,
-                (1, "wire_res") => library.wire_res_ps_per_ff = parse_f32(line, &name, &value)?,
-                (2, "input_cap") => {
-                    cell.as_mut().expect("inside cell").input_cap =
-                        Some(parse_f32(line, &name, &value)?)
-                }
-                (2, "clk_to_q") => {
-                    cell.as_mut().expect("inside cell").clk_to_q =
-                        Some(parse_f32(line, &name, &value)?)
-                }
-                (2, "setup") => {
-                    cell.as_mut().expect("inside cell").setup =
-                        Some(parse_f32(line, &name, &value)?)
-                }
-                (3, "slew_axis") => {
-                    lut.as_mut().expect("inside lut").2.slew_axis =
-                        Some(parse_list(line, &name, &value)?)
-                }
-                (3, "load_axis") => {
-                    lut.as_mut().expect("inside lut").2.load_axis =
-                        Some(parse_list(line, &name, &value)?)
-                }
-                (3, "values") => {
-                    lut.as_mut().expect("inside lut").2.values =
-                        Some(parse_list(line, &name, &value)?)
-                }
-                _ => {
-                    return Err(ParseLibertyError::Syntax {
+            Event::Attribute { name, value } => {
+                // Structural invariant (any depth-2/3 open that is not a
+                // cell/lut errors above), but surfaced as a parse error
+                // rather than a panic so a malformed file can never take
+                // the process down.
+                fn in_cell(
+                    c: &mut Option<CellDraft>,
+                    line: usize,
+                ) -> Result<&mut CellDraft, ParseLibertyError> {
+                    c.as_mut().ok_or(ParseLibertyError::Syntax {
                         line,
-                        message: format!("unexpected attribute `{name}` at depth {depth}"),
+                        message: "attribute outside a cell".into(),
                     })
                 }
-            },
+                fn in_lut(
+                    l: &mut Option<(usize, String, LutDraft)>,
+                    line: usize,
+                ) -> Result<&mut LutDraft, ParseLibertyError> {
+                    l.as_mut()
+                        .map(|l| &mut l.2)
+                        .ok_or(ParseLibertyError::Syntax {
+                            line,
+                            message: "attribute outside a table".into(),
+                        })
+                }
+                match (depth, name.as_str()) {
+                    (1, "input_slew") => library.input_slew_ps = parse_f32(line, &name, &value)?,
+                    (1, "output_load") => library.output_load_ff = parse_f32(line, &name, &value)?,
+                    (1, "wire_res") => library.wire_res_ps_per_ff = parse_f32(line, &name, &value)?,
+                    (2, "input_cap") => {
+                        in_cell(&mut cell, line)?.input_cap = Some(parse_f32(line, &name, &value)?)
+                    }
+                    (2, "clk_to_q") => {
+                        in_cell(&mut cell, line)?.clk_to_q = Some(parse_f32(line, &name, &value)?)
+                    }
+                    (2, "setup") => {
+                        in_cell(&mut cell, line)?.setup = Some(parse_f32(line, &name, &value)?)
+                    }
+                    (3, "slew_axis") => {
+                        in_lut(&mut lut, line)?.slew_axis = Some(parse_list(line, &name, &value)?)
+                    }
+                    (3, "load_axis") => {
+                        in_lut(&mut lut, line)?.load_axis = Some(parse_list(line, &name, &value)?)
+                    }
+                    (3, "values") => {
+                        in_lut(&mut lut, line)?.values = Some(parse_list(line, &name, &value)?)
+                    }
+                    _ => {
+                        return Err(ParseLibertyError::Syntax {
+                            line,
+                            message: format!("unexpected attribute `{name}` at depth {depth}"),
+                        })
+                    }
+                }
+            }
         }
     }
 

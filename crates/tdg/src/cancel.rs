@@ -13,7 +13,7 @@
 //! *during* that run, so a cancel aimed at run *k* can never leak into run
 //! *k + 1*.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gpasta_check::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A cloneable cancellation handle backed by a shared atomic generation
@@ -46,13 +46,18 @@ impl CancelToken {
 
     /// Request cancellation: every observer created before this call
     /// reports cancelled from now on.
+    ///
+    /// The `Release` bump pairs with the `Acquire` polls in
+    /// [`CancelToken::generation`]: an observer that sees the new
+    /// generation also sees everything the canceller wrote before calling
+    /// `cancel` (e.g. a stop reason).
     pub fn cancel(&self) {
-        self.generation.fetch_add(1, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release); // hb: cancel-gen
     }
 
     /// The current generation (number of `cancel` calls so far).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+        self.generation.load(Ordering::Acquire) // hb: cancel-gen
     }
 
     /// Snapshot the current generation; the returned observer reports
@@ -130,6 +135,31 @@ mod tests {
     fn never_observer_stays_false() {
         let obs = CancelObserver::never();
         assert!(!obs.is_cancelled());
+    }
+
+    #[test]
+    fn generation_wraps_at_u64_max_without_sticking() {
+        // Regression: `is_cancelled` must compare generations for
+        // *inequality*, not order — after 2^64 cancels the counter wraps
+        // and any `>`-based comparison would make observers permanently
+        // uncancellable (or permanently cancelled).
+        let t = CancelToken {
+            generation: Arc::new(AtomicU64::new(u64::MAX)),
+        };
+        let obs = t.observe();
+        assert_eq!(t.generation(), u64::MAX);
+        assert!(!obs.is_cancelled());
+
+        t.cancel(); // wraps MAX -> 0
+        assert_eq!(t.generation(), 0);
+        assert!(obs.is_cancelled(), "wraparound cancel must still register");
+
+        // A fresh run snapshots the wrapped generation and is clean again:
+        // the cancel aimed at the old run does not leak through the wrap.
+        let next = t.observe();
+        assert!(!next.is_cancelled());
+        t.cancel();
+        assert!(next.is_cancelled());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 #![allow(clippy::all)]
 #![forbid(unsafe_code)]
 
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()` API.
 #[derive(Debug, Default)]
