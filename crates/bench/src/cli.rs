@@ -1,43 +1,11 @@
 //! Minimal command-line handling shared by the harness binaries.
 
-use std::error::Error;
-use std::fmt;
 use std::path::PathBuf;
 
-/// A malformed harness command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CliError {
-    /// A flag that takes a value appeared last.
-    MissingValue(&'static str),
-    /// A flag's value failed to parse.
-    BadValue {
-        /// The flag whose value was rejected.
-        flag: &'static str,
-        /// The offending value as given.
-        value: String,
-        /// Why it was rejected.
-        why: String,
-    },
-    /// `--scale`, `--runs`, or `--workers` was zero or negative.
-    NonPositive(&'static str),
-    /// An argument no harness binary understands.
-    UnknownFlag(String),
-}
-
-impl fmt::Display for CliError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
-            CliError::BadValue { flag, value, why } => {
-                write!(f, "{flag}: invalid value `{value}`: {why}")
-            }
-            CliError::NonPositive(flag) => write!(f, "{flag} must be positive"),
-            CliError::UnknownFlag(arg) => write!(f, "unknown argument {arg}; try --help"),
-        }
-    }
-}
-
-impl Error for CliError {}
+/// A malformed harness command line. Lives in [`gpasta::errors`] (the
+/// shared process-boundary error module); re-exported here so existing
+/// harness imports keep working.
+pub use gpasta::errors::CliError;
 
 /// Configuration parsed from the common harness flags.
 #[derive(Debug, Clone, PartialEq)]

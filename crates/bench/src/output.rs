@@ -1,73 +1,13 @@
 //! Result files: CSV for plotting, JSON for machine consumption.
 
 use serde::Serialize;
-use std::error::Error;
-use std::fmt;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Writing a result file failed.
-#[derive(Debug)]
-pub enum OutputError {
-    /// A filesystem operation failed; `op` names it and `path` is the
-    /// file (or directory) involved.
-    Io {
-        /// File or directory the operation touched.
-        path: PathBuf,
-        /// Which operation failed (`create directory`, `write`).
-        op: &'static str,
-        /// The underlying OS error.
-        source: std::io::Error,
-    },
-    /// The rows do not share a column layout, so no single CSV header
-    /// can describe them.
-    InconsistentColumns {
-        /// Label of the first offending row.
-        label: String,
-        /// Columns that row carries.
-        found: usize,
-        /// Columns the header (first row) carries.
-        expected: usize,
-    },
-    /// JSON serialization failed.
-    Serialize {
-        /// Destination the rows were meant for.
-        path: PathBuf,
-        /// The serializer's error.
-        source: serde_json::Error,
-    },
-}
-
-impl fmt::Display for OutputError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OutputError::Io { path, op, source } => {
-                write!(f, "cannot {op} {}: {source}", path.display())
-            }
-            OutputError::InconsistentColumns {
-                label,
-                found,
-                expected,
-            } => write!(
-                f,
-                "row `{label}` has {found} column(s) but the header has {expected}"
-            ),
-            OutputError::Serialize { path, source } => {
-                write!(f, "cannot serialize rows for {}: {source}", path.display())
-            }
-        }
-    }
-}
-
-impl Error for OutputError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            OutputError::Io { source, .. } => Some(source),
-            OutputError::Serialize { source, .. } => Some(source),
-            OutputError::InconsistentColumns { .. } => None,
-        }
-    }
-}
+/// Writing a result file failed. Lives in [`gpasta::errors`] (the
+/// shared process-boundary error module); re-exported here so existing
+/// harness imports keep working.
+pub use gpasta::errors::OutputError;
 
 /// One output row: a label plus named numeric columns.
 #[derive(Debug, Clone, PartialEq, Serialize)]

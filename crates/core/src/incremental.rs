@@ -800,9 +800,18 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
         Ok(stats)
     }
 
-    /// Snapshot the warm cache into a [`CacheExport`], or `None` when cold.
-    pub fn export_cache(&self) -> Option<CacheExport> {
-        self.cache.as_ref().map(|c| CacheExport {
+    /// Snapshot the warm cache into a [`CacheExport`].
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::NotInstalled`] on a cold cache. Callers that
+    /// treat a cold cache as "nothing to persist" (e.g. cache-less
+    /// checkpoints, which the `GPCKPT01` format permits) can map the
+    /// error away with `.ok()`; long-running services surface it as a
+    /// structured error instead of panicking on a missing cache.
+    pub fn export_cache(&self) -> Result<CacheExport, IncrementalError> {
+        let c = self.cache.as_ref().ok_or(IncrementalError::NotInstalled)?;
+        Ok(CacheExport {
             fingerprint: c.fingerprint,
             ps: c.ps,
             raw: c.raw.clone(),
@@ -900,9 +909,14 @@ impl<P: Partitioner> IncrementalPartitioner<P> {
         Ok(())
     }
 
-    /// The full cached partition (raw ids compacted), if warm.
-    pub fn full_partition(&self) -> Option<Partition> {
-        self.cache.as_ref().map(|c| Partition::new(c.raw.clone()))
+    /// The full cached partition (raw ids compacted).
+    ///
+    /// # Errors
+    ///
+    /// [`IncrementalError::NotInstalled`] on a cold cache.
+    pub fn full_partition(&self) -> Result<Partition, IncrementalError> {
+        let c = self.cache.as_ref().ok_or(IncrementalError::NotInstalled)?;
+        Ok(Partition::new(c.raw.clone()))
     }
 
     /// Project the cached assignment onto a task subset: `ids[i]` is the
@@ -1031,7 +1045,14 @@ mod tests {
         assert!(!inc.is_warm());
         assert_eq!(inc.repair(&[0]), Err(IncrementalError::NotInstalled));
         assert_eq!(inc.sub_partition(&[0]), Err(IncrementalError::NotInstalled));
-        assert!(inc.full_partition().is_none());
+        assert!(matches!(
+            inc.full_partition(),
+            Err(IncrementalError::NotInstalled)
+        ));
+        assert!(matches!(
+            inc.export_cache(),
+            Err(IncrementalError::NotInstalled)
+        ));
     }
 
     #[test]
@@ -1412,7 +1433,10 @@ mod tests {
         assert_eq!(export.epoch, orig.epoch());
 
         let mut restored = IncrementalPartitioner::new(SeqGPasta::new());
-        assert!(restored.export_cache().is_none(), "cold cache exports None");
+        assert!(
+            matches!(restored.export_cache(), Err(IncrementalError::NotInstalled)),
+            "cold cache must refuse to export"
+        );
         restored
             .restore_cache(&tdg, export.clone())
             .expect("restore");

@@ -10,15 +10,22 @@
 //! gpasta partition edges.txt --algo gpasta --ps 16 --dot out.dot
 //! gpasta sanitize edges.txt --algo gpasta --workers 1,2,4
 //! gpasta stats edges.txt
+//! gpasta serve --addr 127.0.0.1:9480 --spool /tmp/spool
 //! gpasta demo
 //! ```
+//!
+//! Every subcommand funnels into [`gpasta::errors::Error`]: usage
+//! errors print the banner and exit 2, runtime failures exit 1.
 
 use gpasta::core::sanitize::{audit_host_partitioner, audit_incremental_repair, audit_partitioner};
 use gpasta::core::{
     forward_closure, DeterGPasta, GPasta, Gdca, IncrementalPartitioner, Partitioner,
     PartitionerOptions, Sarkar, SeqGPasta,
 };
-use gpasta::sched::{Executor, FaultKind, FaultPlan, FaultyWork, RetryPolicy};
+use gpasta::errors::{CliError, Error};
+use gpasta::sched::{Executor, FaultKind, FaultPlan, FaultyWork, RetryPolicy, RunBudget};
+use gpasta::serve::ServeConfig;
+use gpasta::session::{DesignSources, Edit, Session};
 use gpasta::tdg::{
     partition_to_dot, validate, ParallelismProfile, QuotientTdg, TaskId, Tdg, TdgBuilder,
 };
@@ -33,7 +40,7 @@ usage:
   gpasta sanitize <edges-file>  [--algo gpasta|deter|seq|gdca|sarkar|incremental|recovery|all]
                                 [--ps <n>] [--workers <w1,w2,..>] [--runs <n>]
   gpasta stats <edges-file>
-  gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]
+  gpasta sta <netlist.v> [--lib <file.lib>] [--sdc <file.sdc>]\n                         [--clock <ps>] [--paths <k>]\n                         [--repower <gate>=<drive> ..] [--bits]
   gpasta faults <edges-file>    [--algo gpasta|deter|seq|gdca|sarkar] [--ps <n>]
                                 [--workers <n>] [--seed <n>] [--rate <f>]
                                 [--retries <n>]
@@ -41,26 +48,32 @@ usage:
                                 [--seed <n>] [--checkpoint <file>]
                                 [--resume <file>] [--kill-after <i>]
                                 [--deadline-ms <n>]
+  gpasta serve [--addr <host:port>] [--stdio] [--spool <dir>]
+               [--workers <n>] [--max-sessions <n>]
   gpasta demo
 
 edge-list format: one `from to` pair of task ids per line; `#` comments
 and blank lines are ignored; task count is 1 + the largest id. Netlists
 use the structural-Verilog subset produced by gpasta::sta::write_verilog;
-libraries use the Liberty subset of gpasta::sta::write_liberty.";
+libraries use the Liberty subset of gpasta::sta::write_liberty.
+`serve` hosts warm timing sessions over HTTP/JSON (or JSON-RPC on stdio);
+see DESIGN.md section 12 for the wire schema.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.is_usage() {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), Error> {
     match args.first().map(String::as_str) {
         Some("partition") => partition_cmd(&args[1..]),
         Some("sanitize") => sanitize_cmd(&args[1..]),
@@ -68,33 +81,62 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sta") => sta_cmd(&args[1..]),
         Some("faults") => faults_cmd(&args[1..]),
         Some("update") => update_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("demo") => demo_cmd(),
         Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`")),
+        Some(other) => Err(format!("unknown command `{other}`; try --help").into()),
     }
 }
 
-fn load_edges(path: &Path) -> Result<Tdg, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    gpasta::tdg::parse_edge_list(&text).map_err(|e| e.to_string())
+/// The flag's value, or a typed usage error.
+fn need(flag: &'static str, value: Option<&String>) -> Result<String, Error> {
+    value
+        .cloned()
+        .ok_or_else(|| CliError::MissingValue(flag).into())
 }
 
-fn pick_algo(name: &str) -> Result<Box<dyn Partitioner>, String> {
+/// Parse the flag's value, or a typed usage error naming flag and value.
+fn parse<T>(flag: &'static str, value: Option<&String>) -> Result<T, Error>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let raw = need(flag, value)?;
+    raw.parse().map_err(|e: T::Err| {
+        CliError::BadValue {
+            flag,
+            value: raw.clone(),
+            why: e.to_string(),
+        }
+        .into()
+    })
+}
+
+fn unexpected(arg: &str) -> Error {
+    CliError::UnknownFlag(arg.to_string()).into()
+}
+
+fn load_edges(path: &Path) -> Result<Tdg, Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(gpasta::tdg::parse_edge_list(&text).map_err(|e| e.to_string())?)
+}
+
+fn pick_algo(name: &str) -> Result<Box<dyn Partitioner>, Error> {
     Ok(match name {
         "gpasta" => Box::new(GPasta::new()),
         "deter" => Box::new(DeterGPasta::new()),
         "seq" => Box::new(SeqGPasta::new()),
         "gdca" => Box::new(Gdca::new()),
         "sarkar" => Box::new(Sarkar::new()),
-        other => return Err(format!("unknown algorithm `{other}`")),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
     })
 }
 
-fn partition_cmd(args: &[String]) -> Result<(), String> {
+fn partition_cmd(args: &[String]) -> Result<(), Error> {
     let mut file = None;
     let mut algo = "gpasta".to_owned();
     let mut ps = None;
@@ -104,23 +146,16 @@ fn partition_cmd(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
-            "--ps" => {
-                ps = Some(
-                    it.next()
-                        .ok_or("--ps needs a value")?
-                        .parse::<usize>()
-                        .map_err(|e| format!("--ps: {e}"))?,
-                )
-            }
-            "--dot" => dot_out = Some(it.next().ok_or("--dot needs a file")?.clone()),
-            "--csv" => csv_out = Some(it.next().ok_or("--csv needs a file")?.clone()),
+            "--algo" => algo = need("--algo", it.next())?,
+            "--ps" => ps = Some(parse::<usize>("--ps", it.next())?),
+            "--dot" => dot_out = Some(need("--dot", it.next())?),
+            "--csv" => csv_out = Some(need("--csv", it.next())?),
             "--incremental" => incremental = true,
             other if file.is_none() => file = Some(other.to_owned()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(unexpected(other)),
         }
     }
-    let file = file.ok_or("missing <edges-file>")?;
+    let file = file.ok_or_else(|| Error::from("missing <edges-file>".to_string()))?;
     let tdg = load_edges(Path::new(&file))?;
     let partitioner = pick_algo(&algo)?;
     let opts = match ps {
@@ -173,9 +208,9 @@ fn incremental_demo(
     tdg: &Tdg,
     partitioner: Box<dyn Partitioner>,
     opts: &PartitionerOptions,
-) -> Result<(), String> {
+) -> Result<(), Error> {
     if tdg.num_tasks() == 0 {
-        return Err("--incremental needs a non-empty graph".into());
+        return Err("--incremental needs a non-empty graph".to_string().into());
     }
     let name = partitioner.name();
     let mut inc = IncrementalPartitioner::new(partitioner);
@@ -191,7 +226,7 @@ fn incremental_demo(
 
     let partition = inc
         .full_partition()
-        .ok_or("incremental cache is cold after repair (internal invariant violated)")?;
+        .map_err(|e| format!("incremental cache unusable after repair: {e}"))?;
     validate::check_all(tdg, &partition).map_err(|e| format!("internal error: {e}"))?;
 
     println!(
@@ -215,7 +250,7 @@ fn incremental_demo(
     Ok(())
 }
 
-fn sanitize_cmd(args: &[String]) -> Result<(), String> {
+fn sanitize_cmd(args: &[String]) -> Result<(), Error> {
     let mut file = None;
     let mut algo = "all".to_owned();
     let mut ps = None;
@@ -224,45 +259,37 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
-            "--ps" => {
-                ps = Some(
-                    it.next()
-                        .ok_or("--ps needs a value")?
-                        .parse::<usize>()
-                        .map_err(|e| format!("--ps: {e}"))?,
-                )
-            }
+            "--algo" => algo = need("--algo", it.next())?,
+            "--ps" => ps = Some(parse::<usize>("--ps", it.next())?),
             "--workers" => {
-                workers = it
-                    .next()
-                    .ok_or("--workers needs a comma-separated list")?
+                let raw = need("--workers", it.next())?;
+                workers = raw
                     .split(',')
                     .map(|w| {
-                        w.trim()
-                            .parse::<usize>()
-                            .map_err(|e| format!("--workers: {e}"))
+                        w.trim().parse::<usize>().map_err(|e| {
+                            Error::from(CliError::BadValue {
+                                flag: "--workers",
+                                value: raw.clone(),
+                                why: e.to_string(),
+                            })
+                        })
                     })
                     .collect::<Result<_, _>>()?;
                 if workers.is_empty() || workers.contains(&0) {
-                    return Err("--workers needs positive worker counts".into());
+                    return Err(CliError::NonPositive("--workers").into());
                 }
             }
             "--runs" => {
-                runs = it
-                    .next()
-                    .ok_or("--runs needs a value")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--runs: {e}"))?;
+                runs = parse::<usize>("--runs", it.next())?;
                 if runs == 0 {
-                    return Err("--runs must be at least 1".into());
+                    return Err(CliError::NonPositive("--runs").into());
                 }
             }
             other if file.is_none() => file = Some(other.to_owned()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(unexpected(other)),
         }
     }
-    let file = file.ok_or("missing <edges-file>")?;
+    let file = file.ok_or_else(|| Error::from("missing <edges-file>".to_string()))?;
     let tdg = load_edges(Path::new(&file))?;
     let opts = match ps {
         Some(n) => PartitionerOptions::with_max_size(n),
@@ -287,7 +314,7 @@ fn sanitize_cmd(args: &[String]) -> Result<(), String> {
             "gpasta" | "deter" | "seq" | "gdca" | "sarkar" | "incremental" | "recovery"
         )
     }) {
-        return Err(format!("unknown algorithm `{bad}`"));
+        return Err(format!("unknown algorithm `{bad}`").into());
     }
     println!(
         "sanitizing {} tasks, {} deps under workers {workers:?} x {} schedule(s) x {runs} run(s)\n",
@@ -340,7 +367,7 @@ fn audit_recovery(
     opts: &PartitionerOptions,
     workers: &[usize],
     runs: usize,
-) -> Result<gpasta::core::sanitize::AuditOutcome, String> {
+) -> Result<gpasta::core::sanitize::AuditOutcome, Error> {
     let partition = DeterGPasta::new()
         .partition(tdg, opts)
         .map_err(|e| e.to_string())?;
@@ -379,8 +406,10 @@ fn audit_recovery(
     Ok(outcome)
 }
 
-fn stats_cmd(args: &[String]) -> Result<(), String> {
-    let file = args.first().ok_or("missing <edges-file>")?;
+fn stats_cmd(args: &[String]) -> Result<(), Error> {
+    let file = args
+        .first()
+        .ok_or_else(|| Error::from("missing <edges-file>".to_string()))?;
     let tdg = load_edges(Path::new(file))?;
     let profile = ParallelismProfile::of(&tdg);
     println!("{} tasks, {} deps", tdg.num_tasks(), tdg.num_deps());
@@ -393,79 +422,106 @@ fn stats_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn sta_cmd(args: &[String]) -> Result<(), String> {
+/// The `sta` subcommand, built on [`Session`] — the same ownership unit
+/// `gpasta serve` hosts, so a CLI run and a served session follow the
+/// identical code path (and the serve smoke test can compare their
+/// WNS/TNS bit patterns).
+fn sta_cmd(args: &[String]) -> Result<(), Error> {
     let mut file = None;
     let mut lib_file = None;
     let mut sdc_file = None;
     let mut clock_ps = 1_000.0f32;
     let mut paths = 1usize;
+    let mut repowers: Vec<(String, f32)> = Vec::new();
+    let mut bits = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--lib" => lib_file = Some(it.next().ok_or("--lib needs a file")?.clone()),
-            "--sdc" => sdc_file = Some(it.next().ok_or("--sdc needs a file")?.clone()),
-            "--clock" => {
-                clock_ps = it
-                    .next()
-                    .ok_or("--clock needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--clock: {e}"))?
+            "--lib" => lib_file = Some(need("--lib", it.next())?),
+            "--sdc" => sdc_file = Some(need("--sdc", it.next())?),
+            "--clock" => clock_ps = parse::<f32>("--clock", it.next())?,
+            "--paths" => paths = parse::<usize>("--paths", it.next())?,
+            "--repower" => {
+                let raw = need("--repower", it.next())?;
+                let parsed = raw.split_once('=').and_then(|(gate, drive)| {
+                    drive
+                        .parse::<f32>()
+                        .ok()
+                        .map(|d| (gate.trim().to_string(), d))
+                });
+                match parsed {
+                    Some(pair) => repowers.push(pair),
+                    None => {
+                        return Err(CliError::BadValue {
+                            flag: "--repower",
+                            value: raw,
+                            why: "expected <gate>=<drive>".to_string(),
+                        }
+                        .into())
+                    }
+                }
             }
-            "--paths" => {
-                paths = it
-                    .next()
-                    .ok_or("--paths needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--paths: {e}"))?
-            }
+            "--bits" => bits = true,
             other if file.is_none() => file = Some(other.to_owned()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(unexpected(other)),
         }
     }
-    let file = file.ok_or("missing <netlist.v>")?;
-    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let netlist = gpasta::sta::parse_verilog(&text).map_err(|e| e.to_string())?;
-    let library = match lib_file {
-        Some(path) => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            gpasta::sta::parse_liberty(&text).map_err(|e| e.to_string())?
+    let file = file.ok_or_else(|| Error::from("missing <netlist.v>".to_string()))?;
+    let verilog = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let read = |path: Option<String>| -> Result<Option<String>, Error> {
+        match path {
+            Some(p) => Ok(Some(
+                std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?,
+            )),
+            None => Ok(None),
         }
-        None => gpasta::sta::CellLibrary::typical(),
     };
+    let sources = DesignSources {
+        verilog,
+        liberty: read(lib_file)?,
+        sdc: read(sdc_file)?,
+        clock_period_ps: clock_ps,
+    };
+    let mut session = Session::create(&file, sources, 1)?;
+    let shape = session.shape();
     println!(
         "design: {} gates, {} nets, {} PIs, {} POs; clock {clock_ps} ps",
-        netlist.num_gates(),
-        netlist.num_nets(),
-        netlist.num_inputs(),
-        netlist.num_outputs()
+        shape.gates, shape.nets, shape.inputs, shape.outputs
     );
 
-    let mut timer = gpasta::sta::Timer::try_new(netlist, library.clone())
-        .map_err(|e| format!("cannot build timing graph: {e}"))?;
-    timer.set_clock_period(clock_ps);
-    if let Some(path) = sdc_file {
-        let text =
-            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        gpasta::sta::apply_sdc(&mut timer, &text).map_err(|e| e.to_string())?;
+    for (gate, drive) in &repowers {
+        session.apply_edit(&Edit::Repower {
+            gate: gate.clone(),
+            drive: *drive,
+        })?;
     }
-    let update = timer.update_timing();
-    println!(
-        "update_timing TDG: {} tasks, {} deps",
-        update.tdg().num_tasks(),
-        update.tdg().num_deps()
-    );
-    update.run_sequential();
-    drop(update);
+    if !repowers.is_empty() {
+        let out = session.update_timing(&RunBudget::unbounded())?;
+        println!(
+            "applied {} repower edit(s); incremental update: {} task(s), \
+             {} moved, epoch {}",
+            repowers.len(),
+            out.tasks,
+            out.repair_moved,
+            out.epoch
+        );
+    }
 
-    let report = timer.report(paths.max(1));
+    let report = session.report(paths.max(1));
     print!("{report}");
+    if bits {
+        println!(
+            "WNS bits {:08x}  TNS bits {:08x}",
+            report.wns_ps.to_bits(),
+            report.tns_ps.to_bits()
+        );
+    }
     for endpoint in report.worst.iter().take(paths) {
         if let Some(path) = gpasta::sta::trace_worst_path(
-            timer.graph(),
-            timer.netlist(),
-            &library,
-            timer.data(),
+            session.timer().graph(),
+            session.timer().netlist(),
+            session.library(),
+            session.timer().data(),
             endpoint.node,
         ) {
             println!();
@@ -479,7 +535,7 @@ fn sta_cmd(args: &[String]) -> Result<(), String> {
 /// recovering executor under a seeded fault plan, and report the salvage /
 /// quarantine split — verifying on the way out that the poisoned set is
 /// exactly the forward closure of the failed partitions.
-fn faults_cmd(args: &[String]) -> Result<(), String> {
+fn faults_cmd(args: &[String]) -> Result<(), Error> {
     let mut file = None;
     let mut algo = "deter".to_owned();
     let mut ps = None;
@@ -490,51 +546,22 @@ fn faults_cmd(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--algo" => algo = it.next().ok_or("--algo needs a value")?.clone(),
-            "--ps" => {
-                ps = Some(
-                    it.next()
-                        .ok_or("--ps needs a value")?
-                        .parse::<usize>()
-                        .map_err(|e| format!("--ps: {e}"))?,
-                )
-            }
-            "--workers" => {
-                workers = it
-                    .next()
-                    .ok_or("--workers needs a value")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--workers: {e}"))?
-            }
-            "--seed" => {
-                seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse::<u64>()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--algo" => algo = need("--algo", it.next())?,
+            "--ps" => ps = Some(parse::<usize>("--ps", it.next())?),
+            "--workers" => workers = parse::<usize>("--workers", it.next())?,
+            "--seed" => seed = parse::<u64>("--seed", it.next())?,
             "--rate" => {
-                rate = it
-                    .next()
-                    .ok_or("--rate needs a value")?
-                    .parse::<f64>()
-                    .map_err(|e| format!("--rate: {e}"))?;
+                rate = parse::<f64>("--rate", it.next())?;
                 if !(0.0..=1.0).contains(&rate) {
-                    return Err("--rate must be within [0, 1]".into());
+                    return Err("--rate must be within [0, 1]".to_string().into());
                 }
             }
-            "--retries" => {
-                retries = it
-                    .next()
-                    .ok_or("--retries needs a value")?
-                    .parse::<u32>()
-                    .map_err(|e| format!("--retries: {e}"))?
-            }
+            "--retries" => retries = parse::<u32>("--retries", it.next())?,
             other if file.is_none() => file = Some(other.to_owned()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(unexpected(other)),
         }
     }
-    let file = file.ok_or("missing <edges-file>")?;
+    let file = file.ok_or_else(|| Error::from("missing <edges-file>".to_string()))?;
     let tdg = load_edges(Path::new(&file))?;
     let exec = Executor::try_new(workers).map_err(|e| format!("--workers: {e}"))?;
     let partitioner = pick_algo(&algo)?;
@@ -601,7 +628,8 @@ fn faults_cmd(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "quarantine mismatch: poisoned {:?}, expected closure {:?}",
             outcome.poisoned_units, expected
-        ));
+        )
+        .into());
     }
     let salvage_check: usize = quotient
         .graph()
@@ -620,7 +648,7 @@ fn faults_cmd(args: &[String]) -> Result<(), String> {
 /// deterministic gate-repower iterations over a paper circuit with
 /// per-iteration checkpointing, kill/resume, and an optional wall-clock
 /// deadline (see `gpasta::checkpoint`).
-fn update_cmd(args: &[String]) -> Result<(), String> {
+fn update_cmd(args: &[String]) -> Result<(), Error> {
     use gpasta::checkpoint::{run_update_flow, UpdateFlowConfig};
     use gpasta::circuits::PaperCircuit;
     use gpasta::sched::StopCause;
@@ -631,7 +659,7 @@ fn update_cmd(args: &[String]) -> Result<(), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--circuit" => {
-                let name = it.next().ok_or("--circuit needs a value")?;
+                let name = need("--circuit", it.next())?;
                 circuit = Some(
                     PaperCircuit::all()
                         .iter()
@@ -650,68 +678,42 @@ fn update_cmd(args: &[String]) -> Result<(), String> {
                 );
             }
             "--scale" => {
-                cfg.scale = it
-                    .next()
-                    .ok_or("--scale needs a value")?
-                    .parse::<f64>()
-                    .map_err(|e| format!("--scale: {e}"))?;
+                cfg.scale = parse::<f64>("--scale", it.next())?;
                 if cfg.scale <= 0.0 {
-                    return Err("--scale must be positive".into());
+                    return Err(CliError::NonPositive("--scale").into());
                 }
             }
-            "--iters" => {
-                cfg.iterations = it
-                    .next()
-                    .ok_or("--iters needs a value")?
-                    .parse::<u32>()
-                    .map_err(|e| format!("--iters: {e}"))?;
-            }
+            "--iters" => cfg.iterations = parse::<u32>("--iters", it.next())?,
             "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .ok_or("--workers needs a value")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--workers: {e}"))?;
+                cfg.workers = parse::<usize>("--workers", it.next())?;
                 if cfg.workers == 0 {
-                    return Err("--workers must be at least 1".into());
+                    return Err(CliError::NonPositive("--workers").into());
                 }
             }
-            "--seed" => {
-                cfg.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse::<u64>()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--checkpoint" => {
-                cfg.checkpoint_to = Some(it.next().ok_or("--checkpoint needs a path")?.into())
-            }
-            "--resume" => cfg.resume_from = Some(it.next().ok_or("--resume needs a path")?.into()),
-            "--kill-after" => {
-                cfg.kill_after = Some(
-                    it.next()
-                        .ok_or("--kill-after needs an iteration number")?
-                        .parse::<u32>()
-                        .map_err(|e| format!("--kill-after: {e}"))?,
-                )
-            }
+            "--seed" => cfg.seed = parse::<u64>("--seed", it.next())?,
+            "--checkpoint" => cfg.checkpoint_to = Some(need("--checkpoint", it.next())?.into()),
+            "--resume" => cfg.resume_from = Some(need("--resume", it.next())?.into()),
+            "--kill-after" => cfg.kill_after = Some(parse::<u32>("--kill-after", it.next())?),
             "--deadline-ms" => {
-                cfg.deadline = Some(std::time::Duration::from_millis(
-                    it.next()
-                        .ok_or("--deadline-ms needs a value")?
-                        .parse::<u64>()
-                        .map_err(|e| format!("--deadline-ms: {e}"))?,
-                ))
+                cfg.deadline = Some(std::time::Duration::from_millis(parse::<u64>(
+                    "--deadline-ms",
+                    it.next(),
+                )?))
             }
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(unexpected(other)),
         }
     }
-    cfg.circuit = circuit.ok_or("update needs --circuit <name>")?;
+    cfg.circuit =
+        circuit.ok_or_else(|| Error::from("update needs --circuit <name>".to_string()))?;
     if cfg.kill_after.is_some() && cfg.checkpoint_to.is_none() {
-        return Err("--kill-after needs --checkpoint (the resume point must be saved)".into());
+        return Err(
+            "--kill-after needs --checkpoint (the resume point must be saved)"
+                .to_string()
+                .into(),
+        );
     }
 
-    let out = run_update_flow(&cfg).map_err(|e| e.to_string())?;
+    let out = run_update_flow(&cfg)?;
     println!(
         "update({}, scale {}): {}/{} iteration(s), epoch {}, WNS {} ps, TNS {} ps",
         cfg.circuit.name(),
@@ -743,7 +745,37 @@ fn update_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn demo_cmd() -> Result<(), String> {
+/// The `serve` subcommand: host warm timing sessions over HTTP/JSON or
+/// JSON-RPC stdio. Runs until a shutdown request (or stdio EOF), then
+/// spools every live session to the spool directory.
+fn serve_cmd(args: &[String]) -> Result<(), Error> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = need("--addr", it.next())?,
+            "--stdio" => cfg.stdio = true,
+            "--spool" => cfg.spool = need("--spool", it.next())?.into(),
+            "--workers" => {
+                cfg.workers = parse::<usize>("--workers", it.next())?;
+                if cfg.workers == 0 {
+                    return Err(CliError::NonPositive("--workers").into());
+                }
+            }
+            "--max-sessions" => {
+                cfg.max_sessions = parse::<usize>("--max-sessions", it.next())?;
+                if cfg.max_sessions == 0 {
+                    return Err(CliError::NonPositive("--max-sessions").into());
+                }
+            }
+            other => return Err(unexpected(other)),
+        }
+    }
+    gpasta::serve::run(&cfg)?;
+    Ok(())
+}
+
+fn demo_cmd() -> Result<(), Error> {
     // The paper's Figure 4 graph, partitioned by every algorithm.
     let mut b = TdgBuilder::new(7);
     for (u, v) in [(0, 1), (2, 3), (4, 5), (1, 6), (3, 6), (5, 6)] {

@@ -47,7 +47,7 @@ use crate::core::{
 };
 use crate::sched::{Executor, FaultPlan, RetryPolicy, RunBudget, StopCause};
 use crate::sta::{CellLibrary, GateId, Timer, TimingSnapshot};
-use crate::tdg::QuotientTdg;
+use crate::tdg::{QuotientTdg, ValidatePartitionError};
 
 const MAGIC: &[u8; 6] = b"GPCKPT";
 const VERSION: &[u8; 2] = b"01";
@@ -127,7 +127,10 @@ pub struct DesignShape {
 }
 
 impl DesignShape {
-    fn of(timer: &Timer) -> DesignShape {
+    /// The shape of the design a [`Timer`] analyses — the identity check
+    /// both the update flow and [`Session`](crate::session::Session)
+    /// eviction stamp into their checkpoints.
+    pub fn of(timer: &Timer) -> DesignShape {
         let nl = timer.netlist();
         DesignShape {
             gates: nl.num_gates() as u32,
@@ -162,7 +165,7 @@ pub struct UpdateCheckpoint {
 // Binary encoding
 // ---------------------------------------------------------------------------
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
@@ -423,6 +426,11 @@ pub enum FlowError {
     /// The incremental partitioner rejected an install, repair, or
     /// restored cache.
     Partition(IncrementalError),
+    /// A repaired partition failed quotient-graph construction. The
+    /// repair contract certifies an acyclic quotient, so this indicates
+    /// a library bug — reported as a typed error (rather than a panic)
+    /// so long-running callers can fail one request, not the process.
+    Quotient(ValidatePartitionError),
 }
 
 impl fmt::Display for FlowError {
@@ -430,6 +438,10 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Checkpoint(e) => write!(f, "{e}"),
             FlowError::Partition(e) => write!(f, "partition maintenance failed: {e}"),
+            FlowError::Quotient(e) => write!(
+                f,
+                "repaired partition has no valid quotient (library bug): {e}"
+            ),
         }
     }
 }
@@ -439,6 +451,7 @@ impl Error for FlowError {
         match self {
             FlowError::Checkpoint(e) => Some(e),
             FlowError::Partition(e) => Some(e),
+            FlowError::Quotient(e) => Some(e),
         }
     }
 }
@@ -638,8 +651,7 @@ pub fn run_update_flow(cfg: &UpdateFlowConfig) -> Result<UpdateFlowOutcome, Flow
         let update = timer.update_timing();
         let ids = update.full_space_ids();
         let (_stats, sub) = inc.repair_and_project(&ids)?;
-        let quotient = QuotientTdg::build(update.tdg(), &sub)
-            .expect("a repaired partition always has an acyclic quotient");
+        let quotient = QuotientTdg::build(update.tdg(), &sub).map_err(FlowError::Quotient)?;
         let rec = update.run_partitioned_recovering_bounded(
             &exec,
             &quotient,
@@ -669,7 +681,7 @@ pub fn run_update_flow(cfg: &UpdateFlowConfig) -> Result<UpdateFlowOutcome, Flow
                     iterations_done: done,
                     shape: DesignShape::of(&timer),
                     snapshot: timer.snapshot(),
-                    cache: inc.export_cache(),
+                    cache: inc.export_cache().ok(),
                 },
             )?;
         }

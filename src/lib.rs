@@ -17,7 +17,13 @@
 //! * [`core`] — the partitioners themselves: G-PASTA, deter-G-PASTA,
 //!   seq-G-PASTA, and the GDCA / Sarkar baselines;
 //! * [`checkpoint`] — crash-safe checkpoint/resume for the incremental
-//!   timing-update flow (`gpasta update`).
+//!   timing-update flow (`gpasta update`);
+//! * [`session`] — the owned `Session` unit: a loaded design plus its
+//!   timer, warm partition cache, and executor, movable across threads
+//!   and evictable to a checkpoint;
+//! * [`serve`] — `gpasta serve`: an HTTP/JSON daemon (and JSON-RPC
+//!   stdio mode) hosting warm concurrent sessions;
+//! * [`errors`] — shared error types for every process boundary.
 //!
 //! # Quickstart
 //!
@@ -44,6 +50,9 @@
 #![forbid(unsafe_code)]
 
 pub mod checkpoint;
+pub mod errors;
+pub mod serve;
+pub mod session;
 
 pub use gpasta_circuits as circuits;
 pub use gpasta_core as core;

@@ -1,0 +1,303 @@
+//! The HTTP/1.1 frontend of `gpasta serve`.
+//!
+//! A deliberately small server — no external dependencies exist in this
+//! workspace, so it is hand-rolled on [`std::net::TcpListener`]: one
+//! thread per connection, one request per connection (`Connection:
+//! close`), bodies bounded by `Content-Length`. Every route maps onto a
+//! [`super::proto::dispatch`] method, with path segments and query
+//! parameters merged into the request's JSON params:
+//!
+//! | Route | Method |
+//! |---|---|
+//! | `GET /status` | `status` |
+//! | `GET /sessions` | `list_sessions` |
+//! | `POST /sessions` | `create_session` |
+//! | `DELETE /sessions/{name}` | `evict_session` |
+//! | `POST /sessions/{name}/restore` | `restore_session` |
+//! | `POST /sessions/{name}/edit` | `edit_session` |
+//! | `POST /sessions/{name}/update` | `update_timing` |
+//! | `GET /sessions/{name}/report?k=N&mode=late` | `report` |
+//! | `GET /sessions/{name}/paths?k=N` | `paths` |
+//! | `POST /shutdown` | `shutdown` |
+//!
+//! Shutdown: the handler thread that serves `POST /shutdown` sets the
+//! registry flag, then opens a throwaway connection to the listener to
+//! wake the blocked `accept`; the accept loop observes the flag, drains
+//! its worker threads, and runs the registry's persist pass.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use serde_json::Value;
+
+use super::proto::{dispatch, ApiError};
+use super::registry::Registry;
+use super::ServeError;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Largest accepted request body (design uploads).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Run the HTTP frontend until a `POST /shutdown` arrives, then spool
+/// every live session and return. Prints the bound address on stdout
+/// before accepting (tests bind port 0 and parse the line).
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] when the address cannot be bound; I/O errors on
+/// individual connections are per-request (the connection is dropped,
+/// the server keeps running).
+pub fn run_http(registry: Arc<Registry>, addr: &str) -> Result<(), ServeError> {
+    let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+        addr: addr.to_string(),
+        source,
+    })?;
+    let local = listener.local_addr().map_err(|source| ServeError::Bind {
+        addr: addr.to_string(),
+        source,
+    })?;
+    println!("gpasta serve listening on http://{local}");
+    let _ = std::io::stdout().flush();
+
+    let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if registry.is_shutting_down() {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let reg = registry.clone();
+        workers.push(thread::spawn(move || {
+            handle_connection(&reg, stream, local);
+        }));
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    for (name, outcome) in registry.persist_all() {
+        match outcome {
+            Ok(path) => println!("gpasta serve: spooled `{name}` to {}", path.display()),
+            Err(e) => eprintln!("gpasta serve: failed to spool `{name}`: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(registry: &Registry, stream: TcpStream, local: SocketAddr) {
+    let mut was_shutdown = false;
+    let mut stream = stream;
+    match read_request(&mut stream) {
+        Ok(req) => {
+            was_shutdown = req.method == "POST" && req.path == "/shutdown";
+            let (status, body) = match route(registry, &req) {
+                Ok(value) => (200, value),
+                Err(e) => (e.status, e.to_value()),
+            };
+            write_response(&mut stream, status, &body);
+        }
+        Err(e) => {
+            write_response(&mut stream, e.status, &e.to_value());
+        }
+    }
+    if was_shutdown {
+        // Wake the accept loop so it observes the shutdown flag.
+        let _ = TcpStream::connect(local);
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Option<Value>,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, ApiError> {
+    let io_err = |what: &str| ApiError::bad_request("bad_request", what.to_string());
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|_| io_err("cannot read request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io_err("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| io_err("request line has no target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut content_length = 0usize;
+    let mut head_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|_| io_err("cannot read headers"))?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ApiError {
+                status: 431,
+                kind: "headers_too_large".to_string(),
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = line.split_once(':') {
+            if key.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| io_err("invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ApiError {
+            status: 413,
+            kind: "body_too_large".to_string(),
+            message: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+        });
+    }
+
+    let body = if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|_| io_err("body shorter than Content-Length"))?;
+        let text = String::from_utf8(buf).map_err(|_| io_err("request body is not UTF-8"))?;
+        Some(
+            serde_json::from_str::<Value>(&text)
+                .map_err(|e| io_err(&format!("request body is not JSON: {e}")))?,
+        )
+    } else {
+        None
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Map the request onto a protocol method and merged params, then
+/// dispatch it.
+fn route(registry: &Registry, req: &Request) -> Result<Value, ApiError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (method, name): (&str, Option<&str>) = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["status"]) => ("status", None),
+        ("GET", ["sessions"]) => ("list_sessions", None),
+        ("POST", ["sessions"]) => ("create_session", None),
+        ("DELETE", ["sessions", name]) => ("evict_session", Some(name)),
+        ("POST", ["sessions", name, "restore"]) => ("restore_session", Some(name)),
+        ("POST", ["sessions", name, "edit"]) => ("edit_session", Some(name)),
+        ("POST", ["sessions", name, "update"]) => ("update_timing", Some(name)),
+        ("GET", ["sessions", name, "report"]) => ("report", Some(name)),
+        ("GET", ["sessions", name, "paths"]) => ("paths", Some(name)),
+        ("POST", ["shutdown"]) => ("shutdown", None),
+        _ => {
+            return Err(ApiError {
+                status: 404,
+                kind: "no_such_route".to_string(),
+                message: format!("no route for {} {}", req.method, req.path),
+            })
+        }
+    };
+
+    let mut pairs: Vec<(String, Value)> = match &req.body {
+        Some(Value::Object(body)) => body.clone(),
+        Some(_) => {
+            return Err(ApiError::bad_request(
+                "bad_request",
+                "request body must be a JSON object",
+            ))
+        }
+        None => Vec::new(),
+    };
+    if let Some(name) = name {
+        pairs.retain(|(k, _)| k != "name");
+        pairs.push(("name".to_string(), Value::String(name.to_string())));
+    }
+    for (key, raw) in &req.query {
+        pairs.retain(|(k, _)| k != key);
+        let value = match raw.parse::<f64>() {
+            Ok(n) => Value::Number(n),
+            Err(_) => Value::String(raw.clone()),
+        };
+        pairs.push((key.clone(), value));
+    }
+    dispatch(registry, method, &Value::Object(pairs))
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
+    let text = match serde_json::to_string(body) {
+        Ok(text) => text,
+        Err(_) => String::from("{\"error\":{\"kind\":\"serialize\"}}"),
+    };
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        text.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(text.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_parse_into_pairs() {
+        assert_eq!(
+            parse_query("k=5&mode=late"),
+            vec![
+                ("k".to_string(), "5".to_string()),
+                ("mode".to_string(), "late".to_string())
+            ]
+        );
+        assert_eq!(parse_query(""), Vec::new());
+        assert_eq!(
+            parse_query("flag"),
+            vec![("flag".to_string(), String::new())]
+        );
+    }
+}

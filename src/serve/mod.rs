@@ -1,0 +1,140 @@
+//! `gpasta serve` — timing analysis as a long-lived service.
+//!
+//! The CLI flows pay the full price of a design on every invocation:
+//! parse, build the timing graph, partition, propagate. This module
+//! keeps that state *warm* instead: named [`Session`]s
+//! ([`crate::session`]) live in a shared [`Registry`], each owning its
+//! timer, incremental-partition cache, and executor, and clients apply
+//! edits and re-run `update_timing` over the wire for the incremental
+//! price. Two frontends share one protocol layer ([`proto`]):
+//!
+//! * **HTTP/JSON** ([`http`]) — a thread-per-connection HTTP/1.1
+//!   server; concurrent requests against different sessions run in
+//!   parallel (each session behind its own mutex);
+//! * **JSON-RPC stdio** ([`rpc`]) — line-delimited JSON on
+//!   stdin/stdout, for embedding under a supervisor without opening a
+//!   port.
+//!
+//! Capacity is managed by eviction: `DELETE /sessions/{name}` flushes
+//! the session to a `GPCKPT01` checkpoint in the spool directory and
+//! keeps only the light [`DormantSession`](crate::session::DormantSession)
+//! residue; `POST /sessions/{name}/restore` re-admits it bit-identically.
+//! Shutdown (via `POST /shutdown`, the `shutdown` RPC, or stdin EOF)
+//! runs a persist pass that spools every live session, so a serve
+//! process can be stopped and restarted without losing timing state.
+//!
+//! DESIGN.md §12 documents the session ownership model and the full
+//! wire schema.
+
+mod http;
+mod proto;
+mod registry;
+mod rpc;
+
+pub use proto::{dispatch, ApiError};
+pub use registry::{Registry, RegistryError, SessionInfo};
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[cfg(doc)]
+use crate::session::Session;
+
+/// Configuration of one `gpasta serve` process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen address for the HTTP frontend (`127.0.0.1:0` picks a free
+    /// port and prints it).
+    pub addr: String,
+    /// Serve JSON-RPC on stdin/stdout instead of HTTP.
+    pub stdio: bool,
+    /// Directory for eviction checkpoints.
+    pub spool: PathBuf,
+    /// Executor worker threads per session.
+    pub workers: usize,
+    /// Maximum number of sessions (live plus dormant).
+    pub max_sessions: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:9480".to_string(),
+            stdio: false,
+            spool: PathBuf::from("gpasta-spool"),
+            workers: 4,
+            max_sessions: 16,
+        }
+    }
+}
+
+/// The serve frontend failed to start or its transport died.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound.
+    Bind {
+        /// The address as configured.
+        addr: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The spool directory could not be created.
+    Spool {
+        /// The configured spool path.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// stdin/stdout failed mid-protocol (stdio frontend).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
+            ServeError::Spool { path, source } => {
+                write!(
+                    f,
+                    "cannot create spool directory {}: {source}",
+                    path.display()
+                )
+            }
+            ServeError::Io(e) => write!(f, "stdio transport failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } | ServeError::Spool { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+/// Run a serve process to completion (shutdown request or stdio EOF).
+///
+/// # Errors
+///
+/// [`ServeError`] when the spool cannot be created or the transport
+/// fails to start.
+pub fn run(config: &ServeConfig) -> Result<(), ServeError> {
+    std::fs::create_dir_all(&config.spool).map_err(|source| ServeError::Spool {
+        path: config.spool.clone(),
+        source,
+    })?;
+    let registry = Arc::new(Registry::new(
+        config.spool.clone(),
+        config.workers,
+        config.max_sessions,
+    ));
+    if config.stdio {
+        rpc::run_stdio(registry)
+    } else {
+        http::run_http(registry, &config.addr)
+    }
+}

@@ -1,0 +1,457 @@
+//! The session registry: named [`Session`]s shared across request
+//! threads.
+//!
+//! Each slot is either *live* (an `Arc<Mutex<Session>>` — warm timer,
+//! warm partition cache) or *dormant* (a [`DormantSession`] — source
+//! text plus a `GPCKPT01` checkpoint in the spool directory). Request
+//! handlers clone the `Arc` under the registry lock and release it
+//! before locking the session itself, so one slow `update_timing` never
+//! blocks requests against other sessions.
+//!
+//! Eviction takes the session mutex (waiting out in-flight requests),
+//! writes the checkpoint, and swaps the slot to dormant; re-admission
+//! restores from the checkpoint and swaps back. A request that cloned
+//! the `Arc` just before an eviction swaps the slot mutates a detached
+//! session and its edit is lost with it — the same outcome as sending
+//! the edit after the eviction, which is the race the client signed up
+//! for.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gpasta_check::sync::{AtomicBool, AtomicU64, Mutex, Ordering};
+
+use crate::session::{DesignSources, DormantSession, Session, SessionError};
+
+/// Why a registry operation failed. The wire layer maps each variant to
+/// an HTTP status in [`super::proto`].
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No session with this name exists.
+    NotFound(String),
+    /// The session exists but is dormant; restore it first.
+    NotLive(String),
+    /// A session with this name already exists.
+    Duplicate(String),
+    /// The registry is at its live-session capacity.
+    Full {
+        /// The configured capacity.
+        max: usize,
+    },
+    /// The session name contains characters the spool cannot host.
+    BadName(String),
+    /// The underlying session operation failed.
+    Session(SessionError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NotFound(name) => write!(f, "no session named `{name}`"),
+            RegistryError::NotLive(name) => {
+                write!(f, "session `{name}` is dormant; restore it first")
+            }
+            RegistryError::Duplicate(name) => write!(f, "session `{name}` already exists"),
+            RegistryError::Full { max } => {
+                write!(f, "registry is full ({max} sessions); evict one first")
+            }
+            RegistryError::BadName(name) => write!(
+                f,
+                "invalid session name `{name}`: use 1-64 characters from [A-Za-z0-9_-], \
+                 starting with a letter or digit"
+            ),
+            RegistryError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for RegistryError {
+    fn from(e: SessionError) -> Self {
+        RegistryError::Session(e)
+    }
+}
+
+/// One registry slot.
+#[derive(Debug, Clone)]
+enum SessionSlot {
+    Live(Arc<Mutex<Session>>),
+    Dormant(DormantSession),
+}
+
+/// A row of [`Registry::list`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// Whether the slot is live (in memory) or dormant (spooled).
+    pub live: bool,
+    /// The checkpoint path, for dormant slots.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// The shared state of a `gpasta serve` process. `Send + Sync`; request
+/// threads hold it behind an `Arc`.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Mutex<HashMap<String, SessionSlot>>,
+    spool: PathBuf,
+    workers: usize,
+    max_sessions: usize,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry spooling eviction checkpoints under `spool`,
+    /// giving each session `workers` executor threads and hosting at
+    /// most `max_sessions` sessions (live or dormant).
+    pub fn new(spool: PathBuf, workers: usize, max_sessions: usize) -> Registry {
+        Registry {
+            slots: Mutex::new(HashMap::new()),
+            spool,
+            workers: workers.max(1),
+            max_sessions: max_sessions.max(1),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Executor threads per session.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured session capacity.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Count one served request (monotonic statistics counter).
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Flag the process for shutdown. The accept/read loop observes the
+    /// flag and stops taking new requests; the final persist pass then
+    /// spools every live session.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release); // hb: serve-shutdown
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) // hb: serve-shutdown
+    }
+
+    fn ckpt_path(&self, name: &str) -> PathBuf {
+        self.spool.join(format!("{name}.ckpt"))
+    }
+
+    fn validate_name(name: &str) -> Result<(), RegistryError> {
+        let ok = !name.is_empty()
+            && name.len() <= 64
+            && name.starts_with(|c: char| c.is_ascii_alphanumeric())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+        if ok {
+            Ok(())
+        } else {
+            Err(RegistryError::BadName(name.to_string()))
+        }
+    }
+
+    /// Create a session: parse the sources, run the initial full
+    /// analysis, install the partition cache, and register the result
+    /// live. The analysis runs outside the registry lock, so concurrent
+    /// creates (of different names) proceed in parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::BadName`] / [`RegistryError::Duplicate`] /
+    /// [`RegistryError::Full`] for registry constraints,
+    /// [`RegistryError::Session`] when the sources fail to build.
+    pub fn create(
+        &self,
+        name: &str,
+        sources: DesignSources,
+    ) -> Result<Arc<Mutex<Session>>, RegistryError> {
+        Self::validate_name(name)?;
+        {
+            let slots = self.slots.lock();
+            if slots.contains_key(name) {
+                return Err(RegistryError::Duplicate(name.to_string()));
+            }
+            if slots.len() >= self.max_sessions {
+                return Err(RegistryError::Full {
+                    max: self.max_sessions,
+                });
+            }
+        }
+        let session = Session::create(name, sources, self.workers)?;
+        let arc = Arc::new(Mutex::new(session));
+        let mut slots = self.slots.lock();
+        // Re-check: another create may have won the race while we were
+        // analysing.
+        if slots.contains_key(name) {
+            return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        if slots.len() >= self.max_sessions {
+            return Err(RegistryError::Full {
+                max: self.max_sessions,
+            });
+        }
+        slots.insert(name.to_string(), SessionSlot::Live(arc.clone()));
+        Ok(arc)
+    }
+
+    /// The live session named `name`, for request handlers. Clones the
+    /// `Arc` under the registry lock; the caller locks the session
+    /// itself afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] / [`RegistryError::NotLive`].
+    pub fn live(&self, name: &str) -> Result<Arc<Mutex<Session>>, RegistryError> {
+        let slots = self.slots.lock();
+        match slots.get(name) {
+            Some(SessionSlot::Live(arc)) => Ok(arc.clone()),
+            Some(SessionSlot::Dormant(_)) => Err(RegistryError::NotLive(name.to_string())),
+            None => Err(RegistryError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Every slot, sorted by name.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let slots = self.slots.lock();
+        let mut rows: Vec<SessionInfo> = slots
+            .iter()
+            .map(|(name, slot)| match slot {
+                SessionSlot::Live(_) => SessionInfo {
+                    name: name.clone(),
+                    live: true,
+                    checkpoint: None,
+                },
+                SessionSlot::Dormant(d) => SessionInfo {
+                    name: name.clone(),
+                    live: false,
+                    checkpoint: Some(d.checkpoint_path().to_path_buf()),
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Evict a session: flush pending edits, write the `GPCKPT01`
+    /// checkpoint into the spool, and swap the slot to dormant.
+    /// Idempotent — evicting a dormant session returns its existing
+    /// residue.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`], or [`RegistryError::Session`] when
+    /// the checkpoint cannot be written.
+    pub fn evict(&self, name: &str) -> Result<DormantSession, RegistryError> {
+        let arc = {
+            let slots = self.slots.lock();
+            match slots.get(name) {
+                Some(SessionSlot::Live(arc)) => arc.clone(),
+                Some(SessionSlot::Dormant(d)) => return Ok(d.clone()),
+                None => return Err(RegistryError::NotFound(name.to_string())),
+            }
+        };
+        // Waits for in-flight requests against this session to drain.
+        let dormant = arc.lock().evict_to(&self.ckpt_path(name))?;
+        let mut slots = self.slots.lock();
+        slots.insert(name.to_string(), SessionSlot::Dormant(dormant.clone()));
+        Ok(dormant)
+    }
+
+    /// Re-admit a dormant session from its checkpoint. Idempotent —
+    /// restoring a live session returns it as-is.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`], or [`RegistryError::Session`] when
+    /// the checkpoint is unreadable or no longer matches the sources.
+    pub fn restore(&self, name: &str) -> Result<Arc<Mutex<Session>>, RegistryError> {
+        let dormant = {
+            let slots = self.slots.lock();
+            match slots.get(name) {
+                Some(SessionSlot::Live(arc)) => return Ok(arc.clone()),
+                Some(SessionSlot::Dormant(d)) => d.clone(),
+                None => return Err(RegistryError::NotFound(name.to_string())),
+            }
+        };
+        let session = dormant.restore(self.workers)?;
+        let arc = Arc::new(Mutex::new(session));
+        let mut slots = self.slots.lock();
+        match slots.get(name) {
+            // A concurrent restore won the race; use its session so
+            // both callers observe the same object.
+            Some(SessionSlot::Live(existing)) => Ok(existing.clone()),
+            _ => {
+                slots.insert(name.to_string(), SessionSlot::Live(arc.clone()));
+                Ok(arc)
+            }
+        }
+    }
+
+    /// Drop a session entirely (live or dormant). The spooled
+    /// checkpoint, if any, is left on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`].
+    pub fn remove(&self, name: &str) -> Result<(), RegistryError> {
+        let mut slots = self.slots.lock();
+        match slots.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(RegistryError::NotFound(name.to_string())),
+        }
+    }
+
+    /// The shutdown persist pass: evict every live session to the
+    /// spool. Returns `(name, result)` per live session, sorted by
+    /// name.
+    pub fn persist_all(&self) -> Vec<(String, Result<PathBuf, SessionError>)> {
+        let live: Vec<(String, Arc<Mutex<Session>>)> = {
+            let slots = self.slots.lock();
+            slots
+                .iter()
+                .filter_map(|(name, slot)| match slot {
+                    SessionSlot::Live(arc) => Some((name.clone(), arc.clone())),
+                    SessionSlot::Dormant(_) => None,
+                })
+                .collect()
+        };
+        let mut results = Vec::with_capacity(live.len());
+        for (name, arc) in live {
+            let path = self.ckpt_path(&name);
+            let outcome = match arc.lock().evict_to(&path) {
+                Ok(dormant) => {
+                    let mut slots = self.slots.lock();
+                    slots.insert(name.clone(), SessionSlot::Dormant(dormant));
+                    Ok(path)
+                }
+                Err(e) => Err(e),
+            };
+            results.push((name, outcome));
+        }
+        results.sort_by(|a, b| a.0.cmp(&b.0));
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = "\
+module reg_fixture (a, b, y);
+  input a, b;
+  output y;
+  wire n0;
+  NAND2 u0 (.a(a), .b(b), .y(n0));
+  INV u1 (.a(n0), .y(y));
+endmodule
+";
+
+    fn tmp_spool(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gpasta-registry-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create spool");
+        dir
+    }
+
+    fn sources() -> DesignSources {
+        DesignSources::verilog_only(FIXTURE)
+    }
+
+    #[test]
+    fn create_list_evict_restore_cycle() {
+        let spool = tmp_spool("cycle");
+        let reg = Registry::new(spool.clone(), 2, 4);
+        reg.create("alpha", sources()).expect("create");
+        assert_eq!(reg.list().len(), 1);
+        assert!(reg.list()[0].live);
+
+        let dormant = reg.evict("alpha").expect("evict");
+        assert!(dormant.checkpoint_path().exists());
+        assert!(!reg.list()[0].live);
+        assert!(matches!(reg.live("alpha"), Err(RegistryError::NotLive(_))));
+        // Idempotent eviction.
+        reg.evict("alpha").expect("evict twice");
+
+        reg.restore("alpha").expect("restore");
+        assert!(reg.list()[0].live);
+        reg.live("alpha").expect("live again");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn capacity_duplicates_and_names_are_enforced() {
+        let spool = tmp_spool("caps");
+        let reg = Registry::new(spool.clone(), 1, 1);
+        reg.create("only", sources()).expect("create");
+        assert!(matches!(
+            reg.create("only", sources()),
+            Err(RegistryError::Duplicate(_))
+        ));
+        assert!(matches!(
+            reg.create("more", sources()),
+            Err(RegistryError::Full { max: 1 })
+        ));
+        assert!(matches!(
+            reg.create("../escape", sources()),
+            Err(RegistryError::BadName(_))
+        ));
+        assert!(matches!(reg.live("ghost"), Err(RegistryError::NotFound(_))));
+        reg.remove("only").expect("remove");
+        assert!(reg.list().is_empty());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn persist_all_spools_every_live_session() {
+        let spool = tmp_spool("persist");
+        let reg = Registry::new(spool.clone(), 2, 4);
+        reg.create("a", sources()).expect("create");
+        reg.create("b", sources()).expect("create");
+        let results = reg.persist_all();
+        assert_eq!(results.len(), 2);
+        for (name, outcome) in &results {
+            let path = outcome.as_ref().expect("persisted");
+            assert!(path.exists(), "{name} checkpoint written");
+        }
+        assert!(reg.list().iter().all(|row| !row.live));
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn shutdown_flag_and_request_counter() {
+        let reg = Registry::new(PathBuf::from("unused"), 1, 1);
+        assert!(!reg.is_shutting_down());
+        reg.count_request();
+        reg.count_request();
+        assert_eq!(reg.requests_served(), 2);
+        reg.request_shutdown();
+        assert!(reg.is_shutting_down());
+    }
+}

@@ -1,0 +1,148 @@
+//! The JSON-RPC stdio frontend of `gpasta serve --stdio`.
+//!
+//! Line-delimited JSON: one request object per line on stdin, one
+//! response object per line on stdout. Requests are
+//! `{"id": ..., "method": "...", "params": {...}}` (the same method
+//! names as the HTTP routes — see [`super::proto::dispatch`]);
+//! responses echo the `id` with either `"result"` or `"error"`:
+//!
+//! ```text
+//! {"id":1,"method":"status","params":{}}
+//! {"id":1,"result":{"ok":true,...}}
+//! {"id":2,"method":"update_timing","params":{"name":"s1","deadline_ms":50}}
+//! {"id":2,"result":{"name":"s1","outcome":{"stop":"completed",...},...}}
+//! ```
+//!
+//! The loop ends on EOF or after serving a `shutdown` request; either
+//! way every live session is spooled before returning.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use super::proto::{dispatch, ApiError};
+use super::registry::Registry;
+use super::ServeError;
+
+/// Run the stdio frontend until EOF or `shutdown`, then spool every
+/// live session and return.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when stdin/stdout themselves fail; malformed
+/// request lines produce `{"error": ...}` responses and the loop
+/// continues.
+pub fn run_stdio(registry: Arc<Registry>) -> Result<(), ServeError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    for line in stdin.lock().lines() {
+        let line = line.map_err(ServeError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond_to_line(&registry, &line);
+        let text = match serde_json::to_string(&response) {
+            Ok(text) => text,
+            Err(_) => String::from("{\"error\":{\"kind\":\"serialize\"}}"),
+        };
+        writeln!(out, "{text}").map_err(ServeError::Io)?;
+        out.flush().map_err(ServeError::Io)?;
+        if registry.is_shutting_down() {
+            break;
+        }
+    }
+    for (name, outcome) in registry.persist_all() {
+        match outcome {
+            Ok(path) => eprintln!("gpasta serve: spooled `{name}` to {}", path.display()),
+            Err(e) => eprintln!("gpasta serve: failed to spool `{name}`: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Build the one-line response for one request line.
+fn respond_to_line(registry: &Registry, line: &str) -> Value {
+    let (id, result) = match serde_json::from_str::<Value>(line) {
+        Ok(req) => {
+            let id = req.get("id").cloned().unwrap_or(Value::Null);
+            let result = match req.get("method").and_then(Value::as_str) {
+                Some(method) => {
+                    let empty = Value::Object(Vec::new());
+                    let params = req.get("params").unwrap_or(&empty);
+                    dispatch(registry, method, params)
+                }
+                None => Err(ApiError::bad_request(
+                    "missing_field",
+                    "`method` (string) is required",
+                )),
+            };
+            (id, result)
+        }
+        Err(e) => (
+            Value::Null,
+            Err(ApiError::bad_request(
+                "bad_request",
+                format!("request line is not JSON: {e}"),
+            )),
+        ),
+    };
+    let payload = match result {
+        Ok(value) => ("result", value),
+        Err(e) => match e.to_value() {
+            // `to_value` wraps as {"error": {...}}; unwrap one level so
+            // the response is {"id":..,"error":{...}}.
+            Value::Object(pairs) => match pairs.into_iter().next() {
+                Some((_, inner)) => ("error", inner),
+                None => ("error", Value::Null),
+            },
+            other => ("error", other),
+        },
+    };
+    Value::Object(vec![
+        ("id".to_string(), id),
+        (payload.0.to_string(), payload.1),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn registry(tag: &str) -> (Arc<Registry>, PathBuf) {
+        let spool =
+            std::env::temp_dir().join(format!("gpasta-rpc-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&spool).expect("spool");
+        (Arc::new(Registry::new(spool.clone(), 2, 4)), spool)
+    }
+
+    #[test]
+    fn responses_echo_the_request_id() {
+        let (reg, spool) = registry("id");
+        let ok = respond_to_line(&reg, r#"{"id":7,"method":"status","params":{}}"#);
+        assert_eq!(ok["id"], 7u32);
+        assert_eq!(ok["result"]["ok"], true);
+
+        let err = respond_to_line(&reg, r#"{"id":"abc","method":"nope"}"#);
+        assert_eq!(err["id"], "abc");
+        assert_eq!(err["error"]["kind"], "no_such_method");
+
+        let garbage = respond_to_line(&reg, "not json");
+        assert_eq!(garbage["id"], Value::Null);
+        assert_eq!(garbage["error"]["kind"], "bad_request");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn shutdown_method_flips_the_registry_flag() {
+        let (reg, spool) = registry("shutdown");
+        assert!(!reg.is_shutting_down());
+        let resp = respond_to_line(&reg, r#"{"id":1,"method":"shutdown"}"#);
+        assert_eq!(resp["result"]["ok"], true);
+        assert!(reg.is_shutting_down());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+}

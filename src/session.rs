@@ -1,0 +1,984 @@
+//! `Session` — an owned, movable unit of timing-analysis state.
+//!
+//! Before this module, analysis state lived on the stack of whichever
+//! CLI subcommand built it: a [`Timer`] here, an
+//! [`IncrementalPartitioner`] there, an [`Executor`] somewhere else,
+//! wired together ad hoc per command. A [`Session`] packages all of it —
+//! the parsed design, its timer, the warm partition cache, and the
+//! executor handle — into one `Send + 'static` value that can be created,
+//! handed to another thread, parked behind a mutex in a server registry
+//! ([`crate::serve`]), evicted to disk, and re-admitted later.
+//!
+//! The lifecycle:
+//!
+//! * [`Session::create`] parses the [`DesignSources`] (structural
+//!   Verilog, optional Liberty library, optional SDC constraints), runs
+//!   the initial full analysis, and installs the incremental partition
+//!   cache on the full-space update TDG — after this every
+//!   [`Session::update_timing`] pays only dirty-cone repair, exactly the
+//!   warm path the paper's Figure 7 measures;
+//! * [`Session::apply_edit`] applies validated incremental edits
+//!   ([`Edit`]): gate repower, net-capacitance change, I/O-delay and
+//!   clock-period constraint changes. Validation happens *here*, so bad
+//!   client input surfaces as a typed [`SessionError`] instead of a
+//!   panic inside the timer;
+//! * [`Session::update_timing`] repairs the cached partition inside the
+//!   dirty cone, executes the partitioned update through the bounded
+//!   recovering executor under a caller-supplied [`RunBudget`], and
+//!   degrades explicitly on an expired deadline (affected endpoints read
+//!   NaN; the whole design is re-marked dirty so a later update
+//!   converges);
+//! * [`Session::evict_to`] persists the session through the existing
+//!   `GPCKPT01` checkpoint format ([`crate::checkpoint`]) and returns a
+//!   [`DormantSession`] — the light in-memory residue (source texts plus
+//!   the net-capacitance journal) from which
+//!   [`DormantSession::restore`] rebuilds a bit-identical live session.
+//!
+//! # Eviction and bit-identity
+//!
+//! A `GPCKPT01` checkpoint stores timing *values*, not netlist state, so
+//! two pieces of bookkeeping make evict/restore bit-exact:
+//!
+//! * pending edits are flushed (one unbounded update) before the
+//!   snapshot is taken — the snapshot stores values, not the dirty set;
+//! * [`Edit::SetNetCap`] mutates the netlist itself, which a restore
+//!   rebuilds from source text; the session therefore journals every
+//!   net-cap edit (bit-exact `f32` patterns) and the restore replays the
+//!   journal before installing the snapshot.
+//!
+//! The checkpoint's identity fields are reused rather than extended (the
+//! on-disk format is unchanged): `circuit` holds the session name,
+//! `scale_bits` an FNV-1a64 fingerprint of the Verilog text, and `seed`
+//! a fingerprint of the constraints (Liberty + SDC + clock period), so a
+//! restore against edited sources is rejected with a typed error.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{
+    fnv1a64, read_checkpoint, write_checkpoint, CheckpointError, DesignShape, UpdateCheckpoint,
+};
+use crate::core::{IncrementalError, IncrementalPartitioner, PartitionerOptions, SeqGPasta};
+use crate::sched::{Executor, FaultPlan, RetryPolicy, RunBudget, StopCause};
+use crate::sta::{
+    apply_sdc, k_worst_paths, parse_liberty, parse_verilog, CellLibrary, GateId, ParseLibertyError,
+    ParseSdcError, ParseVerilogError, PortId, SnapshotMismatch, Timer, TimingPath, TimingReport,
+};
+use crate::tdg::{BuildTdgError, QuotientTdg, ValidatePartitionError};
+
+/// The textual inputs a session is built from. Owning the *sources*
+/// (rather than only the parsed design) is what makes eviction cheap:
+/// a [`DormantSession`] keeps these strings and a checkpoint path, and
+/// the heavy timer/cache state is rebuilt on restore.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSources {
+    /// Structural Verilog netlist (the subset of
+    /// [`crate::sta::parse_verilog`]).
+    pub verilog: String,
+    /// Liberty cell library; [`CellLibrary::typical`] when absent.
+    pub liberty: Option<String>,
+    /// SDC constraints applied after construction.
+    pub sdc: Option<String>,
+    /// Clock period in ps (applied before the SDC, which may override).
+    pub clock_period_ps: f32,
+}
+
+impl DesignSources {
+    /// Sources with no library/constraint files and a 1 ns clock.
+    pub fn verilog_only(verilog: impl Into<String>) -> Self {
+        DesignSources {
+            verilog: verilog.into(),
+            liberty: None,
+            sdc: None,
+            clock_period_ps: 1_000.0,
+        }
+    }
+
+    /// FNV-1a64 fingerprint of the netlist text (stored in the
+    /// checkpoint's `scale_bits` identity field).
+    pub fn netlist_bits(&self) -> u64 {
+        fnv1a64(self.verilog.as_bytes())
+    }
+
+    /// FNV-1a64 fingerprint of the constraints: Liberty text, SDC text,
+    /// and clock-period bits (stored in the checkpoint's `seed` field).
+    pub fn constraint_bits(&self) -> u64 {
+        let mut buf = Vec::new();
+        for text in [self.liberty.as_deref(), self.sdc.as_deref()] {
+            let bytes = text.unwrap_or("").as_bytes();
+            buf.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            buf.extend_from_slice(bytes);
+        }
+        buf.extend_from_slice(&self.clock_period_ps.to_bits().to_le_bytes());
+        fnv1a64(&buf)
+    }
+}
+
+/// A session operation failed. Every variant is recoverable at the
+/// request boundary: the daemon renders it as a structured JSON error
+/// and the session (when one exists) stays usable.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The Verilog netlist failed to parse.
+    Verilog(ParseVerilogError),
+    /// The Liberty library failed to parse.
+    Liberty(ParseLibertyError),
+    /// The SDC constraints failed to parse or apply.
+    Sdc(ParseSdcError),
+    /// The netlist contains a combinational loop, so no timing graph
+    /// exists for it.
+    Graph(BuildTdgError),
+    /// An [`Edit`] referenced a missing object or carried an invalid
+    /// value; the message names both.
+    BadEdit(String),
+    /// Partition-cache maintenance (install, repair, restore) failed.
+    Partition(IncrementalError),
+    /// A repaired partition failed quotient construction — a library
+    /// bug, reported instead of panicking so one request fails, not the
+    /// process.
+    Quotient(ValidatePartitionError),
+    /// A checkpoint's timing snapshot does not fit this design.
+    Snapshot(SnapshotMismatch),
+    /// Reading or writing the eviction checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl SessionError {
+    /// A stable machine-readable tag for wire protocols.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::Verilog(_) => "parse_verilog",
+            SessionError::Liberty(_) => "parse_liberty",
+            SessionError::Sdc(_) => "parse_sdc",
+            SessionError::Graph(_) => "combinational_loop",
+            SessionError::BadEdit(_) => "bad_edit",
+            SessionError::Partition(_) => "partition",
+            SessionError::Quotient(_) => "quotient",
+            SessionError::Snapshot(_) => "snapshot_mismatch",
+            SessionError::Checkpoint(_) => "checkpoint",
+        }
+    }
+
+    /// Whether the failure is the client's fault (bad input: HTTP 4xx)
+    /// rather than the server's (internal failure: HTTP 5xx).
+    pub fn is_client_error(&self) -> bool {
+        matches!(
+            self,
+            SessionError::Verilog(_)
+                | SessionError::Liberty(_)
+                | SessionError::Sdc(_)
+                | SessionError::Graph(_)
+                | SessionError::BadEdit(_)
+        )
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Verilog(e) => write!(f, "netlist: {e}"),
+            SessionError::Liberty(e) => write!(f, "liberty: {e}"),
+            SessionError::Sdc(e) => write!(f, "sdc: {e}"),
+            SessionError::Graph(e) => write!(f, "netlist has no timing graph: {e}"),
+            SessionError::BadEdit(why) => write!(f, "bad edit: {why}"),
+            SessionError::Partition(e) => write!(f, "partition maintenance failed: {e}"),
+            SessionError::Quotient(e) => write!(
+                f,
+                "repaired partition has no valid quotient (library bug): {e}"
+            ),
+            SessionError::Snapshot(e) => write!(f, "snapshot mismatch: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for SessionError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SessionError::Verilog(e) => Some(e),
+            SessionError::Liberty(e) => Some(e),
+            SessionError::Sdc(e) => Some(e),
+            SessionError::Graph(e) => Some(e),
+            SessionError::BadEdit(_) => None,
+            SessionError::Partition(e) => Some(e),
+            SessionError::Quotient(e) => Some(e),
+            SessionError::Snapshot(e) => Some(e),
+            SessionError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<IncrementalError> for SessionError {
+    fn from(e: IncrementalError) -> Self {
+        SessionError::Partition(e)
+    }
+}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
+    }
+}
+
+/// One validated incremental edit. Gates and ports are addressed by
+/// their netlist names (`u3`, `clk_out`); a decimal string is also
+/// accepted as a raw index, which is what the deterministic CLI flows
+/// use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// Repower a gate to a new drive strength (multiplier, must be
+    /// positive and finite).
+    Repower {
+        /// Gate name or decimal index.
+        gate: String,
+        /// New drive strength.
+        drive: f32,
+    },
+    /// Set the wire capacitance of a net (reconnect-class edit: the
+    /// journaled netlist mutation).
+    SetNetCap {
+        /// Net index.
+        net: u32,
+        /// New wire capacitance in fF (non-negative, finite).
+        cap_ff: f32,
+    },
+    /// Constrain a primary input's external delay.
+    SetInputDelay {
+        /// Input port name or decimal index.
+        port: String,
+        /// Delay in ps (finite).
+        delay_ps: f32,
+    },
+    /// Constrain a primary output's external delay.
+    SetOutputDelay {
+        /// Output port name or decimal index.
+        port: String,
+        /// Delay in ps (finite).
+        delay_ps: f32,
+    },
+    /// Change the clock period (ps, positive and finite). Marks the
+    /// whole design dirty.
+    SetClockPeriod {
+        /// New period in ps.
+        period_ps: f32,
+    },
+}
+
+/// What one [`Session::update_timing`] run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Why the run stopped; [`StopCause::Completed`] unless the budget
+    /// expired.
+    pub stop: StopCause,
+    /// Tasks in this update's TDG (0 when nothing was dirty).
+    pub tasks: usize,
+    /// Tasks the dirty-cone repair moved between partitions.
+    pub repair_moved: usize,
+    /// Fresh partitions the repair allocated.
+    pub repair_fresh: usize,
+    /// The partition cache's epoch after the run.
+    pub epoch: u64,
+    /// Endpoints left reading *unknown* (NaN) by an early stop; zero
+    /// for completed runs.
+    pub unknown_endpoints: u32,
+}
+
+/// The in-memory residue of an evicted session: design sources, the
+/// net-capacitance journal, and the path of the `GPCKPT01` checkpoint
+/// holding the heavy state. [`DormantSession::restore`] turns it back
+/// into a live [`Session`] with bit-identical timing state.
+#[derive(Debug, Clone)]
+pub struct DormantSession {
+    name: String,
+    sources: DesignSources,
+    net_cap_journal: Vec<(u32, u32)>,
+    checkpoint: PathBuf,
+}
+
+impl DormantSession {
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Where the heavy state was checkpointed.
+    pub fn checkpoint_path(&self) -> &Path {
+        &self.checkpoint
+    }
+
+    /// Rebuild the live session: reparse the sources, replay the
+    /// net-cap journal, restore the timing snapshot and the partition
+    /// cache from the checkpoint. The result is bit-identical to the
+    /// session as it was at eviction.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Checkpoint`] for unreadable, corrupt, or
+    /// mismatched checkpoints (including sources edited since
+    /// eviction), the parse variants if the sources no longer parse,
+    /// [`SessionError::Snapshot`] / [`SessionError::Partition`] if the
+    /// snapshot or cache does not fit the rebuilt design.
+    pub fn restore(&self, workers: usize) -> Result<Session, SessionError> {
+        let ckpt = read_checkpoint(&self.checkpoint)?;
+        let mismatch = |why: String| SessionError::Checkpoint(CheckpointError::Mismatch(why));
+        if ckpt.circuit != self.name {
+            return Err(mismatch(format!(
+                "checkpoint belongs to session `{}`, not `{}`",
+                ckpt.circuit, self.name
+            )));
+        }
+        if ckpt.scale_bits != self.sources.netlist_bits() {
+            return Err(mismatch(
+                "netlist text changed since eviction (fingerprint mismatch)".into(),
+            ));
+        }
+        if ckpt.seed != self.sources.constraint_bits() {
+            return Err(mismatch(
+                "constraints changed since eviction (fingerprint mismatch)".into(),
+            ));
+        }
+
+        let (mut timer, library) = build_timer(&self.sources)?;
+        let shape = DesignShape::of(&timer);
+        if ckpt.shape != shape {
+            return Err(mismatch(format!(
+                "design shape {shape:?} differs from the checkpoint's {:?}",
+                ckpt.shape
+            )));
+        }
+        // The full-space TDG is a pure function of the rebuilt design; it
+        // hosts the restored cache, and building it clears the fresh
+        // timer's full-dirty flag (the snapshot restore resets dirtiness
+        // anyway).
+        let full_tdg = timer.update_timing().tdg().clone();
+        // Net caps live in the netlist, outside the snapshot: replay the
+        // journal bit-exactly before installing the snapshot values.
+        for &(net, cap_bits) in &self.net_cap_journal {
+            if net as usize >= timer.netlist().num_nets() {
+                return Err(SessionError::BadEdit(format!(
+                    "journaled net {net} out of range (design has {} nets)",
+                    timer.netlist().num_nets()
+                )));
+            }
+            timer.set_net_cap(net, f32::from_bits(cap_bits));
+        }
+        timer
+            .restore_snapshot(&ckpt.snapshot)
+            .map_err(SessionError::Snapshot)?;
+
+        let opts = PartitionerOptions::default();
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        match ckpt.cache {
+            Some(cache) => inc.restore_cache(&full_tdg, cache)?,
+            // Cache-less checkpoints are legal in the format; degrade to
+            // a fresh install on the restored timing state.
+            None => inc.install(&full_tdg, &opts)?,
+        }
+
+        Ok(Session {
+            name: self.name.clone(),
+            sources: self.sources.clone(),
+            timer,
+            library,
+            inc,
+            exec: Executor::new(workers.max(1)),
+            policy: RetryPolicy::default(),
+            net_cap_journal: self.net_cap_journal.clone(),
+            updates_done: ckpt.iterations_done,
+        })
+    }
+}
+
+fn build_timer(sources: &DesignSources) -> Result<(Timer, CellLibrary), SessionError> {
+    let netlist = parse_verilog(&sources.verilog).map_err(SessionError::Verilog)?;
+    let library = match &sources.liberty {
+        Some(text) => parse_liberty(text).map_err(SessionError::Liberty)?,
+        None => CellLibrary::typical(),
+    };
+    let mut timer = Timer::try_new(netlist, library.clone()).map_err(SessionError::Graph)?;
+    timer.set_clock_period(sources.clock_period_ps);
+    if let Some(sdc) = &sources.sdc {
+        apply_sdc(&mut timer, sdc).map_err(SessionError::Sdc)?;
+    }
+    Ok((timer, library))
+}
+
+/// An owned unit of timing-analysis state: parsed design, [`Timer`],
+/// warm [`IncrementalPartitioner`] cache, and [`Executor`] handle.
+/// `Send + 'static`, so it can live behind a mutex in a server registry
+/// and move between worker threads. See the [module docs](self) for the
+/// lifecycle.
+pub struct Session {
+    name: String,
+    sources: DesignSources,
+    timer: Timer,
+    library: CellLibrary,
+    inc: IncrementalPartitioner<SeqGPasta>,
+    exec: Executor,
+    policy: RetryPolicy,
+    /// `(net, f32 bits)` of every applied [`Edit::SetNetCap`], in order —
+    /// replayed by [`DormantSession::restore`] because net caps live in
+    /// the netlist, outside the timing snapshot.
+    net_cap_journal: Vec<(u32, u32)>,
+    updates_done: u32,
+}
+
+// The whole point of the type: a Session can cross threads and outlive
+// its creating scope. Checked at compile time, here, once.
+const _: fn() = || {
+    fn assert_send<T: Send + 'static>() {}
+    assert_send::<Session>();
+};
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("name", &self.name)
+            .field("shape", &self.shape())
+            .field("updates_done", &self.updates_done)
+            .field("epoch", &self.inc.epoch())
+            .field("workers", &self.exec.num_workers())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Parse `sources`, run the initial full analysis, and install the
+    /// incremental partition cache on the full-space update TDG.
+    ///
+    /// # Errors
+    ///
+    /// The parse variants of [`SessionError`] for bad sources,
+    /// [`SessionError::Graph`] for combinational loops, and
+    /// [`SessionError::Partition`] if the cache install fails.
+    pub fn create(
+        name: impl Into<String>,
+        sources: DesignSources,
+        workers: usize,
+    ) -> Result<Session, SessionError> {
+        let (mut timer, library) = build_timer(&sources)?;
+        let opts = PartitionerOptions::default();
+        let mut inc = IncrementalPartitioner::new(SeqGPasta::new());
+        let full = timer.update_timing();
+        inc.install(full.tdg(), &opts)?;
+        full.run_sequential();
+        Ok(Session {
+            name: name.into(),
+            sources,
+            timer,
+            library,
+            inc,
+            exec: Executor::new(workers.max(1)),
+            policy: RetryPolicy::default(),
+            net_cap_journal: Vec::new(),
+            updates_done: 0,
+        })
+    }
+
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sources the session was built from.
+    pub fn sources(&self) -> &DesignSources {
+        &self.sources
+    }
+
+    /// The design's shape (gate/net/port/node counts).
+    pub fn shape(&self) -> DesignShape {
+        DesignShape::of(&self.timer)
+    }
+
+    /// Completed [`update_timing`](Session::update_timing) runs
+    /// (surviving evict/restore).
+    pub fn updates_done(&self) -> u32 {
+        self.updates_done
+    }
+
+    /// The partition cache's repair epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inc.epoch()
+    }
+
+    /// Executor worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.exec.num_workers()
+    }
+
+    /// Whether edits are pending (the next update has work to do).
+    pub fn has_pending_changes(&self) -> bool {
+        self.timer.has_pending_changes()
+    }
+
+    /// Validate and apply one edit. On error nothing is changed.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::BadEdit`] naming the offending object or value.
+    pub fn apply_edit(&mut self, edit: &Edit) -> Result<(), SessionError> {
+        let bad = |why: String| Err(SessionError::BadEdit(why));
+        match edit {
+            Edit::Repower { gate, drive } => {
+                if !drive.is_finite() || *drive <= 0.0 {
+                    return bad(format!("drive {drive} must be positive and finite"));
+                }
+                let g = self.resolve_gate(gate)?;
+                self.timer.repower_gate(g, *drive);
+            }
+            Edit::SetNetCap { net, cap_ff } => {
+                if !cap_ff.is_finite() || *cap_ff < 0.0 {
+                    return bad(format!("wire cap {cap_ff} must be non-negative and finite"));
+                }
+                if *net as usize >= self.timer.netlist().num_nets() {
+                    return bad(format!(
+                        "net {net} out of range (design has {} nets)",
+                        self.timer.netlist().num_nets()
+                    ));
+                }
+                self.timer.set_net_cap(*net, *cap_ff);
+                self.net_cap_journal.push((*net, cap_ff.to_bits()));
+            }
+            Edit::SetInputDelay { port, delay_ps } => {
+                if !delay_ps.is_finite() {
+                    return bad(format!("input delay {delay_ps} must be finite"));
+                }
+                let p = resolve_name(port, self.timer.netlist().input_names(), "input port")?;
+                self.timer.set_input_delay(p, *delay_ps);
+            }
+            Edit::SetOutputDelay { port, delay_ps } => {
+                if !delay_ps.is_finite() {
+                    return bad(format!("output delay {delay_ps} must be finite"));
+                }
+                let p = resolve_name(port, self.timer.netlist().output_names(), "output port")?;
+                self.timer.set_output_delay(p, *delay_ps);
+            }
+            Edit::SetClockPeriod { period_ps } => {
+                if !period_ps.is_finite() || *period_ps <= 0.0 {
+                    return bad(format!(
+                        "clock period {period_ps} must be positive and finite"
+                    ));
+                }
+                self.timer.set_clock_period(*period_ps);
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_gate(&self, gate: &str) -> Result<GateId, SessionError> {
+        let gates = self.timer.netlist().gates();
+        if let Some(i) = gates.iter().position(|g| g.name == gate) {
+            return Ok(GateId(i as u32));
+        }
+        if let Ok(i) = gate.parse::<u32>() {
+            if (i as usize) < gates.len() {
+                return Ok(GateId(i));
+            }
+        }
+        Err(SessionError::BadEdit(format!(
+            "no gate named `{gate}` (and it is not a valid index below {})",
+            gates.len()
+        )))
+    }
+
+    /// Bring timing up to date under `budget`: build the incremental
+    /// update TDG, repair the cached partition inside the dirty cone,
+    /// and execute the partitioned update through the bounded
+    /// recovering executor.
+    ///
+    /// On an early stop ([`StopCause::DeadlineExpired`] /
+    /// [`StopCause::Cancelled`]) the unfinished region's endpoints are
+    /// marked *unknown* (NaN) — never stale-but-plausible — and the
+    /// whole design is re-marked dirty so a later update (with a fresh
+    /// budget) converges to the exact answer.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Partition`] if the dirty-cone repair fails,
+    /// [`SessionError::Quotient`] if the repaired partition has no
+    /// valid quotient.
+    pub fn update_timing(&mut self, budget: &RunBudget) -> Result<UpdateOutcome, SessionError> {
+        let update = self.timer.update_timing();
+        let tasks = update.tdg().num_tasks();
+        if tasks == 0 {
+            drop(update);
+            self.updates_done += 1;
+            return Ok(UpdateOutcome {
+                stop: StopCause::Completed,
+                tasks: 0,
+                repair_moved: 0,
+                repair_fresh: 0,
+                epoch: self.inc.epoch(),
+                unknown_endpoints: 0,
+            });
+        }
+        let ids = update.full_space_ids();
+        let (stats, sub) = self.inc.repair_and_project(&ids)?;
+        let quotient = QuotientTdg::build(update.tdg(), &sub).map_err(SessionError::Quotient)?;
+        let rec = update.run_partitioned_recovering_bounded(
+            &self.exec,
+            &quotient,
+            &FaultPlan::none(),
+            &self.policy,
+            budget,
+        );
+        let unknown_endpoints = if rec.outcome.stop == StopCause::Completed {
+            0
+        } else {
+            // Degrade explicitly: everything the stopped run left stale
+            // reads unknown, and the design is re-marked dirty so the
+            // next (fresh-budget) update recomputes it.
+            update.mark_unknown(&rec);
+            (rec.unfinished_endpoints.len() + rec.poisoned_endpoints.len()) as u32
+        };
+        let stop = rec.outcome.stop;
+        drop(update);
+        if stop != StopCause::Completed {
+            self.timer.invalidate_all();
+        }
+        self.updates_done += 1;
+        Ok(UpdateOutcome {
+            stop,
+            tasks,
+            repair_moved: stats.moved,
+            repair_fresh: stats.fresh_partitions,
+            epoch: self.inc.epoch(),
+            unknown_endpoints,
+        })
+    }
+
+    /// Setup (late-mode) WNS/TNS and the `k` worst endpoints.
+    pub fn report(&self, k: usize) -> TimingReport {
+        self.timer.report(k)
+    }
+
+    /// Hold (early-mode) WNS/TNS and the `k` worst endpoints.
+    pub fn report_hold(&self, k: usize) -> TimingReport {
+        self.timer.report_hold(k)
+    }
+
+    /// The `k` worst paths through the most critical endpoint, worst
+    /// first; empty when the design has no endpoints.
+    pub fn worst_paths(&self, k: usize) -> Vec<TimingPath> {
+        let report = self.timer.report(1);
+        match report.worst.first() {
+            Some(endpoint) => k_worst_paths(
+                self.timer.graph(),
+                self.timer.netlist(),
+                self.timer.data(),
+                endpoint.node,
+                k,
+            ),
+            None => Vec::new(),
+        }
+    }
+
+    /// Persist the session through the `GPCKPT01` checkpoint format and
+    /// return the [`DormantSession`] residue to restore from. Pending
+    /// edits are flushed (one unbounded update) first — the snapshot
+    /// stores values, not the dirty set — which preserves bit-identity
+    /// with a session that was never evicted: propagation is
+    /// deterministic, so updating now or at the next request reaches
+    /// the same bits.
+    ///
+    /// The session itself is left usable; the caller decides whether to
+    /// drop it (true eviction) or keep both.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Checkpoint`] if the file cannot be written, or
+    /// any [`update_timing`](Session::update_timing) error from the
+    /// pending-edit flush.
+    pub fn evict_to(&mut self, path: &Path) -> Result<DormantSession, SessionError> {
+        if self.timer.has_pending_changes() {
+            self.update_timing(&RunBudget::unbounded())?;
+        }
+        let ckpt = UpdateCheckpoint {
+            circuit: self.name.clone(),
+            scale_bits: self.sources.netlist_bits(),
+            seed: self.sources.constraint_bits(),
+            iterations_done: self.updates_done,
+            shape: DesignShape::of(&self.timer),
+            snapshot: self.timer.snapshot(),
+            cache: self.inc.export_cache().ok(),
+        };
+        write_checkpoint(path, &ckpt)?;
+        Ok(DormantSession {
+            name: self.name.clone(),
+            sources: self.sources.clone(),
+            net_cap_journal: self.net_cap_journal.clone(),
+            checkpoint: path.to_path_buf(),
+        })
+    }
+
+    /// The cell library the session analyses against.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// Direct read access to the timer (report details, graph, data).
+    pub fn timer(&self) -> &Timer {
+        &self.timer
+    }
+}
+
+fn resolve_name(name: &str, names: &[String], what: &str) -> Result<PortId, SessionError> {
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return Ok(PortId(i as u32));
+    }
+    if let Ok(i) = name.parse::<u32>() {
+        if (i as usize) < names.len() {
+            return Ok(PortId(i));
+        }
+    }
+    Err(SessionError::BadEdit(format!(
+        "no {what} named `{name}` (and it is not a valid index below {})",
+        names.len()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    const FIXTURE: &str = "\
+module fixture (a, b, y);
+  input a, b;
+  output y;
+  wire n0, n1, n2;
+
+  NAND2 u0 (.a(a), .b(b), .y(n0));
+  INV u1 (.a(n0), .y(n1));
+  NAND2 u2 (.a(n1), .b(b), .y(n2));
+  INV u3 (.a(n2), .y(y));
+endmodule
+";
+
+    fn tmp_ckpt(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "gpasta-session-test-{}-{tag}-{n}.ckpt",
+            std::process::id()
+        ))
+    }
+
+    fn fixture_session(name: &str) -> Session {
+        Session::create(name, DesignSources::verilog_only(FIXTURE), 2).expect("fixture parses")
+    }
+
+    #[test]
+    fn create_runs_the_initial_full_analysis() {
+        let s = fixture_session("t0");
+        let report = s.report(2);
+        assert!(report.wns_ps.is_finite());
+        assert_eq!(s.updates_done(), 0);
+        assert_eq!(s.shape().gates, 4);
+    }
+
+    #[test]
+    fn edits_by_name_and_by_index_agree() {
+        let mut by_name = fixture_session("by-name");
+        let mut by_index = fixture_session("by-index");
+        for (s, gate) in [(&mut by_name, "u2"), (&mut by_index, "2")] {
+            s.apply_edit(&Edit::Repower {
+                gate: gate.into(),
+                drive: 2.0,
+            })
+            .expect("valid edit");
+            s.update_timing(&RunBudget::unbounded()).expect("update");
+        }
+        assert_eq!(
+            by_name.report(1).wns_ps.to_bits(),
+            by_index.report(1).wns_ps.to_bits()
+        );
+    }
+
+    #[test]
+    fn bad_edits_are_typed_and_leave_state_unchanged() {
+        let mut s = fixture_session("bad-edit");
+        let before = s.report(1);
+        for edit in [
+            Edit::Repower {
+                gate: "nope".into(),
+                drive: 2.0,
+            },
+            Edit::Repower {
+                gate: "u0".into(),
+                drive: -1.0,
+            },
+            Edit::Repower {
+                gate: "u0".into(),
+                drive: f32::NAN,
+            },
+            Edit::SetNetCap {
+                net: 999,
+                cap_ff: 1.0,
+            },
+            Edit::SetNetCap {
+                net: 0,
+                cap_ff: f32::INFINITY,
+            },
+            Edit::SetInputDelay {
+                port: "zz".into(),
+                delay_ps: 5.0,
+            },
+            Edit::SetClockPeriod { period_ps: 0.0 },
+        ] {
+            let err = s.apply_edit(&edit).expect_err("must be rejected");
+            assert!(matches!(err, SessionError::BadEdit(_)), "{edit:?}: {err}");
+        }
+        assert!(!s.has_pending_changes());
+        assert_eq!(s.report(1), before);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_and_recovers() {
+        let mut s = fixture_session("deadline");
+        s.apply_edit(&Edit::Repower {
+            gate: "u1".into(),
+            drive: 4.0,
+        })
+        .expect("valid");
+        let out = s
+            .update_timing(&RunBudget::unbounded().with_deadline(Duration::ZERO))
+            .expect("bounded update");
+        assert_eq!(out.stop, StopCause::DeadlineExpired);
+        assert!(out.unknown_endpoints > 0);
+        assert!(s.report(1).wns_ps.is_nan(), "degraded endpoints read NaN");
+
+        // A fresh unbounded update converges to the exact answer.
+        let out = s.update_timing(&RunBudget::unbounded()).expect("update");
+        assert_eq!(out.stop, StopCause::Completed);
+        let healed = s.report(1).wns_ps;
+        assert!(healed.is_finite());
+
+        // Reference: the same edit, never interrupted.
+        let mut reference = fixture_session("deadline-ref");
+        reference
+            .apply_edit(&Edit::Repower {
+                gate: "u1".into(),
+                drive: 4.0,
+            })
+            .expect("valid");
+        reference
+            .update_timing(&RunBudget::unbounded())
+            .expect("update");
+        assert_eq!(healed.to_bits(), reference.report(1).wns_ps.to_bits());
+    }
+
+    #[test]
+    fn evict_restore_is_bit_identical_including_net_caps() {
+        let edits = [
+            Edit::Repower {
+                gate: "u1".into(),
+                drive: 2.0,
+            },
+            Edit::SetNetCap {
+                net: 1,
+                cap_ff: 7.5,
+            },
+        ];
+        let late_edit = Edit::Repower {
+            gate: "u3".into(),
+            drive: 0.5,
+        };
+
+        // Reference: everything in one uninterrupted session.
+        let mut reference = fixture_session("ref");
+        for e in &edits {
+            reference.apply_edit(e).expect("valid");
+        }
+        reference
+            .update_timing(&RunBudget::unbounded())
+            .expect("update");
+        reference.apply_edit(&late_edit).expect("valid");
+        reference
+            .update_timing(&RunBudget::unbounded())
+            .expect("update");
+        let want = reference.report(4);
+
+        // Same flow, evicted and restored in the middle.
+        let path = tmp_ckpt("bitident");
+        let mut s = fixture_session("ref");
+        for e in &edits {
+            s.apply_edit(e).expect("valid");
+        }
+        s.update_timing(&RunBudget::unbounded()).expect("update");
+        let dormant = s.evict_to(&path).expect("evict");
+        drop(s);
+        let mut restored = dormant.restore(2).expect("restore");
+        assert_eq!(restored.updates_done(), 1);
+        restored.apply_edit(&late_edit).expect("valid");
+        restored
+            .update_timing(&RunBudget::unbounded())
+            .expect("update");
+        let got = restored.report(4);
+
+        assert_eq!(got.wns_ps.to_bits(), want.wns_ps.to_bits());
+        assert_eq!(got.tns_ps.to_bits(), want.tns_ps.to_bits());
+        assert_eq!(restored.epoch(), reference.epoch());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evict_flushes_pending_edits() {
+        let path = tmp_ckpt("flush");
+        let mut s = fixture_session("flush");
+        s.apply_edit(&Edit::Repower {
+            gate: "u0".into(),
+            drive: 3.0,
+        })
+        .expect("valid");
+        assert!(s.has_pending_changes());
+        let dormant = s.evict_to(&path).expect("evict");
+        assert!(!s.has_pending_changes(), "eviction flushed the edit");
+        let restored = dormant.restore(2).expect("restore");
+        assert_eq!(
+            restored.report(1).wns_ps.to_bits(),
+            s.report(1).wns_ps.to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_edited_sources() {
+        let path = tmp_ckpt("tamper");
+        let mut s = fixture_session("tamper");
+        s.update_timing(&RunBudget::unbounded()).expect("update");
+        let dormant = s.evict_to(&path).expect("evict");
+
+        let mut tampered = dormant.clone();
+        tampered.sources.verilog.push('\n');
+        match tampered.restore(2) {
+            Err(SessionError::Checkpoint(CheckpointError::Mismatch(why))) => {
+                assert!(why.contains("netlist"), "{why}")
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+
+        let mut reclocked = dormant.clone();
+        reclocked.sources.clock_period_ps = 500.0;
+        assert!(matches!(
+            reclocked.restore(2),
+            Err(SessionError::Checkpoint(CheckpointError::Mismatch(_)))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn worst_paths_trace_the_critical_endpoint() {
+        let mut s = fixture_session("paths");
+        s.update_timing(&RunBudget::unbounded()).expect("update");
+        let paths = s.worst_paths(2);
+        assert!(!paths.is_empty());
+        assert_eq!(
+            paths[0].slack_ps.to_bits(),
+            s.report(1).wns_ps.to_bits(),
+            "worst path slack equals WNS"
+        );
+    }
+}

@@ -1,9 +1,13 @@
-//! Guard: `tests/` holds Rust sources only.
+//! Guard: `tests/` holds Rust sources only, plus committed design
+//! fixtures under `tests/fixtures/`.
 //!
 //! Integration tests in this repo write their scratch files (checkpoints,
 //! CSVs, logs) to the system temp directory, never next to the sources.
 //! This test pins that policy so a misdirected output path shows up as a
-//! test failure instead of silently polluting the tree.
+//! test failure instead of silently polluting the tree. The one sanctioned
+//! subdirectory is `tests/fixtures/`, which may contain only design-source
+//! text (`.v` netlists, `.lib` libraries, `.sdc` constraints) — generated
+//! artifacts are still banned there.
 
 #[test]
 fn tests_directory_contains_only_rust_sources() {
@@ -12,11 +16,25 @@ fn tests_directory_contains_only_rust_sources() {
     for entry in std::fs::read_dir(&dir).expect("tests/ is readable") {
         let entry = entry.expect("directory entry is readable");
         let path = entry.path();
-        assert!(
-            entry.file_type().expect("file type").is_file(),
-            "unexpected non-file {} in tests/",
-            path.display()
-        );
+        if entry.file_type().expect("file type").is_dir() {
+            assert_eq!(
+                path.file_name().and_then(|n| n.to_str()),
+                Some("fixtures"),
+                "unexpected directory {} in tests/ — only tests/fixtures/ is sanctioned",
+                path.display()
+            );
+            for fixture in std::fs::read_dir(&path).expect("fixtures/ is readable") {
+                let fixture = fixture.expect("directory entry is readable").path();
+                let ext = fixture.extension().and_then(|e| e.to_str());
+                assert!(
+                    matches!(ext, Some("v" | "lib" | "sdc")),
+                    "non-design artifact {} in tests/fixtures/ — write scratch files \
+                     to std::env::temp_dir()",
+                    fixture.display()
+                );
+            }
+            continue;
+        }
         assert_eq!(
             path.extension().and_then(|e| e.to_str()),
             Some("rs"),

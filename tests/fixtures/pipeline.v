@@ -1,0 +1,22 @@
+// Two-stage pipeline fixture for the session/serve integration tests:
+// a combinational front-end feeding two DFFs, then a second cloud of
+// logic to the primary outputs. Ten gates, two register endpoints, two
+// PO endpoints -- big enough that repower edits move the critical path.
+module pipeline (a, b, c, d, y, z);
+  input a, b, c, d;
+  output y, z;
+  wire n0, n1, n2, n3, n4, n5, n6, n7, n8, n9;
+
+  NAND2 u0 (.a(a), .b(b), .y(n0));
+  NAND2 u1 (.a(c), .b(d), .y(n1));
+  XOR2 u2 (.a(n0), .b(n1), .y(n2));
+  INV u3 (.a(n2), .y(n3));
+  DFF r0 (.d(n3), .q(n4));
+  DFF r1 (.d(n2), .q(n5));
+  AND2 u4 (.a(n4), .b(n5), .y(n6));
+  NOR2 u5 (.a(n4), .b(n1), .y(n7));
+  AOI21 u6 (.a(n6), .b(n7), .c(n5), .y(n8));
+  INV u7 (.a(n8), .y(n9));
+  assign y = n9;
+  assign z = n7;
+endmodule
