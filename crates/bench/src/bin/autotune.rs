@@ -1,0 +1,93 @@
+//! Autotuner: sweep partition size `Ps` × executor chunk size on this
+//! host and record the best point.
+//!
+//! The two knobs interact: larger partitions mean fewer, heavier
+//! scheduler units (less dependency traffic to batch), while the chunk
+//! size bounds how many fan-out decrements a worker coalesces into one
+//! `fetch_sub` (see `gpasta_sched::Executor::with_chunk_size`). The sweep
+//! measures the real partitioned executor on a full `update_timing` TDG
+//! and writes every `(Ps, chunk)` median plus the chosen point to
+//! `BENCH_autotune.{json,csv}` — a machine-readable artifact for the
+//! nightly CI job, *not* a committed result (keep it out of `results/`;
+//! the artifact guard bans stray `BENCH_*` files there).
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin autotune -- --scale 0.02 --out target/autotune
+//! ```
+
+use gpasta_bench::tuning::{gpasta_for, tune_ps_chunk, CANDIDATE_CHUNK, CANDIDATE_PS};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
+use gpasta_circuits::PaperCircuit;
+use gpasta_sta::{CellLibrary, Timer};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
+    let cfg = BenchConfig::from_args();
+    let circuit = PaperCircuit::VgaLcd;
+    println!(
+        "Autotune: {} @ scale {} — {} Ps × {} chunk candidates, {} runs/point, {} workers\n",
+        circuit.name(),
+        cfg.scale,
+        CANDIDATE_PS.len(),
+        CANDIDATE_CHUNK.len(),
+        cfg.runs,
+        cfg.workers
+    );
+
+    let mut timer = Timer::new(circuit.build(cfg.scale), CellLibrary::typical());
+    let update = timer.update_timing();
+    let payload = update.task_fn();
+    let partitioner = gpasta_for(cfg.workers);
+    let (best, points) = tune_ps_chunk(
+        update.tdg(),
+        &payload,
+        partitioner.as_ref(),
+        cfg.workers,
+        cfg.runs,
+    );
+
+    println!("{:>5} {:>6} {:>14}", "Ps", "chunk", "median_run_ms");
+    let mut rows: Vec<Row> = points
+        .iter()
+        .map(|p| {
+            let ms = p.median_run.as_secs_f64() * 1e3;
+            println!("{:>5} {:>6} {:>14.3}", p.ps, p.chunk, ms);
+            Row::new(
+                format!("ps{}_chunk{}", p.ps, p.chunk),
+                &[
+                    ("ps", p.ps as f64),
+                    ("chunk", p.chunk as f64),
+                    ("median_run_ms", ms),
+                ],
+            )
+        })
+        .collect();
+    rows.push(Row::new(
+        "chosen",
+        &[
+            ("ps", best.ps as f64),
+            ("chunk", best.chunk as f64),
+            ("median_run_ms", best.median_run.as_secs_f64() * 1e3),
+        ],
+    ));
+    println!(
+        "\nchosen: Ps={} chunk={} ({:.3} ms median run)",
+        best.ps,
+        best.chunk,
+        best.median_run.as_secs_f64() * 1e3
+    );
+
+    write_json(&cfg.out_dir.join("BENCH_autotune.json"), &rows)?;
+    write_csv(&cfg.out_dir.join("BENCH_autotune.csv"), &rows)?;
+    println!(
+        "wrote {}",
+        cfg.out_dir.join("BENCH_autotune.json").display()
+    );
+    Ok(())
+}

@@ -24,73 +24,17 @@
 //! plus a cross-circuit summary `BENCH_incremental.json`, and cross-checks
 //! that both policies end on the exact same WNS.
 
-use gpasta_bench::tuning::{gpasta_for, tune_gdca_ps, DISPATCH_NS, SIM_WORKERS};
+use gpasta_bench::figs::{apply_modifier, fig7_circuit_rows, fig7_iterations, FIG7_SEED};
+use gpasta_bench::tuning::{gpasta_for, DISPATCH_NS, SIM_WORKERS};
 use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
 use gpasta_circuits::PaperCircuit;
-use gpasta_core::{Gdca, IncrementalPartitioner, Partitioner, PartitionerOptions};
+use gpasta_core::{IncrementalPartitioner, Partitioner, PartitionerOptions};
 use gpasta_sched::{simulate_makespan, Executor, FlowArena, Taskflow};
-use gpasta_sta::{CellLibrary, GateId, Timer};
+use gpasta_sta::{CellLibrary, Timer};
 use gpasta_tdg::QuotientTdg;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
-
-/// A named scheduling policy: `None` runs the raw TDG.
-type Policy<'a> = (
-    &'a str,
-    Option<(&'a dyn Partitioner, &'a PartitionerOptions)>,
-);
-
-/// One deterministic design modifier per iteration.
-fn apply_modifier(timer: &mut Timer, rng: &mut ChaCha8Rng) {
-    let num_gates = timer.netlist().num_gates();
-    let num_nets = timer.netlist().num_nets() as u32;
-    if rng.gen_bool(0.5) && num_gates > 0 {
-        let g = GateId(rng.gen_range(0..num_gates as u32));
-        let drive = *[0.5f32, 1.0, 2.0, 4.0].choose(rng).expect("non-empty");
-        timer.repower_gate(g, drive);
-    } else if num_nets > 0 {
-        let net = rng.gen_range(0..num_nets);
-        timer.set_net_cap(net, rng.gen_range(0.0..6.0));
-    }
-}
-
-/// Per-iteration cost of one policy: `(wall_ms, sim_ms)`.
-fn one_iteration(
-    timer: &mut Timer,
-    exec: &Executor,
-    policy: Option<(&dyn Partitioner, &PartitionerOptions)>,
-) -> (f64, f64) {
-    let update = timer.update_timing();
-    let tdg = update.tdg();
-    let payload = update.task_fn();
-    match policy {
-        None => {
-            let t0 = Instant::now();
-            let taskflow = Taskflow::from_tdg(tdg, &payload);
-            drop(taskflow);
-            let overhead = update.build_time() + t0.elapsed();
-            let report = exec.run_tdg(tdg, &payload);
-            let wall = (overhead + report.elapsed).as_secs_f64() * 1e3;
-            let sim = overhead.as_secs_f64() * 1e3
-                + simulate_makespan(tdg, SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6;
-            (wall, sim)
-        }
-        Some((p, opts)) => {
-            let t0 = Instant::now();
-            let partition = p.partition(tdg, opts).expect("valid options");
-            let quotient = QuotientTdg::build(tdg, &partition).expect("schedulable");
-            let taskflow = Taskflow::from_quotient(&quotient, &payload);
-            drop(taskflow);
-            let overhead = update.build_time() + t0.elapsed();
-            let report = exec.run_partitioned(&quotient, &payload);
-            let wall = (overhead + report.elapsed).as_secs_f64() * 1e3;
-            let sim = overhead.as_secs_f64() * 1e3
-                + simulate_makespan(quotient.graph(), SIM_WORKERS, DISPATCH_NS).makespan_ns / 1e6;
-            (wall, sim)
-        }
-    }
-}
 
 /// Per-iteration cumulative series of one incremental-mode policy, plus
 /// its final WNS for the bit-identity cross-check.
@@ -112,7 +56,7 @@ fn run_scratch_policy(
     opts: &PartitionerOptions,
     iterations: usize,
 ) -> IncrementalSeries {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let mut rng = ChaCha8Rng::seed_from_u64(FIG7_SEED);
     let mut timer = Timer::new(netlist.clone(), library.clone());
     timer.update_timing().run_sequential();
 
@@ -164,7 +108,7 @@ fn run_incremental_policy(
     opts: &PartitionerOptions,
     iterations: usize,
 ) -> (IncrementalSeries, f64) {
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    let mut rng = ChaCha8Rng::seed_from_u64(FIG7_SEED);
     let mut timer = Timer::new(netlist.clone(), library.clone());
 
     // The initial full update *is* the full task space (task ids are the
@@ -223,7 +167,7 @@ fn run_incremental_policy(
 /// The `--incremental` mode: from-scratch G-PASTA vs. the dirty-cone
 /// partition cache, identical modifier streams, WNS cross-checked.
 fn run_incremental_mode(cfg: &BenchConfig) -> Result<(), OutputError> {
-    let iterations = ((8_000.0 * cfg.scale) as usize).max(20);
+    let iterations = fig7_iterations(cfg.scale);
     println!(
         "Figure 7 (incremental partition maintenance): {} iterations @ scale {}\n",
         iterations, cfg.scale
@@ -371,7 +315,7 @@ fn run() -> Result<(), OutputError> {
     if cfg.incremental {
         return run_incremental_mode(&cfg);
     }
-    let iterations = ((8_000.0 * cfg.scale) as usize).max(20);
+    let iterations = fig7_iterations(cfg.scale);
     println!(
         "Figure 7 reproduction: {} incremental iterations @ scale {}\n",
         iterations, cfg.scale
@@ -379,77 +323,35 @@ fn run() -> Result<(), OutputError> {
 
     for &circuit in &[PaperCircuit::VgaLcd, PaperCircuit::Leon2] {
         println!("== {} ==", circuit.name());
-        let netlist = circuit.build(cfg.scale);
-        let library = CellLibrary::typical();
-        let exec = Executor::new(cfg.workers);
+        // The measurement core is shared with `perf_smoke` and the
+        // perf-regression test, so a committed baseline and a fresh run
+        // are always method-identical.
+        let rows = fig7_circuit_rows(circuit, cfg.scale, cfg.workers);
 
-        // Tune GDCA once on the full-update TDG, as for Table 1.
-        let gdca_ps = {
-            let mut t = Timer::new(netlist.clone(), library.clone());
-            let update = t.update_timing();
-            tune_gdca_ps(update.tdg(), SIM_WORKERS, DISPATCH_NS)
+        let final_row = rows.last().expect("at least 20 iterations");
+        let col = |name: &str| {
+            final_row
+                .values
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+                .expect("fig7 schema")
         };
-
-        let gdca: Box<dyn Partitioner> = Box::new(Gdca::new());
-        let gpasta = gpasta_for(cfg.workers);
-        let gdca_opts = PartitionerOptions::with_max_size(gdca_ps);
-        let auto_opts = PartitionerOptions::default();
-        let policies: Vec<Policy> = vec![
-            ("original", None),
-            ("gdca", Some((gdca.as_ref(), &gdca_opts))),
-            ("gpasta", Some((gpasta.as_ref(), &auto_opts))),
-        ];
-
-        let mut wall_series: Vec<Vec<f64>> = Vec::new();
-        let mut sim_series: Vec<Vec<f64>> = Vec::new();
-        for (name, policy) in &policies {
-            // Identical modifier sequence per policy.
-            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
-            let mut timer = Timer::new(netlist.clone(), library.clone());
-            // Initial full analysis is common to all policies (warm start).
-            timer.update_timing().run_sequential();
-
-            let (mut wall_cum, mut sim_cum) = (0.0f64, 0.0f64);
-            let mut wall_curve = Vec::with_capacity(iterations);
-            let mut sim_curve = Vec::with_capacity(iterations);
-            for _ in 0..iterations {
-                apply_modifier(&mut timer, &mut rng);
-                let (wall, sim) = one_iteration(&mut timer, &exec, *policy);
-                wall_cum += wall;
-                sim_cum += sim;
-                wall_curve.push(wall_cum);
-                sim_curve.push(sim_cum);
-            }
+        for name in ["original", "gdca", "gpasta"] {
             println!(
                 "  {:<10} cumulative wall {:>10.1} ms | simulated ({} workers) {:>10.1} ms",
-                name, wall_cum, SIM_WORKERS, sim_cum
+                name,
+                col(&format!("{name}_wall_ms")),
+                SIM_WORKERS,
+                col(&format!("{name}_sim_ms"))
             );
-            wall_series.push(wall_curve);
-            sim_series.push(sim_curve);
         }
-
-        let last = |s: &[Vec<f64>], i: usize| *s[i].last().expect("non-empty");
         println!(
             "  simulated: G-PASTA improves overall STA by {:.0}% (paper: 43% on leon2); GDCA at {:.2}x the original (paper: 3.7x slower)\n",
-            100.0 * (1.0 - last(&sim_series, 2) / last(&sim_series, 0)),
-            last(&sim_series, 1) / last(&sim_series, 0)
+            100.0 * (1.0 - col("gpasta_sim_ms") / col("original_sim_ms")),
+            col("gdca_sim_ms") / col("original_sim_ms")
         );
 
-        let rows: Vec<Row> = (0..iterations)
-            .map(|i| {
-                Row::new(
-                    format!("{}", i + 1),
-                    &[
-                        ("original_wall_ms", wall_series[0][i]),
-                        ("gdca_wall_ms", wall_series[1][i]),
-                        ("gpasta_wall_ms", wall_series[2][i]),
-                        ("original_sim_ms", sim_series[0][i]),
-                        ("gdca_sim_ms", sim_series[1][i]),
-                        ("gpasta_sim_ms", sim_series[2][i]),
-                    ],
-                )
-            })
-            .collect();
         write_csv(
             &cfg.out_dir.join(format!("fig7_{}.csv", circuit.name())),
             &rows,

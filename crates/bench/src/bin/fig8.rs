@@ -13,22 +13,19 @@
 //!   ([`gpasta_sched::simulate_makespan`]), which reproduces the paper's
 //!   multi-core shape on any machine and is what the printed table shows.
 //!
+//! The measurement itself lives in
+//! [`gpasta_bench::figs::fig8_circuit_rows`], shared with the
+//! perf-regression harness so the committed baselines and fresh runs are
+//! method-identical.
+//!
 //! ```text
 //! cargo run --release -p gpasta-bench --bin fig8 -- --scale 0.05
 //! ```
 
+use gpasta_bench::figs::fig8_circuit_rows;
 use gpasta_bench::tuning::{DISPATCH_NS, SIM_WORKERS};
-use gpasta_bench::{
-    flow, measure_partitioned_update, write_csv, write_json, BenchConfig, OutputError, Row,
-};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError};
 use gpasta_circuits::PaperCircuit;
-use gpasta_core::{DeterGPasta, GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
-use gpasta_gpu::Device;
-use gpasta_sched::{simulate_makespan, Executor};
-use gpasta_sta::{CellLibrary, Timer};
-use gpasta_tdg::QuotientTdg;
-
-const PARTITION_SIZES: &[usize] = &[1, 2, 3, 5, 8, 15, 30, 60, 120, 240];
 
 fn main() {
     if let Err(e) = run() {
@@ -50,56 +47,23 @@ fn run() -> Result<(), OutputError> {
             "{:>5} {:>12} {:>12} {:>12} {:>12}",
             "Ps", "GDCA", "seq-GP", "GP", "deter"
         );
-        let netlist = circuit.build(cfg.scale);
-        let library = CellLibrary::typical();
-        let exec = Executor::new(cfg.workers);
-
-        let partitioners: Vec<Box<dyn Partitioner>> = vec![
-            Box::new(Gdca::new()),
-            Box::new(SeqGPasta::new()),
-            Box::new(GPasta::with_device(Device::new(cfg.workers))),
-            Box::new(DeterGPasta::with_device(Device::new(cfg.workers))),
-        ];
-
-        let mut rows = Vec::new();
-        for &ps in PARTITION_SIZES {
-            let opts = PartitionerOptions::with_max_size(ps);
-            let mut wall_ms = Vec::new();
-            let mut sim_ms = Vec::new();
-            for p in &partitioners {
-                // Wall-clock on this host.
-                let mut timer = Timer::new(netlist.clone(), library.clone());
-                let t = flow::average(cfg.runs, || {
-                    timer.invalidate_all();
-                    measure_partitioned_update(&mut timer, &exec, p.as_ref(), &opts)
-                });
-                wall_ms.push(t.run.as_secs_f64() * 1e3);
-
-                // Deterministic multi-worker makespan.
-                let mut timer = Timer::new(netlist.clone(), library.clone());
-                let update = timer.update_timing();
-                let partition = p.partition(update.tdg(), &opts).expect("valid options");
-                let q = QuotientTdg::build(update.tdg(), &partition).expect("schedulable");
-                let sim = simulate_makespan(q.graph(), SIM_WORKERS, DISPATCH_NS);
-                sim_ms.push(sim.makespan_ns / 1e6);
-            }
+        let rows = fig8_circuit_rows(circuit, cfg.scale, cfg.runs, cfg.workers);
+        for row in &rows {
+            let col = |name: &str| {
+                row.values
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|&(_, v)| v)
+                    .expect("fig8 schema column")
+            };
             println!(
                 "{:>5} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
-                ps, sim_ms[0], sim_ms[1], sim_ms[2], sim_ms[3]
+                row.label,
+                col("gdca_sim_ms"),
+                col("seq_gpasta_sim_ms"),
+                col("gpasta_sim_ms"),
+                col("deter_gpasta_sim_ms")
             );
-            rows.push(Row::new(
-                format!("{ps}"),
-                &[
-                    ("gdca_sim_ms", sim_ms[0]),
-                    ("seq_gpasta_sim_ms", sim_ms[1]),
-                    ("gpasta_sim_ms", sim_ms[2]),
-                    ("deter_gpasta_sim_ms", sim_ms[3]),
-                    ("gdca_wall_ms", wall_ms[0]),
-                    ("seq_gpasta_wall_ms", wall_ms[1]),
-                    ("gpasta_wall_ms", wall_ms[2]),
-                    ("deter_gpasta_wall_ms", wall_ms[3]),
-                ],
-            ));
         }
         write_csv(
             &cfg.out_dir.join(format!("fig8_{}.csv", circuit.name())),

@@ -1,0 +1,96 @@
+//! Perf smoke: a minutes-not-hours regression gate over the hot paths.
+//!
+//! Runs the fig7 (`vga_lcd`) and fig8 (`leon2`) measurement cores at
+//! smoke scale with a pinned worker count, checks the fresh rows still
+//! carry the committed figure files' column schema, summarises them
+//! ([`gpasta_bench::regress`]), and compares against the committed
+//! baseline `results/perf_baseline.json` with the tolerance band. Any
+//! metric outside the band exits 1 — this is the CI perf-smoke step.
+//!
+//! The fresh summary is always written to `<out>/BENCH_perf_smoke.json`
+//! so CI can upload it as an artifact.
+//!
+//! Baseline refresh (after an intentional perf change, see DESIGN.md
+//! §13):
+//!
+//! ```text
+//! GPASTA_PERF_REFRESH=1 cargo run --release -p gpasta-bench --bin perf_smoke
+//! ```
+//!
+//! Tolerances: `GPASTA_PERF_TOL` (wall band, default 0.60) and
+//! `GPASTA_PERF_SPEEDUP_TOL` (speedup band, default 0.30).
+
+use gpasta_bench::regress::{
+    check_columns, check_schema, compare, run_smoke, PerfSummary, Tolerance,
+};
+use gpasta_bench::{read_json, write_json, BenchConfig};
+use std::path::Path;
+
+/// The committed baseline the smoke compares against (and the refresh
+/// mode rewrites).
+const BASELINE: &str = "results/perf_baseline.json";
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = BenchConfig::from_args();
+    println!("Perf smoke: fig7(vga_lcd) + fig8(leon2) at smoke scale, pinned workers\n");
+    let smoke = run_smoke();
+
+    // The smoke rows must still speak the committed figure files' schema
+    // (fewer rows, identical columns).
+    check_columns(
+        "results/fig7_vga_lcd.json",
+        &smoke.fig7_rows,
+        &read_json(Path::new("results/fig7_vga_lcd.json"))?,
+    )?;
+    check_columns(
+        "results/fig8_leon2.json",
+        &smoke.fig8_rows,
+        &read_json(Path::new("results/fig8_leon2.json"))?,
+    )?;
+
+    for (metric, value) in &smoke.summary.metrics {
+        println!("  {metric:<34} {value:>10.3}");
+    }
+    println!();
+
+    let summary_rows = smoke.summary.to_rows();
+    write_json(&cfg.out_dir.join("BENCH_perf_smoke.json"), &summary_rows)?;
+    println!(
+        "wrote {}",
+        cfg.out_dir.join("BENCH_perf_smoke.json").display()
+    );
+
+    if std::env::var("GPASTA_PERF_REFRESH").as_deref() == Ok("1") {
+        write_json(Path::new(BASELINE), &summary_rows)?;
+        println!("refreshed {BASELINE}");
+        return Ok(());
+    }
+
+    let baseline = PerfSummary::load(Path::new(BASELINE))?;
+    check_schema(BASELINE, &summary_rows, &baseline.to_rows())?;
+    let tol = Tolerance::from_env();
+    let regressions = compare(&smoke.summary, &baseline, tol)?;
+    if regressions.is_empty() {
+        println!(
+            "within tolerance of {BASELINE} (wall +{:.0}%, speedup -{:.0}%)",
+            tol.wall * 100.0,
+            tol.speedup * 100.0 / (1.0 + tol.speedup)
+        );
+        return Ok(());
+    }
+    for r in &regressions {
+        eprintln!("regression: {r}");
+    }
+    Err(format!(
+        "{} metric(s) regressed past the tolerance band; if intentional, refresh with GPASTA_PERF_REFRESH=1 (DESIGN.md §13)",
+        regressions.len()
+    )
+    .into())
+}

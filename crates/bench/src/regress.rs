@@ -1,0 +1,662 @@
+//! Perf-regression harness: compare fresh fig7/fig8 measurements against
+//! the committed baselines in `results/`.
+//!
+//! The committed `results/perf_baseline.json` pins the end-to-end medians
+//! of the two hot-path figures at the smoke scale, summarised by
+//! [`summarize_fig7`] / [`summarize_fig8`] from rows produced by the same
+//! measurement cores ([`crate::figs`]) the `fig7`/`fig8` emitters use.
+//! [`compare`] then flags any fresh metric outside the tolerance band, so
+//! a data-layout regression fails `perf_smoke` (and the CI perf-smoke
+//! step) instead of silently eroding the speedup the baselines lock in.
+//!
+//! Two metric kinds, told apart by suffix:
+//!
+//! * `*_wall_ms` — absolute milliseconds, lower is better. Host-speed
+//!   dependent, so the default band ([`Tolerance::DEFAULT_WALL`]) is wide
+//!   and meant for same-host-class comparisons (CI runners, the machine
+//!   that recorded the baseline). Refresh procedure: DESIGN.md §13.
+//! * `*_speedup` — a ratio of two measurements from the *same* fresh run
+//!   (e.g. original-policy wall over G-PASTA wall). Host speed cancels
+//!   out, so the band ([`Tolerance::DEFAULT_SPEEDUP`]) is tight; this is
+//!   the metric that actually locks the multi-× in.
+
+use crate::figs::{fig7_circuit_rows, fig8_circuit_rows};
+use crate::{read_json, OutputError, Row};
+use gpasta_circuits::PaperCircuit;
+use std::path::Path;
+
+/// Scale of the smoke fig7 run (20 iterations — the floor).
+pub const SMOKE_FIG7_SCALE: f64 = 0.001;
+/// Scale of the smoke fig8 sweep.
+pub const SMOKE_FIG8_SCALE: f64 = 0.002;
+/// Averaging runs of the smoke fig8 sweep: per-cell median-of-3, the
+/// ratio metrics divide two ~1 ms medians and single runs leave them
+/// ±30 % even on an otherwise quiet host.
+pub const SMOKE_FIG8_RUNS: usize = 3;
+/// Whole-measurement repeats of the smoke; [`run_smoke`] keeps the
+/// least-interfered repeat per figure. At smoke scale a single OS
+/// preemption can triple a ~2 ms cumulative wall, and interference only
+/// ever *adds* time, so min-total-wall-of-N picks the clean run.
+pub const SMOKE_REPEATS: usize = 3;
+/// Pinned executor worker count: the smoke numbers should not track the
+/// host's core count, only its single-core speed (which the tolerance
+/// band absorbs) — so every machine runs the same schedule shape.
+pub const SMOKE_WORKERS: usize = 4;
+
+/// A fresh perf-smoke measurement: raw emitter rows (for schema checks
+/// against the committed figure files) plus their summary (for the
+/// tolerance comparison against `results/perf_baseline.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeRun {
+    /// Fig7 rows for `vga_lcd` at [`SMOKE_FIG7_SCALE`].
+    pub fig7_rows: Vec<Row>,
+    /// Fig8 rows for `leon2` at [`SMOKE_FIG8_SCALE`].
+    pub fig8_rows: Vec<Row>,
+    /// Merged [`summarize_fig7`] + [`summarize_fig8`] metrics.
+    pub summary: PerfSummary,
+}
+
+/// Run the perf smoke: the fig7 and fig8 measurement cores at smoke
+/// scale on the two acceptance circuits, method-identical to the full
+/// emitters (same functions in [`crate::figs`], reduced scale). Each
+/// figure is measured [`SMOKE_REPEATS`] times and the repeat with the
+/// lowest total wall wins — rows and the derived summary stay coherent
+/// (every speedup ratio comes from one undisturbed measurement).
+pub fn run_smoke() -> SmokeRun {
+    let fig7_rows = best_of(SMOKE_REPEATS, || {
+        let rows = fig7_circuit_rows(PaperCircuit::VgaLcd, SMOKE_FIG7_SCALE, SMOKE_WORKERS);
+        let s = summarize_fig7("vga_lcd", &rows);
+        (total_wall(&s), rows)
+    });
+    let fig8_rows = best_of(SMOKE_REPEATS, || {
+        let rows = fig8_circuit_rows(
+            PaperCircuit::Leon2,
+            SMOKE_FIG8_SCALE,
+            SMOKE_FIG8_RUNS,
+            SMOKE_WORKERS,
+        );
+        let s = summarize_fig8("leon2", &rows);
+        (total_wall(&s), rows)
+    });
+    let mut summary = summarize_fig7("vga_lcd", &fig7_rows);
+    summary.merge(summarize_fig8("leon2", &fig8_rows));
+    SmokeRun {
+        fig7_rows,
+        fig8_rows,
+        summary,
+    }
+}
+
+/// Sum of a summary's `*_wall_ms` metrics: the interference score a
+/// smoke repeat is ranked by (lower = cleaner).
+fn total_wall(summary: &PerfSummary) -> f64 {
+    summary
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.ends_with("_wall_ms"))
+        .map(|&(_, v)| v)
+        .sum()
+}
+
+/// Run `measure` `repeats` times and keep the rows of the repeat with
+/// the smallest score.
+fn best_of(repeats: usize, mut measure: impl FnMut() -> (f64, Vec<Row>)) -> Vec<Row> {
+    let mut best = measure();
+    for _ in 1..repeats {
+        let next = measure();
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best.1
+}
+
+/// A perf summary: named end-to-end metrics extracted from emitter rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerfSummary {
+    /// `(metric name, value)` pairs, order preserved.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PerfSummary {
+    /// Append every metric of `other` (names are namespaced by figure and
+    /// circuit, so concatenation cannot collide).
+    pub fn merge(&mut self, other: PerfSummary) {
+        self.metrics.extend(other.metrics);
+    }
+
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Render as baseline rows (one row per metric, single `value`
+    /// column) for [`crate::write_json`].
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.metrics
+            .iter()
+            .map(|(k, v)| Row::new(k.clone(), &[("value", *v)]))
+            .collect()
+    }
+
+    /// Parse baseline rows written by [`to_rows`](Self::to_rows).
+    ///
+    /// # Errors
+    ///
+    /// [`RegressError::MalformedBaseline`] if a row lacks the `value`
+    /// column.
+    pub fn from_rows(rows: &[Row]) -> Result<Self, RegressError> {
+        let metrics = rows
+            .iter()
+            .map(|r| {
+                r.values
+                    .iter()
+                    .find(|(k, _)| k == "value")
+                    .map(|&(_, v)| (r.label.clone(), v))
+                    .ok_or_else(|| RegressError::MalformedBaseline {
+                        metric: r.label.clone(),
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PerfSummary { metrics })
+    }
+
+    /// Load a baseline summary from a JSON file written by
+    /// [`crate::write_json`]`(path, summary.to_rows())`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegressError::Output`] if the file is unreadable or not a row
+    /// array, [`RegressError::MalformedBaseline`] on a row without a
+    /// `value` column.
+    pub fn load(path: &Path) -> Result<Self, RegressError> {
+        Self::from_rows(&read_json(path)?)
+    }
+}
+
+/// Fig7 policies summarised (`<policy>_wall_ms` column prefixes).
+pub const FIG7_POLICIES: &[&str] = &["original", "gdca", "gpasta"];
+
+/// Fig8 algorithms summarised (`<algo>_wall_ms` column prefixes).
+pub const FIG8_ALGOS: &[&str] = &["gdca", "seq_gpasta", "gpasta", "deter_gpasta"];
+
+/// Summarise fig7 rows (cumulative per-iteration series): the final
+/// cumulative wall per policy — the emitter's end-to-end cost — plus
+/// `gpasta_speedup`, the original-policy wall over the G-PASTA wall.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or missing the fig7 schema columns — use
+/// [`check_schema`] against a committed fig7 file first.
+pub fn summarize_fig7(circuit: &str, rows: &[Row]) -> PerfSummary {
+    let last = rows.last().expect("fig7 emits at least 20 iterations");
+    let col = |name: &str| {
+        last.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .expect("fig7 schema column")
+    };
+    let mut metrics = Vec::new();
+    for policy in FIG7_POLICIES {
+        metrics.push((
+            format!("fig7_{circuit}_{policy}_wall_ms"),
+            col(&format!("{policy}_wall_ms")),
+        ));
+    }
+    metrics.push((
+        format!("fig7_{circuit}_gpasta_speedup"),
+        col("original_wall_ms") / col("gpasta_wall_ms"),
+    ));
+    PerfSummary { metrics }
+}
+
+/// Summarise fig8 rows (one row per partition size): the median wall
+/// over the Ps sweep per algorithm — the end-to-end median of the
+/// figure — plus `seq_gpasta_speedup`, GDCA's median over seq-G-PASTA's
+/// (both partitioning-heavy columns of the same fresh run).
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or missing the fig8 schema columns — use
+/// [`check_schema`] against a committed fig8 file first.
+pub fn summarize_fig8(circuit: &str, rows: &[Row]) -> PerfSummary {
+    let median_col = |name: &str| {
+        let mut vals: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r.values
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|&(_, v)| v)
+                    .expect("fig8 schema column")
+            })
+            .collect();
+        assert!(!vals.is_empty(), "fig8 sweeps at least one partition size");
+        vals.sort_by(f64::total_cmp);
+        vals[(vals.len() - 1) / 2]
+    };
+    let mut metrics = Vec::new();
+    for algo in FIG8_ALGOS {
+        metrics.push((
+            format!("fig8_{circuit}_{algo}_wall_ms"),
+            median_col(&format!("{algo}_wall_ms")),
+        ));
+    }
+    metrics.push((
+        format!("fig8_{circuit}_seq_gpasta_speedup"),
+        median_col("gdca_wall_ms") / median_col("seq_gpasta_wall_ms"),
+    ));
+    PerfSummary { metrics }
+}
+
+/// Check that `fresh` rows carry exactly the committed `baseline` file's
+/// schema: same row labels in the same order, same column names in the
+/// same order. Values are *not* compared — that is [`compare`]'s job.
+///
+/// # Errors
+///
+/// [`RegressError::SchemaMismatch`] naming the first divergence.
+pub fn check_schema(name: &str, fresh: &[Row], baseline: &[Row]) -> Result<(), RegressError> {
+    let mismatch = |what: String| {
+        Err(RegressError::SchemaMismatch {
+            file: name.to_owned(),
+            what,
+        })
+    };
+    if fresh.len() != baseline.len() {
+        return mismatch(format!(
+            "{} fresh rows vs {} baseline rows",
+            fresh.len(),
+            baseline.len()
+        ));
+    }
+    for (f, b) in fresh.iter().zip(baseline) {
+        if f.label != b.label {
+            return mismatch(format!("row label `{}` vs baseline `{}`", f.label, b.label));
+        }
+        let cols = |r: &Row| r.values.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>();
+        if cols(f) != cols(b) {
+            return mismatch(format!(
+                "row `{}` columns {:?} vs baseline {:?}",
+                f.label,
+                cols(f),
+                cols(b)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check that `fresh` rows carry the same column-name sequence as the
+/// committed figure file's rows. Unlike [`check_schema`] the row labels
+/// and counts may differ — the smoke runs fewer iterations than the
+/// committed scale-of-record files, but a column drift still means the
+/// emitters and the committed artefacts no longer speak the same schema.
+///
+/// # Errors
+///
+/// [`RegressError::SchemaMismatch`] naming the diverging column lists.
+pub fn check_columns(name: &str, fresh: &[Row], committed: &[Row]) -> Result<(), RegressError> {
+    let cols = |rows: &[Row]| {
+        rows.first()
+            .map(|r| r.values.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>())
+            .unwrap_or_default()
+    };
+    let (f, c) = (cols(fresh), cols(committed));
+    if f != c {
+        return Err(RegressError::SchemaMismatch {
+            file: name.to_owned(),
+            what: format!("columns {f:?} vs committed {c:?}"),
+        });
+    }
+    Ok(())
+}
+
+/// Multiplicative tolerance bands for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// `*_wall_ms` may exceed baseline by this fraction (0.5 = +50 %).
+    pub wall: f64,
+    /// `*_speedup` may fall short of baseline by this fraction.
+    pub speedup: f64,
+}
+
+impl Tolerance {
+    /// Default band for absolute wall metrics: generous, because wall
+    /// clock tracks host speed and scheduler noise.
+    pub const DEFAULT_WALL: f64 = 0.60;
+    /// Default band for speedup ratios: tight, host speed cancels out.
+    pub const DEFAULT_SPEEDUP: f64 = 0.30;
+
+    /// The default bands, with `GPASTA_PERF_TOL` (wall) and
+    /// `GPASTA_PERF_SPEEDUP_TOL` (speedup) environment overrides — both
+    /// fractional, e.g. `GPASTA_PERF_TOL=0.8`.
+    pub fn from_env() -> Self {
+        let read = |key: &str, default: f64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .unwrap_or(default)
+        };
+        Tolerance {
+            wall: read("GPASTA_PERF_TOL", Self::DEFAULT_WALL),
+            speedup: read("GPASTA_PERF_SPEEDUP_TOL", Self::DEFAULT_SPEEDUP),
+        }
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            wall: Self::DEFAULT_WALL,
+            speedup: Self::DEFAULT_SPEEDUP,
+        }
+    }
+}
+
+/// One metric outside its tolerance band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Which metric regressed.
+    pub metric: String,
+    /// The fresh measurement.
+    pub fresh: f64,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The band edge the fresh value crossed.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: fresh {:.3} vs baseline {:.3} (limit {:.3})",
+            self.metric, self.fresh, self.baseline, self.limit
+        )
+    }
+}
+
+/// Compare a fresh summary against the committed baseline: every baseline
+/// metric must be present in `fresh` and inside its band — `*_wall_ms` at
+/// most `baseline * (1 + tol.wall)`, `*_speedup` at least
+/// `baseline / (1 + tol.speedup)`. Metrics present only in `fresh` are
+/// ignored (a new metric needs a baseline refresh, not a failure).
+///
+/// # Errors
+///
+/// [`RegressError::MissingMetric`] when the fresh run lacks a baseline
+/// metric (a schema-level break, not a slowdown).
+pub fn compare(
+    fresh: &PerfSummary,
+    baseline: &PerfSummary,
+    tol: Tolerance,
+) -> Result<Vec<Regression>, RegressError> {
+    let mut regressions = Vec::new();
+    for (metric, &base) in baseline.metrics.iter().map(|(k, v)| (k, v)) {
+        let fresh_v = fresh
+            .get(metric)
+            .ok_or_else(|| RegressError::MissingMetric {
+                metric: metric.clone(),
+            })?;
+        if metric.ends_with("_speedup") {
+            let limit = base / (1.0 + tol.speedup);
+            if fresh_v < limit {
+                regressions.push(Regression {
+                    metric: metric.clone(),
+                    fresh: fresh_v,
+                    baseline: base,
+                    limit,
+                });
+            }
+        } else {
+            let limit = base * (1.0 + tol.wall);
+            if fresh_v > limit {
+                regressions.push(Regression {
+                    metric: metric.clone(),
+                    fresh: fresh_v,
+                    baseline: base,
+                    limit,
+                });
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+/// What went wrong while loading or comparing against a baseline.
+#[derive(Debug)]
+pub enum RegressError {
+    /// Reading or parsing a result file failed.
+    Output(OutputError),
+    /// A baseline row has no `value` column.
+    MalformedBaseline {
+        /// Label of the offending row.
+        metric: String,
+    },
+    /// Fresh rows diverge from the committed file's shape.
+    SchemaMismatch {
+        /// Which file's schema was violated.
+        file: String,
+        /// First divergence found.
+        what: String,
+    },
+    /// The fresh run did not produce a metric the baseline pins.
+    MissingMetric {
+        /// The absent metric.
+        metric: String,
+    },
+}
+
+impl From<OutputError> for RegressError {
+    fn from(e: OutputError) -> Self {
+        RegressError::Output(e)
+    }
+}
+
+impl std::fmt::Display for RegressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressError::Output(e) => write!(f, "{e}"),
+            RegressError::MalformedBaseline { metric } => {
+                write!(f, "baseline row `{metric}` has no `value` column")
+            }
+            RegressError::SchemaMismatch { file, what } => {
+                write!(f, "schema mismatch against {file}: {what}")
+            }
+            RegressError::MissingMetric { metric } => {
+                write!(f, "fresh run is missing baseline metric `{metric}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegressError::Output(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_rows() -> Vec<Row> {
+        // Two cumulative iterations; the summary must read the last.
+        vec![
+            Row::new(
+                "1",
+                &[
+                    ("original_wall_ms", 10.0),
+                    ("gdca_wall_ms", 12.0),
+                    ("gpasta_wall_ms", 4.0),
+                    ("original_sim_ms", 9.0),
+                    ("gdca_sim_ms", 11.0),
+                    ("gpasta_sim_ms", 3.0),
+                ],
+            ),
+            Row::new(
+                "2",
+                &[
+                    ("original_wall_ms", 20.0),
+                    ("gdca_wall_ms", 26.0),
+                    ("gpasta_wall_ms", 5.0),
+                    ("original_sim_ms", 18.0),
+                    ("gdca_sim_ms", 22.0),
+                    ("gpasta_sim_ms", 6.0),
+                ],
+            ),
+        ]
+    }
+
+    fn fig8_rows() -> Vec<Row> {
+        // Three partition sizes; medians are the middle value per column.
+        [("1", 30.0, 10.0), ("2", 20.0, 8.0), ("3", 40.0, 12.0)]
+            .iter()
+            .map(|&(label, gdca, rest)| {
+                Row::new(
+                    label,
+                    &[
+                        ("gdca_sim_ms", 1.0),
+                        ("seq_gpasta_sim_ms", 1.0),
+                        ("gpasta_sim_ms", 1.0),
+                        ("deter_gpasta_sim_ms", 1.0),
+                        ("gdca_wall_ms", gdca),
+                        ("seq_gpasta_wall_ms", rest),
+                        ("gpasta_wall_ms", rest + 1.0),
+                        ("deter_gpasta_wall_ms", rest + 2.0),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fig7_summary_reads_final_cumulative_row() {
+        let s = summarize_fig7("vga_lcd", &fig7_rows());
+        assert_eq!(s.get("fig7_vga_lcd_original_wall_ms"), Some(20.0));
+        assert_eq!(s.get("fig7_vga_lcd_gdca_wall_ms"), Some(26.0));
+        assert_eq!(s.get("fig7_vga_lcd_gpasta_wall_ms"), Some(5.0));
+        assert_eq!(s.get("fig7_vga_lcd_gpasta_speedup"), Some(4.0));
+    }
+
+    #[test]
+    fn fig8_summary_takes_sweep_medians() {
+        let s = summarize_fig8("leon2", &fig8_rows());
+        assert_eq!(s.get("fig8_leon2_gdca_wall_ms"), Some(30.0));
+        assert_eq!(s.get("fig8_leon2_seq_gpasta_wall_ms"), Some(10.0));
+        assert_eq!(s.get("fig8_leon2_gpasta_wall_ms"), Some(11.0));
+        assert_eq!(s.get("fig8_leon2_deter_gpasta_wall_ms"), Some(12.0));
+        assert_eq!(s.get("fig8_leon2_seq_gpasta_speedup"), Some(3.0));
+    }
+
+    #[test]
+    fn baseline_rows_round_trip() {
+        let mut s = summarize_fig7("vga_lcd", &fig7_rows());
+        s.merge(summarize_fig8("leon2", &fig8_rows()));
+        let back = PerfSummary::from_rows(&s.to_rows()).expect("well-formed");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn compare_passes_inside_the_band_and_fails_outside() {
+        let baseline = PerfSummary {
+            metrics: vec![
+                ("fig7_x_gpasta_wall_ms".into(), 100.0),
+                ("fig7_x_gpasta_speedup".into(), 4.0),
+            ],
+        };
+        let tol = Tolerance {
+            wall: 0.5,
+            speedup: 0.25,
+        };
+        // Inside both bands: 40 % slower wall, speedup down to 3.3.
+        let ok = PerfSummary {
+            metrics: vec![
+                ("fig7_x_gpasta_wall_ms".into(), 140.0),
+                ("fig7_x_gpasta_speedup".into(), 3.3),
+            ],
+        };
+        assert!(compare(&ok, &baseline, tol)
+            .expect("no missing metric")
+            .is_empty());
+        // Wall blows the band; speedup falls below 4.0 / 1.25 = 3.2.
+        let bad = PerfSummary {
+            metrics: vec![
+                ("fig7_x_gpasta_wall_ms".into(), 151.0),
+                ("fig7_x_gpasta_speedup".into(), 3.1),
+            ],
+        };
+        let regressions = compare(&bad, &baseline, tol).expect("no missing metric");
+        assert_eq!(regressions.len(), 2);
+        assert_eq!(regressions[0].metric, "fig7_x_gpasta_wall_ms");
+        assert_eq!(regressions[0].limit, 150.0);
+        assert_eq!(regressions[1].metric, "fig7_x_gpasta_speedup");
+        // A faster wall or higher speedup is never a regression.
+        let better = PerfSummary {
+            metrics: vec![
+                ("fig7_x_gpasta_wall_ms".into(), 10.0),
+                ("fig7_x_gpasta_speedup".into(), 9.0),
+            ],
+        };
+        assert!(compare(&better, &baseline, tol)
+            .expect("no missing metric")
+            .is_empty());
+    }
+
+    #[test]
+    fn compare_reports_missing_metrics_as_errors() {
+        let baseline = PerfSummary {
+            metrics: vec![("fig7_x_gpasta_wall_ms".into(), 100.0)],
+        };
+        let empty = PerfSummary::default();
+        match compare(&empty, &baseline, Tolerance::default()) {
+            Err(RegressError::MissingMetric { metric }) => {
+                assert_eq!(metric, "fig7_x_gpasta_wall_ms");
+            }
+            other => panic!("expected MissingMetric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_check_catches_each_divergence_kind() {
+        let fresh = fig7_rows();
+        assert!(check_schema("fig7", &fresh, &fig7_rows()).is_ok());
+        // Row count.
+        assert!(check_schema("fig7", &fresh[..1], &fig7_rows()).is_err());
+        // Label.
+        let mut relabeled = fig7_rows();
+        relabeled[1].label = "9".into();
+        assert!(check_schema("fig7", &fresh, &relabeled).is_err());
+        // Column name.
+        let mut recol = fig7_rows();
+        recol[0].values[0].0 = "renamed".into();
+        let err = check_schema("fig7", &fresh, &recol).expect_err("column drift");
+        assert!(err.to_string().contains("renamed"), "{err}");
+    }
+
+    #[test]
+    fn column_check_ignores_row_count_but_not_names() {
+        let committed = fig7_rows();
+        let fresh = &committed[..1];
+        assert!(check_columns("fig7", fresh, &committed).is_ok());
+        let mut recol = fig7_rows();
+        recol[0].values[2].0 = "renamed".into();
+        assert!(check_columns("fig7", fresh, &recol).is_err());
+    }
+
+    #[test]
+    fn tolerance_default_matches_constants() {
+        let t = Tolerance::default();
+        assert_eq!(t.wall, Tolerance::DEFAULT_WALL);
+        assert_eq!(t.speedup, Tolerance::DEFAULT_SPEEDUP);
+    }
+}

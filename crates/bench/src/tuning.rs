@@ -9,7 +9,9 @@
 
 use gpasta_core::{GPasta, Gdca, Partitioner, PartitionerOptions, SeqGPasta};
 use gpasta_gpu::Device;
+use gpasta_sched::{Executor, TaskWork};
 use gpasta_tdg::{ParallelismProfile, QuotientTdg, Tdg};
+use std::time::Duration;
 
 /// The G-PASTA backend suited to this host: the parallel device kernel
 /// when several workers are available, the sequential CPU variant
@@ -73,6 +75,89 @@ pub fn tune_gdca_ps(tdg: &Tdg, workers: usize, dispatch_ns: f64) -> usize {
     best.1
 }
 
+/// Candidate executor dependency-decrement chunk sizes swept by the
+/// Ps × chunk autotuner ([`sweep_ps_chunk`]). Chunk 1 restores the
+/// per-edge decrement behaviour.
+pub const CANDIDATE_CHUNK: &[usize] = &[1, 4, 8, 16, 32, 64];
+
+/// One measured point of the Ps × chunk sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunePoint {
+    /// Partition size handed to the partitioner.
+    pub ps: usize,
+    /// Executor dependency-decrement chunk size.
+    pub chunk: usize,
+    /// Median wall-clock of the partitioned executor run.
+    pub median_run: Duration,
+}
+
+fn median_duration(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Measure every [`CANDIDATE_PS`] × [`CANDIDATE_CHUNK`] point on this
+/// host: partition once per `ps` (partitioning is chunk-independent),
+/// then take the median of `runs` partitioned executor runs per chunk
+/// size. The payload must be idempotent (the STA propagation payload is:
+/// re-running an update TDG recomputes the same values), because every
+/// point re-executes the same TDG.
+///
+/// # Panics
+///
+/// Panics if `tdg` is empty or `runs` is zero.
+pub fn sweep_ps_chunk<W: TaskWork>(
+    tdg: &Tdg,
+    work: &W,
+    partitioner: &dyn Partitioner,
+    workers: usize,
+    runs: usize,
+) -> Vec<TunePoint> {
+    assert!(tdg.num_tasks() > 0, "cannot tune on an empty TDG");
+    assert!(runs > 0, "need at least one run per point");
+    let mut points = Vec::with_capacity(CANDIDATE_PS.len() * CANDIDATE_CHUNK.len());
+    for &ps in CANDIDATE_PS {
+        let p = partitioner
+            .partition(tdg, &PartitionerOptions::with_max_size(ps))
+            .expect("positive ps");
+        let q = QuotientTdg::build(tdg, &p).expect("partitions are valid");
+        for &chunk in CANDIDATE_CHUNK {
+            let exec = Executor::new(workers).with_chunk_size(chunk);
+            let samples = (0..runs)
+                .map(|_| exec.run_partitioned(&q, work).elapsed)
+                .collect();
+            points.push(TunePoint {
+                ps,
+                chunk,
+                median_run: median_duration(samples),
+            });
+        }
+    }
+    points
+}
+
+/// Sweep Ps × chunk ([`sweep_ps_chunk`]) and return the point with the
+/// smallest median run time (ties break towards the earlier candidate,
+/// so the result is stable under re-measurement of equal points).
+///
+/// # Panics
+///
+/// Panics if `tdg` is empty or `runs` is zero.
+pub fn tune_ps_chunk<W: TaskWork>(
+    tdg: &Tdg,
+    work: &W,
+    partitioner: &dyn Partitioner,
+    workers: usize,
+    runs: usize,
+) -> (TunePoint, Vec<TunePoint>) {
+    let points = sweep_ps_chunk(tdg, work, partitioner, workers, runs);
+    let best = *points
+        .iter()
+        .min_by_key(|p| p.median_run)
+        .expect("sweep is non-empty");
+    (best, points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +199,38 @@ mod tests {
     fn empty_tdg_panics() {
         let tdg = gpasta_tdg::TdgBuilder::new(0).build().expect("empty");
         let _ = tune_gdca_ps(&tdg, 1, 1.0);
+    }
+
+    #[test]
+    fn sweep_covers_every_candidate_pair() {
+        let tdg = dag::layered(16, 6, 2, 3);
+        let work = |_t: gpasta_tdg::TaskId| {};
+        let points = sweep_ps_chunk(&tdg, &work, &SeqGPasta::new(), 2, 1);
+        assert_eq!(points.len(), CANDIDATE_PS.len() * CANDIDATE_CHUNK.len());
+        for &ps in CANDIDATE_PS {
+            for &chunk in CANDIDATE_CHUNK {
+                assert!(
+                    points.iter().any(|p| p.ps == ps && p.chunk == chunk),
+                    "missing point ps={ps} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_point_is_the_sweep_minimum() {
+        let tdg = dag::layered(16, 6, 2, 3);
+        let work = |_t: gpasta_tdg::TaskId| {};
+        let (best, points) = tune_ps_chunk(&tdg, &work, &SeqGPasta::new(), 2, 1);
+        assert!(points.contains(&best));
+        assert!(points.iter().all(|p| best.median_run <= p.median_run));
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median_duration(vec![d(3), d(1), d(2)]), d(2));
+        assert_eq!(median_duration(vec![d(9), d(1)]), d(1));
+        assert_eq!(median_duration(vec![d(7)]), d(7));
     }
 }

@@ -62,9 +62,16 @@ impl Partitioner for GPasta {
         }
         let ps = opts.resolve_ps(tdg) as u32;
         let dev = &self.device;
+        // The kernels run in CSR id space: a BFS wave's tasks occupy one
+        // contiguous id range, so the per-wave loads/stores of `d_pid` /
+        // `f_pid` / `dep_cnt` coalesce instead of scattering across the
+        // whole original id range. Sources are CSR ids 0..num_sources, and
+        // the successor lists keep the original adjacency order, so on a
+        // single-worker device the traversal matches
+        // [`partition_reference`](GPasta::partition_reference) exactly.
+        let csr = tdg.csr();
 
-        let sources = tdg.sources();
-        let num_sources = sources.len() as u32;
+        let num_sources = csr.num_sources() as u32;
 
         // Device state. `pid_cnt` is sized for the worst case of every task
         // opening a fresh partition on top of the source ids. The named
@@ -75,17 +82,19 @@ impl Partitioner for GPasta {
         // BFS wavefront writes every slot before any kernel reads it.
         let d_pid = dev.buf_zeroed("gpasta.d_pid", n);
         let f_pid = dev.buf_uninit("gpasta.f_pid", n);
-        let dep_cnt = dev.buf_from_slice("gpasta.dep_cnt", &tdg.in_degrees());
-        let pid_cnt = dev.buf_zeroed("gpasta.pid_cnt", n + sources.len() + 1);
+        let mut indeg = Vec::with_capacity(n);
+        csr.fill_in_degrees(&mut indeg);
+        let dep_cnt = dev.buf_from_slice("gpasta.dep_cnt", &indeg);
+        let pid_cnt = dev.buf_zeroed("gpasta.pid_cnt", n + num_sources as usize + 1);
         let max_pid = dev.buf_from_slice("gpasta.max_pid", &[num_sources.saturating_sub(1)]);
         let handle = dev.buf_uninit("gpasta.handle", n);
         let wsize = dev.buf_zeroed("gpasta.wsize", 1);
 
         // Seed: every source task starts its own desired partition
         // (Figure 4(a): tasks 0, 2, 4 get d_pid 0, 1, 2).
-        for (i, s) in sources.iter().enumerate() {
-            handle.store(i, s.0);
-            d_pid.store(s.index(), i as u32);
+        for i in 0..num_sources {
+            handle.store(i as usize, i);
+            d_pid.store(i as usize, i);
         }
 
         let mut roffset = 0u32;
@@ -114,6 +123,87 @@ impl Partitioner for GPasta {
             // Step 2: assign d_pid to successors and release dependencies
             // (Algorithm 1 lines 13–19). The atomicMax on line 16 is the
             // cycle-free clustering rule.
+            {
+                let (handle, d_pid, f_pid, dep_cnt, wsize) =
+                    (&handle, &d_pid, &f_pid, &dep_cnt, &wsize);
+                dev.launch(rsize, move |gid| {
+                    let cur = handle.load((roffset + gid) as usize);
+                    let fp = f_pid.load(cur as usize);
+                    for &nb in csr.successors(cur) {
+                        d_pid.fetch_max(nb as usize, fp);
+                        if dep_cnt.fetch_sub(nb as usize, 1) == 1 {
+                            let woffset = wsize.fetch_add(0, 1);
+                            handle.store((roffset + rsize + woffset) as usize, nb);
+                        }
+                    }
+                });
+            }
+
+            roffset += rsize;
+            rsize = wsize.load(0);
+        }
+        debug_assert_eq!(roffset as usize, n, "BFS must reach every task of a DAG");
+
+        Ok(Partition::new(csr.scatter_to_original(&f_pid.to_vec())))
+    }
+}
+
+impl GPasta {
+    /// The legacy per-`TaskId` path, kept verbatim as the reference for the
+    /// differential layout test (`tests/csr_layout.rs`). On a single-worker
+    /// device the CSR hot path must reproduce its output bit for bit; with
+    /// more workers both are valid but racy.
+    #[doc(hidden)]
+    pub fn partition_reference(
+        &self,
+        tdg: &Tdg,
+        opts: &PartitionerOptions,
+    ) -> Result<Partition, PartitionError> {
+        check_opts(opts)?;
+        let n = tdg.num_tasks();
+        if n == 0 {
+            return Ok(Partition::new(Vec::new()));
+        }
+        let ps = opts.resolve_ps(tdg) as u32;
+        let dev = &self.device;
+
+        let sources = tdg.sources();
+        let num_sources = sources.len() as u32;
+
+        let d_pid = dev.buf_zeroed("gpasta.d_pid", n);
+        let f_pid = dev.buf_uninit("gpasta.f_pid", n);
+        let dep_cnt = dev.buf_from_slice("gpasta.dep_cnt", &tdg.in_degrees());
+        let pid_cnt = dev.buf_zeroed("gpasta.pid_cnt", n + sources.len() + 1);
+        let max_pid = dev.buf_from_slice("gpasta.max_pid", &[num_sources.saturating_sub(1)]);
+        let handle = dev.buf_uninit("gpasta.handle", n);
+        let wsize = dev.buf_zeroed("gpasta.wsize", 1);
+
+        for (i, s) in sources.iter().enumerate() {
+            handle.store(i, s.0);
+            d_pid.store(s.index(), i as u32);
+        }
+
+        let mut roffset = 0u32;
+        let mut rsize = num_sources;
+        while rsize > 0 {
+            wsize.store(0, 0);
+
+            {
+                let (handle, d_pid, f_pid, pid_cnt, max_pid) =
+                    (&handle, &d_pid, &f_pid, &pid_cnt, &max_pid);
+                dev.launch(rsize, move |gid| {
+                    let cur = handle.load((roffset + gid) as usize) as usize;
+                    let cur_pid = d_pid.load(cur);
+                    if pid_cnt.fetch_add(cur_pid as usize, 1) < ps {
+                        f_pid.store(cur, cur_pid);
+                    } else {
+                        let new_pid = max_pid.fetch_add(0, 1) + 1;
+                        f_pid.store(cur, new_pid);
+                        pid_cnt.fetch_add(new_pid as usize, 1);
+                    }
+                });
+            }
+
             {
                 let (handle, d_pid, f_pid, dep_cnt, wsize) =
                     (&handle, &d_pid, &f_pid, &dep_cnt, &wsize);
@@ -296,5 +386,23 @@ mod tests {
     #[test]
     fn name_matches_paper() {
         assert_eq!(GPasta::new().name(), "G-PASTA");
+    }
+
+    #[test]
+    fn csr_path_matches_reference_on_single_worker() {
+        // One worker removes the races, so the CSR and legacy traversals
+        // must agree bit for bit.
+        let gp = GPasta::with_device(Device::single());
+        for seed in 0..6u64 {
+            let tdg = dag::random_dag(350, 1.7, seed);
+            for opts in [
+                PartitionerOptions::default(),
+                PartitionerOptions::with_max_size(5),
+            ] {
+                let fast = gp.partition(&tdg, &opts).expect("csr path");
+                let reference = gp.partition_reference(&tdg, &opts).expect("legacy path");
+                assert_eq!(fast, reference, "seed {seed} opts {opts:?}");
+            }
+        }
     }
 }

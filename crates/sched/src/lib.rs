@@ -80,7 +80,7 @@ mod taskflow;
 
 pub use arena::FlowArena;
 pub use bounded::RunBudget;
-pub use executor::{Executor, ExecutorError, TaskWork};
+pub use executor::{Executor, ExecutorError, TaskWork, DEFAULT_CHUNK_SIZE};
 pub use fault::{FaultKind, FaultPlan, FaultyWork};
 pub use gpasta_tdg::{CancelObserver, CancelToken};
 pub use outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, StopCause, TaskError};

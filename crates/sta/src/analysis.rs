@@ -340,7 +340,7 @@ impl std::fmt::Display for SnapshotMismatch {
 impl std::error::Error for SnapshotMismatch {}
 
 fn bits_of(cells: &[AtomicF32]) -> Vec<u32> {
-    cells.iter().map(|c| c.load().to_bits()).collect()
+    cells.iter().map(|c| c.load_bits()).collect()
 }
 
 fn restore_bits(
@@ -356,7 +356,7 @@ fn restore_bits(
         });
     }
     for (c, &b) in cells.iter().zip(bits) {
-        c.store(f32::from_bits(b));
+        c.store_bits(b);
     }
     Ok(())
 }
@@ -441,7 +441,118 @@ impl<'a> TimingPropagator<'a> {
     /// calculation" task): evaluates the delay of every fan-in arc at the
     /// current input slews and loads, caches the arc delays for backward
     /// propagation, and merges arrivals (max for late, min for early).
+    ///
+    /// Runs on the flat [`ArcSoa`](crate::graph::ArcSoa) columns: per arc
+    /// the loop loads a few dense u32/u8 entries instead of chasing
+    /// `TimingArcRef` → `Gate` (with its embedded name `String`) → a
+    /// library scan. The arithmetic — table lookups, merge order, corner
+    /// indexing — is unchanged, so results are bit-identical to
+    /// [`fprop_reference`](Self::fprop_reference).
     pub fn fprop(&self, v: NodeId) {
+        let d = self.data;
+        let fanin = self.graph.fanin(v);
+
+        if fanin.is_empty() {
+            // Path startpoint: primary input or sequential output.
+            let (arr, slew) = match self.graph.node_kind(v) {
+                NodeKind::GateOutput(g) => {
+                    let gate = &self.netlist.gates()[g as usize];
+                    debug_assert!(gate.cell.is_sequential());
+                    let cell = self.library.cell(gate.cell);
+                    (cell.clk_to_q_ps / d.drive(g), self.library.input_slew_ps)
+                }
+                NodeKind::PrimaryInput(p) => (d.input_delay(p), self.library.input_slew_ps),
+                _ => (0.0, self.library.input_slew_ps),
+            };
+            for &tr in &TRS {
+                for &mode in &MODES {
+                    d.set_arrival(v, tr, mode, arr);
+                    d.set_slew(v, tr, mode, slew);
+                }
+            }
+            return;
+        }
+
+        let soa = self.graph.arc_soa(self.netlist);
+        let mut arr = [[f32::INFINITY, f32::NEG_INFINITY]; 2]; // [tr][mode]
+        let mut slw = [[f32::INFINITY, f32::NEG_INFINITY]; 2];
+
+        for &a in fanin {
+            let ai = a as usize;
+            let u = NodeId(soa.from[ai]);
+            if soa.is_net(ai) {
+                let delay = d.net_delay(soa.payload[ai]);
+                for &tr in &TRS {
+                    for &mode in &MODES {
+                        let at = d.arrival(u, tr, mode) + delay;
+                        let su = d.slew(u, tr, mode);
+                        // Mild interconnect slew degradation.
+                        let sv = su + 0.1 * delay;
+                        d.set_arc_delay(a, tr, mode, delay);
+                        merge(&mut arr[tr as usize][mode as usize], at, mode);
+                        merge(&mut slw[tr as usize][mode as usize], sv, mode);
+                    }
+                }
+            } else {
+                let gate = soa.payload[ai];
+                let cell = self.library.cell_by_index(soa.cell_idx[ai] as usize);
+                let sense = soa.sense_of(ai);
+                let drive = d.drive(gate);
+                let load = d.gate_load(gate);
+                for &tr_out in &TRS {
+                    let (dtab, stab) = match tr_out {
+                        Tr::Rise => (&cell.tables.delay_rise, &cell.tables.slew_rise),
+                        Tr::Fall => (&cell.tables.delay_fall, &cell.tables.slew_fall),
+                    };
+                    // The load is fixed for the whole arc: resolve each
+                    // table's load-axis bracket once instead of inside
+                    // every (mode, tr_in) lookup. `lookup_at` is
+                    // bit-identical to `lookup` at the same load.
+                    let dlb = dtab.load_bracket(load);
+                    let slb = stab.load_bracket(load);
+                    // Which input transitions can cause tr_out.
+                    let ins: &[Tr] = match sense {
+                        TimingSense::Positive => &[tr_out],
+                        TimingSense::Negative => match tr_out {
+                            Tr::Rise => &[Tr::Fall],
+                            Tr::Fall => &[Tr::Rise],
+                        },
+                        TimingSense::NonUnate => &TRS,
+                    };
+                    for &mode in &MODES {
+                        let mut best_at = pick_init(mode);
+                        let mut best_sv = pick_init(mode);
+                        let mut best_delay = pick_init(mode);
+                        for &tr_in in ins {
+                            let si = d.slew(u, tr_in, mode);
+                            let delay = dtab.lookup_at(si, dlb) / drive;
+                            let sv = stab.lookup_at(si, slb) / drive;
+                            let at = d.arrival(u, tr_in, mode) + delay;
+                            merge(&mut best_at, at, mode);
+                            merge(&mut best_sv, sv, mode);
+                            merge(&mut best_delay, delay, mode);
+                        }
+                        d.set_arc_delay(a, tr_out, mode, best_delay);
+                        merge(&mut arr[tr_out as usize][mode as usize], best_at, mode);
+                        merge(&mut slw[tr_out as usize][mode as usize], best_sv, mode);
+                    }
+                }
+            }
+        }
+
+        for &tr in &TRS {
+            for &mode in &MODES {
+                d.set_arrival(v, tr, mode, arr[tr as usize][mode as usize]);
+                d.set_slew(v, tr, mode, slw[tr as usize][mode as usize]);
+            }
+        }
+    }
+
+    /// The legacy AoS forward propagation, kept verbatim as the reference
+    /// for the differential layout test (`tests/csr_layout.rs`): the SoA
+    /// hot path must reproduce its stores bit for bit.
+    #[doc(hidden)]
+    pub fn fprop_reference(&self, v: NodeId) {
         let d = self.data;
         let fanin = self.graph.fanin(v);
 
@@ -540,7 +651,90 @@ impl<'a> TimingPropagator<'a> {
     /// "required arrival time update" task). Endpoints take their
     /// constraint; interior nodes take the tightest requirement over
     /// fan-out arcs using the arc delays cached by [`fprop`](Self::fprop).
+    ///
+    /// Like [`fprop`](Self::fprop) this runs on the flat
+    /// [`ArcSoa`](crate::graph::ArcSoa) columns and is bit-identical to
+    /// [`bprop_reference`](Self::bprop_reference).
     pub fn bprop(&self, v: NodeId) {
+        let d = self.data;
+
+        if self.graph.is_endpoint(v) {
+            let margin = match self.graph.node_kind(v) {
+                NodeKind::GateInput(g, 0) => {
+                    self.library
+                        .cell(self.netlist.gates()[g as usize].cell)
+                        .setup_ps
+                }
+                NodeKind::PrimaryOutput(p) => d.output_delay(p),
+                _ => 0.0,
+            };
+            for &tr in &TRS {
+                d.set_required(v, tr, Mode::Late, d.clock_period_ps - margin);
+                d.set_required(v, tr, Mode::Early, 0.0);
+            }
+            return;
+        }
+
+        let fanout = self.graph.fanout(v);
+        if fanout.is_empty() {
+            // Dangling node: unconstrained.
+            for &tr in &TRS {
+                d.set_required(v, tr, Mode::Late, f32::INFINITY);
+                d.set_required(v, tr, Mode::Early, f32::NEG_INFINITY);
+            }
+            return;
+        }
+
+        let soa = self.graph.arc_soa(self.netlist);
+        // required_late(v, tr_in) = min over arcs/output transitions caused
+        // by tr_in of (required_late(to, tr_out) - delay(a, tr_out)).
+        let mut req = [[f32::NEG_INFINITY, f32::INFINITY]; 2]; // [tr][mode], early=max, late=min
+        for &a in fanout {
+            let ai = a as usize;
+            let to = NodeId(soa.to[ai]);
+            let sense = if soa.is_net(ai) {
+                TimingSense::Positive
+            } else {
+                soa.sense_of(ai)
+            };
+            for &tr_in in &TRS {
+                let outs: &[Tr] = match sense {
+                    TimingSense::Positive => &[tr_in],
+                    TimingSense::Negative => match tr_in {
+                        Tr::Rise => &[Tr::Fall],
+                        Tr::Fall => &[Tr::Rise],
+                    },
+                    TimingSense::NonUnate => &TRS,
+                };
+                for &tr_out in outs {
+                    for &mode in &MODES {
+                        let r = d.required(to, tr_out, mode) - d.arc_delay_of(a, tr_out, mode);
+                        // Required times tighten in the opposite direction
+                        // of arrivals: late takes min, early takes max.
+                        match mode {
+                            Mode::Late => {
+                                let slot = &mut req[tr_in as usize][1];
+                                *slot = slot.min(r);
+                            }
+                            Mode::Early => {
+                                let slot = &mut req[tr_in as usize][0];
+                                *slot = slot.max(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &tr in &TRS {
+            d.set_required(v, tr, Mode::Early, req[tr as usize][0]);
+            d.set_required(v, tr, Mode::Late, req[tr as usize][1]);
+        }
+    }
+
+    /// The legacy AoS backward propagation, kept verbatim as the reference
+    /// for the differential layout test (`tests/csr_layout.rs`).
+    #[doc(hidden)]
+    pub fn bprop_reference(&self, v: NodeId) {
         let d = self.data;
 
         if self.graph.is_endpoint(v) {
@@ -893,6 +1087,71 @@ mod tests {
         assert_eq!(err.field, "arc_delay");
         assert!(err.to_string().contains("arc_delay"));
         assert_eq!(data.snapshot(), before, "failed restore must not write");
+    }
+
+    #[test]
+    fn soa_propagation_matches_reference_bit_for_bit() {
+        // A mixed design exercising every arm: all three senses, a DFF
+        // (sequential startpoint/endpoint), multi-input cells, and a PO.
+        let mut nb = NetlistBuilder::new();
+        let a = nb.add_primary_input("a");
+        let b = nb.add_primary_input("b");
+        let nand = nb.add_gate("u1", CellKind::Nand2);
+        let xor = nb.add_gate("u2", CellKind::Xor2);
+        let buf = nb.add_gate("u3", CellKind::Buf);
+        let ff = nb.add_gate("ff1", CellKind::Dff);
+        let y = nb.add_primary_output("y");
+        nb.connect_to_gate(a, nand, 0).expect("valid");
+        nb.connect_to_gate(b, nand, 1).expect("valid");
+        nb.connect_gates(nand, xor, 0).expect("valid");
+        nb.connect_to_gate(a, xor, 1).expect("valid");
+        nb.connect_gates(xor, buf, 0).expect("valid");
+        nb.connect_gates(buf, ff, 0).expect("valid");
+        nb.connect_to_output(ff, y).expect("valid");
+        let library = CellLibrary::typical();
+        let netlist = nb.build().expect("well-formed");
+        let graph = TimingGraph::build(&netlist, &library).expect("acyclic");
+        let f = Fixture {
+            netlist,
+            graph,
+            library,
+        };
+
+        let fast = TimingData::new(&f.graph, &f.netlist, &f.library);
+        let slow = TimingData::new(&f.graph, &f.netlist, &f.library);
+        let order = topo_nodes(&f.graph);
+
+        let prop_fast = TimingPropagator {
+            graph: &f.graph,
+            netlist: &f.netlist,
+            library: &f.library,
+            data: &fast,
+        };
+        for &v in &order {
+            prop_fast.fprop(NodeId(v));
+        }
+        for &v in order.iter().rev() {
+            prop_fast.bprop(NodeId(v));
+        }
+
+        let prop_slow = TimingPropagator {
+            graph: &f.graph,
+            netlist: &f.netlist,
+            library: &f.library,
+            data: &slow,
+        };
+        for &v in &order {
+            prop_slow.fprop_reference(NodeId(v));
+        }
+        for &v in order.iter().rev() {
+            prop_slow.bprop_reference(NodeId(v));
+        }
+
+        assert_eq!(
+            fast.snapshot(),
+            slow.snapshot(),
+            "SoA hot path must be bit-identical to the AoS reference"
+        );
     }
 
     #[test]

@@ -29,6 +29,21 @@ impl AtomicF32 {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Relaxed load of the raw bit pattern — the checkpoint path snapshots
+    /// whole arrays and must not round-trip through an `f32` value (which
+    /// could quiet a signalling NaN on some targets).
+    #[inline]
+    pub fn load_bits(&self) -> u32 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store of a raw bit pattern (restore counterpart of
+    /// [`load_bits`](Self::load_bits)).
+    #[inline]
+    pub fn store_bits(&self, bits: u32) {
+        self.0.store(bits, Ordering::Relaxed);
+    }
+
     /// Lower the cell to `min(current, v)`, treating NaN as absorbing: if
     /// either side is NaN the cell becomes NaN, so a poisoned slack is
     /// never masked by a later finite contribution (IEEE `min` would drop
@@ -98,6 +113,17 @@ mod tests {
     #[test]
     fn default_is_zero() {
         assert_eq!(AtomicF32::default().load(), 0.0);
+    }
+
+    #[test]
+    fn bits_round_trip_exactly() {
+        let a = AtomicF32::new(0.0);
+        // A NaN with a non-default payload must survive untouched.
+        let weird_nan = 0x7F80_0001u32;
+        a.store_bits(weird_nan);
+        assert_eq!(a.load_bits(), weird_nan);
+        a.store_bits((-0.0f32).to_bits());
+        assert!(a.load().is_sign_negative());
     }
 
     #[test]

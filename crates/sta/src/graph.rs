@@ -6,10 +6,11 @@
 //! flip-flops break paths: their `D` pin is a timing endpoint and their
 //! output pin launches a fresh path, so there is no `D -> Q` cell arc.
 
-use crate::library::{CellKind, CellLibrary};
+use crate::library::{CellKind, CellLibrary, TimingSense};
 use crate::netlist::{GateId, Netlist, PinRef};
 use gpasta_tdg::BuildTdgError;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Identifier of a timing-graph node (a pin).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -63,7 +64,7 @@ pub struct TimingArcRef {
 }
 
 /// The pin-level timing graph in CSR form with per-edge arc metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimingGraph {
     node_kind: Vec<NodeKind>,
     arcs: Vec<TimingArcRef>,
@@ -83,6 +84,148 @@ pub struct TimingGraph {
     gate_out_base: u32,
     /// Index of the first primary-output node.
     po_base: u32,
+    /// Lazily built flat arc view for the propagation hot path.
+    soa: OnceLock<ArcSoa>,
+}
+
+/// Flat structure-of-arrays view of the timing arcs, column per field.
+///
+/// Propagation touches every arc of a node's cone per `fprop`/`bprop`
+/// call; chasing `TimingArcRef` enums plus `Netlist::gates()` entries
+/// (each holding a name `String`) and a linear `CellLibrary::cell` scan
+/// per arc dominated the profile. This view pre-resolves everything the
+/// inner loops need into dense parallel arrays indexed by arc id, so the
+/// hot path is a handful of sequential u32/u8 column loads.
+///
+/// Derived state: a pure function of the graph and the netlist
+/// connectivity (gate cell kinds never change after `NetlistBuilder::
+/// build`), cached on [`TimingGraph`] and rebuilt on deserialisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcSoa {
+    /// Source node id per arc.
+    pub from: Vec<u32>,
+    /// Destination node id per arc.
+    pub to: Vec<u32>,
+    /// Net index for net arcs, gate index for cell arcs.
+    pub payload: Vec<u32>,
+    /// Library cell index ([`CellLibrary::cell_index`]) for cell arcs;
+    /// [`ArcSoa::NET_ARC`] for net arcs.
+    pub cell_idx: Vec<u8>,
+    /// Encoded [`TimingSense`] of the traversed cell arc (see
+    /// [`ArcSoa::sense_of`]); `0` for net arcs.
+    pub sense: Vec<u8>,
+}
+
+impl ArcSoa {
+    /// `cell_idx` sentinel marking a net arc.
+    pub const NET_ARC: u8 = 0xFF;
+
+    fn build(graph: &TimingGraph, netlist: &Netlist) -> Self {
+        let n = graph.arcs.len();
+        let mut soa = ArcSoa {
+            from: Vec::with_capacity(n),
+            to: Vec::with_capacity(n),
+            payload: Vec::with_capacity(n),
+            cell_idx: Vec::with_capacity(n),
+            sense: Vec::with_capacity(n),
+        };
+        for a in &graph.arcs {
+            soa.from.push(a.from.0);
+            soa.to.push(a.to.0);
+            match a.kind {
+                ArcKind::Net { net } => {
+                    soa.payload.push(net);
+                    soa.cell_idx.push(Self::NET_ARC);
+                    soa.sense.push(0);
+                }
+                ArcKind::Cell { gate } => {
+                    let cell = netlist.gates()[gate as usize].cell;
+                    soa.payload.push(gate);
+                    soa.cell_idx.push(CellLibrary::cell_index(cell) as u8);
+                    soa.sense.push(match cell.sense() {
+                        TimingSense::Positive => 0,
+                        TimingSense::Negative => 1,
+                        TimingSense::NonUnate => 2,
+                    });
+                }
+            }
+        }
+        soa
+    }
+
+    /// Decode the `sense` column entry of arc `a`.
+    #[inline]
+    pub fn sense_of(&self, a: usize) -> TimingSense {
+        match self.sense[a] {
+            0 => TimingSense::Positive,
+            1 => TimingSense::Negative,
+            _ => TimingSense::NonUnate,
+        }
+    }
+
+    /// Whether arc `a` is a net (interconnect) arc.
+    #[inline]
+    pub fn is_net(&self, a: usize) -> bool {
+        self.cell_idx[a] == Self::NET_ARC
+    }
+}
+
+// Manual impls: the cached SoA view is derived state and must stay off
+// the wire and out of equality (mirrors `Tdg` and its CSR cache).
+impl PartialEq for TimingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_kind == other.node_kind
+            && self.arcs == other.arcs
+            && self.fwd_off == other.fwd_off
+            && self.fwd_arc == other.fwd_arc
+            && self.rev_off == other.rev_off
+            && self.rev_arc == other.rev_arc
+            && self.sources == other.sources
+            && self.endpoints == other.endpoints
+            && self.gate_in_base == other.gate_in_base
+            && self.gate_in_off == other.gate_in_off
+            && self.gate_out_base == other.gate_out_base
+            && self.po_base == other.po_base
+    }
+}
+
+impl Serialize for TimingGraph {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(Vec::from([
+            (String::from("node_kind"), self.node_kind.to_value()),
+            (String::from("arcs"), self.arcs.to_value()),
+            (String::from("fwd_off"), self.fwd_off.to_value()),
+            (String::from("fwd_arc"), self.fwd_arc.to_value()),
+            (String::from("rev_off"), self.rev_off.to_value()),
+            (String::from("rev_arc"), self.rev_arc.to_value()),
+            (String::from("sources"), self.sources.to_value()),
+            (String::from("endpoints"), self.endpoints.to_value()),
+            (String::from("gate_in_base"), self.gate_in_base.to_value()),
+            (String::from("gate_in_off"), self.gate_in_off.to_value()),
+            (String::from("gate_out_base"), self.gate_out_base.to_value()),
+            (String::from("po_base"), self.po_base.to_value()),
+        ]))
+    }
+}
+
+impl Deserialize for TimingGraph {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::FromValueError> {
+        Ok(TimingGraph {
+            node_kind: Deserialize::from_value(v.expect_field("node_kind")?)?,
+            arcs: Deserialize::from_value(v.expect_field("arcs")?)?,
+            fwd_off: Deserialize::from_value(v.expect_field("fwd_off")?)?,
+            fwd_arc: Deserialize::from_value(v.expect_field("fwd_arc")?)?,
+            rev_off: Deserialize::from_value(v.expect_field("rev_off")?)?,
+            rev_arc: Deserialize::from_value(v.expect_field("rev_arc")?)?,
+            sources: Deserialize::from_value(v.expect_field("sources")?)?,
+            endpoints: Deserialize::from_value(v.expect_field("endpoints")?)?,
+            gate_in_base: Deserialize::from_value(v.expect_field("gate_in_base")?)?,
+            gate_in_off: Deserialize::from_value(v.expect_field("gate_in_off")?)?,
+            gate_out_base: Deserialize::from_value(v.expect_field("gate_out_base")?)?,
+            po_base: Deserialize::from_value(v.expect_field("po_base")?)?,
+            soa: OnceLock::new(),
+        })
+    }
 }
 
 impl TimingGraph {
@@ -222,6 +365,7 @@ impl TimingGraph {
             gate_in_off,
             gate_out_base,
             po_base,
+            soa: OnceLock::new(),
         };
 
         // Acyclicity check (combinational loops).
@@ -321,6 +465,15 @@ impl TimingGraph {
             NodeKind::GateInput(_, 0) => self.endpoints.binary_search(&v.0).is_ok(),
             _ => false,
         }
+    }
+
+    /// The flat arc view for the propagation hot path, built on first use.
+    ///
+    /// `netlist` must be the netlist this graph was built from (only its
+    /// immutable connectivity — gate cell kinds — is read).
+    #[inline]
+    pub fn arc_soa(&self, netlist: &Netlist) -> &ArcSoa {
+        self.soa.get_or_init(|| ArcSoa::build(self, netlist))
     }
 
     /// The cell kind a gate-related node belongs to, if any.
@@ -444,6 +597,44 @@ mod tests {
             TimingGraph::build(&netlist, &CellLibrary::typical()),
             Err(BuildTdgError::Cycle { .. })
         ));
+    }
+
+    #[test]
+    fn arc_soa_mirrors_arcs() {
+        let (n, g) = nand_inv();
+        let soa = g.arc_soa(&n);
+        assert_eq!(soa.from.len(), g.num_arcs());
+        for (i, arc) in g.arcs().iter().enumerate() {
+            assert_eq!(soa.from[i], arc.from.0);
+            assert_eq!(soa.to[i], arc.to.0);
+            match arc.kind {
+                ArcKind::Net { net } => {
+                    assert!(soa.is_net(i));
+                    assert_eq!(soa.payload[i], net);
+                    assert_eq!(soa.sense[i], 0);
+                }
+                ArcKind::Cell { gate } => {
+                    assert!(!soa.is_net(i));
+                    assert_eq!(soa.payload[i], gate);
+                    let cell = n.gates()[gate as usize].cell;
+                    assert_eq!(soa.cell_idx[i] as usize, CellLibrary::cell_index(cell));
+                    assert_eq!(soa.sense_of(i), cell.sense());
+                }
+            }
+        }
+        // Cached: the same reference comes back.
+        assert!(std::ptr::eq(soa, g.arc_soa(&n)));
+    }
+
+    #[test]
+    fn serde_round_trip_skips_soa_cache() {
+        let (n, g) = nand_inv();
+        let _ = g.arc_soa(&n); // populate the cache before serialising
+        let v = g.to_value();
+        let back = TimingGraph::from_value(&v).expect("round trip");
+        assert_eq!(back, g);
+        // The restored graph rebuilds an identical SoA on demand.
+        assert_eq!(back.arc_soa(&n), g.arc_soa(&n));
     }
 
     #[test]

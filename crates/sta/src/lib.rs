@@ -65,6 +65,8 @@
 //! let update = timer.update_timing();
 //! // Run it sequentially (the scheduler crate can run it in parallel).
 //! update.run_sequential();
+//! // Dropping the update returns its buffers to the timer for reuse.
+//! drop(update);
 //! let report = timer.report(1);
 //! assert!(report.wns_ps.is_finite());
 //! # Ok(())

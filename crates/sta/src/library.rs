@@ -195,8 +195,27 @@ impl Lut2D {
 
     /// Bilinear lookup at `(slew, load)` with clamped extrapolation.
     pub fn lookup(&self, slew: f32, load: f32) -> f32 {
-        let (i0, i1, ts) = Self::bracket(&self.slew_axis, slew);
+        self.lookup_at(slew, self.load_bracket(load))
+    }
+
+    /// Resolve the load-axis bracket once for reuse across several
+    /// [`lookup_at`](Self::lookup_at) calls at the same output load —
+    /// the hot propagation kernel evaluates up to four `(slew, mode)`
+    /// combinations per table against one load, and the bracket search
+    /// is the part worth hoisting.
+    #[inline]
+    pub fn load_bracket(&self, load: f32) -> LoadBracket {
         let (j0, j1, tl) = Self::bracket(&self.load_axis, load);
+        LoadBracket { j0, j1, tl }
+    }
+
+    /// Bilinear lookup with a pre-resolved load bracket; bit-identical
+    /// to [`lookup`](Self::lookup) when `lb` came from this table's
+    /// [`load_bracket`](Self::load_bracket) at the same load.
+    #[inline]
+    pub fn lookup_at(&self, slew: f32, lb: LoadBracket) -> f32 {
+        let (i0, i1, ts) = Self::bracket(&self.slew_axis, slew);
+        let LoadBracket { j0, j1, tl } = lb;
         let cols = self.load_axis.len();
         let v00 = self.values[i0 * cols + j0];
         let v01 = self.values[i0 * cols + j1];
@@ -209,6 +228,7 @@ impl Lut2D {
 
     /// Find the bracketing indices and interpolation fraction for `x` on
     /// `axis`, clamping outside the grid.
+    #[inline]
     fn bracket(axis: &[f32], x: f32) -> (usize, usize, f32) {
         let n = axis.len();
         if n == 1 || x <= axis[0] {
@@ -222,6 +242,15 @@ impl Lut2D {
         let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
         (lo, hi, t)
     }
+}
+
+/// A pre-resolved load-axis position: bracketing column indices plus the
+/// interpolation fraction (see [`Lut2D::load_bracket`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadBracket {
+    j0: usize,
+    j1: usize,
+    tl: f32,
 }
 
 /// The four tables of one timing arc.
@@ -264,11 +293,18 @@ pub struct CellLibrary {
 }
 
 impl CellLibrary {
+    /// Index of `kind` in the library's cell table. The discriminant *is*
+    /// the index — `cells` is stored in [`CellKind::all`] order, which
+    /// matches declaration order — so this is O(1). Forward propagation
+    /// resolves a cell per arc per corner; the linear `position()` scan
+    /// this replaces was a measurable slice of the hot loop.
+    #[inline]
+    pub fn cell_index(kind: CellKind) -> usize {
+        kind as usize
+    }
+
     fn index(kind: CellKind) -> usize {
-        CellKind::all()
-            .iter()
-            .position(|&k| k == kind)
-            .expect("all() lists every kind")
+        Self::cell_index(kind)
     }
 
     /// A typical-corner library generated from first-order coefficients
@@ -337,6 +373,17 @@ impl CellLibrary {
     /// Characterisation of `kind`.
     pub fn cell(&self, kind: CellKind) -> &CellTiming {
         &self.cells[Self::index(kind)]
+    }
+
+    /// Characterisation by precomputed [`cell_index`](Self::cell_index) —
+    /// the hot-path entry used with per-arc cached indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid cell index.
+    #[inline]
+    pub fn cell_by_index(&self, i: usize) -> &CellTiming {
+        &self.cells[i]
     }
 
     /// Replace the characterisation of `kind` (used by the Liberty
@@ -441,6 +488,24 @@ mod tests {
         assert_eq!(CellKind::Xor2.sense(), TimingSense::NonUnate);
         assert_eq!(CellKind::Nand2.to_string(), "NAND2");
         assert_eq!(CellKind::all().len(), 11);
+    }
+
+    #[test]
+    fn cell_index_matches_all_order() {
+        // `cell_index` relies on the discriminant equalling the position in
+        // `all()`; if the two ever diverge, every by-index lookup resolves
+        // the wrong cell.
+        for (i, &kind) in CellKind::all().iter().enumerate() {
+            assert_eq!(CellLibrary::cell_index(kind), i, "{kind}");
+        }
+        let lib = CellLibrary::typical();
+        for &kind in CellKind::all() {
+            assert_eq!(
+                lib.cell(kind) as *const _,
+                lib.cell_by_index(CellLibrary::cell_index(kind)) as *const _,
+                "{kind}: cell() and cell_by_index() must agree"
+            );
+        }
     }
 
     #[test]

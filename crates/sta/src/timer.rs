@@ -13,7 +13,9 @@ use crate::graph::{NodeId, TimingGraph};
 use crate::library::CellLibrary;
 use crate::netlist::{GateId, Netlist, PinRef};
 use crate::report::{EndpointSlack, TimingReport};
-use gpasta_tdg::{TaskId, Tdg, TdgBuilder};
+use gpasta_check::sync::Mutex;
+use gpasta_tdg::{TaskId, Tdg, TdgArena};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What a task of the `update_timing` TDG does.
@@ -40,6 +42,36 @@ pub struct Timer {
     dirty: Vec<u32>,
     /// When set, the next update re-propagates the whole design.
     full_dirty: bool,
+    /// Recycled TDG buffers: steady-state `update_timing` calls build the
+    /// task graph into the previous update's allocations.
+    arena: TdgArena,
+    /// Buffers handed out to in-flight [`TimingUpdateTdg`]s come back here
+    /// when they drop (shared so the update can outlive `&mut self`).
+    bin: Arc<Mutex<RecycleBin>>,
+    /// Cone flags, task maps, and traversal stack reused across updates.
+    scratch: UpdateScratch,
+}
+
+/// Buffers returned by dropped [`TimingUpdateTdg`]s, awaiting reuse by the
+/// next [`Timer::update_timing`] call.
+#[derive(Debug, Default)]
+struct RecycleBin {
+    tdgs: Vec<Tdg>,
+    task_nodes: Vec<Vec<u32>>,
+}
+
+/// Scratch buffers for `update_timing`; they grow to the design's
+/// high-water mark once, after which updates allocate nothing.
+#[derive(Debug, Default)]
+struct UpdateScratch {
+    in_f: Vec<bool>,
+    in_b: Vec<bool>,
+    f_task: Vec<u32>,
+    b_task: Vec<u32>,
+    stack: Vec<u32>,
+    /// F members in forward-DFS visit order (unsorted); seeds the
+    /// backward traversal without an O(n) membership scan.
+    f_members: Vec<u32>,
 }
 
 impl Timer {
@@ -75,6 +107,9 @@ impl Timer {
             data,
             dirty: Vec::new(),
             full_dirty: true,
+            arena: TdgArena::new(),
+            bin: Arc::new(Mutex::new(RecycleBin::default())),
+            scratch: UpdateScratch::default(),
         })
     }
 
@@ -240,27 +275,53 @@ impl Timer {
         let build_start = Instant::now();
         let n = self.graph.num_nodes();
 
+        // Reclaim buffers from updates that have since dropped: their TDG
+        // storage seeds the arena, their task maps seed `task_node`.
+        let mut task_node = {
+            let mut bin = self.bin.lock();
+            for tdg in bin.tdgs.drain(..) {
+                self.arena.recycle(tdg);
+            }
+            bin.task_nodes.pop().unwrap_or_default()
+        };
+        task_node.clear();
+
         // Affected regions: F = forward cone of the dirty set,
         // B = backward cone of F (B ⊇ F).
-        let (in_f, in_b) = if self.full_dirty {
-            (vec![true; n], vec![true; n])
+        let in_f = &mut self.scratch.in_f;
+        let in_b = &mut self.scratch.in_b;
+        in_f.clear();
+        in_b.clear();
+        if self.full_dirty {
+            in_f.resize(n, true);
+            in_b.resize(n, true);
         } else {
-            let mut in_f = vec![false; n];
-            let mut stack: Vec<u32> = self.dirty.to_vec();
-            for &v in &stack {
+            in_f.resize(n, false);
+            let stack = &mut self.scratch.stack;
+            let f_members = &mut self.scratch.f_members;
+            stack.clear();
+            f_members.clear();
+            stack.extend_from_slice(&self.dirty);
+            for &v in stack.iter() {
                 in_f[v as usize] = true;
             }
+            f_members.extend_from_slice(stack);
             while let Some(u) = stack.pop() {
                 for &a in self.graph.fanout(NodeId(u)) {
                     let v = self.graph.arc(a).to.0;
                     if !in_f[v as usize] {
                         in_f[v as usize] = true;
                         stack.push(v);
+                        f_members.push(v);
                     }
                 }
             }
-            let mut in_b = in_f.clone();
-            let mut stack: Vec<u32> = (0..n as u32).filter(|&v| in_f[v as usize]).collect();
+            in_b.extend_from_slice(in_f);
+            // Seed the backward cone from the collected F members — same
+            // set the old `(0..n).filter(in_f)` scan produced, without the
+            // O(n) membership sweep (seed order does not change the
+            // resulting in_b set).
+            stack.extend_from_slice(f_members);
             while let Some(u) = stack.pop() {
                 for &a in self.graph.fanin(NodeId(u)) {
                     let v = self.graph.arc(a).from.0;
@@ -270,15 +331,16 @@ impl Timer {
                     }
                 }
             }
-            (in_f, in_b)
-        };
+        }
+        let (in_f, in_b) = (&self.scratch.in_f, &self.scratch.in_b);
         self.dirty.clear();
         self.full_dirty = false;
 
         // Task numbering: fprop tasks for F, then bprop tasks for B.
         const NONE: u32 = u32::MAX;
-        let mut f_task = vec![NONE; n];
-        let mut task_node = Vec::new();
+        let f_task = &mut self.scratch.f_task;
+        f_task.clear();
+        f_task.resize(n, NONE);
         for v in 0..n as u32 {
             if in_f[v as usize] {
                 f_task[v as usize] = task_node.len() as u32;
@@ -286,7 +348,9 @@ impl Timer {
             }
         }
         let num_fprop = task_node.len();
-        let mut b_task = vec![NONE; n];
+        let b_task = &mut self.scratch.b_task;
+        b_task.clear();
+        b_task.resize(n, NONE);
         for v in 0..n as u32 {
             if in_b[v as usize] {
                 b_task[v as usize] = task_node.len() as u32;
@@ -294,24 +358,31 @@ impl Timer {
             }
         }
         let num_tasks = task_node.len();
+        let (f_task, b_task) = (&self.scratch.f_task, &self.scratch.b_task);
 
-        let mut builder =
-            TdgBuilder::with_capacity(num_tasks, 2 * self.graph.num_arcs() + num_fprop);
-        for arc in self.graph.arcs() {
-            let (u, v) = (arc.from.0 as usize, arc.to.0 as usize);
-            if in_f[u] && in_f[v] {
-                builder.add_edge(TaskId(f_task[u]), TaskId(f_task[v]));
+        let mut builder = self.arena.builder(num_tasks);
+        // Cone-local edge discovery: F is forward-closed (a fanout arc of
+        // an F node lands in F) and B is backward-closed (a fanin arc of a
+        // B node starts in B), so walking only the cone members' own
+        // adjacency — `task_node` holds exactly F then B — visits exactly
+        // the arcs the old all-arcs scan kept. The edge multiset is
+        // identical, and the builder's canonicalising sort makes insertion
+        // order irrelevant; an incremental update now costs O(cone)
+        // instead of O(graph) here.
+        for (t, &v) in task_node.iter().enumerate().take(num_fprop) {
+            for &a in self.graph.fanout(NodeId(v)) {
+                let w = self.graph.arc(a).to.0 as usize;
+                builder.add_edge(TaskId(t as u32), TaskId(f_task[w]));
             }
-            if in_b[u] && in_b[v] {
-                // bprop runs against the arc direction.
-                builder.add_edge(TaskId(b_task[v]), TaskId(b_task[u]));
-            }
+            // bprop(v) consumes the arc delays cached by fprop(v)'s
+            // level; anchor it after its own fprop.
+            builder.add_edge(TaskId(t as u32), TaskId(b_task[v as usize]));
         }
-        for v in 0..n {
-            if in_f[v] {
-                // bprop(v) consumes the arc delays cached by fprop(v)'s
-                // level; anchor it after its own fprop.
-                builder.add_edge(TaskId(f_task[v]), TaskId(b_task[v]));
+        for (t, &v) in task_node.iter().enumerate().skip(num_fprop) {
+            for &a in self.graph.fanin(NodeId(v)) {
+                // bprop runs against the arc direction.
+                let u = self.graph.arc(a).from.0 as usize;
+                builder.add_edge(TaskId(t as u32), TaskId(b_task[u]));
             }
         }
         // Estimated cost: table lookups scale with fan-in/fan-out degree.
@@ -325,13 +396,15 @@ impl Timer {
             builder.set_weight(TaskId(t as u32), 200.0 + 300.0 * degree as f32);
         }
 
-        let tdg = builder
-            .build()
-            .expect("update TDG inherits acyclicity from the timing graph");
+        // Trusted build: the edges above are derived from the validated
+        // timing DAG (range, self-loop freedom, acyclicity all hold by
+        // construction), so release builds skip re-proving them on every
+        // incremental iteration.
+        let tdg = builder.build_trusted();
         let build_time = build_start.elapsed();
 
         TimingUpdateTdg {
-            tdg,
+            tdg: Some(tdg),
             task_node,
             num_fprop,
             prop: TimingPropagator {
@@ -341,6 +414,7 @@ impl Timer {
                 data: &self.data,
             },
             build_time,
+            bin: Arc::clone(&self.bin),
         }
     }
 
@@ -406,17 +480,31 @@ impl Timer {
 /// scheduler with [`task_fn`](TimingUpdateTdg::task_fn).
 #[derive(Debug)]
 pub struct TimingUpdateTdg<'a> {
-    tdg: Tdg,
+    /// `Some` until [`Drop`] hands the graph back to the recycle bin.
+    tdg: Option<Tdg>,
     task_node: Vec<u32>,
     num_fprop: usize,
     prop: TimingPropagator<'a>,
     build_time: Duration,
+    bin: Arc<Mutex<RecycleBin>>,
+}
+
+impl Drop for TimingUpdateTdg<'_> {
+    fn drop(&mut self) {
+        // Return the TDG storage and task map to the timer so the next
+        // update builds into them instead of allocating.
+        let mut bin = self.bin.lock();
+        if let Some(tdg) = self.tdg.take() {
+            bin.tdgs.push(tdg);
+        }
+        bin.task_nodes.push(std::mem::take(&mut self.task_node));
+    }
 }
 
 impl<'a> TimingUpdateTdg<'a> {
     /// The task dependency graph to schedule (and to partition).
     pub fn tdg(&self) -> &Tdg {
-        &self.tdg
+        self.tdg.as_ref().expect("present until drop")
     }
 
     /// The pin-level timing graph this update propagates over.
@@ -488,7 +576,7 @@ impl<'a> TimingUpdateTdg<'a> {
     /// The full-space ids of every task of this update, indexed by task id
     /// — the dirty set to feed an incremental partition cache.
     pub fn full_space_ids(&self) -> Vec<u32> {
-        (0..self.tdg.num_tasks() as u32)
+        (0..self.tdg().num_tasks() as u32)
             .map(|t| self.full_space_id(TaskId(t)))
             .collect()
     }
@@ -513,8 +601,25 @@ impl<'a> TimingUpdateTdg<'a> {
     /// Run every task on the calling thread in a topological order.
     /// Useful for tests and as the no-scheduler baseline.
     pub fn run_sequential(&self) {
-        for &t in self.tdg.levels().order() {
+        for &t in self.tdg().levels().order() {
             self.execute_task(TaskId(t));
+        }
+    }
+
+    /// Run every task sequentially through the *legacy* propagation
+    /// kernels ([`TimingPropagator::fprop_reference`] /
+    /// [`TimingPropagator::bprop_reference`]) instead of the SoA hot
+    /// path — the oracle of the `csr_layout` differential tests.
+    #[doc(hidden)]
+    pub fn run_sequential_reference(&self) {
+        for &t in self.tdg().levels().order() {
+            let t = TaskId(t);
+            let v = NodeId(self.task_node[t.index()]);
+            if t.index() < self.num_fprop {
+                self.prop.fprop_reference(v);
+            } else {
+                self.prop.bprop_reference(v);
+            }
         }
     }
 }
@@ -681,6 +786,29 @@ mod tests {
         let before = timer.snapshot();
         assert!(timer.restore_snapshot(&small).is_err());
         assert_eq!(timer.snapshot(), before, "failed restore leaves state");
+    }
+
+    #[test]
+    fn update_buffers_are_recycled_across_updates() {
+        let mut timer = chain_timer(8);
+        let u1 = timer.update_timing();
+        u1.run_sequential();
+        drop(u1);
+        // The dropped update handed its TDG and task map back.
+        assert_eq!(timer.bin.lock().tdgs.len(), 1);
+        assert_eq!(timer.bin.lock().task_nodes.len(), 1);
+        let want = timer.report(1).wns_ps;
+
+        // Repeated full updates drain the bin and produce identical timing.
+        let bin = Arc::clone(&timer.bin);
+        for _ in 0..3 {
+            timer.invalidate_all();
+            let u = timer.update_timing();
+            assert!(bin.lock().tdgs.is_empty(), "bin drained into arena");
+            u.run_sequential();
+            drop(u);
+            assert_eq!(timer.report(1).wns_ps, want);
+        }
     }
 
     #[test]

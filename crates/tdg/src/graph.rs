@@ -1,9 +1,11 @@
 //! The immutable CSR task-dependency graph and its builder.
 
+use crate::csr::CsrTdg;
 use crate::error::BuildTdgError;
 use crate::level::Levels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Identifier of a task (a node of the [`Tdg`]).
 ///
@@ -45,7 +47,7 @@ impl From<u32> for TaskId {
 ///
 /// Construction via [`TdgBuilder`] validates that the graph is a DAG; the
 /// invariant holds for the lifetime of the value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tdg {
     num_edges: usize,
     fwd_off: Vec<u32>,
@@ -56,7 +58,55 @@ pub struct Tdg {
     /// aware baselines (Sarkar) and by statistics; the schedulers measure
     /// real time instead.
     weights: Vec<f32>,
+    /// Lazily built level-ordered view (see [`Tdg::csr`]). Excluded from
+    /// equality and serialization: it is derived state, and two equal
+    /// graphs must compare equal whether or not either has built it.
+    csr: OnceLock<CsrTdg>,
 }
+
+impl PartialEq for Tdg {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_edges == other.num_edges
+            && self.fwd_off == other.fwd_off
+            && self.fwd_adj == other.fwd_adj
+            && self.rev_off == other.rev_off
+            && self.rev_adj == other.rev_adj
+            && self.weights == other.weights
+    }
+}
+
+// Manual serde impls: the cached CSR view is derived state and must stay
+// off the wire (same JSON shape as the former field derive).
+impl Serialize for Tdg {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(Vec::from([
+            (String::from("num_edges"), self.num_edges.to_value()),
+            (String::from("fwd_off"), self.fwd_off.to_value()),
+            (String::from("fwd_adj"), self.fwd_adj.to_value()),
+            (String::from("rev_off"), self.rev_off.to_value()),
+            (String::from("rev_adj"), self.rev_adj.to_value()),
+            (String::from("weights"), self.weights.to_value()),
+        ]))
+    }
+}
+
+impl Deserialize for Tdg {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::FromValueError> {
+        Ok(Tdg {
+            num_edges: Deserialize::from_value(v.expect_field("num_edges")?)?,
+            fwd_off: Deserialize::from_value(v.expect_field("fwd_off")?)?,
+            fwd_adj: Deserialize::from_value(v.expect_field("fwd_adj")?)?,
+            rev_off: Deserialize::from_value(v.expect_field("rev_off")?)?,
+            rev_adj: Deserialize::from_value(v.expect_field("rev_adj")?)?,
+            weights: Deserialize::from_value(v.expect_field("weights")?)?,
+            csr: OnceLock::new(),
+        })
+    }
+}
+
+/// The five owned CSR buffers of a [`Tdg`] — `(fwd_off, fwd_adj,
+/// rev_off, rev_adj, weights)`, the argument order of `from_csr`.
+pub(crate) type CsrBuffers = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>, Vec<f32>);
 
 impl Tdg {
     /// Assemble a `Tdg` from pre-built CSR arrays. The caller guarantees
@@ -80,7 +130,29 @@ impl Tdg {
             rev_off,
             rev_adj,
             weights,
+            csr: OnceLock::new(),
         }
+    }
+
+    /// Disassemble into the five owned CSR buffers, for recycling through
+    /// a [`TdgArena`](crate::TdgArena). The cached level-ordered view, if
+    /// any, is dropped — it is derived state.
+    pub(crate) fn into_buffers(self) -> CsrBuffers {
+        (
+            self.fwd_off,
+            self.fwd_adj,
+            self.rev_off,
+            self.rev_adj,
+            self.weights,
+        )
+    }
+
+    /// The level-ordered flat CSR view of this graph, built on first use
+    /// and cached for the graph's lifetime. All wavefront partitioners
+    /// run on this view, so one levelisation is shared across every
+    /// partition call on the same graph.
+    pub fn csr(&self) -> &CsrTdg {
+        self.csr.get_or_init(|| CsrTdg::build(self))
     }
 
     /// Number of tasks (nodes).
@@ -234,7 +306,7 @@ pub struct TdgBuilder {
 
 /// Default estimated task cost (ns) when none is provided: in the middle of
 /// the paper's observed 0.5–50 µs backward-propagation range.
-const DEFAULT_WEIGHT_NS: f32 = 1_000.0;
+pub(crate) const DEFAULT_WEIGHT_NS: f32 = 1_000.0;
 
 impl TdgBuilder {
     /// Create a builder for a graph with `num_tasks` tasks and no edges yet.
@@ -319,8 +391,15 @@ impl TdgBuilder {
 
         // Sort + dedup so adjacency lists are ordered and duplicate edges
         // collapse (parallel edges would double-count dep_cnt releases).
-        self.edges.sort_unstable();
-        self.edges.dedup();
+        // Two stable counting sorts replace the comparison sort: O(E + V),
+        // and the resulting order is identical to `sort_unstable + dedup`.
+        let (mut tmp, mut counts) = (Vec::new(), Vec::new());
+        crate::recycle::sort_and_dedup_edges(
+            self.num_tasks,
+            &mut self.edges,
+            &mut tmp,
+            &mut counts,
+        );
 
         let num_edges = self.edges.len();
         let n = self.num_tasks;
@@ -368,6 +447,7 @@ impl TdgBuilder {
             rev_off,
             rev_adj,
             weights: self.weights,
+            csr: OnceLock::new(),
         };
 
         // Kahn's algorithm: if not all tasks become ready, a cycle exists.

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod cancel;
+pub mod csr;
 mod dot;
 mod error;
 mod graph;
@@ -53,11 +54,13 @@ mod level;
 mod partition;
 pub mod patch;
 pub mod quotient;
+mod recycle;
 mod reduce;
 mod topo;
 pub mod validate;
 
 pub use cancel::{CancelObserver, CancelToken};
+pub use csr::CsrTdg;
 pub use dot::{partition_to_dot, quotient_to_dot, tdg_to_dot};
 pub use error::{BuildTdgError, ValidatePartitionError};
 pub use graph::{TaskId, Tdg, TdgBuilder};
@@ -66,5 +69,6 @@ pub use level::Levels;
 pub use partition::{Partition, PartitionId, PartitionStats};
 pub use patch::{PatchableQuotient, TaskMove};
 pub use quotient::QuotientTdg;
+pub use recycle::{ArenaTdgBuilder, TdgArena};
 pub use reduce::transitive_reduction;
 pub use topo::{critical_path_len, topo_order, ParallelismProfile};

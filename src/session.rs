@@ -463,6 +463,7 @@ impl Session {
         let full = timer.update_timing();
         inc.install(full.tdg(), &opts)?;
         full.run_sequential();
+        drop(full); // returns its buffers to the timer before the move
         Ok(Session {
             name: name.into(),
             sources,

@@ -1,5 +1,6 @@
 //! Guard: `tests/` holds Rust sources only, plus committed design
-//! fixtures under `tests/fixtures/`.
+//! fixtures under `tests/fixtures/`; `results/` commits only the
+//! sanctioned scale-of-record artefacts and the perf baseline.
 //!
 //! Integration tests in this repo write their scratch files (checkpoints,
 //! CSVs, logs) to the system temp directory, never next to the sources.
@@ -8,6 +9,11 @@
 //! subdirectory is `tests/fixtures/`, which may contain only design-source
 //! text (`.v` netlists, `.lib` libraries, `.sdc` constraints) — generated
 //! artifacts are still banned there.
+//!
+//! For `results/` the committed (git-tracked) set is the contract: the
+//! figure/table files of record plus `perf_baseline.json`. Bench runs
+//! may drop fresh `BENCH_*.json` summaries there locally — those are CI
+//! upload artifacts and must never be committed.
 
 #[test]
 fn tests_directory_contains_only_rust_sources() {
@@ -44,4 +50,72 @@ fn tests_directory_contains_only_rust_sources() {
         count += 1;
     }
     assert!(count > 0, "tests/ unexpectedly empty");
+}
+
+/// Whether a committed `results/` file name is sanctioned: the paper
+/// figure/table artefacts of record (`fig*` / `table1`, CSV + JSON) and
+/// the perf-regression baseline.
+fn sanctioned_result(name: &str) -> bool {
+    if name == "perf_baseline.json" {
+        return true;
+    }
+    let Some((stem, ext)) = name.rsplit_once('.') else {
+        return false;
+    };
+    matches!(ext, "csv" | "json") && (stem.starts_with("fig") || stem == "table1")
+}
+
+#[test]
+fn results_directory_commits_only_sanctioned_artifacts() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    // The *committed* set is the contract; enumerate it via git so a
+    // locally generated BENCH_*.json (a CI upload artifact) does not
+    // fail a dev's test run, while committing one does fail CI.
+    let output = std::process::Command::new("git")
+        .args(["ls-files", "--", "results/"])
+        .current_dir(root)
+        .output();
+    let output = match output {
+        Ok(o) if o.status.success() => o,
+        // Exported tarballs and vendored checkouts have no git; the
+        // committed set cannot drift in those, so there is nothing to
+        // guard.
+        _ => {
+            eprintln!("skipping: git unavailable or not a repository");
+            return;
+        }
+    };
+    let tracked = String::from_utf8(output.stdout).expect("git paths are UTF-8");
+    let mut count = 0usize;
+    for path in tracked.lines() {
+        let name = path.rsplit('/').next().expect("non-empty path");
+        assert!(
+            !name.starts_with("BENCH_"),
+            "{path} is committed — BENCH_* summaries are generated CI artifacts, \
+             refresh results/perf_baseline.json instead (DESIGN.md §13)"
+        );
+        assert!(
+            sanctioned_result(name),
+            "{path} is committed but not a sanctioned results/ artefact \
+             (fig*/table1 .csv/.json or perf_baseline.json)"
+        );
+        count += 1;
+    }
+    assert!(
+        count > 0,
+        "results/ unexpectedly has no committed artefacts"
+    );
+
+    // Whatever lands on disk — committed or generated — must be a CSV or
+    // JSON result file; checkpoints and logs belong in temp directories.
+    for entry in std::fs::read_dir(root.join("results")).expect("results/ is readable") {
+        let path = entry.expect("directory entry is readable").path();
+        let ext = path.extension().and_then(|e| e.to_str());
+        assert!(
+            matches!(ext, Some("csv" | "json")),
+            "non-result artifact {} in results/ — write scratch files to \
+             std::env::temp_dir()",
+            path.display()
+        );
+    }
 }

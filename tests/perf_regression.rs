@@ -1,0 +1,111 @@
+//! Perf-regression tier: the committed perf artefacts in `results/` are
+//! schema-checked on every test run, and — when `GPASTA_PERF=1` — a
+//! fresh smoke measurement is compared against the committed baseline
+//! with the tolerance band, failing the suite on a hot-path slowdown.
+//!
+//! The measured half is opt-in because wall-clock under `cargo test`'s
+//! parallel, unoptimised builds is meaningless; CI runs it as a
+//! dedicated `--release` step (see `.github/workflows/ci.yml`,
+//! perf-smoke). Baseline refresh procedure: DESIGN.md §13.
+
+use gpasta_bench::read_json;
+use gpasta_bench::regress::{
+    check_columns, check_schema, compare, run_smoke, PerfSummary, Tolerance, FIG7_POLICIES,
+    FIG8_ALGOS,
+};
+use std::path::Path;
+
+/// The committed smoke baseline.
+const BASELINE: &str = "results/perf_baseline.json";
+
+/// Metric names the baseline must pin — derived from the same
+/// policy/algorithm lists the summarisers use, so the two cannot drift.
+fn expected_metrics() -> Vec<String> {
+    let mut names = Vec::new();
+    for p in FIG7_POLICIES {
+        names.push(format!("fig7_vga_lcd_{p}_wall_ms"));
+    }
+    names.push("fig7_vga_lcd_gpasta_speedup".to_owned());
+    for a in FIG8_ALGOS {
+        names.push(format!("fig8_leon2_{a}_wall_ms"));
+    }
+    names.push("fig8_leon2_seq_gpasta_speedup".to_owned());
+    names
+}
+
+#[test]
+fn committed_baseline_pins_every_smoke_metric() {
+    let baseline = PerfSummary::load(Path::new(BASELINE)).expect("committed baseline parses");
+    let names: Vec<&str> = baseline.metrics.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(names, expected_metrics(), "baseline metric set drifted");
+    for (metric, value) in &baseline.metrics {
+        assert!(
+            value.is_finite() && *value > 0.0,
+            "baseline {metric} must be a positive number, got {value}"
+        );
+    }
+}
+
+#[test]
+fn committed_figure_files_parse_with_the_emitter_schema() {
+    for circuit in ["vga_lcd", "leon2"] {
+        let rows = read_json(Path::new(&format!("results/fig7_{circuit}.json")))
+            .expect("committed fig7 file parses");
+        assert!(!rows.is_empty());
+        let cols: Vec<&str> = rows[0].values.iter().map(|(k, _)| k.as_str()).collect();
+        let expected: Vec<String> = FIG7_POLICIES
+            .iter()
+            .map(|p| format!("{p}_wall_ms"))
+            .chain(FIG7_POLICIES.iter().map(|p| format!("{p}_sim_ms")))
+            .collect();
+        assert_eq!(cols, expected, "fig7_{circuit} column schema drifted");
+    }
+    for circuit in ["des_perf", "leon2"] {
+        let rows = read_json(Path::new(&format!("results/fig8_{circuit}.json")))
+            .expect("committed fig8 file parses");
+        assert!(!rows.is_empty());
+        let cols: Vec<&str> = rows[0].values.iter().map(|(k, _)| k.as_str()).collect();
+        let expected: Vec<String> = FIG8_ALGOS
+            .iter()
+            .map(|a| format!("{a}_sim_ms"))
+            .chain(FIG8_ALGOS.iter().map(|a| format!("{a}_wall_ms")))
+            .collect();
+        assert_eq!(cols, expected, "fig8_{circuit} column schema drifted");
+    }
+}
+
+#[test]
+fn fresh_smoke_stays_inside_the_tolerance_band() {
+    if std::env::var("GPASTA_PERF").as_deref() != Ok("1") {
+        eprintln!("skipping measured perf comparison (set GPASTA_PERF=1, use --release)");
+        return;
+    }
+    let smoke = run_smoke();
+    check_columns(
+        "results/fig7_vga_lcd.json",
+        &smoke.fig7_rows,
+        &read_json(Path::new("results/fig7_vga_lcd.json")).expect("committed fig7 parses"),
+    )
+    .expect("fig7 column schema");
+    check_columns(
+        "results/fig8_leon2.json",
+        &smoke.fig8_rows,
+        &read_json(Path::new("results/fig8_leon2.json")).expect("committed fig8 parses"),
+    )
+    .expect("fig8 column schema");
+
+    let baseline = PerfSummary::load(Path::new(BASELINE)).expect("committed baseline parses");
+    check_schema(BASELINE, &smoke.summary.to_rows(), &baseline.to_rows())
+        .expect("summary schema matches baseline");
+    let regressions = compare(&smoke.summary, &baseline, Tolerance::from_env())
+        .expect("no baseline metric is missing");
+    assert!(
+        regressions.is_empty(),
+        "hot-path perf regressed past the tolerance band:\n{}",
+        regressions
+            .iter()
+            .map(|r| format!("  {r}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
