@@ -1,0 +1,158 @@
+//! Supervision (crash-containment) overhead benchmark.
+//!
+//! The serve registry wraps every session operation in a supervisor:
+//! the session mutex, a `catch_unwind` boundary, and an edit journal
+//! appended for crash replay. This bench measures what that wrapper
+//! costs on the fault-free fast path — the only path production traffic
+//! takes — by running the same edit/update loop two ways:
+//!
+//! 1. **raw** — a bare [`Session`]: `apply_edit` + `update_timing`,
+//!    no locks, no journal, no unwind boundary;
+//! 2. **supervised** — the same edits through [`Registry::apply_edits`]
+//!    and [`Registry::with_live`], exactly as the HTTP/RPC frontends
+//!    dispatch them (chaos off, background checkpointer off).
+//!
+//! The two loops are interleaved run-by-run so clock drift and cache
+//! warm-up cannot bias either side; per-path minima are compared and
+//! the supervised path must stay within 5 % of raw whenever the
+//! baseline is long enough to measure (≥ 20 ms). The final timing
+//! reports of both paths are asserted bit-identical — supervision must
+//! be invisible to results, not just cheap.
+//!
+//! Writes `supervision_overhead.csv` and the machine-readable summary
+//! `BENCH_supervision.json` that CI uploads.
+//!
+//! ```text
+//! cargo run --release -p gpasta-bench --bin supervision_overhead -- --scale 0.05
+//! ```
+
+use gpasta::serve::Registry;
+use gpasta::session::{DesignSources, Edit, Session};
+use gpasta_bench::{write_csv, write_json, BenchConfig, OutputError, Row};
+use gpasta_circuits::PaperCircuit;
+use gpasta_sched::{RunBudget, StopCause};
+use gpasta_sta::write_verilog;
+use std::time::Instant;
+
+/// Best (minimum) of a set of millisecond samples; scheduler
+/// interference only ever *adds* time, so the per-path minimum is the
+/// noise-robust estimator (same reasoning as `deadline_overhead`).
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), OutputError> {
+    let cfg = BenchConfig::from_args();
+    println!(
+        "Supervision-overhead benchmark: scale {}, {} workers, {} runs\n",
+        cfg.scale, cfg.workers, cfg.runs
+    );
+
+    let spool =
+        std::env::temp_dir().join(format!("gpasta-bench-supervision-{}", std::process::id()));
+    let mut rows: Vec<Row> = Vec::new();
+    for &circuit in &[PaperCircuit::VgaLcd, PaperCircuit::Leon2] {
+        let verilog = write_verilog(&circuit.build(cfg.scale), "top");
+        let sources = DesignSources::verilog_only(verilog);
+        let budget = RunBudget::unbounded();
+
+        let mut raw = Session::create("raw", sources.clone(), cfg.workers).expect("raw session");
+        let registry = Registry::new(spool.clone(), cfg.workers, 4);
+        registry.create("sup", sources).expect("supervised session");
+
+        // Alternate drive strengths so every iteration dirties the gate
+        // and the update has real propagation work; both paths see the
+        // identical edit sequence.
+        let mut raw_ms = Vec::with_capacity(cfg.runs);
+        let mut sup_ms = Vec::with_capacity(cfg.runs);
+        let mut edits = 0u32;
+        for run in 0..cfg.runs.max(2) {
+            let edit = Edit::Repower {
+                gate: "u1".to_string(),
+                drive: if run % 2 == 0 { 2.0 } else { 0.5 },
+            };
+
+            let t = Instant::now();
+            raw.apply_edit(&edit).expect("raw edit");
+            let out = raw.update_timing(&budget).expect("raw update");
+            raw_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(out.stop, StopCause::Completed, "unbounded run completes");
+
+            let t = Instant::now();
+            let receipt = registry
+                .apply_edits("sup", &[edit])
+                .expect("supervised edit");
+            assert!(receipt.rejected.is_none(), "edit is valid");
+            let out = registry
+                .with_live("sup", |s| s.update_timing(&budget))
+                .expect("supervised dispatch")
+                .expect("supervised update");
+            sup_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(out.stop, StopCause::Completed, "unbounded run completes");
+            edits += 1;
+        }
+
+        // Supervision must be invisible to results: both paths end on
+        // the same edit history, so the reports must agree bit-for-bit.
+        let raw_wns = raw.report(1).wns_ps;
+        let sup_wns = registry
+            .with_live("sup", |s| s.report(1))
+            .expect("supervised report")
+            .wns_ps;
+        assert_eq!(
+            raw_wns.to_bits(),
+            sup_wns.to_bits(),
+            "{}: supervised WNS {sup_wns} ps differs from raw {raw_wns} ps",
+            circuit.name()
+        );
+
+        let raw_best = best(&raw_ms);
+        let sup_best = best(&sup_ms);
+        let overhead_pct = 100.0 * (sup_best - raw_best) / raw_best;
+        // Only police the budget when the baseline is long enough for
+        // the estimator to mean something; at smoke scales the per-run
+        // time is microseconds and jitter dominates both paths.
+        if raw_best >= 20.0 {
+            assert!(
+                overhead_pct <= 5.0,
+                "{}: supervised path costs {overhead_pct:.2}% over raw (budget 5%)",
+                circuit.name()
+            );
+        }
+        println!(
+            "== {} ==\n  raw {:>9.3} ms | supervised {:>9.3} ms | overhead {:+.2}% | {} edits, WNS bit-identical",
+            circuit.name(),
+            raw_best,
+            sup_best,
+            overhead_pct,
+            edits
+        );
+
+        rows.push(Row::new(
+            circuit.name(),
+            &[
+                ("raw_ms", raw_best),
+                ("supervised_ms", sup_best),
+                ("overhead_pct", overhead_pct),
+                ("edits", f64::from(edits)),
+                ("policed", if raw_best >= 20.0 { 1.0 } else { 0.0 }),
+            ],
+        ));
+    }
+    std::fs::remove_dir_all(&spool).ok();
+
+    write_csv(&cfg.out_dir.join("supervision_overhead.csv"), &rows)?;
+    write_json(&cfg.out_dir.join("BENCH_supervision.json"), &rows)?;
+    println!(
+        "\nwrote {}",
+        cfg.out_dir.join("BENCH_supervision.json").display()
+    );
+    Ok(())
+}

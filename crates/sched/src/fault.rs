@@ -12,6 +12,13 @@
 //! each attempt, translating fired faults into the failure modes the
 //! recovering executor must contain: panics, transient errors (retryable),
 //! delays (slow but correct), and detected wrong results (permanent).
+//!
+//! The plan is deliberately layer-agnostic: the executor keys it by
+//! `(task, attempt)`, and the serve supervision layer reuses the same
+//! schedule keyed by `(update index, recovery count)` to inject seeded
+//! panics and delays into live sessions (`gpasta::serve`). Both layers
+//! share the replay guarantee — a key either fires or it does not,
+//! independent of threads and wall clock.
 
 use crate::executor::TaskWork;
 use crate::outcome::{RecoverableWork, TaskError};
@@ -40,6 +47,31 @@ pub enum FaultKind {
     /// checksum mismatch). Permanent: retrying cannot help, so the task's
     /// partition is quarantined immediately.
     WrongResult,
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    /// Parse a CLI fault-kind name. `delay` accepts an optional
+    /// microsecond suffix: `delay:500`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "panic" => Ok(FaultKind::Panic),
+            "transient" => Ok(FaultKind::Transient),
+            "wrong_result" => Ok(FaultKind::WrongResult),
+            "delay" => Ok(FaultKind::Delay { micros: 1_000 }),
+            other => match other.strip_prefix("delay:") {
+                Some(micros) => micros
+                    .parse()
+                    .map(|micros| FaultKind::Delay { micros })
+                    .map_err(|e| format!("bad delay micros in `{other}`: {e}")),
+                None => Err(format!(
+                    "unknown fault kind `{other}`; expected panic, transient, \
+                     wrong_result, delay, or delay:<micros>"
+                )),
+            },
+        }
+    }
 }
 
 /// SplitMix64 — tiny, high-quality mixer; enough for fault sampling and
@@ -74,6 +106,20 @@ pub struct FaultPlan {
     fired: AtomicU64,
 }
 
+impl Clone for FaultPlan {
+    /// Clones the schedule; the fired counter restarts at zero (it is
+    /// reporting state, not part of the deterministic decision).
+    fn clone(&self) -> Self {
+        FaultPlan {
+            targeted: self.targeted.clone(),
+            seed: self.seed,
+            rate: self.rate,
+            kinds: self.kinds.clone(),
+            fired: AtomicU64::new(0),
+        }
+    }
+}
+
 impl FaultPlan {
     /// A plan that never fires. Running under it must be behaviourally
     /// identical to the non-recovering path.
@@ -97,6 +143,19 @@ impl FaultPlan {
     /// Register a targeted fault: attempt `attempt` of `task` hits `kind`.
     pub fn inject(mut self, task: u32, attempt: u32, kind: FaultKind) -> Self {
         self.targeted.insert((task, attempt), kind);
+        self
+    }
+
+    /// Register a batch of targeted faults (`(task, attempt, kind)`
+    /// triples) — the session-supervision chaos harness builds its
+    /// per-session plans from slices of these.
+    pub fn with_targets(
+        mut self,
+        targets: impl IntoIterator<Item = (u32, u32, FaultKind)>,
+    ) -> Self {
+        for (task, attempt, kind) in targets {
+            self.targeted.insert((task, attempt), kind);
+        }
         self
     }
 
@@ -267,6 +326,31 @@ mod tests {
         assert!(work.execute(TaskId(0), 1).is_ok(), "retry clears transient");
         assert_eq!(ran.load(Ordering::Relaxed), 2);
         assert_eq!(plan.fired(), 3);
+    }
+
+    #[test]
+    fn kind_names_parse_and_reject() {
+        assert_eq!("panic".parse(), Ok(FaultKind::Panic));
+        assert_eq!("transient".parse(), Ok(FaultKind::Transient));
+        assert_eq!("wrong_result".parse(), Ok(FaultKind::WrongResult));
+        assert_eq!("delay".parse(), Ok(FaultKind::Delay { micros: 1_000 }));
+        assert_eq!("delay:250".parse(), Ok(FaultKind::Delay { micros: 250 }));
+        assert!("explode".parse::<FaultKind>().is_err());
+        assert!("delay:lots".parse::<FaultKind>().is_err());
+    }
+
+    #[test]
+    fn batch_targets_and_clone_replay_identically() {
+        let plan = FaultPlan::random(9, 0.05, &[FaultKind::Transient])
+            .with_targets([(1, 0, FaultKind::Panic), (2, 1, FaultKind::Transient)]);
+        let copy = plan.clone();
+        for t in 0..500u32 {
+            for a in 0..3 {
+                assert_eq!(plan.fault_at(t, a), copy.fault_at(t, a));
+            }
+        }
+        assert_eq!(copy.fault_at(1, 0), Some(FaultKind::Panic));
+        assert_eq!(copy.fired(), 0, "clone restarts the fired counter");
     }
 
     #[test]

@@ -50,6 +50,11 @@ usage:
                                 [--deadline-ms <n>]
   gpasta serve [--addr <host:port>] [--stdio] [--spool <dir>]
                [--workers <n>] [--max-sessions <n>]
+               [--checkpoint-ms <n>] [--max-inflight <n>]
+               [--max-connections <n>] [--read-timeout-ms <n>]
+               [--crash-window-ms <n>] [--max-crashes <n>]
+               [--chaos-seed <n>] [--chaos-rate <f>] [--chaos-kinds <k,..>]
+               [--chaos-inject <name:update:attempt:kind> ..]
   gpasta demo
 
 edge-list format: one `from to` pair of task ids per line; `#` comments
@@ -768,11 +773,86 @@ fn serve_cmd(args: &[String]) -> Result<(), Error> {
                     return Err(CliError::NonPositive("--max-sessions").into());
                 }
             }
+            "--checkpoint-ms" => cfg.checkpoint_ms = parse::<u64>("--checkpoint-ms", it.next())?,
+            "--max-inflight" => cfg.max_inflight = parse::<u64>("--max-inflight", it.next())?,
+            "--max-connections" => {
+                cfg.max_connections = parse::<usize>("--max-connections", it.next())?;
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout_ms = parse::<u64>("--read-timeout-ms", it.next())?;
+            }
+            "--crash-window-ms" => {
+                cfg.crash_window_ms = parse::<u64>("--crash-window-ms", it.next())?;
+            }
+            "--max-crashes" => {
+                cfg.max_crashes = parse::<usize>("--max-crashes", it.next())?;
+                if cfg.max_crashes == 0 {
+                    return Err(CliError::NonPositive("--max-crashes").into());
+                }
+            }
+            "--chaos-seed" => cfg.chaos.seed = parse::<u64>("--chaos-seed", it.next())?,
+            "--chaos-rate" => {
+                cfg.chaos.rate = parse::<f64>("--chaos-rate", it.next())?;
+                if !(0.0..=1.0).contains(&cfg.chaos.rate) {
+                    return Err(CliError::BadValue {
+                        flag: "--chaos-rate",
+                        value: cfg.chaos.rate.to_string(),
+                        why: "must be in [0, 1]".to_string(),
+                    }
+                    .into());
+                }
+            }
+            "--chaos-kinds" => {
+                let raw = need("--chaos-kinds", it.next())?;
+                cfg.chaos.kinds = raw
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse::<FaultKind>().map_err(|why| CliError::BadValue {
+                            flag: "--chaos-kinds",
+                            value: s.to_string(),
+                            why,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--chaos-inject" => {
+                let raw = need("--chaos-inject", it.next())?;
+                cfg.chaos.targeted.push(parse_chaos_inject(&raw)?);
+            }
             other => return Err(unexpected(other)),
         }
     }
     gpasta::serve::run(&cfg)?;
     Ok(())
+}
+
+/// Parse one `--chaos-inject name:update:attempt:kind` spec (the kind
+/// may itself contain a colon, as in `delay:500`).
+fn parse_chaos_inject(raw: &str) -> Result<(String, u32, u32, FaultKind), Error> {
+    let invalid = |why: String| {
+        Error::from(CliError::BadValue {
+            flag: "--chaos-inject",
+            value: raw.to_string(),
+            why,
+        })
+    };
+    let mut parts = raw.splitn(4, ':');
+    let (Some(name), Some(update), Some(attempt), Some(kind)) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(invalid(format!(
+            "expected name:update:attempt:kind, got `{raw}`"
+        )));
+    };
+    let update = update
+        .parse::<u32>()
+        .map_err(|_| invalid(format!("update index `{update}` is not a u32")))?;
+    let attempt = attempt
+        .parse::<u32>()
+        .map_err(|_| invalid(format!("attempt `{attempt}` is not a u32")))?;
+    let kind = kind.parse::<FaultKind>().map_err(invalid)?;
+    Ok((name.to_string(), update, attempt, kind))
 }
 
 fn demo_cmd() -> Result<(), Error> {

@@ -9,6 +9,8 @@
 //!
 //! | Route | Method |
 //! |---|---|
+//! | `GET /healthz` | `healthz` |
+//! | `GET /readyz` | `readyz` |
 //! | `GET /status` | `status` |
 //! | `GET /sessions` | `list_sessions` |
 //! | `POST /sessions` | `create_session` |
@@ -20,37 +22,78 @@
 //! | `GET /sessions/{name}/paths?k=N` | `paths` |
 //! | `POST /shutdown` | `shutdown` |
 //!
+//! The parser ([`parse_request`]) treats every byte off the socket as
+//! adversarial: lines are read through a fixed head budget (never an
+//! unbounded `read_line`), `Content-Length` must be present at most
+//! once, non-UTF-8 anywhere is a clean 400, and a socket that trickles
+//! slower than the read deadline gets 408 — malformed input produces a
+//! status code, never a worker-thread death.
+//!
+//! Overload: past `max_connections` the accept loop sheds immediately
+//! with `503` + `Retry-After` (never queues); past the in-flight budget
+//! [`super::proto::dispatch`] sheds the same way.
+//!
 //! Shutdown: the handler thread that serves `POST /shutdown` sets the
 //! registry flag, then opens a throwaway connection to the listener to
 //! wake the blocked `accept`; the accept loop observes the flag, drains
 //! its worker threads, and runs the registry's persist pass.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
+use gpasta_check::sync::{AtomicU64, Ordering};
 use serde_json::Value;
 
 use super::proto::{dispatch, ApiError};
 use super::registry::Registry;
 use super::ServeError;
 
-/// Largest accepted request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 64 * 1024;
-/// Largest accepted request body (design uploads).
-const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Byte and time bounds the request parser enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Largest accepted request head (request line + headers).
+    pub max_head_bytes: usize,
+    /// Largest accepted request body (design uploads).
+    pub max_body_bytes: usize,
+    /// Socket read deadline; a body trickling in slower than this gets
+    /// 408 instead of parking the worker thread forever. `None`
+    /// disables the deadline.
+    pub read_timeout: Option<Duration>,
+    /// Socket write deadline for the response.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
 
 /// Run the HTTP frontend until a `POST /shutdown` arrives, then spool
 /// every live session and return. Prints the bound address on stdout
 /// before accepting (tests bind port 0 and parse the line).
+/// `max_connections` bounds concurrent connection threads (`0` =
+/// unlimited); excess connections are shed with 503.
 ///
 /// # Errors
 ///
 /// [`ServeError::Bind`] when the address cannot be bound; I/O errors on
 /// individual connections are per-request (the connection is dropped,
 /// the server keeps running).
-pub fn run_http(registry: Arc<Registry>, addr: &str) -> Result<(), ServeError> {
+pub fn run_http(
+    registry: Arc<Registry>,
+    addr: &str,
+    limits: HttpLimits,
+    max_connections: usize,
+) -> Result<(), ServeError> {
     let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
         addr: addr.to_string(),
         source,
@@ -62,18 +105,30 @@ pub fn run_http(registry: Arc<Registry>, addr: &str) -> Result<(), ServeError> {
     println!("gpasta serve listening on http://{local}");
     let _ = std::io::stdout().flush();
 
+    let active = Arc::new(AtomicU64::new(0));
     let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
         if registry.is_shutting_down() {
             break;
         }
-        let stream = match conn {
+        let mut stream = match conn {
             Ok(stream) => stream,
             Err(_) => continue,
         };
+        let now = active.fetch_add(1, Ordering::Relaxed) + 1;
+        if max_connections > 0 && now > max_connections as u64 {
+            active.fetch_sub(1, Ordering::Relaxed);
+            // Off the accept thread: a shed client that never reads
+            // must not stall accepts for up to the write timeout.
+            let write_timeout = limits.write_timeout;
+            thread::spawn(move || shed_connection(&mut stream, max_connections, write_timeout));
+            continue;
+        }
         let reg = registry.clone();
+        let act = active.clone();
         workers.push(thread::spawn(move || {
-            handle_connection(&reg, stream, local);
+            handle_connection(&reg, stream, local, &limits);
+            act.fetch_sub(1, Ordering::Relaxed);
         }));
         workers.retain(|h| !h.is_finished());
     }
@@ -89,20 +144,59 @@ pub fn run_http(registry: Arc<Registry>, addr: &str) -> Result<(), ServeError> {
     Ok(())
 }
 
-fn handle_connection(registry: &Registry, stream: TcpStream, local: SocketAddr) {
+/// Refuse one over-cap connection: answer `503` + `Retry-After`, then
+/// drain whatever request bytes the client already sent before closing.
+/// Closing with unread data in the receive buffer makes the kernel send
+/// RST, which can destroy the in-flight 503 before the client reads it.
+fn shed_connection(
+    stream: &mut TcpStream,
+    max_connections: usize,
+    write_timeout: Option<Duration>,
+) {
+    let _ = stream.set_write_timeout(write_timeout);
+    let shed = ApiError {
+        status: 503,
+        kind: "overloaded".to_string(),
+        message: format!("server is at its connection cap ({max_connections}); retry later"),
+        retry_after: Some(1),
+    };
+    write_response(stream, shed.status, shed.retry_after, &shed.to_value());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 1024];
+    while let Ok(n) = std::io::Read::read(stream, &mut scratch) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+fn handle_connection(
+    registry: &Registry,
+    stream: TcpStream,
+    local: SocketAddr,
+    limits: &HttpLimits,
+) {
+    let _ = stream.set_read_timeout(limits.read_timeout);
+    let _ = stream.set_write_timeout(limits.write_timeout);
     let mut was_shutdown = false;
+    let parsed = {
+        // `&TcpStream` implements `Read`, so the buffered reader can
+        // borrow while the raw stream stays available for the response.
+        let mut reader = BufReader::new(&stream);
+        parse_request(&mut reader, limits)
+    };
     let mut stream = stream;
-    match read_request(&mut stream) {
+    match parsed {
         Ok(req) => {
             was_shutdown = req.method == "POST" && req.path == "/shutdown";
-            let (status, body) = match route(registry, &req) {
-                Ok(value) => (200, value),
-                Err(e) => (e.status, e.to_value()),
-            };
-            write_response(&mut stream, status, &body);
+            match route(registry, &req) {
+                Ok(value) => write_response(&mut stream, 200, None, &value),
+                Err(e) => write_response(&mut stream, e.status, e.retry_after, &e.to_value()),
+            }
         }
         Err(e) => {
-            write_response(&mut stream, e.status, &e.to_value());
+            write_response(&mut stream, e.status, e.retry_after, &e.to_value());
         }
     }
     if was_shutdown {
@@ -111,80 +205,159 @@ fn handle_connection(registry: &Registry, stream: TcpStream, local: SocketAddr) 
     }
 }
 
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: Option<Value>,
+/// One parsed HTTP request. Public so the proptest adversary can drive
+/// [`parse_request`] with raw byte soup.
+#[derive(Debug)]
+pub struct Request {
+    /// HTTP method token.
+    pub method: String,
+    /// Path component of the target (no query string).
+    pub path: String,
+    /// Decoded query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Parsed JSON body, when a `Content-Length` was present.
+    pub body: Option<Value>,
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, ApiError> {
-    let io_err = |what: &str| ApiError::bad_request("bad_request", what.to_string());
-    let mut reader = BufReader::new(stream);
+/// Map a connection-level I/O failure to a wire error: a tripped read
+/// deadline is the client's slow trickle (408), anything else is a bad
+/// request.
+fn io_api(e: &std::io::Error) -> ApiError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ApiError {
+            status: 408,
+            kind: "timeout".to_string(),
+            message: "connection idle past the read deadline".to_string(),
+            retry_after: None,
+        },
+        _ => ApiError::bad_request("bad_request", format!("connection error: {e}")),
+    }
+}
 
-    let mut request_line = String::new();
-    reader
-        .read_line(&mut request_line)
-        .map_err(|_| io_err("cannot read request line"))?;
+/// Read one `\n`-terminated line without ever buffering more than the
+/// remaining head budget (deducted on success). EOF mid-line is a
+/// truncated request, not a panic or a hang.
+fn read_line_limited(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ApiError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let used = {
+            let buf = reader.fill_buf().map_err(|e| io_api(&e))?;
+            if buf.is_empty() {
+                return Err(ApiError::bad_request(
+                    "bad_request",
+                    "truncated request: connection closed mid-line",
+                ));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&buf[..=i]);
+                    i + 1
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    buf.len()
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > *budget {
+            return Err(ApiError {
+                status: 431,
+                kind: "headers_too_large".to_string(),
+                message: "request head exceeds the head-size limit".to_string(),
+                retry_after: None,
+            });
+        }
+        if line.last() == Some(&b'\n') {
+            *budget -= line.len();
+            return String::from_utf8(line)
+                .map_err(|_| ApiError::bad_request("bad_request", "request head is not UTF-8"));
+        }
+    }
+}
+
+/// Parse one HTTP/1.1 request off `reader` under `limits`. Every
+/// malformed input — truncated lines, oversized or duplicate headers,
+/// bodies shorter than their `Content-Length`, non-UTF-8 anywhere —
+/// maps to a 4xx [`ApiError`]; the function never panics on input
+/// bytes.
+///
+/// # Errors
+///
+/// 400 for malformed requests, 408 when the socket's read deadline
+/// trips, 413 for oversized bodies, 431 for oversized heads.
+pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<Request, ApiError> {
+    let mut head_budget = limits.max_head_bytes;
+    let request_line = read_line_limited(reader, &mut head_budget)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| io_err("empty request line"))?
+        .ok_or_else(|| ApiError::bad_request("bad_request", "empty request line"))?
         .to_string();
     let target = parts
         .next()
-        .ok_or_else(|| io_err("request line has no target"))?;
+        .ok_or_else(|| ApiError::bad_request("bad_request", "request line has no target"))?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query(q)),
         None => (target.to_string(), Vec::new()),
     };
 
-    let mut content_length = 0usize;
-    let mut head_bytes = request_line.len();
+    let mut content_length: Option<usize> = None;
     loop {
-        let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|_| io_err("cannot read headers"))?;
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(ApiError {
-                status: 431,
-                kind: "headers_too_large".to_string(),
-                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
-            });
-        }
-        let line = line.trim_end();
+        let line = read_line_limited(reader, &mut head_budget)?;
+        let line = line.trim_end_matches(['\r', '\n']);
         if line.is_empty() {
             break;
         }
-        if let Some((key, value)) = line.split_once(':') {
-            if key.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| io_err("invalid Content-Length"))?;
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(ApiError::bad_request(
+                "bad_request",
+                "malformed header line (no colon)",
+            ));
+        };
+        if key.trim().eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| ApiError::bad_request("bad_request", "invalid Content-Length"))?;
+            // Duplicates are a classic smuggling vector; reject even
+            // when the copies agree.
+            if content_length.replace(parsed).is_some() {
+                return Err(ApiError::bad_request(
+                    "bad_request",
+                    "duplicate Content-Length header",
+                ));
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
+
+    let content_length = content_length.unwrap_or(0);
+    if content_length > limits.max_body_bytes {
         return Err(ApiError {
             status: 413,
             kind: "body_too_large".to_string(),
-            message: format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+            message: format!("request body exceeds {} bytes", limits.max_body_bytes),
+            retry_after: None,
         });
     }
 
     let body = if content_length > 0 {
         let mut buf = vec![0u8; content_length];
-        reader
-            .read_exact(&mut buf)
-            .map_err(|_| io_err("body shorter than Content-Length"))?;
-        let text = String::from_utf8(buf).map_err(|_| io_err("request body is not UTF-8"))?;
-        Some(
-            serde_json::from_str::<Value>(&text)
-                .map_err(|e| io_err(&format!("request body is not JSON: {e}")))?,
-        )
+        reader.read_exact(&mut buf).map_err(|e| {
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                io_api(&e)
+            } else {
+                ApiError::bad_request("bad_request", "body shorter than Content-Length")
+            }
+        })?;
+        let text = String::from_utf8(buf)
+            .map_err(|_| ApiError::bad_request("bad_request", "request body is not UTF-8"))?;
+        Some(serde_json::from_str::<Value>(&text).map_err(|e| {
+            ApiError::bad_request("bad_request", format!("request body is not JSON: {e}"))
+        })?)
     } else {
         None
     };
@@ -212,6 +385,8 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
 fn route(registry: &Registry, req: &Request) -> Result<Value, ApiError> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let (method, name): (&str, Option<&str>) = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ("healthz", None),
+        ("GET", ["readyz"]) => ("readyz", None),
         ("GET", ["status"]) => ("status", None),
         ("GET", ["sessions"]) => ("list_sessions", None),
         ("POST", ["sessions"]) => ("create_session", None),
@@ -227,6 +402,7 @@ fn route(registry: &Registry, req: &Request) -> Result<Value, ApiError> {
                 status: 404,
                 kind: "no_such_route".to_string(),
                 message: format!("no route for {} {}", req.method, req.path),
+                retry_after: None,
             })
         }
     };
@@ -256,7 +432,7 @@ fn route(registry: &Registry, req: &Request) -> Result<Value, ApiError> {
     dispatch(registry, method, &Value::Object(pairs))
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
+fn write_response(stream: &mut TcpStream, status: u16, retry_after: Option<u64>, body: &Value) {
     let text = match serde_json::to_string(body) {
         Ok(text) => text,
         Err(_) => String::from("{\"error\":{\"kind\":\"serialize\"}}"),
@@ -265,6 +441,7 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
@@ -272,8 +449,12 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
         503 => "Service Unavailable",
         _ => "Error",
     };
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
         text.len()
     );
     let _ = stream.write_all(head.as_bytes());
@@ -284,6 +465,11 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, ApiError> {
+        parse_request(&mut Cursor::new(bytes), &HttpLimits::default())
+    }
 
     #[test]
     fn query_strings_parse_into_pairs() {
@@ -299,5 +485,68 @@ mod tests {
             parse_query("flag"),
             vec![("flag".to_string(), String::new())]
         );
+    }
+
+    #[test]
+    fn well_formed_request_parses() {
+        let req = parse_bytes(
+            b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"name\":\"s1\"}",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert!(req.body.is_some());
+    }
+
+    #[test]
+    fn truncated_requests_are_clean_400s() {
+        for bytes in [
+            &b""[..],
+            &b"GET"[..],
+            &b"GET /status HTTP/1.1\r\nHost: x"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"[..],
+        ] {
+            let err = parse_bytes(bytes).expect_err("truncated input rejected");
+            assert_eq!(err.status, 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let err =
+            parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}")
+                .expect_err("duplicate rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("duplicate Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn oversized_heads_and_bodies_are_bounded() {
+        let mut huge_header = Vec::from(&b"GET /status HTTP/1.1\r\nX-Junk: "[..]);
+        huge_header.extend(vec![b'a'; 128 * 1024]);
+        huge_header.extend(b"\r\n\r\n");
+        let err = parse_bytes(&huge_header).expect_err("oversized head rejected");
+        assert_eq!(err.status, 431);
+
+        // A single unterminated line larger than the budget must also be
+        // bounded (no newline ever arrives).
+        let unterminated = vec![b'a'; 128 * 1024];
+        let err = parse_bytes(&unterminated).expect_err("unterminated line bounded");
+        assert_eq!(err.status, 431);
+
+        let err = parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+            .expect_err("oversized body rejected");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn non_utf8_input_is_a_clean_400() {
+        let err =
+            parse_bytes(b"GET /\xff\xfe HTTP/1.1\r\nHo\xffst: x\r\n\r\n").expect_err("head bytes");
+        assert_eq!(err.status, 400);
+        let err = parse_bytes(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe")
+            .expect_err("body bytes");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("not UTF-8"), "{err}");
     }
 }

@@ -31,17 +31,19 @@ mod proto;
 mod registry;
 mod rpc;
 
+pub use http::{parse_request, HttpLimits, Request};
 pub use proto::{dispatch, ApiError};
-pub use registry::{Registry, RegistryError, SessionInfo};
+pub use registry::{ChaosConfig, EditReceipt, Registry, RegistryError, SessionInfo, SessionState};
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[cfg(doc)]
 use crate::session::Session;
 
 /// Configuration of one `gpasta serve` process.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Listen address for the HTTP frontend (`127.0.0.1:0` picks a free
     /// port and prints it).
@@ -54,6 +56,28 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Maximum number of sessions (live plus dormant).
     pub max_sessions: usize,
+    /// Background-checkpoint interval in milliseconds; `0` disables the
+    /// checkpointer (crash recovery then replays the whole edit journal
+    /// from the sources).
+    pub checkpoint_ms: u64,
+    /// In-flight request budget; past it, requests shed with `503` +
+    /// `Retry-After`. `0` = unlimited.
+    pub max_inflight: u64,
+    /// Concurrent connection cap for the HTTP frontend; excess
+    /// connections are shed with `503`. `0` = unlimited.
+    pub max_connections: usize,
+    /// Socket read/write deadline in milliseconds (HTTP frontend); a
+    /// slow-trickling client gets 408 instead of parking a worker
+    /// thread. `0` disables.
+    pub read_timeout_ms: u64,
+    /// Crash-window width: this many milliseconds of history count
+    /// toward quarantine.
+    pub crash_window_ms: u64,
+    /// Crashes within the window that quarantine a session.
+    pub max_crashes: usize,
+    /// Deterministic fault injection into live sessions (chaos tier
+    /// only; inactive by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +88,13 @@ impl Default for ServeConfig {
             spool: PathBuf::from("gpasta-spool"),
             workers: 4,
             max_sessions: 16,
+            checkpoint_ms: 30_000,
+            max_inflight: 256,
+            max_connections: 64,
+            read_timeout_ms: 10_000,
+            crash_window_ms: 60_000,
+            max_crashes: 3,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -127,14 +158,64 @@ pub fn run(config: &ServeConfig) -> Result<(), ServeError> {
         path: config.spool.clone(),
         source,
     })?;
-    let registry = Arc::new(Registry::new(
-        config.spool.clone(),
-        config.workers,
-        config.max_sessions,
-    ));
-    if config.stdio {
-        rpc::run_stdio(registry)
+    let registry = Arc::new(
+        Registry::new(config.spool.clone(), config.workers, config.max_sessions)
+            .with_admission(config.max_inflight)
+            .with_crash_policy(
+                Duration::from_millis(config.crash_window_ms.max(1)),
+                config.max_crashes,
+            )
+            .with_chaos(config.chaos.clone()),
+    );
+
+    // The background checkpointer bounds how much work a crash loses:
+    // every interval it spools dirty live sessions via the eviction
+    // serializer without evicting them. Short sleep ticks keep shutdown
+    // latency low even with long intervals.
+    let checkpointer = if config.checkpoint_ms > 0 {
+        let reg = registry.clone();
+        let interval = Duration::from_millis(config.checkpoint_ms);
+        Some(std::thread::spawn(move || {
+            let tick = interval.min(Duration::from_millis(25));
+            let mut elapsed = Duration::ZERO;
+            while !reg.is_shutting_down() {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    reg.checkpoint_all();
+                }
+            }
+        }))
     } else {
-        http::run_http(registry, &config.addr)
+        None
+    };
+
+    let served = if config.stdio {
+        rpc::run_stdio(registry.clone())
+    } else {
+        let timeout = if config.read_timeout_ms > 0 {
+            Some(Duration::from_millis(config.read_timeout_ms))
+        } else {
+            None
+        };
+        let limits = HttpLimits {
+            read_timeout: timeout,
+            write_timeout: timeout,
+            ..HttpLimits::default()
+        };
+        http::run_http(
+            registry.clone(),
+            &config.addr,
+            limits,
+            config.max_connections,
+        )
+    };
+    // The frontend can also end on stdio EOF, where no shutdown request
+    // ever set the flag — set it now so the checkpointer exits.
+    registry.request_shutdown();
+    if let Some(handle) = checkpointer {
+        let _ = handle.join();
     }
+    served
 }

@@ -21,7 +21,7 @@ use crate::sched::{RunBudget, StopCause};
 use crate::session::{DesignSources, Edit, SessionError, UpdateOutcome};
 use crate::sta::{TimingPath, TimingReport};
 
-use super::registry::{Registry, RegistryError};
+use super::registry::{Registry, RegistryError, SessionState};
 
 /// A request failed; carries the HTTP status the error maps to, a
 /// stable machine-readable kind, and a human-readable message.
@@ -33,6 +33,10 @@ pub struct ApiError {
     pub kind: String,
     /// Human-readable description.
     pub message: String,
+    /// Seconds the client should wait before retrying; set on shed
+    /// (503) responses. The HTTP frontend emits it as a `Retry-After`
+    /// header, the stdio frontend as a `retry_after_s` field.
+    pub retry_after: Option<u64>,
 }
 
 impl ApiError {
@@ -42,19 +46,21 @@ impl ApiError {
             status: 400,
             kind: kind.to_string(),
             message: message.into(),
+            retry_after: None,
         }
     }
 
     /// The `{"error": {...}}` body both frontends send.
     pub fn to_value(&self) -> Value {
-        obj(vec![(
-            "error",
-            obj(vec![
-                ("kind", Value::String(self.kind.clone())),
-                ("message", Value::String(self.message.clone())),
-                ("status", Value::Number(f64::from(self.status))),
-            ]),
-        )])
+        let mut fields = vec![
+            ("kind", Value::String(self.kind.clone())),
+            ("message", Value::String(self.message.clone())),
+            ("status", Value::Number(f64::from(self.status))),
+        ];
+        if let Some(secs) = self.retry_after {
+            fields.push(("retry_after_s", num(secs as f64)));
+        }
+        obj(vec![("error", obj(fields))])
     }
 }
 
@@ -66,18 +72,30 @@ impl std::fmt::Display for ApiError {
 
 impl From<RegistryError> for ApiError {
     fn from(e: RegistryError) -> Self {
-        let (status, kind) = match &e {
-            RegistryError::NotFound(_) => (404, "not_found"),
-            RegistryError::NotLive(_) => (409, "not_live"),
-            RegistryError::Duplicate(_) => (409, "duplicate"),
-            RegistryError::Full { .. } => (503, "capacity"),
-            RegistryError::BadName(_) => (400, "bad_name"),
-            RegistryError::Session(s) => (if s.is_client_error() { 400 } else { 500 }, s.kind()),
+        let (status, kind, retry_after) = match &e {
+            RegistryError::NotFound(_) => (404, "not_found", None),
+            RegistryError::NotLive(_) => (409, "not_live", None),
+            RegistryError::Duplicate(_) => (409, "duplicate", None),
+            RegistryError::Full { .. } => (503, "capacity", Some(2)),
+            RegistryError::BadName(_) => (400, "bad_name", None),
+            RegistryError::Session(s) => {
+                (if s.is_client_error() { 400 } else { 500 }, s.kind(), None)
+            }
+            // A recovered crash is immediately retryable; an
+            // unrecovered one quarantined the slot.
+            RegistryError::Crashed { recovered, .. } => (
+                500,
+                "session_crashed",
+                if *recovered { Some(0) } else { None },
+            ),
+            RegistryError::Quarantined { .. } => (503, "session_quarantined", None),
+            RegistryError::Overloaded { .. } => (503, "overloaded", Some(1)),
         };
         ApiError {
             status,
             kind: kind.to_string(),
             message: e.to_string(),
+            retry_after,
         }
     }
 }
@@ -265,22 +283,74 @@ fn parse_edit(v: &Value) -> Result<Edit, ApiError> {
 /// method name (the HTTP router and the JSON-RPC loop both map onto
 /// these); `params` is the request's JSON object.
 ///
+/// Session-touching methods are admission-controlled: past the
+/// in-flight budget they shed with `503 overloaded` + `Retry-After`
+/// instead of queueing. Probes (`status`, `healthz`, `readyz`) and
+/// `shutdown` bypass admission so an overloaded daemon still answers
+/// its operators.
+///
 /// # Errors
 ///
 /// [`ApiError`] carrying the HTTP status, a stable error kind, and a
 /// message; both frontends render it as `{"error": {...}}`.
 pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Value, ApiError> {
     registry.count_request();
+    let _admission = match method {
+        "status" | "healthz" | "readyz" | "shutdown" => None,
+        _ => Some(registry.try_admit()?),
+    };
     match method {
+        "healthz" => Ok(obj(vec![("ok", Value::Bool(true))])),
+        "readyz" => {
+            if registry.is_shutting_down() {
+                return Err(ApiError {
+                    status: 503,
+                    kind: "shutting_down".to_string(),
+                    message: "daemon is shutting down".to_string(),
+                    retry_after: None,
+                });
+            }
+            if !registry.spool_writable() {
+                return Err(ApiError {
+                    status: 503,
+                    kind: "spool_unwritable".to_string(),
+                    message: format!(
+                        "spool directory `{}` is not writable; checkpoints cannot be taken",
+                        registry.spool().display()
+                    ),
+                    retry_after: Some(5),
+                });
+            }
+            let rows = registry.list();
+            Ok(obj(vec![
+                ("ready", Value::Bool(true)),
+                ("sessions", num(rows.len() as f64)),
+                ("max_sessions", num(registry.max_sessions() as f64)),
+                ("inflight", num(registry.inflight() as f64)),
+                ("max_inflight", num(registry.max_inflight() as f64)),
+            ]))
+        }
         "status" => {
             let rows = registry.list();
-            let live = rows.iter().filter(|r| r.live).count();
+            let live = rows
+                .iter()
+                .filter(|r| r.state == SessionState::Live)
+                .count();
+            let quarantined = rows
+                .iter()
+                .filter(|r| r.state == SessionState::Quarantined)
+                .count();
             Ok(obj(vec![
                 ("ok", Value::Bool(true)),
                 ("sessions", num(rows.len() as f64)),
                 ("live", num(live as f64)),
-                ("dormant", num((rows.len() - live) as f64)),
+                ("dormant", num((rows.len() - live - quarantined) as f64)),
+                ("quarantined", num(quarantined as f64)),
                 ("requests", num(registry.requests_served() as f64)),
+                ("inflight", num(registry.inflight() as f64)),
+                ("crashes", num(registry.crashes_total() as f64)),
+                ("recoveries", num(registry.recoveries_total() as f64)),
+                ("checkpoints", num(registry.checkpoints_total() as f64)),
                 ("workers", num(registry.workers() as f64)),
                 ("max_sessions", num(registry.max_sessions() as f64)),
                 ("shutting_down", Value::Bool(registry.is_shutting_down())),
@@ -295,7 +365,8 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
                     .map(|row| {
                         obj(vec![
                             ("name", string(&row.name)),
-                            ("state", string(if row.live { "live" } else { "dormant" })),
+                            ("state", string(row.state.as_str())),
+                            ("recoveries", num(f64::from(row.recoveries))),
                             (
                                 "checkpoint",
                                 match row.checkpoint {
@@ -383,23 +454,20 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
                     e
                 })?);
             }
-            let arc = registry.live(name)?;
-            let mut session = arc.lock();
-            for (i, edit) in edits.iter().enumerate() {
-                // Edits apply in order; on a rejected edit the earlier
-                // ones stay applied (and pending), and the error names
-                // the offending index so the client can resubmit from
-                // there.
-                session.apply_edit(edit).map_err(|e| {
-                    let mut api = ApiError::from(e);
-                    api.message = format!("edits[{i}]: {}", api.message);
-                    api
-                })?;
+            // Edits apply in order; on a rejected edit the earlier ones
+            // stay applied (and pending), and the error names the
+            // offending index so the client can resubmit from there.
+            // Supervised: the edits are journaled for crash replay.
+            let receipt = registry.apply_edits(name, &edits)?;
+            if let Some((i, e)) = receipt.rejected {
+                let mut api = ApiError::from(e);
+                api.message = format!("edits[{i}]: {}", api.message);
+                return Err(api);
             }
             Ok(obj(vec![
                 ("name", string(name)),
-                ("applied", num(edits.len() as f64)),
-                ("pending", Value::Bool(session.has_pending_changes())),
+                ("applied", num(receipt.applied as f64)),
+                ("pending", Value::Bool(receipt.pending)),
             ]))
         }
         "update_timing" => {
@@ -416,24 +484,26 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
                 }
                 None => RunBudget::unbounded(),
             };
-            let arc = registry.live(name)?;
-            let mut session = arc.lock();
-            let out = session.update_timing(&budget)?;
+            // Supervised: a panic mid-update (the long pole for crash
+            // exposure) is caught and the session auto-restored.
+            let (out, report) = registry.with_live(name, |session| {
+                session
+                    .update_timing(&budget)
+                    .map(|out| (out, session.report(0)))
+            })??;
             Ok(obj(vec![
                 ("name", string(name)),
                 ("outcome", outcome_value(&out)),
-                ("report", report_value(&session.report(0))),
+                ("report", report_value(&report)),
             ]))
         }
         "report" => {
             let name = req_str(params, "name")?;
             let k = opt_usize(params, "k", 5)?;
-            let arc = registry.live(name)?;
-            let session = arc.lock();
             let mode = opt_str(params, "mode").unwrap_or("late");
-            let rep = match mode {
-                "late" | "setup" => session.report(k),
-                "early" | "hold" => session.report_hold(k),
+            let hold = match mode {
+                "late" | "setup" => false,
+                "early" | "hold" => true,
                 other => {
                     return Err(ApiError::bad_request(
                         "bad_field",
@@ -441,6 +511,13 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
                     ))
                 }
             };
+            let rep = registry.with_live(name, |session| {
+                if hold {
+                    session.report_hold(k)
+                } else {
+                    session.report(k)
+                }
+            })?;
             Ok(obj(vec![
                 ("name", string(name)),
                 ("mode", string(mode)),
@@ -450,15 +527,10 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
         "paths" => {
             let name = req_str(params, "name")?;
             let k = opt_usize(params, "k", 1)?;
-            let arc = registry.live(name)?;
-            let session = arc.lock();
-            Ok(obj(vec![
-                ("name", string(name)),
-                (
-                    "paths",
-                    Value::Array(session.worst_paths(k).iter().map(path_value).collect()),
-                ),
-            ]))
+            let paths = registry.with_live(name, |session| {
+                Value::Array(session.worst_paths(k).iter().map(path_value).collect())
+            })?;
+            Ok(obj(vec![("name", string(name)), ("paths", paths)]))
         }
         "remove_session" => {
             let name = req_str(params, "name")?;
@@ -476,6 +548,7 @@ pub fn dispatch(registry: &Registry, method: &str, params: &Value) -> Result<Val
             status: 404,
             kind: "no_such_method".to_string(),
             message: format!("unknown method `{other}`"),
+            retry_after: None,
         }),
     }
 }
@@ -626,6 +699,61 @@ endmodule
             before["report"]["wns_bits"], after["report"]["wns_bits"],
             "restore is bit-identical"
         );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn probes_answer_and_admission_sheds_with_retry_after() {
+        let (reg, spool) = registry("probes");
+        let reg = reg.with_admission(1);
+        let health = dispatch(&reg, "healthz", &params(vec![])).expect("healthz");
+        assert_eq!(health["ok"], Value::Bool(true));
+        let ready = dispatch(&reg, "readyz", &params(vec![])).expect("readyz");
+        assert_eq!(ready["ready"], Value::Bool(true));
+
+        // Hold the whole in-flight budget: session methods shed, probes
+        // still answer.
+        let _held = reg.try_admit().expect("hold the budget");
+        let shed = dispatch(&reg, "list_sessions", &params(vec![])).expect_err("shed");
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.kind, "overloaded");
+        assert_eq!(shed.retry_after, Some(1));
+        assert!(shed.to_value()["error"]["retry_after_s"].as_f64().is_some());
+        dispatch(&reg, "healthz", &params(vec![])).expect("probe bypasses admission");
+        dispatch(&reg, "status", &params(vec![])).expect("status bypasses admission");
+
+        reg.request_shutdown();
+        let draining = dispatch(&reg, "readyz", &params(vec![])).expect_err("not ready");
+        assert_eq!(draining.kind, "shutting_down");
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn crashed_session_error_is_typed_and_the_retry_succeeds() {
+        let (reg, spool) = registry("crash-wire");
+        dispatch(
+            &reg,
+            "create_session",
+            &params(vec![("name", string("c1")), ("verilog", string(FIXTURE))]),
+        )
+        .expect("create");
+        let err = reg
+            .with_live("c1", |_s| panic!("wire-level injected panic"))
+            .map(|_: ()| ())
+            .expect_err("crash");
+        let api = ApiError::from(err);
+        assert_eq!(api.status, 500);
+        assert_eq!(api.kind, "session_crashed");
+        assert_eq!(api.retry_after, Some(0), "recovered crash is retryable now");
+
+        // The slot healed: the wire path serves the retry and rows show
+        // the recovery count.
+        let report =
+            dispatch(&reg, "report", &params(vec![("name", string("c1"))])).expect("retry");
+        assert!(report["report"]["wns_bits"].as_str().is_some());
+        let listed = dispatch(&reg, "list_sessions", &params(vec![])).expect("list");
+        assert_eq!(listed["sessions"][0]["state"], "live");
+        assert_eq!(listed["sessions"][0]["recoveries"], 1u32);
         std::fs::remove_dir_all(&spool).ok();
     }
 

@@ -60,7 +60,7 @@ use crate::checkpoint::{
     fnv1a64, read_checkpoint, write_checkpoint, CheckpointError, DesignShape, UpdateCheckpoint,
 };
 use crate::core::{IncrementalError, IncrementalPartitioner, PartitionerOptions, SeqGPasta};
-use crate::sched::{Executor, FaultPlan, RetryPolicy, RunBudget, StopCause};
+use crate::sched::{Executor, FaultKind, FaultPlan, RetryPolicy, RunBudget, StopCause};
 use crate::sta::{
     apply_sdc, k_worst_paths, parse_liberty, parse_verilog, CellLibrary, GateId, ParseLibertyError,
     ParseSdcError, ParseVerilogError, PortId, SnapshotMismatch, Timer, TimingPath, TimingReport,
@@ -386,6 +386,7 @@ impl DormantSession {
             policy: RetryPolicy::default(),
             net_cap_journal: self.net_cap_journal.clone(),
             updates_done: ckpt.iterations_done,
+            chaos: None,
         })
     }
 }
@@ -422,6 +423,20 @@ pub struct Session {
     /// the netlist, outside the timing snapshot.
     net_cap_journal: Vec<(u32, u32)>,
     updates_done: u32,
+    /// Deterministic chaos schedule, if the hosting daemon installed one
+    /// (see [`Session::set_chaos`]). Never serialized; the supervisor
+    /// reinstalls it after create, restore, and crash recovery.
+    chaos: Option<SessionChaos>,
+}
+
+/// A session-layer fault schedule: the shared [`FaultPlan`] plus the
+/// attempt coordinate the supervisor advances on every crash recovery,
+/// so a fault that fires at update `i` of attempt `a` does not re-fire
+/// forever on the healed session (mirroring executor retry keying).
+#[derive(Debug, Clone)]
+struct SessionChaos {
+    plan: FaultPlan,
+    attempt: u32,
 }
 
 // The whole point of the type: a Session can cross threads and outlive
@@ -474,6 +489,7 @@ impl Session {
             policy: RetryPolicy::default(),
             net_cap_journal: Vec::new(),
             updates_done: 0,
+            chaos: None,
         })
     }
 
@@ -511,6 +527,40 @@ impl Session {
     /// Whether edits are pending (the next update has work to do).
     pub fn has_pending_changes(&self) -> bool {
         self.timer.has_pending_changes()
+    }
+
+    /// Install (or clear) a session-layer chaos schedule. The plan is
+    /// consulted once per [`update_timing`](Session::update_timing) at
+    /// the key `(updates_done, attempt)` — *after* the dirty-cone
+    /// partition repair, so an injected panic leaves the session in the
+    /// genuinely inconsistent mid-operation state crash-only recovery
+    /// must cope with. `attempt` is the hosting supervisor's recovery
+    /// count for this session: a fault that fired before a crash keys
+    /// differently on the healed session, exactly like executor retries.
+    ///
+    /// Only [`FaultKind::Panic`] and [`FaultKind::Delay`] are meaningful
+    /// at session granularity; `Transient`/`WrongResult` model executor
+    /// task failures and are ignored here.
+    pub fn set_chaos(&mut self, plan: Option<FaultPlan>, attempt: u32) {
+        self.chaos = plan.map(|plan| SessionChaos { plan, attempt });
+    }
+
+    /// Consult the chaos schedule for the current update. Takes fields,
+    /// not `&self`, because the call site holds the timer's update
+    /// handle (a `&mut` borrow of the timer field).
+    fn chaos_point(chaos: Option<&SessionChaos>, name: &str, updates_done: u32) {
+        let Some(chaos) = chaos else { return };
+        match chaos.plan.fault_at(updates_done, chaos.attempt) {
+            Some(FaultKind::Panic) => panic!(
+                "injected chaos: panic in session `{name}` update {updates_done} \
+                 (attempt {})",
+                chaos.attempt
+            ),
+            Some(FaultKind::Delay { micros }) => {
+                std::thread::sleep(std::time::Duration::from_micros(u64::from(micros)));
+            }
+            Some(FaultKind::Transient | FaultKind::WrongResult) | None => {}
+        }
     }
 
     /// Validate and apply one edit. On error nothing is changed.
@@ -616,6 +666,7 @@ impl Session {
         }
         let ids = update.full_space_ids();
         let (stats, sub) = self.inc.repair_and_project(&ids)?;
+        Self::chaos_point(self.chaos.as_ref(), &self.name, self.updates_done);
         let quotient = QuotientTdg::build(update.tdg(), &sub).map_err(SessionError::Quotient)?;
         let rec = update.run_partitioned_recovering_bounded(
             &self.exec,

@@ -1,0 +1,212 @@
+//! Property suite for the hardened HTTP request parser.
+//!
+//! The serve frontend reads bytes straight off untrusted sockets, so
+//! [`parse_request`] must be total: for *any* byte soup it either
+//! produces a [`Request`] or a clean 4xx [`ApiError`] — never a panic,
+//! never a 5xx, and never a read past the configured limits. Valid
+//! requests must round-trip their method, path, query, and JSON body.
+//!
+//! The vendored proptest stub has no string strategies, so adversarial
+//! wire images are assembled from a fragment table indexed by generated
+//! integers — fragments that look *almost* like HTTP reach far deeper
+//! parser states than uniform noise.
+
+use gpasta::serve::{parse_request, ApiError, HttpLimits, Request};
+use proptest::prelude::*;
+use serde_json::Value;
+
+/// Case count, overridable via `PROPTEST_CASES` (the nightly CI job
+/// raises it).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Near-HTTP fragments: request-line pieces, header pieces, framing
+/// bytes, invalid UTF-8, and oversized runs.
+const FRAGMENTS: &[&[u8]] = &[
+    b"GET ",
+    b"POST ",
+    b"PATCH",
+    b"/sessions/x",
+    b"/status",
+    b"?a=1&b=2",
+    b"?==&&=",
+    b" HTTP/1.1",
+    b" HTTP/9.9",
+    b"\r\n",
+    b"\n",
+    b"\r",
+    b"\r\n\r\n",
+    b"Content-Length: ",
+    b"Content-Length: 5\r\n",
+    b"Content-Length: 5\r\nContent-Length: 5\r\n",
+    b"Content-Length: 99999999999999999999\r\n",
+    b"Content-Length: -3\r\n",
+    b"X-Junk: y\r\n",
+    b"no-colon-header\r\n",
+    b"{\"a\":1}",
+    b"{\"a\":",
+    b"]][[",
+    b"\xff\xfe\x00",
+    b"\xc3\x28",
+    b"\x00\x00\x00\x00",
+    b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+];
+
+/// Tight limits so the 413/431 branches fire often without generating
+/// megabytes per case.
+fn tight_limits() -> HttpLimits {
+    HttpLimits {
+        max_head_bytes: 256,
+        max_body_bytes: 512,
+        read_timeout: None,
+        write_timeout: None,
+    }
+}
+
+fn parse(bytes: &[u8], limits: &HttpLimits) -> Result<Request, ApiError> {
+    let mut reader = std::io::BufReader::new(bytes);
+    parse_request(&mut reader, limits)
+}
+
+/// URL-safe lowercase tokens for valid-request components.
+const TOKENS: &[&str] = &[
+    "a", "bb", "ccc", "edit", "update", "pipe", "report", "k0", "v9", "zz",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    // --- adversarial: any byte soup, never a panic, errors stay 4xx ---
+
+    #[test]
+    fn fragment_soup_never_panics_and_errors_are_4xx(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..16),
+    ) {
+        let wire: Vec<u8> = picks
+            .iter()
+            .flat_map(|&p| FRAGMENTS[p].iter().copied())
+            .collect();
+        if let Err(e) = parse(&wire, &tight_limits()) {
+            prop_assert!(
+                (400..500).contains(&e.status),
+                "parser error must be 4xx, got {} ({})",
+                e.status,
+                e.kind
+            );
+            prop_assert!(!e.kind.is_empty());
+        }
+    }
+
+    #[test]
+    fn raw_byte_noise_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..300),
+    ) {
+        if let Err(e) = parse(&bytes, &tight_limits()) {
+            prop_assert!((400..500).contains(&e.status));
+        }
+    }
+
+    // --- valid requests round-trip ------------------------------------
+
+    #[test]
+    fn valid_requests_round_trip(
+        get in 0usize..2,
+        seg_picks in proptest::collection::vec(0usize..TOKENS.len(), 1..4),
+        query_picks in proptest::collection::vec(
+            (0usize..TOKENS.len(), 0usize..TOKENS.len()),
+            0..3,
+        ),
+        with_body in 0usize..2,
+        n in -1000i64..1000,
+    ) {
+        let method = if get == 0 { "GET" } else { "POST" };
+        let path = format!(
+            "/{}",
+            seg_picks
+                .iter()
+                .map(|&p| TOKENS[p])
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+        let query: Vec<(String, String)> = query_picks
+            .iter()
+            .map(|&(k, v)| (TOKENS[k].to_string(), TOKENS[v].to_string()))
+            .collect();
+        let target = if query.is_empty() {
+            path.clone()
+        } else {
+            let qs: Vec<String> = query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{path}?{}", qs.join("&"))
+        };
+
+        let mut wire = format!("{method} {target} HTTP/1.1\r\n");
+        let body_text = (with_body == 1).then(|| format!("{{\"n\":{n}}}"));
+        if let Some(ref text) = body_text {
+            wire.push_str(&format!("Content-Length: {}\r\n", text.len()));
+        }
+        wire.push_str("Host: test\r\n\r\n");
+        if let Some(ref text) = body_text {
+            wire.push_str(text);
+        }
+
+        let req = match parse(wire.as_bytes(), &HttpLimits::default()) {
+            Ok(req) => req,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "valid request rejected: {} {}",
+                    e.status, e.message
+                )))
+            }
+        };
+        prop_assert_eq!(req.method.as_str(), method);
+        prop_assert_eq!(req.path.as_str(), path.as_str());
+        prop_assert_eq!(&req.query, &query);
+        match (body_text.is_some(), &req.body) {
+            (false, None) => {}
+            (true, Some(Value::Object(fields))) => {
+                prop_assert_eq!(fields.len(), 1);
+                prop_assert_eq!(fields[0].0.as_str(), "n");
+                match fields[0].1 {
+                    Value::Number(got) => {
+                        prop_assert!((got - n as f64).abs() < 1e-9)
+                    }
+                    ref other => {
+                        return Err(TestCaseError::fail(format!(
+                            "body field is not a number: {other:?}"
+                        )))
+                    }
+                }
+            }
+            (sent, got) => {
+                return Err(TestCaseError::fail(format!(
+                    "body mismatch: sent={sent}, parsed {got:?}"
+                )))
+            }
+        }
+    }
+
+    // --- truncation: every prefix of a valid request fails cleanly ----
+
+    #[test]
+    fn truncation_at_every_boundary_is_clean(cut_seed in 0usize..10_000) {
+        let wire: &[u8] =
+            b"POST /sessions/pipe/edit HTTP/1.1\r\nContent-Length: 24\r\nHost: t\r\n\r\n{\"edits\":[{\"u2\":4.125}]}";
+        let cut = cut_seed % wire.len();
+        if let Err(e) = parse(&wire[..cut], &tight_limits()) {
+            prop_assert!(
+                (400..500).contains(&e.status),
+                "cut at {cut}: expected 4xx, got {} ({})",
+                e.status,
+                e.kind
+            );
+        }
+        let full = parse(wire, &tight_limits()).expect("full request parses");
+        prop_assert_eq!(full.method.as_str(), "POST");
+        prop_assert_eq!(full.path.as_str(), "/sessions/pipe/edit");
+        prop_assert!(full.body.is_some());
+    }
+}

@@ -174,7 +174,7 @@ fn concurrent_disjoint_sessions_do_not_interfere() {
         );
     }
     assert_eq!(registry.list().len(), CLIENTS, "all sessions registered");
-    assert!(registry.list().iter().all(|row| row.live));
+    assert!(registry.list().iter().all(|row| row.is_live()));
 
     std::fs::remove_dir_all(&spool).ok();
 }
