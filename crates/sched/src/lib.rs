@@ -76,6 +76,7 @@ mod outcome;
 mod overhead;
 mod report;
 pub mod sim;
+mod supervise;
 mod taskflow;
 
 pub use arena::FlowArena;
@@ -87,4 +88,5 @@ pub use outcome::{FailureRecord, RecoverableWork, RetryPolicy, RunOutcome, StopC
 pub use overhead::{measure_sched_overhead, OverheadProfile};
 pub use report::RunReport;
 pub use sim::{simulate_makespan, SimReport};
+pub use supervise::HeartbeatMonitor;
 pub use taskflow::Taskflow;

@@ -283,6 +283,72 @@ impl TimingData {
     fn set_arc_delay(&self, a: u32, tr: Tr, mode: Mode, x: f32) {
         self.arc_delay[a as usize * 4 + corner(tr, mode)].store(x);
     }
+
+    /// Raw forward-propagated state of `v` — the four arrival corners then
+    /// the four slew corners, as `f32` bit patterns. Boundary exchange
+    /// between shard processes ships bit patterns, never rounded floats,
+    /// so a value that crossed a process boundary is indistinguishable
+    /// from one computed locally.
+    #[inline]
+    pub fn fprop_bits(&self, v: NodeId) -> [u32; 8] {
+        let base = v.index() * 4;
+        std::array::from_fn(|i| {
+            if i < 4 {
+                self.arrival[base + i].load_bits()
+            } else {
+                self.slew[base + i - 4].load_bits()
+            }
+        })
+    }
+
+    /// Store raw forward-propagated state of `v`; the inverse of
+    /// [`fprop_bits`](TimingData::fprop_bits).
+    #[inline]
+    pub fn set_fprop_bits(&self, v: NodeId, bits: [u32; 8]) {
+        let base = v.index() * 4;
+        for i in 0..4 {
+            self.arrival[base + i].store_bits(bits[i]);
+            self.slew[base + i].store_bits(bits[i + 4]);
+        }
+    }
+
+    /// Raw required-time corners of `v` as `f32` bit patterns.
+    #[inline]
+    pub fn required_bits(&self, v: NodeId) -> [u32; 4] {
+        let base = v.index() * 4;
+        std::array::from_fn(|i| self.required[base + i].load_bits())
+    }
+
+    /// Store raw required-time corners of `v`; the inverse of
+    /// [`required_bits`](TimingData::required_bits).
+    #[inline]
+    pub fn set_required_bits(&self, v: NodeId, bits: [u32; 4]) {
+        let base = v.index() * 4;
+        for (i, &b) in bits.iter().enumerate() {
+            self.required[base + i].store_bits(b);
+        }
+    }
+
+    /// Raw cached delay corners of arc `a` as `f32` bit patterns. The
+    /// backward pass of a node reads the cached delays of its *fanout*
+    /// arcs (filled by the forward pass of each arc's `to` node), so a
+    /// shard boundary that cuts between `fprop(to)` and `bprop(from)`
+    /// must ship these alongside the node values.
+    #[inline]
+    pub fn arc_delay_bits(&self, a: u32) -> [u32; 4] {
+        let base = a as usize * 4;
+        std::array::from_fn(|i| self.arc_delay[base + i].load_bits())
+    }
+
+    /// Store raw cached delay corners of arc `a`; the inverse of
+    /// [`arc_delay_bits`](TimingData::arc_delay_bits).
+    #[inline]
+    pub fn set_arc_delay_bits(&self, a: u32, bits: [u32; 4]) {
+        let base = a as usize * 4;
+        for (i, &b) in bits.iter().enumerate() {
+            self.arc_delay[base + i].store_bits(b);
+        }
+    }
 }
 
 /// A bit-exact snapshot of every mutable timing value — the arrays a

@@ -78,6 +78,7 @@
 
 mod analysis;
 mod atomic_f32;
+pub mod boundary;
 pub mod drc;
 mod error;
 mod graph;
@@ -94,6 +95,7 @@ pub mod verilog;
 
 pub use analysis::{Mode, SnapshotMismatch, TimingData, TimingPropagator, TimingSnapshot, Tr};
 pub use atomic_f32::AtomicF32;
+pub use boundary::{BoundaryValues, ValueSet};
 pub use drc::{check_design_rules, DrcReport, DrcViolation};
 pub use error::{BuildNetlistError, ConnectError};
 pub use graph::{ArcKind, NodeId, NodeKind, TimingArcRef, TimingGraph};

@@ -16,6 +16,8 @@
 //!   (quotient graph) that the scheduler actually runs, and
 //!   [`patch`] — in-place maintenance of the quotient's structure under
 //!   incremental partition repair;
+//! * [`shard`] — grouping of quotient partitions into contiguous, acyclic
+//!   shards ([`ShardPlan`]), the unit of multi-process distribution;
 //! * [`validate`] — the paper's validity conditions:
 //!   acyclic quotient, convex partitions, bounded partition size;
 //! * [`transitive_reduction`] — the minimal equivalent DAG, and
@@ -56,11 +58,12 @@ pub mod patch;
 pub mod quotient;
 mod recycle;
 mod reduce;
+pub mod shard;
 mod topo;
 pub mod validate;
 
 pub use cancel::{CancelObserver, CancelToken};
-pub use csr::CsrTdg;
+pub use csr::{CsrArena, CsrTdg};
 pub use dot::{partition_to_dot, quotient_to_dot, tdg_to_dot};
 pub use error::{BuildTdgError, ValidatePartitionError};
 pub use graph::{TaskId, Tdg, TdgBuilder};
@@ -68,7 +71,8 @@ pub use io::{parse_edge_list, write_edge_list, ParseEdgeListError};
 pub use level::Levels;
 pub use partition::{Partition, PartitionId, PartitionStats};
 pub use patch::{PatchableQuotient, TaskMove};
-pub use quotient::QuotientTdg;
+pub use quotient::{QuotientArena, QuotientTdg};
 pub use recycle::{ArenaTdgBuilder, TdgArena};
 pub use reduce::transitive_reduction;
+pub use shard::{ShardPlan, ShardPlanError, ShardPlanOptions};
 pub use topo::{critical_path_len, topo_order, ParallelismProfile};

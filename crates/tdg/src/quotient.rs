@@ -23,6 +23,73 @@ pub struct QuotientTdg {
     exec_off: Vec<u32>,
 }
 
+/// Reusable buffers for repeated [`QuotientTdg`] construction — the
+/// [`crate::TdgArena`] lifecycle applied to the quotient. Incremental
+/// flows rebuild the quotient every iteration; the arena owns the edge
+/// staging, CSR, Kahn scratch, and execution-order buffers so
+/// steady-state rebuilds touch the allocator only while a new high-water
+/// mark is being established.
+///
+/// ```text
+/// QuotientTdg::build_in(&tdg, &part, &mut arena) -> QuotientTdg
+///        ^                                            |
+///        +------------- arena.recycle(q) <------------+
+/// ```
+///
+/// Skipping `recycle` is safe — the next build simply allocates fresh
+/// output buffers. Arena-built quotients are bit-identical to
+/// [`QuotientTdg::build`] output (which delegates here).
+#[derive(Debug, Default)]
+pub struct QuotientArena {
+    /// Cross-partition edge staging.
+    cross: Vec<(u32, u32)>,
+    /// Counting-sort / scatter cursors (reused across all passes).
+    cursor: Vec<u32>,
+    /// Pre-dedup forward offsets.
+    raw_off: Vec<u32>,
+    /// Kahn residual in-degrees.
+    indeg: Vec<u32>,
+    /// Kahn ready stack.
+    stack: Vec<u32>,
+    /// Global topological order of the original TDG.
+    topo: Vec<u32>,
+    /// Recycled output buffers, if a quotient has been returned.
+    fwd_off: Vec<u32>,
+    fwd_adj: Vec<u32>,
+    rev_off: Vec<u32>,
+    rev_adj: Vec<u32>,
+    weights: Vec<f32>,
+    exec_flat: Vec<u32>,
+    exec_off: Vec<u32>,
+}
+
+impl QuotientArena {
+    /// An empty arena; buffers grow to the workload's high-water mark and
+    /// are reused from then on.
+    pub fn new() -> Self {
+        QuotientArena::default()
+    }
+
+    /// Take a finished quotient's buffers back for the next build.
+    pub fn recycle(&mut self, quotient: QuotientTdg) {
+        let QuotientTdg {
+            graph,
+            exec_flat,
+            exec_off,
+        } = quotient;
+        let (fwd_off, fwd_adj, rev_off, rev_adj, weights) = graph.into_buffers();
+        self.fwd_off = fwd_off;
+        self.fwd_adj = fwd_adj;
+        self.rev_off = rev_off;
+        self.rev_adj = rev_adj;
+        if weights.capacity() > self.weights.capacity() {
+            self.weights = weights;
+        }
+        self.exec_flat = exec_flat;
+        self.exec_off = exec_off;
+    }
+}
+
 impl QuotientTdg {
     /// Build the quotient of `tdg` under `partition`.
     ///
@@ -37,6 +104,21 @@ impl QuotientTdg {
     /// if the induced quotient has a cycle (an invalid partitioning like
     /// Figure 2(a)).
     pub fn build(tdg: &Tdg, partition: &Partition) -> Result<Self, ValidatePartitionError> {
+        Self::build_in(tdg, partition, &mut QuotientArena::new())
+    }
+
+    /// [`build`](Self::build) on recycled buffers: identical validation,
+    /// bit-identical output, but every scratch and output allocation comes
+    /// from (and can return to, via [`QuotientArena::recycle`]) `arena`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`build`](Self::build).
+    pub fn build_in(
+        tdg: &Tdg,
+        partition: &Partition,
+        arena: &mut QuotientArena,
+    ) -> Result<Self, ValidatePartitionError> {
         if partition.num_tasks() != tdg.num_tasks() {
             return Err(ValidatePartitionError::LengthMismatch {
                 num_tasks: tdg.num_tasks(),
@@ -50,7 +132,8 @@ impl QuotientTdg {
         // Forward CSR over cross-partition edges via counting sort by
         // source partition, then per-bucket sort + dedup (buckets are
         // small, so this beats one global edge sort on large TDGs).
-        let mut cross: Vec<(u32, u32)> = Vec::new();
+        let cross = &mut arena.cross;
+        cross.clear();
         for u in 0..n as u32 {
             let pu = assignment[u as usize];
             for &v in tdg.successors(TaskId(u)) {
@@ -60,28 +143,35 @@ impl QuotientTdg {
                 }
             }
         }
-        let mut fwd_off = vec![0u32; np + 1];
-        for &(pu, _) in &cross {
-            fwd_off[pu as usize + 1] += 1;
+        let raw_off = &mut arena.raw_off;
+        raw_off.clear();
+        raw_off.resize(np + 1, 0);
+        for &(pu, _) in cross.iter() {
+            raw_off[pu as usize + 1] += 1;
         }
         for p in 0..np {
-            fwd_off[p + 1] += fwd_off[p];
+            raw_off[p + 1] += raw_off[p];
         }
-        let mut fwd_adj = vec![0u32; cross.len()];
+        let mut fwd_adj = std::mem::take(&mut arena.fwd_adj);
+        fwd_adj.clear();
+        fwd_adj.resize(cross.len(), 0);
         {
-            let mut cursor = fwd_off.clone();
-            for &(pu, pv) in &cross {
+            let cursor = &mut arena.cursor;
+            cursor.clear();
+            cursor.extend_from_slice(raw_off);
+            for &(pu, pv) in cross.iter() {
                 let c = &mut cursor[pu as usize];
                 fwd_adj[*c as usize] = pv;
                 *c += 1;
             }
         }
-        drop(cross);
         // Per-bucket sort + in-place dedup, compacting the arrays.
-        let mut new_off = vec![0u32; np + 1];
+        let mut fwd_off = std::mem::take(&mut arena.fwd_off);
+        fwd_off.clear();
+        fwd_off.resize(np + 1, 0);
         let mut write = 0usize;
         for p in 0..np {
-            let (lo, hi) = (fwd_off[p] as usize, fwd_off[p + 1] as usize);
+            let (lo, hi) = (raw_off[p] as usize, raw_off[p + 1] as usize);
             fwd_adj[lo..hi].sort_unstable();
             let mut prev = u32::MAX;
             for i in lo..hi {
@@ -92,22 +182,27 @@ impl QuotientTdg {
                     prev = v;
                 }
             }
-            new_off[p + 1] = write as u32;
+            fwd_off[p + 1] = write as u32;
         }
         fwd_adj.truncate(write);
-        let fwd_off = new_off;
 
         // Reverse CSR from the deduplicated forward CSR.
-        let mut rev_off = vec![0u32; np + 1];
+        let mut rev_off = std::mem::take(&mut arena.rev_off);
+        rev_off.clear();
+        rev_off.resize(np + 1, 0);
         for &v in &fwd_adj {
             rev_off[v as usize + 1] += 1;
         }
         for p in 0..np {
             rev_off[p + 1] += rev_off[p];
         }
-        let mut rev_adj = vec![0u32; fwd_adj.len()];
+        let mut rev_adj = std::mem::take(&mut arena.rev_adj);
+        rev_adj.clear();
+        rev_adj.resize(fwd_adj.len(), 0);
         {
-            let mut cursor = rev_off.clone();
+            let cursor = &mut arena.cursor;
+            cursor.clear();
+            cursor.extend_from_slice(&rev_off);
             for p in 0..np as u32 {
                 let (lo, hi) = (
                     fwd_off[p as usize] as usize,
@@ -122,8 +217,12 @@ impl QuotientTdg {
 
         // Acyclicity check (Kahn) on the quotient.
         {
-            let mut indeg: Vec<u32> = (0..np).map(|p| rev_off[p + 1] - rev_off[p]).collect();
-            let mut stack: Vec<u32> = (0..np as u32).filter(|&p| indeg[p as usize] == 0).collect();
+            let indeg = &mut arena.indeg;
+            indeg.clear();
+            indeg.extend((0..np).map(|p| rev_off[p + 1] - rev_off[p]));
+            let stack = &mut arena.stack;
+            stack.clear();
+            stack.extend((0..np as u32).filter(|&p| indeg[p as usize] == 0));
             let mut visited = 0usize;
             while let Some(p) = stack.pop() {
                 visited += 1;
@@ -140,6 +239,11 @@ impl QuotientTdg {
             }
             if visited != np {
                 let witness = indeg.iter().position(|&d| d > 0).unwrap_or(0) as u32;
+                // Reclaim the taken buffers before bailing.
+                arena.fwd_off = fwd_off;
+                arena.fwd_adj = fwd_adj;
+                arena.rev_off = rev_off;
+                arena.rev_adj = rev_adj;
                 return Err(ValidatePartitionError::QuotientCycle {
                     witness_pid: witness,
                 });
@@ -147,7 +251,9 @@ impl QuotientTdg {
         }
 
         // Partition weights: sum of member task weights.
-        let mut weights = vec![0.0f32; np];
+        let mut weights = std::mem::take(&mut arena.weights);
+        weights.clear();
+        weights.resize(np, 0.0);
         for (t, &p) in assignment.iter().enumerate() {
             weights[p as usize] += tdg.weight(TaskId(t as u32));
         }
@@ -159,9 +265,14 @@ impl QuotientTdg {
         // for a given graph); counting-sorting it by partition preserves
         // the relative order within each partition, which is all a worker
         // needs. Flattened storage avoids one Vec per partition.
-        let mut topo = Vec::with_capacity(n);
-        let mut indeg = tdg.in_degrees();
-        let mut stack: Vec<u32> = (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
+        let topo = &mut arena.topo;
+        topo.clear();
+        let indeg = &mut arena.indeg;
+        indeg.clear();
+        indeg.extend((0..n as u32).map(|t| tdg.predecessors(TaskId(t)).len() as u32));
+        let stack = &mut arena.stack;
+        stack.clear();
+        stack.extend((0..n as u32).filter(|&t| indeg[t as usize] == 0));
         while let Some(t) = stack.pop() {
             topo.push(t);
             for &s in tdg.successors(TaskId(t)) {
@@ -171,17 +282,23 @@ impl QuotientTdg {
                 }
             }
         }
-        let mut exec_off = vec![0u32; np + 1];
+        let mut exec_off = std::mem::take(&mut arena.exec_off);
+        exec_off.clear();
+        exec_off.resize(np + 1, 0);
         for &p in assignment {
             exec_off[p as usize + 1] += 1;
         }
         for p in 0..np {
             exec_off[p + 1] += exec_off[p];
         }
-        let mut exec_flat = vec![0u32; n];
+        let mut exec_flat = std::mem::take(&mut arena.exec_flat);
+        exec_flat.clear();
+        exec_flat.resize(n, 0);
         {
-            let mut cursor = exec_off.clone();
-            for &t in &topo {
+            let cursor = &mut arena.cursor;
+            cursor.clear();
+            cursor.extend_from_slice(&exec_off);
+            for &t in topo.iter() {
                 let c = &mut cursor[assignment[t as usize] as usize];
                 exec_flat[*c as usize] = t;
                 *c += 1;
@@ -327,6 +444,51 @@ mod tests {
         let q = QuotientTdg::build(&tdg, &Partition::new(vec![0, 0, 1])).expect("prefix partition");
         assert_eq!(q.graph().weight(TaskId(0)), 3.0);
         assert_eq!(q.graph().weight(TaskId(1)), 4.0);
+    }
+
+    #[test]
+    fn arena_build_is_bit_identical_and_reuses_capacity() {
+        let tdg = diamond();
+        let part = Partition::new(vec![0, 1, 1, 2]);
+        let fresh = QuotientTdg::build(&tdg, &part).expect("valid");
+        let mut arena = QuotientArena::new();
+        let first = QuotientTdg::build_in(&tdg, &part, &mut arena).expect("valid");
+        assert_eq!(fresh, first, "arena path must be bit-identical");
+        arena.recycle(first);
+        let caps = |a: &QuotientArena| {
+            (
+                a.cross.capacity(),
+                a.cursor.capacity(),
+                a.topo.capacity(),
+                a.fwd_off.capacity(),
+                a.fwd_adj.capacity(),
+                a.rev_off.capacity(),
+                a.rev_adj.capacity(),
+                a.exec_flat.capacity(),
+                a.exec_off.capacity(),
+            )
+        };
+        let before = caps(&arena);
+        let second = QuotientTdg::build_in(&tdg, &part, &mut arena).expect("valid");
+        assert_eq!(fresh, second, "recycled rebuild must be bit-identical");
+        arena.recycle(second);
+        assert_eq!(
+            before,
+            caps(&arena),
+            "no buffer grew on a same-size rebuild"
+        );
+    }
+
+    #[test]
+    fn arena_survives_a_rejected_build() {
+        let tdg = diamond();
+        let mut arena = QuotientArena::new();
+        let err = QuotientTdg::build_in(&tdg, &Partition::new(vec![0, 1, 1, 0]), &mut arena)
+            .expect_err("cyclic quotient");
+        assert!(matches!(err, ValidatePartitionError::QuotientCycle { .. }));
+        let q = QuotientTdg::build_in(&tdg, &Partition::new(vec![0, 1, 1, 2]), &mut arena)
+            .expect("arena is reusable after a rejection");
+        assert_eq!(q.num_partitions(), 3);
     }
 
     #[test]

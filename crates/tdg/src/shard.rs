@@ -1,0 +1,516 @@
+//! Sharding: grouping quotient-graph partitions into K *shards*, the unit
+//! of multi-process distribution.
+//!
+//! A [`crate::QuotientTdg`] is already the paper's unit of dispatch inside
+//! one process; a [`ShardPlan`] lifts that one level — each shard owns a
+//! contiguous run of partitions in level order and is executed by one OS
+//! worker process, with only boundary timing values crossing shard edges.
+//!
+//! # Invariants
+//!
+//! 1. **Contiguity by topo rank**: partitions are laid out in the quotient
+//!    graph's level-major order (ascending id within a level); every shard
+//!    owns one contiguous run of that order. Because every quotient edge
+//!    goes to a strictly later level, the shard id is monotone
+//!    non-decreasing along the order, so every shard edge points from a
+//!    lower to a higher shard id — the shard graph is acyclic *and* its
+//!    ids are already a topological order.
+//! 2. **Coverage**: every partition belongs to exactly one shard;
+//!    [`ShardPlan::members`] concatenated over shards is a permutation of
+//!    the partition ids.
+//! 3. **Determinism**: the plan is a pure function of the quotient and the
+//!    options — two processes that build the same quotient compute the
+//!    same plan, which is what lets a worker rediscover its own task set
+//!    from `(design, shards, shard)` alone.
+//!
+//! The size constraint (`max_tasks_per_shard`) caps how many member tasks
+//! a shard may accumulate, and the edge-cut-aware refinement slides shard
+//! boundaries by whole partitions when that strictly reduces the number
+//! of quotient edges crossing shards (boundary traffic) without starving
+//! or overfilling a shard.
+
+use crate::graph::Tdg;
+use crate::partition::PartitionId;
+use crate::quotient::QuotientTdg;
+
+/// Tuning knobs for [`ShardPlan::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPlanOptions {
+    /// Hard cap on member *tasks* per shard; `0` disables the cap. The
+    /// greedy pass cuts a shard early rather than exceed it (the final
+    /// shard may still exceed the cap when the trailing partitions leave
+    /// it no choice — a plan always exists).
+    pub max_tasks_per_shard: usize,
+    /// Boundary-refinement sweeps over all shard cuts; `0` keeps the raw
+    /// greedy plan.
+    pub refine_passes: usize,
+}
+
+impl Default for ShardPlanOptions {
+    fn default() -> Self {
+        ShardPlanOptions {
+            max_tasks_per_shard: 0,
+            refine_passes: 2,
+        }
+    }
+}
+
+/// [`ShardPlan::build`] rejected its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// A shard count of zero was requested for a non-empty quotient.
+    NoShards,
+}
+
+impl std::fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPlanError::NoShards => {
+                write!(f, "cannot shard a non-empty quotient into zero shards")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
+/// A grouping of quotient partitions into contiguous, acyclic shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// Per-partition shard assignment.
+    shard_of: Vec<u32>,
+    /// Partition ids grouped by shard, each group in quotient level order:
+    /// shard `s` owns `members_flat[members_off[s]..members_off[s+1]]`.
+    members_flat: Vec<u32>,
+    members_off: Vec<u32>,
+    /// Member-task totals per shard.
+    tasks_of: Vec<u64>,
+    /// The coarse DAG over shards (deduplicated shard-crossing quotient
+    /// edges). Shard ids are already topologically ordered.
+    graph: Tdg,
+    /// Quotient edges crossing shard boundaries (the boundary traffic the
+    /// refinement minimises).
+    edge_cut: usize,
+}
+
+impl ShardPlan {
+    /// Group `quotient`'s partitions into (at most) `shards` shards.
+    ///
+    /// The shard count is clamped to the partition count — asking for more
+    /// shards than partitions yields singleton shards, not empty ones. An
+    /// empty quotient produces an empty plan for any requested count.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardPlanError::NoShards`] when `shards == 0` and the quotient is
+    /// non-empty.
+    pub fn build(
+        quotient: &QuotientTdg,
+        shards: usize,
+        opts: &ShardPlanOptions,
+    ) -> Result<Self, ShardPlanError> {
+        let np = quotient.num_partitions();
+        if np == 0 {
+            return Ok(ShardPlan {
+                shard_of: Vec::new(),
+                members_flat: Vec::new(),
+                members_off: vec![0],
+                tasks_of: Vec::new(),
+                graph: Tdg::from_csr(vec![0], Vec::new(), vec![0], Vec::new(), Vec::new()),
+                edge_cut: 0,
+            });
+        }
+        if shards == 0 {
+            return Err(ShardPlanError::NoShards);
+        }
+        let k = shards.min(np);
+
+        // Level-major order of partitions: every quotient edge points to a
+        // strictly later level, so any monotone grouping of this order is
+        // acyclic at shard granularity.
+        let levels = quotient.graph().levels();
+        let order: Vec<u32> = levels.order().to_vec();
+        let weight = |p: u32| quotient.execution_order(PartitionId(p)).len() as u64;
+
+        // Greedy contiguous chunking balanced by member-task weight: each
+        // cut targets an equal share of the *remaining* weight, so early
+        // heavy partitions do not starve the trailing shards.
+        let total: u64 = order.iter().map(|&p| weight(p)).sum();
+        let max = opts.max_tasks_per_shard as u64;
+        let mut cuts: Vec<usize> = Vec::with_capacity(k + 1);
+        cuts.push(0);
+        let mut i = 0usize;
+        let mut spent = 0u64;
+        for s in 0..k {
+            let shards_left = k - s;
+            // Equal share of the *remaining* weight, so early heavy
+            // partitions do not starve the trailing shards.
+            let target = (total - spent).div_ceil(shards_left as u64);
+            // Leave at least one partition for every shard still to come.
+            let last_allowed = np - (shards_left - 1);
+            let mut acc = 0u64;
+            while i < last_allowed {
+                let w = weight(order[i]);
+                if acc > 0 && (acc >= target || (max > 0 && acc + w > max)) {
+                    break;
+                }
+                acc += w;
+                spent += w;
+                i += 1;
+            }
+            cuts.push(i);
+        }
+        // The final shard takes whatever the cap left over — a plan
+        // always exists even when the cap is infeasible.
+        cuts[k] = np;
+
+        let mut shard_of = vec![0u32; np];
+        for s in 0..k {
+            for &p in &order[cuts[s]..cuts[s + 1]] {
+                shard_of[p as usize] = s as u32;
+            }
+        }
+
+        // Edge-cut-aware boundary refinement: slide whole partitions
+        // across adjacent cuts when that strictly reduces the number of
+        // shard-crossing quotient edges. Moves preserve contiguity (only
+        // the partition at a boundary moves) and hence acyclicity.
+        let g = quotient.graph();
+        let cut_delta = |p: u32, from: u32, to: u32, shard_of: &[u32]| -> i64 {
+            let mut delta = 0i64;
+            let t = crate::graph::TaskId(p);
+            for &n in g.successors(t).iter().chain(g.predecessors(t)) {
+                let sn = shard_of[n as usize];
+                delta += i64::from(sn != to) - i64::from(sn != from);
+            }
+            delta
+        };
+        let tasks_of_cut = |cuts: &[usize], s: usize| -> u64 {
+            order[cuts[s]..cuts[s + 1]].iter().map(|&p| weight(p)).sum()
+        };
+        for _ in 0..opts.refine_passes {
+            let mut improved = false;
+            for s in 0..k.saturating_sub(1) {
+                // Tail of shard `s` into `s + 1`.
+                if cuts[s + 1] - cuts[s] > 1 {
+                    let p = order[cuts[s + 1] - 1];
+                    let fits = max == 0 || tasks_of_cut(&cuts, s + 1) + weight(p) <= max;
+                    if fits && cut_delta(p, s as u32, s as u32 + 1, &shard_of) < 0 {
+                        shard_of[p as usize] = s as u32 + 1;
+                        cuts[s + 1] -= 1;
+                        improved = true;
+                        continue;
+                    }
+                }
+                // Head of shard `s + 1` into `s`.
+                if cuts[s + 2] - cuts[s + 1] > 1 {
+                    let p = order[cuts[s + 1]];
+                    let fits = max == 0 || tasks_of_cut(&cuts, s) + weight(p) <= max;
+                    if fits && cut_delta(p, s as u32 + 1, s as u32, &shard_of) < 0 {
+                        shard_of[p as usize] = s as u32;
+                        cuts[s + 1] += 1;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        // Materialise member lists, per-shard task totals, the shard
+        // graph, and the final edge cut.
+        let mut members_off = vec![0u32; k + 1];
+        for s in 0..k {
+            members_off[s + 1] = cuts[s + 1] as u32;
+        }
+        let members_flat = order;
+        let mut tasks_of = vec![0u64; k];
+        for s in 0..k {
+            tasks_of[s] = members_flat[cuts[s]..cuts[s + 1]]
+                .iter()
+                .map(|&p| weight(p))
+                .sum();
+        }
+
+        let mut cross: Vec<(u32, u32)> = Vec::new();
+        let mut edge_cut = 0usize;
+        for p in 0..np as u32 {
+            let sp = shard_of[p as usize];
+            for &q in g.successors(crate::graph::TaskId(p)) {
+                let sq = shard_of[q as usize];
+                if sp != sq {
+                    edge_cut += 1;
+                    cross.push((sp, sq));
+                }
+            }
+        }
+        cross.sort_unstable();
+        cross.dedup();
+        let mut fwd_off = vec![0u32; k + 1];
+        let mut rev_off = vec![0u32; k + 1];
+        for &(a, b) in &cross {
+            fwd_off[a as usize + 1] += 1;
+            rev_off[b as usize + 1] += 1;
+        }
+        for s in 0..k {
+            fwd_off[s + 1] += fwd_off[s];
+            rev_off[s + 1] += rev_off[s];
+        }
+        let mut fwd_adj = vec![0u32; cross.len()];
+        let mut rev_adj = vec![0u32; cross.len()];
+        {
+            let mut fc = fwd_off.clone();
+            let mut rc = rev_off.clone();
+            // `cross` is sorted by (a, b), so per-source adjacency comes
+            // out sorted; the reverse side needs a per-target pass in
+            // source order, which the same iteration provides.
+            for &(a, b) in &cross {
+                fwd_adj[fc[a as usize] as usize] = b;
+                fc[a as usize] += 1;
+                rev_adj[rc[b as usize] as usize] = a;
+                rc[b as usize] += 1;
+            }
+        }
+        let mut weights = vec![0.0f32; k];
+        for p in 0..np as u32 {
+            weights[shard_of[p as usize] as usize] += g.weight(crate::graph::TaskId(p));
+        }
+        let graph = Tdg::from_csr(fwd_off, fwd_adj, rev_off, rev_adj, weights);
+
+        Ok(ShardPlan {
+            shard_of,
+            members_flat,
+            members_off,
+            tasks_of,
+            graph,
+            edge_cut,
+        })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.members_off.len() - 1
+    }
+
+    /// The shard owning partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[inline]
+    pub fn shard_of(&self, p: PartitionId) -> u32 {
+        self.shard_of[p.index()]
+    }
+
+    /// Per-partition shard assignment, indexed by partition id.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// Member partitions of shard `s`, in quotient level order (a valid
+    /// partition execution order for the shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn members(&self, s: u32) -> &[u32] {
+        &self.members_flat
+            [self.members_off[s as usize] as usize..self.members_off[s as usize + 1] as usize]
+    }
+
+    /// Total member tasks of shard `s`.
+    #[inline]
+    pub fn tasks_of(&self, s: u32) -> u64 {
+        self.tasks_of[s as usize]
+    }
+
+    /// The coarse DAG over shards. Shard ids are already a topological
+    /// order: every edge goes from a lower to a higher id.
+    #[inline]
+    pub fn graph(&self) -> &Tdg {
+        &self.graph
+    }
+
+    /// Quotient edges crossing shard boundaries.
+    #[inline]
+    pub fn edge_cut(&self) -> usize {
+        self.edge_cut
+    }
+
+    /// A structural fingerprint covering the assignment and the shard
+    /// graph — two processes must agree on this before exchanging
+    /// boundary values keyed to the plan.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u32| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_shards() as u32);
+        for &s in &self.shard_of {
+            mix(s);
+        }
+        h ^ self.graph.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{TaskId, TdgBuilder};
+    use crate::partition::Partition;
+
+    /// A layered DAG: `width` chains of length `depth`, plus cross links,
+    /// partitioned one-partition-per-(level, chain-pair).
+    fn layered_quotient(width: u32, depth: u32) -> QuotientTdg {
+        let n = width * depth;
+        let mut b = TdgBuilder::new(n as usize);
+        let id = |l: u32, c: u32| TaskId(l * width + c);
+        for l in 0..depth - 1 {
+            for c in 0..width {
+                b.add_edge(id(l, c), id(l + 1, c));
+                b.add_edge(id(l, c), id(l + 1, (c + 1) % width));
+            }
+        }
+        let tdg = b.build().expect("layered DAG");
+        let assignment: Vec<u32> = (0..n).map(|t| t / 2).collect();
+        QuotientTdg::build(&tdg, &Partition::compact(assignment)).expect("valid quotient")
+    }
+
+    fn check_invariants(plan: &ShardPlan, quotient: &QuotientTdg) {
+        let np = quotient.num_partitions();
+        // Coverage: members are a permutation of partition ids.
+        let mut seen = vec![false; np];
+        for s in 0..plan.num_shards() as u32 {
+            for &p in plan.members(s) {
+                assert_eq!(plan.shard_of(PartitionId(p)), s);
+                assert!(!seen[p as usize], "partition {p} in two shards");
+                seen[p as usize] = true;
+            }
+            assert!(!plan.members(s).is_empty(), "shard {s} is empty");
+        }
+        assert!(seen.iter().all(|&x| x), "every partition is owned");
+        // Acyclicity via monotone ids: every shard edge points forward.
+        for s in 0..plan.graph().num_tasks() as u32 {
+            for &t in plan.graph().successors(TaskId(s)) {
+                assert!(s < t, "shard edge {s} -> {t} must point forward");
+            }
+        }
+        // Contiguity: shard ids are monotone along the level-major order.
+        let levels = quotient.graph().levels();
+        let mut prev = 0u32;
+        for &p in levels.order() {
+            let s = plan.shard_of(PartitionId(p));
+            assert!(s >= prev, "shard ids must be monotone in level order");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn plans_cover_and_stay_acyclic() {
+        let q = layered_quotient(4, 6);
+        for k in [1, 2, 3, 5, usize::MAX >> 1] {
+            let plan = ShardPlan::build(&q, k, &ShardPlanOptions::default()).expect("plan");
+            assert!(plan.num_shards() <= q.num_partitions());
+            assert!(plan.num_shards() >= 1);
+            check_invariants(&plan, &q);
+        }
+    }
+
+    #[test]
+    fn zero_shards_rejected_nonempty() {
+        let q = layered_quotient(2, 2);
+        assert_eq!(
+            ShardPlan::build(&q, 0, &ShardPlanOptions::default()),
+            Err(ShardPlanError::NoShards)
+        );
+    }
+
+    #[test]
+    fn empty_quotient_is_an_empty_plan() {
+        let tdg = TdgBuilder::new(0).build().expect("empty");
+        let q = QuotientTdg::build(&tdg, &Partition::new(Vec::new())).expect("empty quotient");
+        let plan = ShardPlan::build(&q, 4, &ShardPlanOptions::default()).expect("plan");
+        assert_eq!(plan.num_shards(), 0);
+        assert_eq!(plan.edge_cut(), 0);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let q = layered_quotient(6, 8);
+        let a = ShardPlan::build(&q, 3, &ShardPlanOptions::default()).expect("plan");
+        let b = ShardPlan::build(&q, 3, &ShardPlanOptions::default()).expect("plan");
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn task_totals_sum_to_the_quotient() {
+        let q = layered_quotient(4, 6);
+        let plan = ShardPlan::build(&q, 3, &ShardPlanOptions::default()).expect("plan");
+        let total: u64 = (0..plan.num_shards() as u32)
+            .map(|s| plan.tasks_of(s))
+            .sum();
+        assert_eq!(total, q.num_tasks() as u64);
+    }
+
+    #[test]
+    fn size_cap_is_respected_where_possible() {
+        let q = layered_quotient(4, 8);
+        let per = q.num_tasks() / q.num_partitions(); // uniform members
+        let cap = 3 * per;
+        let opts = ShardPlanOptions {
+            max_tasks_per_shard: cap,
+            refine_passes: 2,
+        };
+        let plan = ShardPlan::build(&q, 8, &opts).expect("plan");
+        check_invariants(&plan, &q);
+        for s in 0..plan.num_shards() as u32 {
+            assert!(
+                plan.tasks_of(s) <= cap as u64,
+                "shard {s} holds {} tasks over the cap {cap}",
+                plan.tasks_of(s)
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_never_increases_the_cut() {
+        let q = layered_quotient(6, 10);
+        let raw = ShardPlan::build(
+            &q,
+            4,
+            &ShardPlanOptions {
+                refine_passes: 0,
+                ..Default::default()
+            },
+        )
+        .expect("raw plan");
+        let refined = ShardPlan::build(&q, 4, &ShardPlanOptions::default()).expect("refined plan");
+        check_invariants(&refined, &q);
+        assert!(
+            refined.edge_cut() <= raw.edge_cut(),
+            "refined cut {} vs raw {}",
+            refined.edge_cut(),
+            raw.edge_cut()
+        );
+    }
+
+    #[test]
+    fn more_shards_than_partitions_clamps_to_singletons() {
+        let q = layered_quotient(2, 3);
+        let plan = ShardPlan::build(&q, 100, &ShardPlanOptions::default()).expect("plan");
+        assert_eq!(plan.num_shards(), q.num_partitions());
+        for s in 0..plan.num_shards() as u32 {
+            assert_eq!(plan.members(s).len(), 1);
+        }
+    }
+}

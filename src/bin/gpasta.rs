@@ -48,10 +48,18 @@ usage:
                                 [--seed <n>] [--checkpoint <file>]
                                 [--resume <file>] [--kill-after <i>]
                                 [--deadline-ms <n>]
+  gpasta shard --circuit <name> [--scale <f>] [--shards <k>] [--workers <n>]
+               [--seed <n>] [--retries <n>] [--stall-ms <n>]
+               [--kill <shard:attempt[:kind]> ..]
+               [--chaos-seed <n>] [--chaos-rate <f>]
+               [--checkpoint <file>] [--resume <file>]
+               [--kill-after-shards <n>] [--no-heal]
+               [--max-shard-tasks <n>] [--bits]
   gpasta serve [--addr <host:port>] [--stdio] [--spool <dir>]
                [--workers <n>] [--max-sessions <n>]
                [--checkpoint-ms <n>] [--max-inflight <n>]
                [--max-connections <n>] [--read-timeout-ms <n>]
+               [--keep-alive-requests <n>] [--idle-timeout-ms <n>]
                [--crash-window-ms <n>] [--max-crashes <n>]
                [--chaos-seed <n>] [--chaos-rate <f>] [--chaos-kinds <k,..>]
                [--chaos-inject <name:update:attempt:kind> ..]
@@ -86,6 +94,9 @@ fn run(args: &[String]) -> Result<(), Error> {
         Some("sta") => sta_cmd(&args[1..]),
         Some("faults") => faults_cmd(&args[1..]),
         Some("update") => update_cmd(&args[1..]),
+        Some("shard") => shard_cmd(&args[1..]),
+        // Hidden: the child-process half of `gpasta shard`.
+        Some("shard-worker") => shard_worker_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("demo") => demo_cmd(),
         Some("--help") | Some("-h") | None => {
@@ -663,25 +674,7 @@ fn update_cmd(args: &[String]) -> Result<(), Error> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--circuit" => {
-                let name = need("--circuit", it.next())?;
-                circuit = Some(
-                    PaperCircuit::all()
-                        .iter()
-                        .copied()
-                        .find(|c| c.name() == name)
-                        .ok_or_else(|| {
-                            format!(
-                                "unknown circuit `{name}` (choose from {})",
-                                PaperCircuit::all()
-                                    .iter()
-                                    .map(|c| c.name())
-                                    .collect::<Vec<_>>()
-                                    .join(", ")
-                            )
-                        })?,
-                );
-            }
+            "--circuit" => circuit = Some(parse_circuit(&need("--circuit", it.next())?)?),
             "--scale" => {
                 cfg.scale = parse::<f64>("--scale", it.next())?;
                 if cfg.scale <= 0.0 {
@@ -750,6 +743,241 @@ fn update_cmd(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+/// Resolve a paper-circuit name, listing the choices on a miss.
+fn parse_circuit(name: &str) -> Result<gpasta::circuits::PaperCircuit, Error> {
+    use gpasta::circuits::PaperCircuit;
+    PaperCircuit::all()
+        .iter()
+        .copied()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown circuit `{name}` (choose from {})",
+                PaperCircuit::all()
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+            .into()
+        })
+}
+
+/// The `shard` subcommand: one full timing update executed across K
+/// worker processes under a kill-tolerant supervisor (see
+/// `gpasta::shard`). `--kill` and the chaos knobs inject worker deaths;
+/// the run still ends bit-identical to a single-process run because the
+/// supervisor respawns, quarantines, and heals.
+fn shard_cmd(args: &[String]) -> Result<(), Error> {
+    use gpasta::shard::{run_sharded, ShardRunConfig};
+
+    let mut circuit = None;
+    let mut scale = 1.0f64;
+    let mut seed = 0x5EEDu64;
+    let mut shards = 4usize;
+    let mut workers = 0usize;
+    let mut retries = 3u32;
+    let mut stall_ms = 10_000u64;
+    let mut kills: Vec<(u32, u32, FaultKind)> = Vec::new();
+    let mut chaos_seed = 0u64;
+    let mut chaos_rate = 0.0f64;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut kill_after_shards = None;
+    let mut heal = true;
+    let mut max_shard_tasks = 0usize;
+    let mut bits = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit" => circuit = Some(parse_circuit(&need("--circuit", it.next())?)?),
+            "--scale" => {
+                scale = parse::<f64>("--scale", it.next())?;
+                if scale <= 0.0 {
+                    return Err(CliError::NonPositive("--scale").into());
+                }
+            }
+            "--seed" => seed = parse::<u64>("--seed", it.next())?,
+            "--shards" => {
+                shards = parse::<usize>("--shards", it.next())?;
+                if shards == 0 {
+                    return Err(CliError::NonPositive("--shards").into());
+                }
+            }
+            "--workers" => workers = parse::<usize>("--workers", it.next())?,
+            "--retries" => retries = parse::<u32>("--retries", it.next())?,
+            "--stall-ms" => stall_ms = parse::<u64>("--stall-ms", it.next())?,
+            "--kill" => kills.push(parse_kill(&need("--kill", it.next())?)?),
+            "--chaos-seed" => chaos_seed = parse::<u64>("--chaos-seed", it.next())?,
+            "--chaos-rate" => {
+                chaos_rate = parse::<f64>("--chaos-rate", it.next())?;
+                if !(0.0..=1.0).contains(&chaos_rate) {
+                    return Err("--chaos-rate must be within [0, 1]".to_string().into());
+                }
+            }
+            "--checkpoint" => checkpoint = Some(need("--checkpoint", it.next())?.into()),
+            "--resume" => resume = Some(need("--resume", it.next())?.into()),
+            "--kill-after-shards" => {
+                kill_after_shards = Some(parse::<u32>("--kill-after-shards", it.next())?)
+            }
+            "--no-heal" => heal = false,
+            "--max-shard-tasks" => {
+                max_shard_tasks = parse::<usize>("--max-shard-tasks", it.next())?
+            }
+            "--bits" => bits = true,
+            other => return Err(unexpected(other)),
+        }
+    }
+    let circuit = circuit.ok_or_else(|| Error::from("shard needs --circuit <name>".to_string()))?;
+    if kill_after_shards.is_some() && checkpoint.is_none() {
+        return Err(
+            "--kill-after-shards needs --checkpoint (the hand-off must be saved)"
+                .to_string()
+                .into(),
+        );
+    }
+
+    let mut cfg = ShardRunConfig::new(circuit, scale, seed, shards);
+    cfg.max_workers = workers;
+    cfg.max_tasks_per_shard = max_shard_tasks;
+    cfg.retry.max_retries = retries;
+    cfg.stall_after = std::time::Duration::from_millis(stall_ms.max(1));
+    // Random chaos draws only prompt-killable kinds; a random stall would
+    // serialise the run on the watchdog window (still available through a
+    // targeted `--kill s:a:delay`).
+    cfg.faults = FaultPlan::random(
+        chaos_seed,
+        chaos_rate,
+        &[FaultKind::Panic, FaultKind::Transient],
+    )
+    .with_targets(kills);
+    cfg.chaos_seed = chaos_seed;
+    cfg.heal = heal;
+    cfg.checkpoint_to = checkpoint;
+    cfg.resume_from = resume;
+    cfg.kill_after_shards = kill_after_shards;
+
+    let out = run_sharded(&cfg).map_err(|e| e.to_string())?;
+    println!(
+        "shard({}, scale {scale}): {} shard(s), edge cut {}, {} worker(s) max",
+        circuit.name(),
+        out.num_shards,
+        out.edge_cut,
+        if cfg.max_workers == 0 {
+            out.num_shards
+        } else {
+            cfg.max_workers
+        },
+    );
+    println!(
+        "salvaged {} shard(s), poisoned {:?}, unfinished {:?}; {} respawn(s), {} task(s) healed",
+        out.salvaged.len(),
+        out.poisoned,
+        out.unfinished,
+        out.respawns,
+        out.healed_tasks,
+    );
+    println!(
+        "WNS {} ps, TNS {} ps; worker exec total {:.3} ms",
+        f32::from_bits(out.wns_bits),
+        f32::from_bits(out.tns_bits),
+        out.worker_exec_nanos as f64 / 1e6,
+    );
+    if bits {
+        println!(
+            "WNS bits {:08x}  TNS bits {:08x}",
+            out.wns_bits, out.tns_bits
+        );
+    }
+    if out.killed {
+        println!(
+            "killed after {} shard completion(s) (simulated supervisor crash); \
+             resume with --resume {}",
+            cfg.kill_after_shards.unwrap_or_default(),
+            cfg.checkpoint_to
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+/// Parse one `--kill shard:attempt[:kind]` spec; the kind defaults to
+/// `panic` (a SIGKILLed worker) and may itself contain a colon
+/// (`delay:500` hangs the worker for the watchdog to reap).
+fn parse_kill(raw: &str) -> Result<(u32, u32, FaultKind), Error> {
+    let invalid = |why: String| {
+        Error::from(CliError::BadValue {
+            flag: "--kill",
+            value: raw.to_string(),
+            why,
+        })
+    };
+    let mut parts = raw.splitn(3, ':');
+    let (Some(shard), Some(attempt)) = (parts.next(), parts.next()) else {
+        return Err(invalid(format!(
+            "expected shard:attempt[:kind], got `{raw}`"
+        )));
+    };
+    let shard = shard
+        .parse::<u32>()
+        .map_err(|_| invalid(format!("shard `{shard}` is not a u32")))?;
+    let attempt = attempt
+        .parse::<u32>()
+        .map_err(|_| invalid(format!("attempt `{attempt}` is not a u32")))?;
+    let kind = match parts.next() {
+        Some(k) => k.parse::<FaultKind>().map_err(invalid)?,
+        None => FaultKind::Panic,
+    };
+    Ok((shard, attempt, kind))
+}
+
+/// The hidden `shard-worker` subcommand: rebuild the context, speak the
+/// wire protocol on stdio, exit nonzero on any violation. Spawned only
+/// by the shard supervisor — not part of the public CLI surface.
+fn shard_worker_cmd(args: &[String]) -> Result<(), Error> {
+    use gpasta::shard::{run_worker, WorkerArgs};
+
+    let mut wa = WorkerArgs {
+        circuit: gpasta::circuits::PaperCircuit::AesCore,
+        scale_bits: 1.0f64.to_bits(),
+        seed: 0,
+        shards: 1,
+        max_tasks_per_shard: 0,
+        shard: 0,
+        attempt: 0,
+        beat_every: 64,
+        beat_interval_micros: 0,
+        die_after: None,
+        exit_after: None,
+        stall_after: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit" => wa.circuit = parse_circuit(&need("--circuit", it.next())?)?,
+            "--scale-bits" => wa.scale_bits = parse::<u64>("--scale-bits", it.next())?,
+            "--seed" => wa.seed = parse::<u64>("--seed", it.next())?,
+            "--shards" => wa.shards = parse::<usize>("--shards", it.next())?,
+            "--max-shard-tasks" => {
+                wa.max_tasks_per_shard = parse::<usize>("--max-shard-tasks", it.next())?
+            }
+            "--shard" => wa.shard = parse::<u32>("--shard", it.next())?,
+            "--attempt" => wa.attempt = parse::<u32>("--attempt", it.next())?,
+            "--beat-every" => wa.beat_every = parse::<u64>("--beat-every", it.next())?,
+            "--beat-interval-micros" => {
+                wa.beat_interval_micros = parse::<u64>("--beat-interval-micros", it.next())?
+            }
+            "--die-after" => wa.die_after = Some(parse::<u64>("--die-after", it.next())?),
+            "--exit-after" => wa.exit_after = Some(parse::<u64>("--exit-after", it.next())?),
+            "--stall-after" => wa.stall_after = Some(parse::<u64>("--stall-after", it.next())?),
+            other => return Err(unexpected(other)),
+        }
+    }
+    run_worker(&wa).map_err(|e| Error::from(format!("shard worker: {e}")))
+}
+
 /// The `serve` subcommand: host warm timing sessions over HTTP/JSON or
 /// JSON-RPC stdio. Runs until a shutdown request (or stdio EOF), then
 /// spools every live session to the spool directory.
@@ -780,6 +1008,12 @@ fn serve_cmd(args: &[String]) -> Result<(), Error> {
             }
             "--read-timeout-ms" => {
                 cfg.read_timeout_ms = parse::<u64>("--read-timeout-ms", it.next())?;
+            }
+            "--keep-alive-requests" => {
+                cfg.keep_alive_requests = parse::<u64>("--keep-alive-requests", it.next())?;
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms = parse::<u64>("--idle-timeout-ms", it.next())?;
             }
             "--crash-window-ms" => {
                 cfg.crash_window_ms = parse::<u64>("--crash-window-ms", it.next())?;

@@ -47,7 +47,7 @@ use crate::core::{
 };
 use crate::sched::{Executor, FaultPlan, RetryPolicy, RunBudget, StopCause};
 use crate::sta::{CellLibrary, GateId, Timer, TimingSnapshot};
-use crate::tdg::{QuotientTdg, ValidatePartitionError};
+use crate::tdg::{QuotientArena, QuotientTdg, ValidatePartitionError};
 
 const MAGIC: &[u8; 6] = b"GPCKPT";
 const VERSION: &[u8; 2] = b"01";
@@ -532,7 +532,7 @@ pub struct UpdateFlowOutcome {
     pub epoch: u64,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -545,7 +545,7 @@ fn splitmix64(mut x: u64) -> u64 {
 /// run rebuilds the netlist from the circuit spec and still sees the full
 /// modifier history. Netlist-mutating modifiers (`set_net_cap`) would be
 /// lost by that rebuild and are deliberately excluded.
-fn apply_modifier_schedule(timer: &mut Timer, seed: u64, iteration: u32) {
+pub(crate) fn apply_modifier_schedule(timer: &mut Timer, seed: u64, iteration: u32) {
     const DRIVES: [f32; 4] = [0.5, 1.0, 2.0, 4.0];
     let num_gates = timer.netlist().num_gates() as u64;
     let h = splitmix64(seed ^ splitmix64(u64::from(iteration)));
@@ -646,12 +646,17 @@ pub fn run_update_flow(cfg: &UpdateFlowConfig) -> Result<UpdateFlowOutcome, Flow
     let mut killed = false;
     let mut stop = StopCause::Completed;
     let mut unknown_endpoints = 0u32;
+    // Every iteration rebuilds the quotient; the arena keeps the scratch
+    // and output buffers warm so steady-state iterations stop touching
+    // the allocator (output is bit-identical to the plain build).
+    let mut quotient_arena = QuotientArena::new();
     for i in start_iter..cfg.iterations {
         apply_modifier_schedule(&mut timer, cfg.seed, i);
         let update = timer.update_timing();
         let ids = update.full_space_ids();
         let (_stats, sub) = inc.repair_and_project(&ids)?;
-        let quotient = QuotientTdg::build(update.tdg(), &sub).map_err(FlowError::Quotient)?;
+        let quotient = QuotientTdg::build_in(update.tdg(), &sub, &mut quotient_arena)
+            .map_err(FlowError::Quotient)?;
         let rec = update.run_partitioned_recovering_bounded(
             &exec,
             &quotient,
@@ -659,6 +664,7 @@ pub fn run_update_flow(cfg: &UpdateFlowConfig) -> Result<UpdateFlowOutcome, Flow
             &policy,
             &budget,
         );
+        quotient_arena.recycle(quotient);
         if rec.outcome.stop != StopCause::Completed {
             // Budget expired mid-iteration: degrade explicitly (stale
             // values read as NaN) and stop without checkpointing the

@@ -23,6 +23,9 @@
 //!   and evictable to a checkpoint;
 //! * [`serve`] — `gpasta serve`: an HTTP/JSON daemon (and JSON-RPC
 //!   stdio mode) hosting warm concurrent sessions;
+//! * [`shard`] — `gpasta shard`: sharded multi-process execution with a
+//!   kill-tolerant shard supervisor, boundary-value hand-off, and
+//!   checkpointed supervisor recovery;
 //! * [`errors`] — shared error types for every process boundary.
 //!
 //! # Quickstart
@@ -53,6 +56,7 @@ pub mod checkpoint;
 pub mod errors;
 pub mod serve;
 pub mod session;
+pub mod shard;
 
 pub use gpasta_circuits as circuits;
 pub use gpasta_core as core;

@@ -2,8 +2,12 @@
 //!
 //! A deliberately small server — no external dependencies exist in this
 //! workspace, so it is hand-rolled on [`std::net::TcpListener`]: one
-//! thread per connection, one request per connection (`Connection:
-//! close`), bodies bounded by `Content-Length`. Every route maps onto a
+//! thread per connection, bodies bounded by `Content-Length`. A client
+//! that sends `Connection: keep-alive` may reuse its connection for up
+//! to [`HttpLimits::keep_alive_requests`] requests, idling at most
+//! [`HttpLimits::idle_timeout`] between them; anything else (including
+//! any parse error) is answered `Connection: close` and the connection
+//! ends after one response. Every route maps onto a
 //! [`super::proto::dispatch`] method, with path segments and query
 //! parameters merged into the request's JSON params:
 //!
@@ -64,6 +68,15 @@ pub struct HttpLimits {
     pub read_timeout: Option<Duration>,
     /// Socket write deadline for the response.
     pub write_timeout: Option<Duration>,
+    /// Most requests served over one `Connection: keep-alive`
+    /// connection before the server answers `Connection: close`; `0`
+    /// disables keep-alive entirely (every response closes).
+    pub keep_alive_requests: u64,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it. Unlike a mid-request stall (408),
+    /// idling between requests is legal, so the close is silent. `None`
+    /// falls back to `read_timeout`.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for HttpLimits {
@@ -73,6 +86,8 @@ impl Default for HttpLimits {
             max_body_bytes: 16 * 1024 * 1024,
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
+            keep_alive_requests: 32,
+            idle_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -160,7 +175,13 @@ fn shed_connection(
         message: format!("server is at its connection cap ({max_connections}); retry later"),
         retry_after: Some(1),
     };
-    write_response(stream, shed.status, shed.retry_after, &shed.to_value());
+    write_response(
+        stream,
+        shed.status,
+        shed.retry_after,
+        false,
+        &shed.to_value(),
+    );
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let mut scratch = [0u8; 1024];
@@ -179,29 +200,60 @@ fn handle_connection(
 ) {
     let _ = stream.set_read_timeout(limits.read_timeout);
     let _ = stream.set_write_timeout(limits.write_timeout);
-    let mut was_shutdown = false;
-    let parsed = {
-        // `&TcpStream` implements `Read`, so the buffered reader can
-        // borrow while the raw stream stays available for the response.
-        let mut reader = BufReader::new(&stream);
-        parse_request(&mut reader, limits)
-    };
-    let mut stream = stream;
-    match parsed {
-        Ok(req) => {
-            was_shutdown = req.method == "POST" && req.path == "/shutdown";
-            match route(registry, &req) {
-                Ok(value) => write_response(&mut stream, 200, None, &value),
-                Err(e) => write_response(&mut stream, e.status, e.retry_after, &e.to_value()),
+    // `&TcpStream` implements both `Read` and `Write`, so the buffered
+    // reader can hold its borrow across requests while responses go out
+    // through a second shared borrow of the raw stream.
+    let mut reader = BufReader::new(&stream);
+    let mut served: u64 = 0;
+    loop {
+        if served > 0 {
+            // Between keep-alive requests: wait for the first byte of
+            // the next request under the idle deadline. A client that
+            // stays quiet past it — or closes — ends the connection
+            // silently; idling here is legal, so no 408.
+            let _ = stream.set_read_timeout(limits.idle_timeout.or(limits.read_timeout));
+            match reader.fill_buf() {
+                Ok(buf) if !buf.is_empty() => {}
+                _ => break,
+            }
+            let _ = stream.set_read_timeout(limits.read_timeout);
+        }
+        served += 1;
+        match parse_request(&mut reader, limits) {
+            Ok(req) => {
+                let was_shutdown = req.method == "POST" && req.path == "/shutdown";
+                let keep = req.keep_alive
+                    && !was_shutdown
+                    && !registry.is_shutting_down()
+                    && served < limits.keep_alive_requests;
+                match route(registry, &req) {
+                    Ok(value) => write_response(&mut (&stream), 200, None, keep, &value),
+                    Err(e) => {
+                        write_response(&mut (&stream), e.status, e.retry_after, keep, &e.to_value())
+                    }
+                }
+                if was_shutdown {
+                    // Wake the accept loop so it observes the shutdown
+                    // flag.
+                    let _ = TcpStream::connect(local);
+                }
+                if !keep {
+                    break;
+                }
+            }
+            Err(e) => {
+                // After a malformed request the stream position is
+                // unknowable, so the connection cannot be reused.
+                write_response(
+                    &mut (&stream),
+                    e.status,
+                    e.retry_after,
+                    false,
+                    &e.to_value(),
+                );
+                break;
             }
         }
-        Err(e) => {
-            write_response(&mut stream, e.status, e.retry_after, &e.to_value());
-        }
-    }
-    if was_shutdown {
-        // Wake the accept loop so it observes the shutdown flag.
-        let _ = TcpStream::connect(local);
     }
 }
 
@@ -217,6 +269,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Parsed JSON body, when a `Content-Length` was present.
     pub body: Option<Value>,
+    /// The client sent `Connection: keep-alive` and may reuse the
+    /// connection (subject to the server's request cap and idle
+    /// deadline).
+    pub keep_alive: bool,
 }
 
 /// Map a connection-level I/O failure to a wire error: a tripped read
@@ -303,6 +359,7 @@ pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<R
     };
 
     let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
     loop {
         let line = read_line_limited(reader, &mut head_budget)?;
         let line = line.trim_end_matches(['\r', '\n']);
@@ -315,6 +372,11 @@ pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<R
                 "malformed header line (no colon)",
             ));
         };
+        if key.trim().eq_ignore_ascii_case("connection") {
+            // Only an explicit keep-alive opts in; `close`, anything
+            // unrecognized, or no header at all stays one-shot.
+            keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+        }
         if key.trim().eq_ignore_ascii_case("content-length") {
             let parsed: usize = value
                 .trim()
@@ -367,6 +429,7 @@ pub fn parse_request(reader: &mut impl BufRead, limits: &HttpLimits) -> Result<R
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
@@ -432,7 +495,13 @@ fn route(registry: &Registry, req: &Request) -> Result<Value, ApiError> {
     dispatch(registry, method, &Value::Object(pairs))
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, retry_after: Option<u64>, body: &Value) {
+fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    retry_after: Option<u64>,
+    keep_alive: bool,
+    body: &Value,
+) {
     let text = match serde_json::to_string(body) {
         Ok(text) => text,
         Err(_) => String::from("{\"error\":{\"kind\":\"serialize\"}}"),
@@ -453,8 +522,9 @@ fn write_response(stream: &mut TcpStream, status: u16, retry_after: Option<u64>,
         Some(secs) => format!("Retry-After: {secs}\r\n"),
         None => String::new(),
     };
+    let conn = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {conn}\r\n\r\n",
         text.len()
     );
     let _ = stream.write_all(head.as_bytes());
@@ -509,6 +579,18 @@ mod tests {
             let err = parse_bytes(bytes).expect_err("truncated input rejected");
             assert_eq!(err.status, 400, "{err}");
         }
+    }
+
+    #[test]
+    fn only_an_explicit_keep_alive_opts_in() {
+        let req =
+            parse_bytes(b"GET /status HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n").expect("parses");
+        assert!(req.keep_alive, "explicit keep-alive is honored");
+        let req =
+            parse_bytes(b"GET /status HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive, "close stays one-shot");
+        let req = parse_bytes(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert!(!req.keep_alive, "no Connection header stays one-shot");
     }
 
     #[test]

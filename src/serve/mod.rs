@@ -70,6 +70,13 @@ pub struct ServeConfig {
     /// slow-trickling client gets 408 instead of parking a worker
     /// thread. `0` disables.
     pub read_timeout_ms: u64,
+    /// Most requests one `Connection: keep-alive` connection may carry
+    /// before the server closes it; `0` disables keep-alive.
+    pub keep_alive_requests: u64,
+    /// Idle deadline between keep-alive requests in milliseconds; a
+    /// connection quiet past it is closed silently. `0` falls back to
+    /// the read deadline.
+    pub idle_timeout_ms: u64,
     /// Crash-window width: this many milliseconds of history count
     /// toward quarantine.
     pub crash_window_ms: u64,
@@ -92,6 +99,8 @@ impl Default for ServeConfig {
             max_inflight: 256,
             max_connections: 64,
             read_timeout_ms: 10_000,
+            keep_alive_requests: 32,
+            idle_timeout_ms: 5_000,
             crash_window_ms: 60_000,
             max_crashes: 3,
             chaos: ChaosConfig::default(),
@@ -199,9 +208,16 @@ pub fn run(config: &ServeConfig) -> Result<(), ServeError> {
         } else {
             None
         };
+        let idle = if config.idle_timeout_ms > 0 {
+            Some(Duration::from_millis(config.idle_timeout_ms))
+        } else {
+            None
+        };
         let limits = HttpLimits {
             read_timeout: timeout,
             write_timeout: timeout,
+            keep_alive_requests: config.keep_alive_requests,
+            idle_timeout: idle,
             ..HttpLimits::default()
         };
         http::run_http(

@@ -65,7 +65,7 @@ use crate::sta::{
     apply_sdc, k_worst_paths, parse_liberty, parse_verilog, CellLibrary, GateId, ParseLibertyError,
     ParseSdcError, ParseVerilogError, PortId, SnapshotMismatch, Timer, TimingPath, TimingReport,
 };
-use crate::tdg::{BuildTdgError, QuotientTdg, ValidatePartitionError};
+use crate::tdg::{BuildTdgError, QuotientArena, QuotientTdg, ValidatePartitionError};
 
 /// The textual inputs a session is built from. Owning the *sources*
 /// (rather than only the parsed design) is what makes eviction cheap:
@@ -387,6 +387,7 @@ impl DormantSession {
             net_cap_journal: self.net_cap_journal.clone(),
             updates_done: ckpt.iterations_done,
             chaos: None,
+            quotient_arena: QuotientArena::new(),
         })
     }
 }
@@ -427,6 +428,10 @@ pub struct Session {
     /// (see [`Session::set_chaos`]). Never serialized; the supervisor
     /// reinstalls it after create, restore, and crash recovery.
     chaos: Option<SessionChaos>,
+    /// Recycled scratch and output buffers for the per-update quotient
+    /// rebuild, so steady-state [`Session::update_timing`] calls stop
+    /// touching the allocator once the high-water mark is established.
+    quotient_arena: QuotientArena,
 }
 
 /// A session-layer fault schedule: the shared [`FaultPlan`] plus the
@@ -490,6 +495,7 @@ impl Session {
             net_cap_journal: Vec::new(),
             updates_done: 0,
             chaos: None,
+            quotient_arena: QuotientArena::new(),
         })
     }
 
@@ -667,7 +673,8 @@ impl Session {
         let ids = update.full_space_ids();
         let (stats, sub) = self.inc.repair_and_project(&ids)?;
         Self::chaos_point(self.chaos.as_ref(), &self.name, self.updates_done);
-        let quotient = QuotientTdg::build(update.tdg(), &sub).map_err(SessionError::Quotient)?;
+        let quotient = QuotientTdg::build_in(update.tdg(), &sub, &mut self.quotient_arena)
+            .map_err(SessionError::Quotient)?;
         let rec = update.run_partitioned_recovering_bounded(
             &self.exec,
             &quotient,
@@ -675,6 +682,7 @@ impl Session {
             &self.policy,
             budget,
         );
+        self.quotient_arena.recycle(quotient);
         let unknown_endpoints = if rec.outcome.stop == StopCause::Completed {
             0
         } else {

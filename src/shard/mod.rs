@@ -1,0 +1,618 @@
+//! Sharded multi-process execution with a shard supervisor.
+//!
+//! One timing update is split across K OS processes: the quotient graph's
+//! partitions are grouped into contiguous, acyclic *shards*
+//! ([`ShardPlan`](crate::tdg::ShardPlan)), and each shard's fprop/bprop
+//! tasks execute inside a dedicated worker process
+//! (`gpasta shard-worker`, [`run_worker`]) while the parent supervisor
+//! ([`run_sharded`]) streams boundary timing values in and shard deltas
+//! out over `GPCKPT01`-framed pipes ([`wire`]).
+//!
+//! The process boundary is what buys fault tolerance: a worker that
+//! panics, exits, or is `SIGKILL`ed takes down only its own address
+//! space. The supervisor detects the death (by `wait` or by heartbeat
+//! silence), drains the shard's forward closure, respawns the worker with
+//! bounded retry/backoff, and — when retries are exhausted — poisons the
+//! shard at shard granularity and *heals* the poisoned cone in-process at
+//! the end, so the final report is bit-identical to a single-process run.
+//!
+//! # Determinism contract
+//!
+//! Supervisor, worker, and the single-process oracle all rebuild the same
+//! context from `(circuit, scale, seed)`: netlist → timer → modifier
+//! schedule → full-update TDG → seq-G-PASTA partition → quotient → shard
+//! plan. Every step is a pure function of those inputs, and both sides
+//! prove agreement by exchanging a combined TDG + plan fingerprint before
+//! any value crosses the pipe. Timing values travel as raw `f32` bit
+//! patterns, and any topological execution order of the update tasks
+//! produces identical bits — which together make "killed anywhere,
+//! recovered bit-identical" testable with `assert_eq!` on snapshots.
+
+pub mod wire;
+
+mod supervisor;
+mod worker;
+
+pub use supervisor::run_sharded;
+pub use worker::{run_worker, WorkerArgs};
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use crate::checkpoint::{fnv1a64, splitmix64};
+use crate::circuits::PaperCircuit;
+use crate::core::{PartitionError, Partitioner, PartitionerOptions, SeqGPasta};
+use crate::sched::{FaultPlan, RetryPolicy};
+use crate::sta::{CellLibrary, SnapshotMismatch, Timer, TimingSnapshot, TimingUpdateTdg};
+use crate::tdg::{
+    PartitionId, QuotientTdg, ShardPlan, ShardPlanError, ShardPlanOptions, Tdg,
+    ValidatePartitionError,
+};
+use wire::{put_arr, put_u32, put_u64, Reader, WireError};
+
+/// A sharded run failed.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Partitioning the update TDG failed.
+    Partition(PartitionError),
+    /// The quotient graph rejected the partition.
+    Quotient(ValidatePartitionError),
+    /// The shard plan rejected its inputs.
+    Plan(ShardPlanError),
+    /// A frame could not be read or written.
+    Wire(WireError),
+    /// An OS-level operation (spawn, wait, pipe, file) failed.
+    Io {
+        /// What the supervisor or worker was doing.
+        op: &'static str,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The peer violated the frame protocol (wrong frame order, or a
+    /// fingerprint/shape disagreement between supervisor and worker).
+    Protocol(String),
+    /// A shard checkpoint is corrupt or belongs to a different run.
+    Checkpoint(String),
+    /// A checkpoint snapshot does not fit the rebuilt design.
+    Snapshot(SnapshotMismatch),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            ShardError::Quotient(e) => write!(f, "quotient build failed: {e}"),
+            ShardError::Plan(e) => write!(f, "shard planning failed: {e}"),
+            ShardError::Wire(e) => write!(f, "shard wire failed: {e}"),
+            ShardError::Io { op, source } => write!(f, "cannot {op}: {source}"),
+            ShardError::Protocol(why) => write!(f, "shard protocol violation: {why}"),
+            ShardError::Checkpoint(why) => write!(f, "shard checkpoint rejected: {why}"),
+            ShardError::Snapshot(e) => write!(f, "checkpoint snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Partition(e) => Some(e),
+            ShardError::Quotient(e) => Some(e),
+            ShardError::Plan(e) => Some(e),
+            ShardError::Wire(e) => Some(e),
+            ShardError::Io { source, .. } => Some(source),
+            ShardError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PartitionError> for ShardError {
+    fn from(e: PartitionError) -> Self {
+        ShardError::Partition(e)
+    }
+}
+
+impl From<ValidatePartitionError> for ShardError {
+    fn from(e: ValidatePartitionError) -> Self {
+        ShardError::Quotient(e)
+    }
+}
+
+impl From<ShardPlanError> for ShardError {
+    fn from(e: ShardPlanError) -> Self {
+        ShardError::Plan(e)
+    }
+}
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        ShardError::Wire(e)
+    }
+}
+
+impl From<SnapshotMismatch> for ShardError {
+    fn from(e: SnapshotMismatch) -> Self {
+        ShardError::Snapshot(e)
+    }
+}
+
+/// Configuration of one sharded run ([`run_sharded`]).
+#[derive(Debug)]
+pub struct ShardRunConfig {
+    /// Design to analyse.
+    pub circuit: PaperCircuit,
+    /// Circuit scale factor (see [`PaperCircuit::build`]).
+    pub scale: f64,
+    /// Seed of the deterministic design-modifier schedule.
+    pub seed: u64,
+    /// Requested shard count (clamped to the partition count).
+    pub shards: usize,
+    /// Worker processes alive at once; `0` means one per shard.
+    pub max_workers: usize,
+    /// Member-task cap per shard; `0` disables the cap.
+    pub max_tasks_per_shard: usize,
+    /// Respawn policy for dead or hung workers.
+    pub retry: RetryPolicy,
+    /// Heartbeat silence after which a worker counts as hung.
+    pub stall_after: Duration,
+    /// Deterministic shard-level fault injection keyed `(shard, attempt)`.
+    pub faults: FaultPlan,
+    /// Seed choosing *where inside the shard* an injected fault fires.
+    pub chaos_seed: u64,
+    /// Re-run poisoned/unfinished shards in-process at the end so the
+    /// final report matches the single-process oracle bit for bit.
+    pub heal: bool,
+    /// Capture the final [`TimingSnapshot`] in the outcome (differential
+    /// tests want it; the CLI does not need the allocation).
+    pub capture_snapshot: bool,
+    /// Executable spawned as `shard-worker`; defaults to the current exe.
+    pub worker_exe: PathBuf,
+    /// Write a [`ShardCheckpoint`] here after every shard completion.
+    pub checkpoint_to: Option<PathBuf>,
+    /// Resume from a [`ShardCheckpoint`] written by an earlier run.
+    pub resume_from: Option<PathBuf>,
+    /// Stop (uncleanly, as if the supervisor died) after this many *new*
+    /// shard completions — the test hook for supervisor-death recovery.
+    pub kill_after_shards: Option<u32>,
+}
+
+impl ShardRunConfig {
+    /// A default-tuned configuration for `(circuit, scale, seed, shards)`.
+    pub fn new(circuit: PaperCircuit, scale: f64, seed: u64, shards: usize) -> Self {
+        ShardRunConfig {
+            circuit,
+            scale,
+            seed,
+            shards,
+            max_workers: 0,
+            max_tasks_per_shard: 0,
+            retry: RetryPolicy::default(),
+            stall_after: Duration::from_secs(10),
+            faults: FaultPlan::none(),
+            chaos_seed: 0,
+            heal: true,
+            capture_snapshot: false,
+            worker_exe: std::env::current_exe().unwrap_or_default(),
+            checkpoint_to: None,
+            resume_from: None,
+            kill_after_shards: None,
+        }
+    }
+}
+
+/// What a sharded run produced.
+#[derive(Debug, Clone)]
+pub struct ShardRunOutcome {
+    /// Worst negative slack, raw bits.
+    pub wns_bits: u32,
+    /// Total negative slack, raw bits.
+    pub tns_bits: u32,
+    /// Shards in the plan.
+    pub num_shards: usize,
+    /// Quotient edges crossing shard boundaries.
+    pub edge_cut: usize,
+    /// Shards whose workers completed (possibly after respawns).
+    pub salvaged: Vec<u32>,
+    /// Shards that exhausted their retries.
+    pub poisoned: Vec<u32>,
+    /// Shards drained because a poisoned shard sits upstream.
+    pub unfinished: Vec<u32>,
+    /// Worker attempts per shard (0 = completed from checkpoint).
+    pub attempts: Vec<u32>,
+    /// Workers respawned after a death or stall.
+    pub respawns: u64,
+    /// Tasks the supervisor re-executed in-process while healing.
+    pub healed_tasks: u64,
+    /// Sum of worker task-loop nanoseconds (overhead accounting).
+    pub worker_exec_nanos: u64,
+    /// The run stopped early via `kill_after_shards`.
+    pub killed: bool,
+    /// Partitions whose values are final (members of salvaged shards).
+    pub completed_partitions: Vec<u32>,
+    /// Final timing state, when `capture_snapshot` was set.
+    pub snapshot: Option<TimingSnapshot>,
+}
+
+/// Rebuild the deterministic analysis context every process agrees on:
+/// netlist at `scale`, typical library, and the seed's modifier schedule.
+pub(crate) fn build_timer(circuit: PaperCircuit, scale: f64, seed: u64) -> Timer {
+    let mut timer = Timer::new(circuit.build(scale), CellLibrary::typical());
+    crate::checkpoint::apply_modifier_schedule(&mut timer, seed, 0);
+    timer
+}
+
+/// Partition `update`'s TDG and group the quotient into shards — the same
+/// pure function on every side of the process boundary.
+pub(crate) fn plan_shards(
+    update: &TimingUpdateTdg<'_>,
+    shards: usize,
+    max_tasks_per_shard: usize,
+) -> Result<(QuotientTdg, ShardPlan), ShardError> {
+    let partition = SeqGPasta::new().partition(update.tdg(), &PartitionerOptions::default())?;
+    let quotient = QuotientTdg::build(update.tdg(), &partition)?;
+    let plan = ShardPlan::build(
+        &quotient,
+        shards,
+        &ShardPlanOptions {
+            max_tasks_per_shard,
+            ..ShardPlanOptions::default()
+        },
+    )?;
+    Ok((quotient, plan))
+}
+
+/// Shard `shard`'s member tasks in a valid topological execution order
+/// (members are in quotient level order; each member in TDG topo order).
+pub(crate) fn shard_tasks(quotient: &QuotientTdg, plan: &ShardPlan, shard: u32) -> Vec<u32> {
+    plan.members(shard)
+        .iter()
+        .flat_map(|&p| quotient.execution_order(PartitionId(p)).iter().copied())
+        .collect()
+}
+
+/// The agreement fingerprint exchanged in `Hello`: TDG identity mixed
+/// with the shard-plan identity.
+pub(crate) fn run_fingerprint(tdg: &Tdg, plan: &ShardPlan) -> u64 {
+    splitmix64(tdg.fingerprint()) ^ plan.fingerprint()
+}
+
+/// Where inside a shard an injected fault fires: a deterministic kill
+/// point in `[0, tasks]` keyed by `(chaos_seed, shard, attempt)` — `0`
+/// dies before the first task, `tasks` after the last one (before the
+/// delta is sent).
+pub(crate) fn fault_point(chaos_seed: u64, shard: u32, attempt: u32, tasks: u64) -> u64 {
+    let h = splitmix64(chaos_seed ^ splitmix64((u64::from(shard) << 32) | u64::from(attempt)));
+    h % (tasks + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Shard checkpoint: supervisor hand-off across its own death
+// ---------------------------------------------------------------------------
+
+const CKPT_MAGIC: &[u8; 8] = b"GPCKPT01";
+const CKPT_KIND: u8 = 16; // disjoint from the wire frame kinds
+
+/// What the supervisor persists after each shard completion: enough for a
+/// *new* supervisor — even one using a different shard count — to pick up
+/// without redoing the completed partitions' work.
+///
+/// The payload is the completed-partition set plus the full timing
+/// snapshot; partitions (not shards) are the unit because the partition
+/// set is a pure function of the design alone, while shards depend on the
+/// requested count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Paper name of the circuit.
+    pub circuit: String,
+    /// Circuit scale as `f64` bits.
+    pub scale_bits: u64,
+    /// Modifier-schedule seed.
+    pub seed: u64,
+    /// Fingerprint of the update TDG (plan-independent, so the resuming
+    /// supervisor may choose a different shard count).
+    pub tdg_fingerprint: u64,
+    /// Partitions whose values in `snapshot` are final.
+    pub completed_partitions: Vec<u32>,
+    /// The master timing state at checkpoint time.
+    pub snapshot: TimingSnapshot,
+}
+
+impl ShardCheckpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_u32(&mut p, self.circuit.len() as u32);
+        p.extend_from_slice(self.circuit.as_bytes());
+        put_u64(&mut p, self.scale_bits);
+        put_u64(&mut p, self.seed);
+        put_u64(&mut p, self.tdg_fingerprint);
+        put_arr(&mut p, &self.completed_partitions);
+        let s = &self.snapshot;
+        put_u32(&mut p, s.clock_period_bits);
+        for arr in [
+            &s.slew,
+            &s.arrival,
+            &s.required,
+            &s.arc_delay,
+            &s.drive,
+            &s.gate_load,
+            &s.net_delay,
+            &s.input_delay,
+            &s.output_delay,
+        ] {
+            put_arr(&mut p, arr);
+        }
+        let mut buf = Vec::with_capacity(CKPT_MAGIC.len() + 1 + 8 + p.len() + 8);
+        buf.extend_from_slice(CKPT_MAGIC);
+        buf.push(CKPT_KIND);
+        buf.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&p);
+        buf.extend_from_slice(&fnv1a64(&p).to_le_bytes());
+        buf
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, ShardError> {
+        let corrupt = |why: &str| ShardError::Checkpoint(why.to_string());
+        let head = 8 + 1 + 8;
+        if bytes.len() < head + 8 {
+            return Err(corrupt("file shorter than a checkpoint header"));
+        }
+        if &bytes[..8] != CKPT_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if bytes[8] != CKPT_KIND {
+            return Err(corrupt("not a shard checkpoint"));
+        }
+        let len = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != head + len + 8 {
+            return Err(corrupt("payload length disagrees with the file size"));
+        }
+        let payload = &bytes[head..head + len];
+        let stored = u64::from_le_bytes(bytes[head + len..].try_into().expect("8 bytes"));
+        if stored != fnv1a64(payload) {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut r = Reader::new(payload);
+        let take = |e: WireError| ShardError::Checkpoint(e.to_string());
+        let name_len = r.u32("circuit name length").map_err(take)? as usize;
+        let name = r.take(name_len, "circuit name").map_err(take)?;
+        let circuit =
+            String::from_utf8(name.to_vec()).map_err(|_| corrupt("circuit name is not UTF-8"))?;
+        let scale_bits = r.u64("scale bits").map_err(take)?;
+        let seed = r.u64("seed").map_err(take)?;
+        let tdg_fingerprint = r.u64("tdg fingerprint").map_err(take)?;
+        let completed_partitions = r.arr("completed partitions").map_err(take)?;
+        let clock_period_bits = r.u32("clock period").map_err(take)?;
+        let slew = r.arr("slew").map_err(take)?;
+        let arrival = r.arr("arrival").map_err(take)?;
+        let required = r.arr("required").map_err(take)?;
+        let arc_delay = r.arr("arc delay").map_err(take)?;
+        let drive = r.arr("drive").map_err(take)?;
+        let gate_load = r.arr("gate load").map_err(take)?;
+        let net_delay = r.arr("net delay").map_err(take)?;
+        let input_delay = r.arr("input delay").map_err(take)?;
+        let output_delay = r.arr("output delay").map_err(take)?;
+        r.done().map_err(take)?;
+        Ok(ShardCheckpoint {
+            circuit,
+            scale_bits,
+            seed,
+            tdg_fingerprint,
+            completed_partitions,
+            snapshot: TimingSnapshot {
+                clock_period_bits,
+                slew,
+                arrival,
+                required,
+                arc_delay,
+                drive,
+                gate_load,
+                net_delay,
+                input_delay,
+                output_delay,
+            },
+        })
+    }
+
+    /// Write atomically (temp file + fsync + rename): a supervisor killed
+    /// mid-write leaves either the old checkpoint or the new one, never a
+    /// torn file.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the filesystem fails.
+    pub fn write_to_path(&self, path: &Path) -> Result<(), ShardError> {
+        let io = |op: &'static str| move |source| ShardError::Io { op, source };
+        let tmp = path.with_extension("tmp");
+        let mut f = fs::File::create(&tmp).map_err(io("create checkpoint temp file"))?;
+        f.write_all(&self.encode())
+            .map_err(io("write checkpoint"))?;
+        f.sync_all().map_err(io("sync checkpoint"))?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(io("rename checkpoint into place"))
+    }
+
+    /// Read and verify a checkpoint written by [`write_to_path`](Self::write_to_path).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`] when the file cannot be read and
+    /// [`ShardError::Checkpoint`] when its bytes are not an intact shard
+    /// checkpoint.
+    pub fn read_from_path(path: &Path) -> Result<Self, ShardError> {
+        let bytes = fs::read(path).map_err(|source| ShardError::Io {
+            op: "read checkpoint",
+            source,
+        })?;
+        Self::decode(&bytes)
+    }
+}
+
+/// What [`run_single_process`] measured — the oracle every differential
+/// test compares a sharded run against.
+#[derive(Debug, Clone)]
+pub struct SingleProcessRun {
+    /// Worst negative slack, raw bits.
+    pub wns_bits: u32,
+    /// Total negative slack, raw bits.
+    pub tns_bits: u32,
+    /// Nanoseconds spent in the task-execution loop only.
+    pub exec_nanos: u64,
+    /// The complete timing state after the run.
+    pub snapshot: TimingSnapshot,
+}
+
+/// Run the identical update in one process — same context builder, same
+/// task set — and capture the full resulting state.
+pub fn run_single_process(circuit: PaperCircuit, scale: f64, seed: u64) -> SingleProcessRun {
+    let mut timer = build_timer(circuit, scale, seed);
+    let update = timer.update_timing();
+    let start = std::time::Instant::now();
+    update.run_sequential();
+    let exec_nanos = start.elapsed().as_nanos() as u64;
+    drop(update);
+    let report = timer.report(1);
+    SingleProcessRun {
+        wns_bits: report.wns_ps.to_bits(),
+        tns_bits: report.tns_ps.to_bits(),
+        exec_nanos,
+        snapshot: timer.snapshot(),
+    }
+}
+
+/// Run the identical update in one process but in *shard-plan task
+/// order* — the exact order a sharded run's workers execute, with no
+/// pipes, heartbeats, or fault hooks.
+///
+/// This is the order-fair baseline for overhead benchmarking: comparing
+/// a worker's task loop against [`run_single_process`] (level order)
+/// conflates process overhead with cache effects of the different
+/// execution order, which swing tens of percent either way. Comparing
+/// against this function isolates what sharding itself costs.
+///
+/// # Errors
+///
+/// Propagates [`ShardError`] from partitioning/planning, exactly as
+/// [`run_sharded`] would for the same inputs.
+pub fn run_in_plan_order(
+    circuit: PaperCircuit,
+    scale: f64,
+    seed: u64,
+    shards: usize,
+) -> Result<SingleProcessRun, ShardError> {
+    let mut timer = build_timer(circuit, scale, seed);
+    let update = timer.update_timing();
+    let (quotient, plan) = plan_shards(&update, shards, 0)?;
+    // Shard ids are topological, so id order is a valid schedule.
+    let mut order: Vec<u32> = Vec::with_capacity(update.tdg().num_tasks());
+    for s in 0..plan.num_shards() as u32 {
+        order.extend(shard_tasks(&quotient, &plan, s));
+    }
+    let start = std::time::Instant::now();
+    for &t in &order {
+        update.execute_task(crate::tdg::TaskId(t));
+    }
+    let exec_nanos = start.elapsed().as_nanos() as u64;
+    drop(update);
+    let report = timer.report(1);
+    Ok(SingleProcessRun {
+        wns_bits: report.wns_ps.to_bits(),
+        tns_bits: report.tns_ps.to_bits(),
+        exec_nanos,
+        snapshot: timer.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> ShardCheckpoint {
+        ShardCheckpoint {
+            circuit: "aes_core".into(),
+            scale_bits: 1.5f64.to_bits(),
+            seed: 0xFEED,
+            tdg_fingerprint: 0xABCD_EF01,
+            completed_partitions: vec![0, 2, 3],
+            snapshot: TimingSnapshot {
+                clock_period_bits: 1000.0f32.to_bits(),
+                slew: vec![1, 2, 3, 4],
+                arrival: vec![5, 6, 7, 8],
+                required: vec![9, 10],
+                arc_delay: vec![11],
+                drive: vec![12, 13],
+                gate_load: vec![14],
+                net_delay: vec![15],
+                input_delay: vec![16],
+                output_delay: vec![17, 18],
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("gpasta-shard-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("hand_off.ckpt");
+        let ck = sample_checkpoint();
+        ck.write_to_path(&path).expect("write");
+        let back = ShardCheckpoint::read_from_path(&path).expect("read");
+        assert_eq!(back, ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let ck = sample_checkpoint();
+        let bytes = ck.encode();
+        assert!(ShardCheckpoint::decode(&bytes).is_ok());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert!(
+                ShardCheckpoint::decode(&bad).is_err(),
+                "flip at byte {i} must be detected"
+            );
+        }
+        assert!(
+            ShardCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err(),
+            "truncation must be detected"
+        );
+    }
+
+    #[test]
+    fn fault_points_cover_the_whole_shard_range() {
+        // Keyed by (shard, attempt): different keys reach different
+        // points, and every point is within [0, tasks].
+        let tasks = 7;
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in 0..8 {
+            for attempt in 0..8 {
+                let p = fault_point(42, shard, attempt, tasks);
+                assert!(p <= tasks);
+                seen.insert(p);
+            }
+        }
+        assert!(seen.len() > 4, "kill points must spread, got {seen:?}");
+        assert_eq!(
+            fault_point(42, 3, 1, tasks),
+            fault_point(42, 3, 1, tasks),
+            "deterministic"
+        );
+    }
+
+    #[test]
+    fn fingerprints_depend_on_the_plan() {
+        let mut timer = build_timer(PaperCircuit::AesCore, 0.002, 7);
+        let update = timer.update_timing();
+        let (_, plan2) = plan_shards(&update, 2, 0).expect("plan");
+        let (_, plan4) = plan_shards(&update, 4, 0).expect("plan");
+        let f2 = run_fingerprint(update.tdg(), &plan2);
+        assert_eq!(f2, run_fingerprint(update.tdg(), &plan2), "pure");
+        if plan2.num_shards() != plan4.num_shards() {
+            assert_ne!(f2, run_fingerprint(update.tdg(), &plan4));
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! The shard supervisor: parent-process orchestration of kill-tolerant
+//! worker processes.
+//!
+//! [`run_sharded`] owns the master [`Timer`](crate::sta::Timer) state and
+//! dispatches shards to `gpasta shard-worker` children in the shard
+//! graph's topological order (shard ids), at most `max_workers` at once.
+//! Per child it streams the boundary inputs down stdin and collects
+//! `Hello`/`Heartbeat`/`Delta`/`Done` frames from stdout via a reader
+//! thread feeding one mpsc event loop; every event is tagged
+//! `(shard, attempt)` so stragglers from a killed attempt are discarded.
+//!
+//! Failure handling is crash-only, at shard granularity:
+//!
+//! * a child that dies (SIGKILL, panic, nonzero exit — observed as a
+//!   closed pipe without `Done`) or goes silent past the heartbeat stall
+//!   window is killed, reaped, and respawned with bounded retry/backoff;
+//! * a shard that exhausts its retries is *poisoned* and its forward
+//!   closure in the shard graph drains as *unfinished* — exactly the
+//!   salvage semantics of the in-process recovering executor, one level
+//!   up;
+//! * at the end, the supervisor *heals* poisoned/unfinished shards by
+//!   executing their tasks in-process (shard-id order is topological), so
+//!   the final report is bit-identical to the single-process oracle no
+//!   matter what was killed;
+//! * after every shard completion the supervisor can persist a
+//!   [`ShardCheckpoint`], and a *new* supervisor — even one with a
+//!   different shard count — resumes from it, re-running only partially
+//!   covered shards (idempotent: re-execution is bit-identical).
+
+use std::collections::HashMap;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use super::wire::{Frame, WireError};
+use super::{
+    build_timer, fault_point, plan_shards, run_fingerprint, shard_tasks, ShardCheckpoint,
+    ShardError, ShardRunConfig, ShardRunOutcome,
+};
+use crate::core::forward_closure;
+use crate::sched::{FaultKind, HeartbeatMonitor};
+use crate::sta::{BoundaryValues, TimingUpdateTdg, ValueSet};
+use crate::tdg::{ShardPlan, TaskId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Not all shard-graph predecessors have completed.
+    Waiting,
+    /// Dispatchable (a pending retry may gate it behind a backoff).
+    Ready,
+    /// A worker process is serving it.
+    Running,
+    /// Its delta is applied to the master state.
+    Completed,
+    /// Retries exhausted.
+    Poisoned,
+    /// Drained: a poisoned shard sits upstream.
+    Unfinished,
+}
+
+/// What the reader thread distils a child's stdout into.
+enum Event {
+    Frame(Frame),
+    /// The pipe closed: `None` cleanly (after `Done`), `Some` with the
+    /// wire error a crash or corruption produced.
+    Closed(Option<WireError>),
+}
+
+struct Running {
+    child: Child,
+    attempt: u32,
+    /// Stashed on `Delta`, applied on `Done`.
+    delta: Option<BoundaryValues>,
+    /// The shard's write set, for validating the delta.
+    writes: ValueSet,
+}
+
+struct Supervisor<'a, 'b> {
+    cfg: &'a ShardRunConfig,
+    update: &'a TimingUpdateTdg<'b>,
+    plan: &'a ShardPlan,
+    /// Per-shard task lists in execution order.
+    tasks: &'a [Vec<u32>],
+    fingerprint: u64,
+    state: Vec<State>,
+    deps_left: Vec<u32>,
+    /// Worker attempts started per shard.
+    attempts: Vec<u32>,
+    retry_at: Vec<Option<Instant>>,
+    running: HashMap<u32, Running>,
+    monitor: HeartbeatMonitor,
+    tx: Sender<(u32, u32, Event)>,
+    rx: Receiver<(u32, u32, Event)>,
+    max_workers: usize,
+    respawns: u64,
+    worker_exec_nanos: u64,
+    /// Shards completed by workers this run (excludes checkpoint-restored
+    /// ones) — the `kill_after_shards` counter.
+    completed_new: u32,
+    killed: bool,
+}
+
+impl Supervisor<'_, '_> {
+    fn num_shards(&self) -> usize {
+        self.state.len()
+    }
+
+    fn all_settled(&self) -> bool {
+        self.state
+            .iter()
+            .all(|s| matches!(s, State::Completed | State::Poisoned | State::Unfinished))
+    }
+
+    /// Spawn workers for every dispatchable shard, in shard-id
+    /// (topological) order, up to the worker cap.
+    fn dispatch(&mut self, now: Instant) -> Result<(), ShardError> {
+        for s in 0..self.num_shards() as u32 {
+            if self.running.len() >= self.max_workers {
+                break;
+            }
+            if self.state[s as usize] != State::Ready {
+                continue;
+            }
+            if let Some(at) = self.retry_at[s as usize] {
+                if now < at {
+                    continue;
+                }
+            }
+            self.retry_at[s as usize] = None;
+            self.spawn(s, now)?;
+        }
+        Ok(())
+    }
+
+    fn spawn(&mut self, shard: u32, now: Instant) -> Result<(), ShardError> {
+        let attempt = self.attempts[shard as usize];
+        self.attempts[shard as usize] += 1;
+        if attempt > 0 {
+            self.respawns += 1;
+        }
+        let tasks = &self.tasks[shard as usize];
+        let writes = ValueSet::writes_of(self.update, tasks);
+        let needed = ValueSet::reads_of(self.update, tasks).minus(&writes);
+        let boundary = BoundaryValues::export(self.update.data(), needed);
+
+        let cfg = self.cfg;
+        let mut cmd = Command::new(&cfg.worker_exe);
+        cmd.arg("shard-worker")
+            .arg("--circuit")
+            .arg(cfg.circuit.name())
+            .arg("--scale-bits")
+            .arg(cfg.scale.to_bits().to_string())
+            .arg("--seed")
+            .arg(cfg.seed.to_string())
+            .arg("--shards")
+            .arg(cfg.shards.to_string())
+            .arg("--max-shard-tasks")
+            .arg(cfg.max_tasks_per_shard.to_string())
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--attempt")
+            .arg(attempt.to_string())
+            .arg("--beat-every")
+            .arg(1.max(tasks.len() / 64).to_string())
+            // Beats throttled to an eighth of the stall deadline: dense
+            // enough that the watchdog never false-fires, sparse enough
+            // that frame wakeups don't preempt the task loop on small
+            // machines.
+            .arg("--beat-interval-micros")
+            .arg(1.max(cfg.stall_after.as_micros() / 8).to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if let Some(kind) = cfg.faults.fault_at(shard, attempt) {
+            let point = fault_point(cfg.chaos_seed, shard, attempt, tasks.len() as u64);
+            let flag = match kind {
+                FaultKind::Panic | FaultKind::WrongResult => "--die-after",
+                FaultKind::Transient => "--exit-after",
+                FaultKind::Delay { .. } => "--stall-after",
+            };
+            cmd.arg(flag).arg(point.to_string());
+        }
+        let mut child = cmd.spawn().map_err(|source| ShardError::Io {
+            op: "spawn shard worker",
+            source,
+        })?;
+
+        // Dedicated writer: a boundary larger than the pipe buffer must
+        // not block the event loop (the child reads it only after its
+        // own rebuild). Closing stdin afterwards is the end-of-input.
+        let stdin = child.stdin.take().expect("stdin was piped");
+        std::thread::spawn(move || {
+            let mut w = stdin;
+            let _ = Frame::Boundary(boundary).write_to(&mut w);
+        });
+
+        // Dedicated reader: frames become events; a closed pipe is the
+        // death notification for everything short of `Done`.
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let mut r = stdout;
+            loop {
+                match Frame::read_from(&mut r) {
+                    Ok(f) => {
+                        if tx.send((shard, attempt, Event::Frame(f))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(WireError::Eof) => {
+                        let _ = tx.send((shard, attempt, Event::Closed(None)));
+                        return;
+                    }
+                    Err(e) => {
+                        let _ = tx.send((shard, attempt, Event::Closed(Some(e))));
+                        return;
+                    }
+                }
+            }
+        });
+
+        self.running.insert(
+            shard,
+            Running {
+                child,
+                attempt,
+                delta: None,
+                writes,
+            },
+        );
+        self.monitor.start(shard, now);
+        self.state[shard as usize] = State::Running;
+        Ok(())
+    }
+
+    /// Whether `(shard, attempt)` identifies the currently running
+    /// worker (stale events from killed attempts are discarded).
+    fn is_current(&self, shard: u32, attempt: u32) -> bool {
+        self.state[shard as usize] == State::Running
+            && self
+                .running
+                .get(&shard)
+                .is_some_and(|r| r.attempt == attempt)
+    }
+
+    fn handle(
+        &mut self,
+        shard: u32,
+        attempt: u32,
+        ev: Event,
+        now: Instant,
+    ) -> Result<(), ShardError> {
+        if !self.is_current(shard, attempt) {
+            return Ok(());
+        }
+        match ev {
+            Event::Frame(Frame::Hello {
+                fingerprint,
+                num_shards,
+                ..
+            }) => {
+                if fingerprint != self.fingerprint || num_shards as usize != self.num_shards() {
+                    // A deterministic-rebuild disagreement can never
+                    // succeed on retry; fail the whole run loudly.
+                    self.shutdown();
+                    return Err(ShardError::Protocol(format!(
+                        "worker for shard {shard} rebuilt a different plan \
+                         (fingerprint {fingerprint:#018x} vs {:#018x})",
+                        self.fingerprint
+                    )));
+                }
+                self.monitor.beat(shard, now);
+            }
+            Event::Frame(Frame::Heartbeat { .. }) => self.monitor.beat(shard, now),
+            Event::Frame(Frame::Delta(delta)) => {
+                let r = self.running.get_mut(&shard).expect("is_current");
+                if delta.set == r.writes {
+                    r.delta = Some(delta);
+                    self.monitor.beat(shard, now);
+                } else {
+                    self.fail_attempt(shard, now, "sent a delta for the wrong cell set");
+                }
+            }
+            Event::Frame(Frame::Done { exec_nanos, .. }) => {
+                let r = self.running.get_mut(&shard).expect("is_current");
+                if r.delta.is_some() {
+                    self.complete(shard, exec_nanos)?;
+                } else {
+                    self.fail_attempt(shard, now, "reported done without a delta");
+                }
+            }
+            Event::Frame(other) => {
+                let what = match other {
+                    Frame::Boundary(_) => "a boundary frame",
+                    _ => "an unexpected frame",
+                };
+                let why = format!("sent {what} upstream");
+                self.fail_attempt(shard, now, &why);
+            }
+            Event::Closed(err) => {
+                // Death before `Done`: SIGKILL, panic, nonzero exit, or a
+                // corrupt tail — all the same symptom, all retried.
+                let why = match err {
+                    Some(e) => format!("pipe closed before done: {e}"),
+                    None => "pipe closed before done".to_string(),
+                };
+                self.fail_attempt(shard, now, &why);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reap the worker and either schedule a respawn (with backoff) or
+    /// poison the shard and drain its forward closure.
+    fn fail_attempt(&mut self, shard: u32, now: Instant, why: &str) {
+        let mut r = self.running.remove(&shard).expect("running");
+        let _ = r.child.kill();
+        let _ = r.child.wait();
+        self.monitor.stop(shard);
+        let attempt = r.attempt;
+        if self.attempts[shard as usize] > self.cfg.retry.max_retries {
+            eprintln!(
+                "gpasta shard: shard {shard} attempt {attempt} failed ({why}); retries exhausted, poisoning"
+            );
+            self.poison(shard);
+        } else {
+            eprintln!("gpasta shard: shard {shard} attempt {attempt} failed ({why}); respawning");
+            self.state[shard as usize] = State::Ready;
+            self.retry_at[shard as usize] = Some(now + self.cfg.retry.backoff(attempt));
+        }
+    }
+
+    fn poison(&mut self, shard: u32) {
+        self.state[shard as usize] = State::Poisoned;
+        for t in forward_closure(self.plan.graph(), &[shard]) {
+            if t == shard {
+                continue;
+            }
+            debug_assert_eq!(
+                self.state[t as usize],
+                State::Waiting,
+                "a descendant of an incomplete shard cannot have started"
+            );
+            self.state[t as usize] = State::Unfinished;
+        }
+    }
+
+    fn complete(&mut self, shard: u32, exec_nanos: u64) -> Result<(), ShardError> {
+        let mut r = self.running.remove(&shard).expect("running");
+        let delta = r.delta.take().expect("checked by caller");
+        delta.apply(self.update.data());
+        let _ = r.child.wait();
+        self.monitor.stop(shard);
+        self.state[shard as usize] = State::Completed;
+        self.worker_exec_nanos += exec_nanos;
+        self.completed_new += 1;
+        for &succ in self.plan.graph().successors(TaskId(shard)) {
+            let d = &mut self.deps_left[succ as usize];
+            *d -= 1;
+            if *d == 0 && self.state[succ as usize] == State::Waiting {
+                self.state[succ as usize] = State::Ready;
+            }
+        }
+        if let Some(path) = &self.cfg.checkpoint_to {
+            self.checkpoint().write_to_path(path)?;
+        }
+        if self.cfg.kill_after_shards == Some(self.completed_new) {
+            // Simulate the supervisor's own death: abandon everything
+            // that is still running and stop without healing.
+            self.shutdown();
+            self.killed = true;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> ShardCheckpoint {
+        let mut completed: Vec<u32> = (0..self.num_shards() as u32)
+            .filter(|&s| self.state[s as usize] == State::Completed)
+            .flat_map(|s| self.plan.members(s).iter().copied())
+            .collect();
+        completed.sort_unstable();
+        ShardCheckpoint {
+            circuit: self.cfg.circuit.name().to_string(),
+            scale_bits: self.cfg.scale.to_bits(),
+            seed: self.cfg.seed,
+            tdg_fingerprint: self.update.tdg().fingerprint(),
+            completed_partitions: completed,
+            snapshot: self.update.data().snapshot(),
+        }
+    }
+
+    /// Kill and reap every running worker.
+    fn shutdown(&mut self) {
+        for (&s, _) in self.running.iter() {
+            self.monitor.stop(s);
+        }
+        for (_, mut r) in self.running.drain() {
+            let _ = r.child.kill();
+            let _ = r.child.wait();
+        }
+    }
+
+    fn event_loop(&mut self) -> Result<(), ShardError> {
+        loop {
+            if self.killed || (self.all_settled() && self.running.is_empty()) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            for s in self.monitor.stalled(now) {
+                self.fail_attempt(s, now, "heartbeat stall (hung worker)");
+            }
+            self.dispatch(now)?;
+            let mut timeout = Duration::from_millis(100);
+            if let Some(d) = self.monitor.next_deadline(now) {
+                timeout = timeout.min(d);
+            }
+            for at in self.retry_at.iter().flatten() {
+                timeout = timeout.min(at.saturating_duration_since(now));
+            }
+            let timeout = timeout.max(Duration::from_millis(1));
+            match self.rx.recv_timeout(timeout) {
+                Ok((shard, attempt, ev)) => {
+                    let now = Instant::now();
+                    self.handle(shard, attempt, ev, now)?;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("the supervisor keeps a sender alive")
+                }
+            }
+        }
+    }
+}
+
+/// Execute one full timing update across `cfg.shards` worker processes
+/// and report the result (see the module docs for the failure model).
+///
+/// # Errors
+///
+/// [`ShardError`] when planning fails, a worker cannot be spawned, a
+/// worker's rebuild disagrees with the supervisor's, or a checkpoint
+/// cannot be written/read. Worker *deaths* are not errors — they are
+/// retried, then poisoned and healed.
+pub fn run_sharded(cfg: &ShardRunConfig) -> Result<ShardRunOutcome, ShardError> {
+    let mut timer = build_timer(cfg.circuit, cfg.scale, cfg.seed);
+    let resume = match &cfg.resume_from {
+        Some(p) => Some(ShardCheckpoint::read_from_path(p)?),
+        None => None,
+    };
+    if let Some(ck) = &resume {
+        if ck.circuit != cfg.circuit.name() {
+            return Err(ShardError::Checkpoint(format!(
+                "checkpoint is for circuit {} (run is {})",
+                ck.circuit,
+                cfg.circuit.name()
+            )));
+        }
+        if ck.scale_bits != cfg.scale.to_bits() || ck.seed != cfg.seed {
+            return Err(ShardError::Checkpoint(
+                "checkpoint scale/seed disagree with the run".into(),
+            ));
+        }
+        timer.restore_snapshot(&ck.snapshot)?;
+        // The snapshot cleared the dirty set; re-dirty everything so the
+        // update TDG covers the full design again (idempotent re-runs of
+        // partially covered shards are what make resume correct).
+        timer.invalidate_all();
+    }
+    let update = timer.update_timing();
+    if let Some(ck) = &resume {
+        if ck.tdg_fingerprint != update.tdg().fingerprint() {
+            return Err(ShardError::Checkpoint(
+                "checkpoint TDG fingerprint disagrees with the rebuilt design".into(),
+            ));
+        }
+    }
+    let (quotient, plan) = plan_shards(&update, cfg.shards, cfg.max_tasks_per_shard)?;
+    let k = plan.num_shards();
+    let tasks: Vec<Vec<u32>> = (0..k as u32)
+        .map(|s| shard_tasks(&quotient, &plan, s))
+        .collect();
+
+    let mut deps_left: Vec<u32> = (0..k)
+        .map(|s| plan.graph().predecessors(TaskId(s as u32)).len() as u32)
+        .collect();
+    let mut state = vec![State::Waiting; k];
+    // Shards fully covered by the checkpoint are already complete: their
+    // values were restored with the snapshot. Partially covered shards
+    // re-run from scratch.
+    if let Some(ck) = &resume {
+        let done: std::collections::HashSet<u32> =
+            ck.completed_partitions.iter().copied().collect();
+        for s in 0..k as u32 {
+            let members = plan.members(s);
+            if !members.is_empty() && members.iter().all(|p| done.contains(p)) {
+                state[s as usize] = State::Completed;
+                for &succ in plan.graph().successors(TaskId(s)) {
+                    deps_left[succ as usize] -= 1;
+                }
+            }
+        }
+    }
+    for s in 0..k {
+        if state[s] == State::Waiting && deps_left[s] == 0 {
+            state[s] = State::Ready;
+        }
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let mut sup = Supervisor {
+        cfg,
+        update: &update,
+        plan: &plan,
+        tasks: &tasks,
+        fingerprint: run_fingerprint(update.tdg(), &plan),
+        state,
+        deps_left,
+        attempts: vec![0; k],
+        retry_at: vec![None; k],
+        running: HashMap::new(),
+        monitor: HeartbeatMonitor::new(k, cfg.stall_after),
+        tx,
+        rx,
+        max_workers: if cfg.max_workers == 0 {
+            k
+        } else {
+            cfg.max_workers.max(1)
+        },
+        respawns: 0,
+        worker_exec_nanos: 0,
+        completed_new: 0,
+        killed: false,
+    };
+    let result = sup.event_loop();
+    if result.is_err() {
+        sup.shutdown();
+    }
+    result?;
+
+    // Heal: execute every non-completed shard's tasks in-process, in
+    // shard-id (topological) order — bit-identical to what a healthy
+    // worker would have computed. Without healing, mark the stale cone
+    // unknown so nobody mistakes it for a result.
+    let mut healed_tasks = 0u64;
+    if !sup.killed {
+        for (s, shard_tasks) in tasks.iter().enumerate().take(k) {
+            if sup.state[s] == State::Completed {
+                continue;
+            }
+            if cfg.heal {
+                for &t in shard_tasks {
+                    update.execute_task(TaskId(t));
+                }
+                healed_tasks += shard_tasks.len() as u64;
+            } else {
+                for &t in shard_tasks {
+                    let v = update.node(TaskId(t));
+                    match update.kind(TaskId(t)) {
+                        crate::sta::TaskKind::Fprop => update.data().mark_arrival_unknown(v),
+                        crate::sta::TaskKind::Bprop => update.data().mark_required_unknown(v),
+                    }
+                }
+            }
+        }
+    }
+
+    let mut salvaged = Vec::new();
+    let mut poisoned = Vec::new();
+    let mut unfinished = Vec::new();
+    for s in 0..k as u32 {
+        match sup.state[s as usize] {
+            State::Completed => salvaged.push(s),
+            State::Poisoned => poisoned.push(s),
+            State::Unfinished => unfinished.push(s),
+            // Only reachable when `kill_after_shards` stopped the run.
+            _ => unfinished.push(s),
+        }
+    }
+    let mut completed_partitions: Vec<u32> = salvaged
+        .iter()
+        .flat_map(|&s| plan.members(s).iter().copied())
+        .collect();
+    completed_partitions.sort_unstable();
+
+    let outcome_attempts = sup.attempts.clone();
+    let respawns = sup.respawns;
+    let worker_exec_nanos = sup.worker_exec_nanos;
+    let killed = sup.killed;
+    drop(sup);
+    drop(update);
+    let report = timer.report(1);
+    Ok(ShardRunOutcome {
+        wns_bits: report.wns_ps.to_bits(),
+        tns_bits: report.tns_ps.to_bits(),
+        num_shards: k,
+        edge_cut: plan.edge_cut(),
+        salvaged,
+        poisoned,
+        unfinished,
+        attempts: outcome_attempts,
+        respawns,
+        healed_tasks,
+        worker_exec_nanos,
+        killed,
+        completed_partitions,
+        snapshot: cfg.capture_snapshot.then(|| timer.snapshot()),
+    })
+}

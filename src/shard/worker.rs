@@ -1,0 +1,329 @@
+//! The shard worker: the child-process half of sharded execution.
+//!
+//! A worker rebuilds the deterministic analysis context from
+//! `(circuit, scale, seed)` (see [`super::build_timer`]), rediscovers its
+//! own shard from `(shards, shard)` via the shared pure planning
+//! function, and then speaks the [`super::wire`] protocol on its stdio:
+//!
+//! 1. send `Hello` (identity + agreement fingerprint);
+//! 2. receive `Boundary` (the values its tasks read but do not compute),
+//!    verify the set against its own projection, and apply it;
+//! 3. execute its tasks in topological order, sending `Heartbeat` frames
+//!    as progress proof for the supervisor's hung-shard watchdog;
+//! 4. send `Delta` (every value its tasks wrote) followed by `Done`.
+//!
+//! Fault injection happens *here*, in the victim process: the supervisor
+//! translates a shard-level [`FaultKind`](crate::sched::FaultKind) into
+//! one of the `die_after` / `exit_after` / `stall_after` knobs, and the
+//! worker SIGKILLs itself, exits nonzero, or goes silent at the chosen
+//! task index. The supervisor only ever observes the *symptom* — a dead
+//! pipe or a silent child — exactly as it would for a real crash.
+
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+use super::wire::Frame;
+use super::{build_timer, plan_shards, run_fingerprint, shard_tasks, ShardError};
+use crate::circuits::PaperCircuit;
+use crate::sta::{BoundaryValues, ValueSet};
+use crate::tdg::TaskId;
+
+/// Everything a worker process needs (parsed from the hidden
+/// `gpasta shard-worker` command line).
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// Design to rebuild.
+    pub circuit: PaperCircuit,
+    /// Circuit scale as `f64` bits (bit-exact across the exec boundary).
+    pub scale_bits: u64,
+    /// Modifier-schedule seed.
+    pub seed: u64,
+    /// Shard count the supervisor planned with.
+    pub shards: usize,
+    /// Member-task cap the supervisor planned with.
+    pub max_tasks_per_shard: usize,
+    /// This worker's shard.
+    pub shard: u32,
+    /// Which attempt this process serves (echoed in every frame so the
+    /// supervisor can discard stragglers from killed predecessors).
+    pub attempt: u32,
+    /// Check the heartbeat clock every this many tasks (min 1).
+    pub beat_every: u64,
+    /// Minimum microseconds between heartbeat frames; `0` beats at every
+    /// check point. Throttling by *time* matters on small machines: each
+    /// frame wakes the supervisor's reader thread, and on one core that
+    /// preempts the task loop itself.
+    pub beat_interval_micros: u64,
+    /// Injected fault: SIGKILL self after this many tasks.
+    pub die_after: Option<u64>,
+    /// Injected fault: exit(1) after this many tasks.
+    pub exit_after: Option<u64>,
+    /// Injected fault: go silent (hang) after this many tasks.
+    pub stall_after: Option<u64>,
+}
+
+/// Fire the injected fault scheduled for progress point `done`, if any.
+/// A fault point of `n` fires after `n` tasks have executed — `0` before
+/// the first task, `tasks` after the last one but before the delta.
+fn maybe_fault(args: &WorkerArgs, done: u64) {
+    if args.die_after == Some(done) {
+        // SIGKILL self so the parent observes a killed child, not a clean
+        // exit; abort() is the fallback if the kill binary is missing.
+        let _ = std::process::Command::new("kill")
+            .arg("-9")
+            .arg(std::process::id().to_string())
+            .status();
+        std::process::abort();
+    }
+    if args.exit_after == Some(done) {
+        std::process::exit(1);
+    }
+    if args.stall_after == Some(done) {
+        // Hang without exiting or beating: only the supervisor's
+        // heartbeat watchdog can detect this state.
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// The worker protocol over caller-supplied streams (the testable core
+/// of [`run_worker`]).
+///
+/// # Errors
+///
+/// [`ShardError`] when planning fails, a frame is corrupt, or the
+/// supervisor violates the protocol.
+pub(crate) fn run_worker_io(
+    args: &WorkerArgs,
+    inp: &mut impl Read,
+    out: &mut impl Write,
+) -> Result<(), ShardError> {
+    let mut timer = build_timer(args.circuit, f64::from_bits(args.scale_bits), args.seed);
+    let update = timer.update_timing();
+    let (quotient, plan) = plan_shards(&update, args.shards, args.max_tasks_per_shard)?;
+    if (args.shard as usize) >= plan.num_shards() {
+        return Err(ShardError::Protocol(format!(
+            "assigned shard {} but the plan has {} shards",
+            args.shard,
+            plan.num_shards()
+        )));
+    }
+    let tasks = shard_tasks(&quotient, &plan, args.shard);
+
+    Frame::Hello {
+        shard: args.shard,
+        attempt: args.attempt,
+        num_shards: plan.num_shards() as u32,
+        num_tasks: update.tdg().num_tasks() as u64,
+        fingerprint: run_fingerprint(update.tdg(), &plan),
+    }
+    .write_to(out)?;
+
+    let frame = Frame::read_from(inp)?;
+    let Frame::Boundary(boundary) = frame else {
+        return Err(ShardError::Protocol(format!(
+            "expected a Boundary frame, got {frame:?}"
+        )));
+    };
+    let data = update.data();
+    if boundary.clock_period_bits != data.clock_period_ps.to_bits() {
+        return Err(ShardError::Protocol(
+            "clock period disagrees with the supervisor".into(),
+        ));
+    }
+    let writes = ValueSet::writes_of(&update, &tasks);
+    let needed = ValueSet::reads_of(&update, &tasks).minus(&writes);
+    if boundary.set != needed {
+        return Err(ShardError::Protocol(format!(
+            "boundary names {} cells but this shard needs {}",
+            boundary.set.len(),
+            needed.len()
+        )));
+    }
+    boundary.apply(data);
+
+    let beat_every = args.beat_every.max(1);
+    // Timing tasks run sub-microsecond, so even an `Option` compare per
+    // task shows up against the single-process baseline. Fold the three
+    // fault points into one trip index and execute in clean segments
+    // between heartbeats: the fault-free path pays no per-task
+    // bookkeeping at all.
+    let trip: Option<u64> = [args.die_after, args.exit_after, args.stall_after]
+        .into_iter()
+        .flatten()
+        .min();
+    let beat_interval = Duration::from_micros(args.beat_interval_micros);
+    let total = tasks.len() as u64;
+    let start = Instant::now();
+    let mut last_beat = start;
+    let mut done = 0u64;
+    if trip == Some(0) {
+        maybe_fault(args, 0);
+    }
+    while done < total {
+        let mut stop = (done + beat_every).min(total);
+        if let Some(p) = trip {
+            if p > done && p < stop {
+                stop = p;
+            }
+        }
+        for &t in &tasks[done as usize..stop as usize] {
+            update.execute_task(TaskId(t));
+        }
+        done = stop;
+        let now = Instant::now();
+        if now.duration_since(last_beat) >= beat_interval {
+            Frame::Heartbeat { done }.write_to(out)?;
+            last_beat = now;
+        }
+        if trip == Some(done) && done < total {
+            maybe_fault(args, done);
+        }
+    }
+    maybe_fault(args, done);
+    let exec_nanos = start.elapsed().as_nanos() as u64;
+
+    Frame::Delta(BoundaryValues::export(data, writes)).write_to(out)?;
+    Frame::Done {
+        exec_nanos,
+        tasks: done,
+    }
+    .write_to(out)
+    .map_err(ShardError::from)
+}
+
+/// Entry point of the hidden `gpasta shard-worker` subcommand: the
+/// protocol of [`run_worker_io`] over this process's stdin/stdout.
+///
+/// # Errors
+///
+/// See [`run_worker_io`]; the CLI maps any error to a nonzero exit.
+pub fn run_worker(args: &WorkerArgs) -> Result<(), ShardError> {
+    let mut inp = std::io::stdin().lock();
+    let mut out = std::io::stdout().lock();
+    run_worker_io(args, &mut inp, &mut out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_single_process;
+    use super::*;
+
+    const CIRCUIT: PaperCircuit = PaperCircuit::AesCore;
+    const SCALE: f64 = 0.002;
+    const SEED: u64 = 0xC0FFEE;
+
+    fn args(shard: u32, shards: usize) -> WorkerArgs {
+        WorkerArgs {
+            circuit: CIRCUIT,
+            scale_bits: SCALE.to_bits(),
+            seed: SEED,
+            shards,
+            max_tasks_per_shard: 0,
+            shard,
+            attempt: 0,
+            beat_every: 8,
+            beat_interval_micros: 0,
+            die_after: None,
+            exit_after: None,
+            stall_after: None,
+        }
+    }
+
+    /// Drive every shard's worker protocol in-process, playing the
+    /// supervisor by hand, and check the assembled result against the
+    /// single-process oracle bit for bit.
+    #[test]
+    fn workers_reassemble_the_oracle_bit_for_bit() {
+        let shards = 3;
+        let mut timer = build_timer(CIRCUIT, SCALE, SEED);
+        let update = timer.update_timing();
+        let (quotient, plan) = plan_shards(&update, shards, 0).expect("plan");
+
+        // Shard ids are topological, so id order is a valid schedule.
+        for s in 0..plan.num_shards() as u32 {
+            let tasks = shard_tasks(&quotient, &plan, s);
+            let writes = ValueSet::writes_of(&update, &tasks);
+            let needed = ValueSet::reads_of(&update, &tasks).minus(&writes);
+            let boundary = BoundaryValues::export(update.data(), needed);
+
+            let mut inbox = Vec::new();
+            Frame::Boundary(boundary)
+                .write_to(&mut inbox)
+                .expect("frame");
+            let mut outbox = Vec::new();
+            run_worker_io(
+                &args(s, shards),
+                &mut std::io::Cursor::new(inbox),
+                &mut outbox,
+            )
+            .expect("worker");
+
+            // Hello, heartbeats, then the delta we apply to the master.
+            let mut cursor = std::io::Cursor::new(outbox);
+            let hello = Frame::read_from(&mut cursor).expect("hello");
+            let Frame::Hello { fingerprint, .. } = hello else {
+                panic!("expected Hello, got {hello:?}");
+            };
+            assert_eq!(fingerprint, run_fingerprint(update.tdg(), &plan));
+            let mut saw_done = false;
+            loop {
+                match Frame::read_from(&mut cursor) {
+                    Ok(Frame::Heartbeat { .. }) => {}
+                    Ok(Frame::Delta(delta)) => {
+                        assert_eq!(delta.set, writes);
+                        delta.apply(update.data());
+                    }
+                    Ok(Frame::Done { tasks: n, .. }) => {
+                        assert_eq!(n, tasks.len() as u64);
+                        saw_done = true;
+                    }
+                    Ok(other) => panic!("unexpected frame {other:?}"),
+                    Err(super::super::wire::WireError::Eof) => break,
+                    Err(e) => panic!("wire error: {e}"),
+                }
+            }
+            assert!(saw_done, "worker must report completion");
+        }
+
+        drop(update);
+        let oracle = run_single_process(CIRCUIT, SCALE, SEED);
+        assert_eq!(timer.snapshot(), oracle.snapshot, "bit-identical");
+    }
+
+    #[test]
+    fn a_wrong_boundary_is_a_protocol_error() {
+        let shards = 2;
+        let mut timer = build_timer(CIRCUIT, SCALE, SEED);
+        let update = timer.update_timing();
+        let (_, plan) = plan_shards(&update, shards, 0).expect("plan");
+        assert!(plan.num_shards() >= 2, "test needs a real split");
+
+        // Send shard 1 an empty boundary: its read set is not empty (it
+        // depends on shard 0), so the worker must refuse to run.
+        let empty = BoundaryValues::export(update.data(), ValueSet::default());
+        let mut inbox = Vec::new();
+        Frame::Boundary(empty).write_to(&mut inbox).expect("frame");
+        let mut outbox = Vec::new();
+        let err = run_worker_io(
+            &args(1, shards),
+            &mut std::io::Cursor::new(inbox),
+            &mut outbox,
+        )
+        .expect_err("empty boundary must be rejected");
+        assert!(matches!(err, ShardError::Protocol(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn out_of_range_shards_are_rejected() {
+        let mut outbox = Vec::new();
+        let err = run_worker_io(
+            &args(99, 2),
+            &mut std::io::Cursor::new(Vec::new()),
+            &mut outbox,
+        )
+        .expect_err("shard 99 of 2 must fail");
+        assert!(matches!(err, ShardError::Protocol(_)), "got {err:?}");
+    }
+}

@@ -64,6 +64,7 @@ fn tight_limits() -> HttpLimits {
         max_body_bytes: 512,
         read_timeout: None,
         write_timeout: None,
+        ..HttpLimits::default()
     }
 }
 

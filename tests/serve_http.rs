@@ -37,6 +37,10 @@ struct Server {
 
 impl Server {
     fn start(tag: &str) -> Server {
+        Server::start_with(tag, &[])
+    }
+
+    fn start_with(tag: &str, extra: &[&str]) -> Server {
         let spool = tmp_dir(tag);
         let mut child = Command::new(env!("CARGO_BIN_EXE_gpasta"))
             .args([
@@ -50,6 +54,7 @@ impl Server {
                 "--max-sessions",
                 "12",
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()
@@ -318,6 +323,130 @@ fn eight_concurrent_sessions_with_deadlines() {
     let (status, listing) = request_at(&addr, "GET", "/sessions", None);
     assert_eq!(status, 200);
     assert_eq!(listing["sessions"].as_array().expect("rows").len(), 8);
+}
+
+/// Write one request with `Connection: keep-alive` on an already-open
+/// stream (the persistent-connection counterpart of [`request_at`]).
+fn send_keep_alive(
+    mut writer: &TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) {
+    let payload = body.map(|v| serde_json::to_string(v).expect("serialize"));
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if let Some(payload) = &payload {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            payload.len()
+        ));
+    }
+    head.push_str("Connection: keep-alive\r\n\r\n");
+    writer.write_all(head.as_bytes()).expect("write head");
+    if let Some(payload) = &payload {
+        writer.write_all(payload.as_bytes()).expect("write body");
+    }
+}
+
+/// Read exactly one response off a persistent connection: status, the
+/// `Connection` header value, and the JSON body framed by
+/// `Content-Length`. `None` on EOF before the status line.
+fn read_framed_response(reader: &mut BufReader<&TcpStream>) -> Option<(u16, String, Value)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut connection = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = header.split_once(':') {
+            if key.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_string();
+            } else if key.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    let json = serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()?;
+    Some((status, connection, json))
+}
+
+#[test]
+fn keep_alive_reuses_a_connection_up_to_the_request_cap() {
+    let server = Server::start_with("keepalive", &["--keep-alive-requests", "3"]);
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    let mut reader = BufReader::new(&stream);
+
+    // Three different requests ride one connection; the third hits the
+    // per-connection cap and is answered `Connection: close`.
+    let session = Value::Object(vec![
+        ("name".to_string(), Value::String("ka".to_string())),
+        ("verilog".to_string(), Value::String(PIPELINE.to_string())),
+    ]);
+    let requests: [(&str, &str, Option<&Value>); 3] = [
+        ("GET", "/healthz", None),
+        ("POST", "/sessions", Some(&session)),
+        ("GET", "/sessions/ka/report?k=1", None),
+    ];
+    for (i, (method, path, body)) in requests.iter().enumerate() {
+        send_keep_alive(&stream, &server.addr, method, path, *body);
+        let (status, connection, out) =
+            read_framed_response(&mut reader).expect("response arrives");
+        assert_eq!(status, 200, "{method} {path}: {out:?}");
+        if i < requests.len() - 1 {
+            assert_eq!(connection, "keep-alive", "request {i} keeps the connection");
+        } else {
+            assert_eq!(connection, "close", "the cap closes the connection");
+        }
+    }
+
+    // Past the cap the server's end is closed: clean EOF, no stray bytes.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean EOF");
+    assert!(rest.is_empty(), "no bytes after the capped response");
+
+    // The session created over keep-alive is visible to a fresh
+    // one-shot connection.
+    let (status, listing) = server.request("GET", "/sessions", None);
+    assert_eq!(status, 200);
+    assert_eq!(listing["sessions"].as_array().expect("rows").len(), 1);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_silently() {
+    let server = Server::start_with("idle", &["--idle-timeout-ms", "250"]);
+    let stream = TcpStream::connect(&server.addr).expect("connect");
+    let mut reader = BufReader::new(&stream);
+
+    send_keep_alive(&stream, &server.addr, "GET", "/healthz", None);
+    let (status, connection, _) = read_framed_response(&mut reader).expect("response");
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+
+    // Go quiet. Past the idle deadline the server must close without
+    // emitting an error response (idling between requests is legal).
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("deadline");
+    let mut rest = Vec::new();
+    reader
+        .read_to_end(&mut rest)
+        .expect("clean EOF, not a test timeout");
+    assert!(
+        rest.is_empty(),
+        "silent close: {:?}",
+        String::from_utf8_lossy(&rest)
+    );
 }
 
 #[test]

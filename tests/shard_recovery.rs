@@ -1,0 +1,224 @@
+//! Differential recovery suite for sharded multi-process execution.
+//!
+//! Every test compares a sharded run — with workers killed, exited, or
+//! hung at deterministic points — against the uninterrupted
+//! single-process oracle ([`run_single_process`]) and demands *bit*
+//! identity: same WNS/TNS bits, same full [`TimingSnapshot`]. That is
+//! the module's determinism contract (any topological execution of the
+//! update tasks produces identical `f32` bit patterns), and it is what
+//! makes "SIGKILL anywhere, recover exactly" checkable with `assert_eq!`.
+//!
+//! The worker processes are the real `gpasta` binary (`shard-worker`
+//! hidden subcommand), so the pipes, SIGKILLs, and respawns in these
+//! tests exercise the production code path end to end.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gpasta::circuits::PaperCircuit;
+use gpasta::sched::{FaultKind, FaultPlan, RetryPolicy};
+use gpasta::shard::{run_sharded, run_single_process, ShardRunConfig, ShardRunOutcome};
+use proptest::prelude::*;
+
+const CIRCUIT: PaperCircuit = PaperCircuit::AesCore;
+
+/// Case count for the property tests, overridable via `PROPTEST_CASES`.
+/// Each case spawns real worker processes, so the default stays small.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6)
+}
+
+/// A config whose workers are the real `gpasta` binary and whose
+/// backoffs are test-sized.
+fn cfg(scale: f64, seed: u64, shards: usize) -> ShardRunConfig {
+    let mut cfg = ShardRunConfig::new(CIRCUIT, scale, seed, shards);
+    cfg.worker_exe = PathBuf::from(env!("CARGO_BIN_EXE_gpasta"));
+    cfg.retry = RetryPolicy {
+        max_retries: 3,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+    };
+    cfg.capture_snapshot = true;
+    cfg
+}
+
+fn assert_bit_identical(outcome: &ShardRunOutcome, scale: f64, seed: u64, label: &str) {
+    let oracle = run_single_process(CIRCUIT, scale, seed);
+    assert_eq!(outcome.wns_bits, oracle.wns_bits, "{label}: WNS bits");
+    assert_eq!(outcome.tns_bits, oracle.tns_bits, "{label}: TNS bits");
+    assert_eq!(
+        *outcome.snapshot.as_ref().expect("snapshot captured"),
+        oracle.snapshot,
+        "{label}: full snapshot"
+    );
+}
+
+/// The three disposition sets must partition `0..num_shards` exactly:
+/// disjoint, complete, no stray ids.
+fn assert_partitions_shard_set(outcome: &ShardRunOutcome, label: &str) {
+    let mut all: Vec<u32> = outcome
+        .salvaged
+        .iter()
+        .chain(&outcome.poisoned)
+        .chain(&outcome.unfinished)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    let expected: Vec<u32> = (0..outcome.num_shards as u32).collect();
+    assert_eq!(
+        all, expected,
+        "{label}: salvaged {:?} ⊎ poisoned {:?} ⊎ unfinished {:?} must partition the shard set",
+        outcome.salvaged, outcome.poisoned, outcome.unfinished
+    );
+    assert_eq!(outcome.attempts.len(), outcome.num_shards, "{label}");
+}
+
+/// Random kill points × seeds × shard counts: every combination must
+/// respawn its victims and still match the oracle bit for bit.
+#[test]
+fn kill_matrix_respawns_and_heals_bit_identical() {
+    const SCALE: f64 = 0.005;
+    for &seed in &[3u64, 0xC0FFEE] {
+        for &shards in &[2usize, 4] {
+            for &chaos_seed in &[0u64, 0x9E37] {
+                let label = format!("seed={seed:#x} shards={shards} chaos={chaos_seed:#x}");
+                let mut c = cfg(SCALE, seed, shards);
+                // SIGKILL shard 0's first attempt and exit(1) shard 1's;
+                // the chaos seed moves the in-shard kill point.
+                c.faults = FaultPlan::none().inject(0, 0, FaultKind::Panic).inject(
+                    1,
+                    0,
+                    FaultKind::Transient,
+                );
+                c.chaos_seed = chaos_seed;
+                let outcome = run_sharded(&c).expect("sharded run");
+                assert!(outcome.respawns >= 2, "{label}: both victims respawn");
+                assert!(outcome.poisoned.is_empty(), "{label}: retries suffice");
+                assert_eq!(outcome.salvaged.len(), outcome.num_shards, "{label}");
+                assert_partitions_shard_set(&outcome, &label);
+                assert_bit_identical(&outcome, SCALE, seed, &label);
+            }
+        }
+    }
+}
+
+/// A worker that dies on every attempt exhausts its retries, poisons its
+/// forward closure, and the supervisor heals the whole cone in-process —
+/// still bit-identical.
+#[test]
+fn retry_exhaustion_poisons_then_heals_bit_identical() {
+    const SCALE: f64 = 0.005;
+    const SEED: u64 = 0xBAD5EED;
+    let mut c = cfg(SCALE, SEED, 4);
+    c.retry.max_retries = 1;
+    c.faults = FaultPlan::none()
+        .inject(0, 0, FaultKind::Panic)
+        .inject(0, 1, FaultKind::Panic);
+    let outcome = run_sharded(&c).expect("sharded run");
+    assert_eq!(outcome.poisoned, vec![0], "shard 0 exhausts its retries");
+    assert!(
+        !outcome.unfinished.is_empty(),
+        "shard 0's forward closure drains: {outcome:?}"
+    );
+    assert!(outcome.healed_tasks > 0, "the poisoned cone is re-executed");
+    assert_partitions_shard_set(&outcome, "poison");
+    assert_bit_identical(&outcome, SCALE, SEED, "poison+heal");
+}
+
+/// A hung worker (silent, never exits) is detected by the heartbeat
+/// watchdog, reaped, and respawned — still bit-identical.
+#[test]
+fn hung_workers_are_reaped_by_the_watchdog() {
+    const SCALE: f64 = 0.005;
+    const SEED: u64 = 7;
+    let mut c = cfg(SCALE, SEED, 3);
+    c.stall_after = Duration::from_millis(200);
+    c.faults = FaultPlan::none().inject(1, 0, FaultKind::Delay { micros: 1_000_000 });
+    let outcome = run_sharded(&c).expect("sharded run");
+    assert!(outcome.respawns >= 1, "the hung worker is replaced");
+    assert!(outcome.poisoned.is_empty(), "{outcome:?}");
+    assert_partitions_shard_set(&outcome, "watchdog");
+    assert_bit_identical(&outcome, SCALE, SEED, "watchdog");
+}
+
+/// Supervisor death and hand-off: a run checkpoints, "dies" after two
+/// shard completions, and a *new* supervisor with a different shard
+/// count resumes from the checkpoint without redoing the completed
+/// partitions — final state bit-identical to the oracle.
+#[test]
+fn shard_count_change_across_a_supervisor_kill_resumes_bit_identical() {
+    const SCALE: f64 = 0.008;
+    const SEED: u64 = 0xFACADE;
+    let dir = std::env::temp_dir().join(format!("gpasta-shard-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("hand_off.ckpt");
+
+    let mut first = cfg(SCALE, SEED, 3);
+    first.checkpoint_to = Some(ckpt.clone());
+    first.kill_after_shards = Some(2);
+    let interrupted = run_sharded(&first).expect("first run");
+    assert!(interrupted.killed, "the first supervisor dies mid-run");
+    assert!(
+        !interrupted.completed_partitions.is_empty(),
+        "progress was persisted before the kill"
+    );
+
+    // Resume under a different shard count: the checkpoint's unit is the
+    // partition, which is plan-independent.
+    let mut second = cfg(SCALE, SEED, 5);
+    second.resume_from = Some(ckpt.clone());
+    let resumed = run_sharded(&second).expect("resumed run");
+    assert!(!resumed.killed);
+    assert!(
+        resumed.attempts.contains(&0),
+        "some shard completed straight from the checkpoint: {:?}",
+        resumed.attempts
+    );
+    assert_partitions_shard_set(&resumed, "resume");
+    assert_bit_identical(&resumed, SCALE, SEED, "kill+resume");
+
+    // Belt and braces: killing the resumed run's workers too must not
+    // break the hand-off state.
+    let mut third = cfg(SCALE, SEED, 4);
+    third.resume_from = Some(ckpt);
+    third.faults = FaultPlan::none().inject(2, 0, FaultKind::Panic);
+    let hardened = run_sharded(&third).expect("resumed run with kills");
+    assert_partitions_shard_set(&hardened, "resume+kill");
+    assert_bit_identical(&hardened, SCALE, SEED, "resume+kill");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// For any chaos schedule, shard count, and retry budget, the three
+    /// disposition sets partition the shard set; and whenever healing is
+    /// on, the final bits match the oracle regardless of what was killed.
+    #[test]
+    fn dispositions_partition_the_shard_set(
+        seed in 0u64..1000,
+        shards in 1usize..6,
+        chaos_seed in any::<u64>(),
+        rate_pct in 0u32..=100,
+        max_retries in 0u32..3,
+    ) {
+        const SCALE: f64 = 0.002;
+        let mut c = cfg(SCALE, seed, shards);
+        c.retry.max_retries = max_retries;
+        c.chaos_seed = chaos_seed;
+        // Panic (SIGKILL) and Transient (exit 1) only: a random Delay
+        // would serialise the test on the watchdog deadline.
+        c.faults = FaultPlan::random(
+            chaos_seed,
+            f64::from(rate_pct) / 100.0,
+            &[FaultKind::Panic, FaultKind::Transient],
+        );
+        let outcome = run_sharded(&c).expect("sharded run");
+        assert_partitions_shard_set(&outcome, "proptest");
+        assert_bit_identical(&outcome, SCALE, seed, "proptest");
+    }
+}

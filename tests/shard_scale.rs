@@ -1,0 +1,75 @@
+//! Scale stress tier for sharded execution (env-gated).
+//!
+//! Gated behind `GPASTA_SCALE=1` because it builds a ≥4× leon2-sized
+//! synthetic design (leon2 is the largest circuit in the paper's suite
+//! at 4.3 M tasks; scale 4.0 pushes past 17 M) and is far too heavy for
+//! tier-1. Run it with:
+//!
+//! ```text
+//! GPASTA_SCALE=1 cargo test --release --test shard_scale -- --nocapture
+//! ```
+//!
+//! What it proves: sharded execution completes on a design of that size
+//! with a *bounded* number of live worker processes (`max_workers`), and
+//! the supervisor's peak memory (`VmHWM`) stays within a fixed multiple
+//! of the single-design footprint — i.e. the supervisor streams shard
+//! deltas instead of accumulating per-shard copies of the timing state.
+
+use std::path::PathBuf;
+
+use gpasta::circuits::PaperCircuit;
+use gpasta::shard::{run_sharded, ShardRunConfig};
+
+/// Peak resident set of this process in bytes, from `/proc/self/status`
+/// (`VmHWM`). `None` off Linux or if the field is missing.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+#[test]
+fn sharded_execution_scales_to_4x_leon2_with_bounded_memory() {
+    if std::env::var("GPASTA_SCALE").as_deref() != Ok("1") {
+        eprintln!("skipping: set GPASTA_SCALE=1 to run the scale stress tier");
+        return;
+    }
+
+    // ≥4× the paper's largest circuit. The supervisor plus at most two
+    // live workers bound the machine's total footprint.
+    let mut cfg = ShardRunConfig::new(PaperCircuit::Leon2, 4.0, 0x5CA1E, 8);
+    cfg.worker_exe = PathBuf::from(env!("CARGO_BIN_EXE_gpasta"));
+    cfg.max_workers = 2;
+    cfg.stall_after = std::time::Duration::from_secs(600);
+
+    let outcome = run_sharded(&cfg).expect("sharded run at scale");
+    assert_eq!(
+        outcome.salvaged.len(),
+        outcome.num_shards,
+        "every shard completes: {outcome:?}"
+    );
+    assert!(outcome.poisoned.is_empty() && outcome.unfinished.is_empty());
+    assert!(
+        f32::from_bits(outcome.wns_bits).is_finite(),
+        "the report is a real number, not NaN degradation"
+    );
+
+    // The supervisor holds one timer plus O(edge-cut) boundary buffers.
+    // A 6 GiB ceiling is ~3× the design's measured footprint; a
+    // supervisor that accumulated per-shard snapshots (8 × full state)
+    // would blow through it.
+    if let Some(peak) = peak_rss_bytes() {
+        const CEILING: u64 = 6 << 30;
+        eprintln!(
+            "scale tier: {} shards, edge cut {}, supervisor VmHWM {:.2} GiB",
+            outcome.num_shards,
+            outcome.edge_cut,
+            peak as f64 / (1u64 << 30) as f64
+        );
+        assert!(
+            peak < CEILING,
+            "supervisor peak memory {peak} B exceeds the {CEILING} B ceiling"
+        );
+    }
+}
